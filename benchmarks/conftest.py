@@ -1,0 +1,21 @@
+"""Benchmark plumbing: each bench regenerates one paper table/figure.
+
+Every benchmark prints its table and also writes it to
+``benchmarks/results/<id>.txt`` so the regenerated artifacts survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(artifact_id: str, text: str) -> None:
+    """Persist a regenerated table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{artifact_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {artifact_id} ===")
+    print(text)

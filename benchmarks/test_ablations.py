@@ -1,0 +1,40 @@
+"""Ablations of ROD's design choices (DESIGN.md §6)."""
+
+from repro.experiments import ablations, format_rows
+
+from conftest import save_table
+
+
+def test_ablation_operator_ordering(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run_ordering(random_orders=5, samples=4096),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_ordering", format_rows(rows))
+    by_name = {r["ordering"]: r for r in rows}
+    # Norm-descending ordering (Section 5.1) beats random orders.
+    assert (
+        by_name["norm_descending"]["volume_ratio"]
+        >= by_name["random_mean_of_5"]["volume_ratio"]
+    )
+
+
+def test_ablation_class_one_policy(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run_class_one_policy(samples=4096),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_class_one_policy", format_rows(rows))
+    ratios = [r["volume_ratio"] for r in rows]
+    # Section 5.2: any Class I choice is feasible-set neutral, so the
+    # policies should land within a few percent of each other...
+    assert max(ratios) - min(ratios) < 0.1
+    # ...but the connections policy must not create more crossings than
+    # the default.
+    by_name = {r["policy"]: r for r in rows}
+    assert (
+        by_name["connections"]["inter_node_arcs"]
+        <= by_name["plane"]["inter_node_arcs"]
+    )

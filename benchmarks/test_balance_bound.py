@@ -1,0 +1,30 @@
+"""Ablation — ROD's greedy balance vs the exact MILP balance optimum."""
+
+import numpy as np
+
+from repro.experiments import balance_bound, format_rows
+
+from conftest import save_table
+
+
+def test_balance_bound(benchmark):
+    rows = benchmark.pedantic(
+        lambda: balance_bound.run(), rounds=1, iterations=1
+    )
+    save_table("balance_bound", format_rows(rows))
+    # The MILP is the true optimum: ROD can never balance better.
+    for row in rows:
+        assert row["rod_max_weight"] >= row["optimal_max_weight"] - 1e-6
+    # Scarce regime: balance stops predicting volume; greedy ROD holds
+    # its own against the balance-optimal plan.
+    scarce = [r for r in rows if r["regime"] == "scarce"]
+    assert np.mean(
+        [r["rod_volume_ratio"] - r["milp_volume_ratio"] for r in scarce]
+    ) > -0.05
+    # Plentiful regime: the exact solver approaches the ideal plan...
+    plentiful = [r for r in rows if r["regime"] == "plentiful"]
+    for row in plentiful:
+        assert row["optimal_max_weight"] < 1.1
+    # ...but pays for it: ROD plans orders of magnitude faster.
+    for row in rows:
+        assert row["rod_seconds"] < row["milp_seconds"]

@@ -1,0 +1,35 @@
+"""Reconstructed Section 6.3 experiment — operator clustering."""
+
+from repro.experiments import clustering_experiment, format_rows
+
+from conftest import save_table
+
+
+def test_clustering(benchmark):
+    rows = benchmark.pedantic(
+        lambda: clustering_experiment.run(
+            cost_multipliers=(0.0, 0.5, 1.0, 2.0),
+            num_links=4,
+            num_nodes=4,
+            samples=4096,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("clustering", format_rows(rows))
+    by_key = {(r["transfer_multiplier"], r["strategy"]): r for r in rows}
+    # Clustering never hurts the communication-adjusted plane distance
+    # (the search includes the trivial clustering).
+    for multiplier in (0.5, 1.0, 2.0):
+        clustered = by_key[(multiplier, "rod_clustered")]
+        plain = by_key[(multiplier, "rod_plain")]
+        assert (
+            clustered["comm_plane_distance"]
+            >= plain["comm_plane_distance"] - 1e-9
+        )
+        assert clustered["inter_node_arcs"] <= plain["inter_node_arcs"]
+    # At high transfer cost clustering is strictly better.
+    assert (
+        by_key[(2.0, "rod_clustered")]["comm_volume_ratio"]
+        > by_key[(2.0, "rod_plain")]["comm_volume_ratio"]
+    )

@@ -1,0 +1,42 @@
+"""Figure 14 — base resiliency results (the headline experiment)."""
+
+from repro.experiments import format_rows, resiliency
+from repro.experiments.common import ALGORITHMS
+
+from conftest import save_table
+
+
+def test_fig14_resiliency(benchmark):
+    rows = benchmark.pedantic(
+        lambda: resiliency.run(
+            operator_counts=(40, 80, 120, 160, 200),
+            num_inputs=5,
+            num_nodes=10,
+            repeats=10,
+            samples=4096,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig14_resiliency", format_rows(rows))
+    by_key = {(r["operators"], r["algorithm"]): r for r in rows}
+    counts = sorted({r["operators"] for r in rows})
+
+    # ROD dominates every baseline at every operator count.
+    for count in counts:
+        rod = by_key[(count, "rod")]["ratio_to_ideal"]
+        for name in ALGORITHMS:
+            assert by_key[(count, name)]["ratio_to_ideal"] <= rod + 0.02
+
+    # ROD approaches the ideal as operator count grows.
+    rod_curve = [by_key[(c, "rod")]["ratio_to_ideal"] for c in counts]
+    assert rod_curve[-1] > rod_curve[0]
+    assert rod_curve[-1] > 0.8
+
+    # Qualitative ordering of the baselines: connected is the worst,
+    # correlation the best baseline (paper Section 7.3.1).
+    last = counts[-1]
+    assert (
+        by_key[(last, "connected")]["ratio_to_ideal"]
+        <= by_key[(last, "correlation")]["ratio_to_ideal"]
+    )

@@ -1,0 +1,37 @@
+"""Figure 15 — relative performance while varying the number of inputs."""
+
+import numpy as np
+
+from repro.experiments import dimensions, format_rows
+
+from conftest import save_table
+
+
+def test_fig15_dimensions(benchmark):
+    rows = benchmark.pedantic(
+        lambda: dimensions.run(
+            input_counts=(2, 3, 4, 5, 6, 7),
+            operators_per_tree=20,
+            num_nodes=10,
+            repeats=8,
+            samples=4096,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig15_dimensions", format_rows(rows))
+    # ROD's relative advantage grows with dimensionality: competitor/ROD
+    # ratios trend downward from d=3 onward (d=2 is off-trend, as the
+    # paper notes, because so few placement choices exist per node).
+    for name in {r["algorithm"] for r in rows}:
+        curve = [
+            r["ratio_to_rod"]
+            for r in rows
+            if r["algorithm"] == name and r["inputs"] >= 3
+        ]
+        assert curve[-1] <= curve[0] + 0.05, name
+    # Every competitor is behind ROD at the largest dimension.
+    last = max(r["inputs"] for r in rows)
+    for r in rows:
+        if r["inputs"] == last:
+            assert r["ratio_to_rod"] <= 1.0 + 0.02

@@ -1,0 +1,17 @@
+"""Figure 2 — stream-rate variation of the three trace archetypes."""
+
+from repro.experiments import fig2_traces, format_rows
+
+from conftest import save_table
+
+
+def test_fig2_traces(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig2_traces.run(steps=4096, seed=1), rounds=1, iterations=1
+    )
+    save_table("fig2_traces", format_rows(rows))
+    # The paper's point: all traces vary significantly and are
+    # self-similar across time-scales.
+    for row in rows:
+        assert row["normalized_std"] > 0.1
+        assert row["hurst"] > 0.55

@@ -1,0 +1,25 @@
+"""Figure 9 — feasible-set-size ratio vs r/r* for random plans."""
+
+from repro.experiments import fig9_plane_distance, format_rows
+
+from conftest import save_table
+
+
+def test_fig9_plane_distance(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig9_plane_distance.run(
+            count=1000, num_nodes=10, num_streams=3, samples=2048, seed=42
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    bins = fig9_plane_distance.binned(rows, bins=10)
+    save_table("fig9_plane_distance", format_rows(bins))
+    # Both envelopes of the scatter grow with r/r* (the MMPD rationale).
+    means = [b["mean_ratio"] for b in bins]
+    mins = [b["min_ratio"] for b in bins]
+    assert means[-1] > means[0]
+    assert mins[-1] > mins[0]
+    # The analytic hypersphere bound stays below the observed minimum.
+    for b in bins:
+        assert b["sphere_lower_bound"] <= b["min_ratio"] + 0.05

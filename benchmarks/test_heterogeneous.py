@@ -1,0 +1,24 @@
+"""Reconstructed heterogeneous-cluster experiment (§7.1 assumption)."""
+
+from repro.experiments import format_rows, heterogeneous
+
+from conftest import save_table
+
+
+def test_heterogeneous(benchmark):
+    rows = benchmark.pedantic(
+        lambda: heterogeneous.run(), rounds=1, iterations=1
+    )
+    save_table("heterogeneous", format_rows(rows))
+    by_key = {(r["profile"], r["algorithm"]): r for r in rows}
+    profiles = {r["profile"] for r in rows}
+    for profile in profiles:
+        rod = by_key[(profile, "rod")]
+        # ROD dominates every baseline on every capacity profile.
+        for name in ("correlation", "llf", "random", "connected"):
+            assert (
+                by_key[(profile, name)]["ratio_to_ideal"]
+                <= rod["ratio_to_ideal"] + 0.02
+            ), (profile, name)
+        # ROD apportions load to capacity within a few percent.
+        assert rod["rod_capacity_share_error"] < 0.1

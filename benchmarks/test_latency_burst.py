@@ -1,0 +1,34 @@
+"""Reconstructed prototype experiment — latency under bursty trace replay."""
+
+from repro.experiments import format_rows, latency
+
+from conftest import save_table
+
+
+def test_latency_burst(benchmark):
+    rows = benchmark.pedantic(
+        lambda: latency.run(
+            utilizations=(0.5, 0.7, 0.85),
+            num_inputs=3,
+            operators_per_tree=10,
+            num_nodes=4,
+            steps=400,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("latency_burst", format_rows(rows))
+    by_key = {(r["mean_utilization"], r["algorithm"]): r for r in rows}
+    # At high mean load, ROD's tail latency beats the count-balanced and
+    # connectivity-preserving baselines (which saturate under bursts).
+    for other in ("random", "connected"):
+        assert (
+            by_key[(0.85, "rod")]["p95_latency_ms"]
+            <= by_key[(0.85, other)]["p95_latency_ms"]
+        )
+    # Latency grows with load for every algorithm.
+    for name in {r["algorithm"] for r in rows}:
+        assert (
+            by_key[(0.85, name)]["mean_latency_ms"]
+            >= by_key[(0.5, name)]["mean_latency_ms"]
+        )

@@ -1,0 +1,30 @@
+"""Section 7.3.1 — ROD vs the exhaustive optimum on small graphs.
+
+Paper numbers: mean ROD/optimal feasible-set ratio 0.95, minimum 0.82.
+"""
+
+from repro.experiments import format_rows, optimal_gap
+
+from conftest import save_table
+
+
+def test_optimal_gap(benchmark):
+    rows = benchmark.pedantic(
+        lambda: optimal_gap.run(
+            dimensions=(2, 3, 4, 5),
+            operators_per_tree=3,
+            num_nodes=2,
+            graphs_per_dimension=3,
+            seed=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    agg = optimal_gap.aggregate(rows)
+    table = format_rows(rows) + (
+        f"\n\nmean ratio: {agg['mean_ratio']:.4f} (paper: 0.95)"
+        f"\nmin ratio:  {agg['min_ratio']:.4f} (paper: 0.82)"
+    )
+    save_table("optimal_gap", table)
+    assert agg["mean_ratio"] >= 0.85
+    assert agg["min_ratio"] >= 0.75

@@ -1,0 +1,22 @@
+"""Methodology — Quasi-Monte-Carlo vs plain Monte Carlo convergence."""
+
+from repro.experiments import format_rows, qmc_convergence
+
+from conftest import save_table
+
+
+def test_qmc_convergence(benchmark):
+    rows = benchmark.pedantic(
+        lambda: qmc_convergence.run(), rounds=1, iterations=1
+    )
+    save_table("qmc_convergence", format_rows(rows))
+    # Errors shrink with sample count for both samplers.
+    halton = [r["halton_mean_abs_error"] for r in rows]
+    random = [r["random_mean_abs_error"] for r in rows]
+    assert halton[-1] < halton[0]
+    assert random[-1] < random[0]
+    # Halton is at least as accurate at every size and clearly ahead at
+    # the largest (its error decays ~1/N vs ~1/sqrt(N)).
+    for h, r in zip(halton, random):
+        assert h <= r * 1.2
+    assert rows[-1]["halton_advantage"] > 1.5

@@ -1,0 +1,29 @@
+"""Extension — greedy ROD vs direct volume search (annealing)."""
+
+from repro.experiments import format_rows, search_gap
+
+from conftest import save_table
+
+
+def test_search_gap(benchmark):
+    rows = benchmark.pedantic(
+        lambda: search_gap.run(), rounds=1, iterations=1
+    )
+    save_table("search_gap", format_rows(rows))
+    by_strategy = {r["strategy"]: r for r in rows}
+    rod = by_strategy["rod"]
+    # Polishing ROD with search never loses (the anneal keeps the best).
+    assert (
+        by_strategy["anneal-polish"]["volume_ratio"]
+        >= rod["volume_ratio"] - 0.01
+    )
+    # From scratch with a small budget, search does not beat ROD.
+    assert (
+        by_strategy["anneal-scratch-short"]["volume_ratio"]
+        <= rod["volume_ratio"] + 0.01
+    )
+    # A 10x larger budget lands in ROD's neighbourhood (within a few
+    # percent either way) while costing orders of magnitude more time.
+    long = by_strategy["anneal-scratch-long"]
+    assert abs(long["volume_ratio"] - rod["volume_ratio"]) < 0.05
+    assert long["planning_seconds"] > 100 * rod["planning_seconds"]

@@ -1,0 +1,35 @@
+"""Methodology check — the simulator tracks the analytic model.
+
+The paper validates its simulator against Borealis; we validate ours
+against the analytic feasibility predicate ``L^n R <= C``.
+"""
+
+from repro.experiments import fidelity, format_rows
+
+from conftest import save_table
+
+
+def test_sim_fidelity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fidelity.run(points=40, duration=10.0, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("sim_fidelity", format_rows(rows))
+    row = rows[0]
+    assert row["clear_disagreements"] == 0
+    assert row["agreement_rate"] >= 0.9
+    assert row["mean_utilization_error"] < 0.02
+
+
+def test_prototype_protocol(benchmark):
+    """The Borealis probing protocol tracks the QMC volume ratio."""
+    rows = benchmark.pedantic(
+        lambda: fidelity.run_protocol_comparison(points=60, duration=8.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("prototype_protocol", format_rows(rows))
+    for row in rows:
+        # 60 Bernoulli probes: allow ~2.5 sigma of sampling error.
+        assert row["abs_difference"] <= 0.16, row

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Trace analysis: reproducing Figure 2's message in the terminal.
+
+The paper's Figure 2 shows that real stream rates vary wildly and —
+crucially — stay bursty at every time-scale (self-similarity, their
+reference [9]).  This example generates the three synthetic archetypes,
+renders them, and then demonstrates the multi-time-scale property
+quantitatively: rebinned self-similar traces keep their burstiness and
+Hurst exponent while i.i.d. Poisson noise smooths right out.
+
+It also shows the CSV round-trip for substituting *real* traces.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.workload import (
+    TRACE_KINDS,
+    area_chart,
+    hurst_exponent,
+    load_trace_csv,
+    make_trace,
+    rebin_trace,
+    save_trace_csv,
+    sparkline,
+    trace_statistics,
+)
+
+
+def main() -> None:
+    print("== The three trace archetypes (cf. Figure 2) ==")
+    for kind in TRACE_KINDS:
+        trace = make_trace(kind, steps=4096, mean_rate=100.0, seed=11)
+        stats = trace_statistics(trace)
+        print(f"\n{kind.upper()}: normalized std {stats['normalized_std']:.2f}, "
+              f"peak/mean {stats['peak_to_mean']:.1f}, "
+              f"Hurst {stats['hurst']:.2f}")
+        print(area_chart(trace, width=64, height=6, label=kind))
+
+    print("\n== Self-similarity: burstiness survives rebinning ==")
+    print(f"{'trace':<10} {'scale':>6} {'cv':>7} {'hurst':>7}")
+    for label, series in (
+        ("tcp", make_trace("tcp", 8192, seed=5)),
+        ("poisson", np.random.default_rng(5).poisson(
+            100, size=8192).astype(float)),
+    ):
+        for factor in (1, 4, 16):
+            coarse = rebin_trace(series, factor)
+            cv = coarse.std() / coarse.mean()
+            h = hurst_exponent(coarse)
+            print(f"{label:<10} {factor:>5}x {cv:>7.2f} {h:>7.2f}")
+    print("(the self-similar trace keeps its variability; Poisson decays "
+          "like 1/sqrt(scale))")
+
+    print("\n== One-minute view of the TCP archetype ==")
+    trace = make_trace("tcp", 600, mean_rate=100.0, seed=2)
+    print("rate:", sparkline(trace, width=72))
+
+    print("\n== CSV round-trip for real traces ==")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.csv")
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        print(f"saved and reloaded {loaded.size} steps; identical:",
+              bool(np.allclose(loaded, trace)))
+        print("feed real Internet Traffic Archive exports the same way: "
+              "one rate per line, then pass the array anywhere a trace "
+              "is expected")
+
+
+if __name__ == "__main__":
+    main()

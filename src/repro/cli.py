@@ -1,0 +1,269 @@
+"""Command-line interface.
+
+Five subcommands cover the deploy-time workflow end to end::
+
+    repro-rod generate --kind random --inputs 3 --ops-per-tree 10 -o g.json
+    repro-rod place    --graph g.json --nodes 4 --algorithm rod -o plan.json
+    repro-rod evaluate --graph g.json --plan plan.json
+    repro-rod simulate --graph g.json --plan plan.json --rates 50,80 \\
+                       --duration 20
+    repro-rod experiment fig14
+
+``generate`` writes a query-graph JSON document (see
+:mod:`repro.graphs.serialize`); ``place`` runs any placement algorithm
+and emits an ``{operator: node}`` plan; ``evaluate`` scores a plan
+(feasible-set ratio, plane distance, and an ASCII picture for 2-D
+systems); ``simulate`` replays a constant rate point through the
+discrete-event simulator; ``experiment`` regenerates any paper artifact
+by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from . import experiments
+from .core.load_model import LoadModel, build_load_model
+from .core.plans import Placement, placement_from_mapping
+from .core.analysis import resilience_summary
+from .core.viz import render_feasible_set
+from .graphs.generator import (
+    RandomGraphConfig,
+    join_graph,
+    monitoring_graph,
+    random_tree_graph,
+)
+from .graphs.serialize import dump_graph, load_graph
+from .placement import (
+    ConnectedPlacer,
+    CorrelationPlacer,
+    LLFPlacer,
+    MilpBalancePlacer,
+    OptimalPlacer,
+    RODPlacer,
+    RandomPlacer,
+)
+from .simulator.engine import Simulator
+from .workload.rates import rate_series
+
+__all__ = ["main"]
+
+EXPERIMENTS = {
+    "fig2": lambda: experiments.fig2_traces.run(),
+    "fig9": lambda: experiments.fig9_plane_distance.binned(
+        experiments.fig9_plane_distance.run()
+    ),
+    "fig14": lambda: experiments.resiliency.run(),
+    "fig15": lambda: experiments.dimensions.run(),
+    "optimal-gap": lambda: experiments.optimal_gap.run(),
+    "latency": lambda: experiments.latency.run(),
+    "lower-bound": lambda: experiments.lower_bound.run(),
+    "nonlinear": lambda: experiments.nonlinear.run(),
+    "clustering": lambda: experiments.clustering_experiment.run(),
+    "fidelity": lambda: experiments.fidelity.run(),
+    "dynamic": lambda: experiments.dynamic_migration.run(),
+    "heterogeneous": lambda: experiments.heterogeneous.run(),
+    "partitioning": lambda: experiments.partitioning.run(),
+    "balance-bound": lambda: experiments.balance_bound.run(),
+    "qmc-convergence": lambda: experiments.qmc_convergence.run(),
+    "scheduling": lambda: experiments.scheduling_ablation.run(),
+    "protocol": lambda: experiments.fidelity.run_protocol_comparison(),
+    "linearization": lambda: experiments.linearization_value.run(),
+    "search-gap": lambda: experiments.search_gap.run(),
+}
+
+
+def _build_placer(name: str, model: LoadModel, seed: Optional[int]):
+    if name == "rod":
+        return RODPlacer()
+    if name == "llf":
+        return LLFPlacer()
+    if name == "connected":
+        return ConnectedPlacer()
+    if name == "random":
+        return RandomPlacer(seed=seed)
+    if name == "correlation":
+        series = rate_series(model.num_variables, 128, seed=seed or 0)
+        return CorrelationPlacer(series)
+    if name == "optimal":
+        return OptimalPlacer()
+    if name == "milp":
+        return MilpBalancePlacer()
+    raise SystemExit(f"unknown algorithm: {name!r}")
+
+
+def _load_placement(
+    graph_path: str, plan_path: str, nodes: Optional[int]
+) -> Placement:
+    model = build_load_model(load_graph(graph_path))
+    with open(plan_path) as handle:
+        doc = json.load(handle)
+    mapping = doc["assignment"] if "assignment" in doc else doc
+    capacities = doc.get(
+        "capacities",
+        [1.0] * (nodes or (max(mapping.values()) + 1)),
+    )
+    return placement_from_mapping(model, capacities, mapping)
+
+
+def _print_plan_summary(placement: Placement) -> None:
+    print(placement.describe())
+    print(f"feasible-set ratio to ideal: {placement.volume_ratio():.4f}")
+    print(f"inter-node arcs: {placement.inter_node_arcs()}")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "random":
+        graph = random_tree_graph(
+            RandomGraphConfig(
+                num_inputs=args.inputs, operators_per_tree=args.ops_per_tree
+            ),
+            seed=args.seed,
+        )
+    elif args.kind == "monitoring":
+        graph = monitoring_graph(num_links=args.inputs, seed=args.seed)
+    elif args.kind == "joins":
+        graph = join_graph(num_join_pairs=max(1, args.inputs // 2),
+                           seed=args.seed)
+    else:
+        raise SystemExit(f"unknown graph kind: {args.kind!r}")
+    dump_graph(graph, args.output)
+    print(
+        f"wrote {graph.num_operators} operators / {graph.num_inputs} "
+        f"inputs to {args.output}"
+    )
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    model = build_load_model(load_graph(args.graph))
+    placer = _build_placer(args.algorithm, model, args.seed)
+    placement = placer.place(model, [args.capacity] * args.nodes)
+    _print_plan_summary(placement)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(placement.to_json())
+            handle.write("\n")
+        print(f"plan written to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    placement = _load_placement(args.graph, args.plan, args.nodes)
+    _print_plan_summary(placement)
+    print()
+    print(resilience_summary(placement))
+    feasible_set = placement.feasible_set()
+    if feasible_set.dimension == 2:
+        print()
+        print(render_feasible_set(feasible_set, title="feasible set"))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    placement = _load_placement(args.graph, args.plan, args.nodes)
+    rates = [float(r) for r in args.rates.split(",")]
+    result = Simulator(placement, step_seconds=args.step).run(
+        rates=rates, duration=args.duration
+    )
+    print(result.summary())
+    feasible = result.is_feasible(backlog_tolerance=args.step)
+    print(f"feasible at this rate point: {feasible}")
+    return 0 if feasible or not args.check else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import report
+
+    report.write_report(args.output, scale=args.scale, only=args.only)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        runner = EXPERIMENTS[args.id]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {args.id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    rows = runner()
+    print(experiments.format_rows(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rod",
+        description="Resilient Operator Distribution (VLDB 2006) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a query-graph JSON file")
+    gen.add_argument("--kind", default="random",
+                     choices=("random", "monitoring", "joins"))
+    gen.add_argument("--inputs", type=int, default=3)
+    gen.add_argument("--ops-per-tree", type=int, default=10)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(func=cmd_generate)
+
+    place = sub.add_parser("place", help="place a graph on a cluster")
+    place.add_argument("--graph", required=True)
+    place.add_argument("--nodes", type=int, required=True)
+    place.add_argument("--capacity", type=float, default=1.0)
+    place.add_argument(
+        "--algorithm",
+        default="rod",
+        choices=("rod", "llf", "connected", "correlation", "random",
+                 "optimal", "milp"),
+    )
+    place.add_argument("--seed", type=int, default=None)
+    place.add_argument("-o", "--output")
+    place.set_defaults(func=cmd_place)
+
+    ev = sub.add_parser("evaluate", help="score an existing plan")
+    ev.add_argument("--graph", required=True)
+    ev.add_argument("--plan", required=True)
+    ev.add_argument("--nodes", type=int, default=None)
+    ev.set_defaults(func=cmd_evaluate)
+
+    sim = sub.add_parser("simulate", help="replay a rate point")
+    sim.add_argument("--graph", required=True)
+    sim.add_argument("--plan", required=True)
+    sim.add_argument("--nodes", type=int, default=None)
+    sim.add_argument("--rates", required=True,
+                     help="comma-separated tuples/second per input")
+    sim.add_argument("--duration", type=float, default=20.0)
+    sim.add_argument("--step", type=float, default=0.1)
+    sim.add_argument("--check", action="store_true",
+                     help="exit non-zero if the point is infeasible")
+    sim.set_defaults(func=cmd_simulate)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    exp.set_defaults(func=cmd_experiment)
+
+    rep = sub.add_parser(
+        "report", help="run every experiment into one markdown report"
+    )
+    rep.add_argument("-o", "--output", required=True)
+    rep.add_argument("--scale", default="quick", choices=("quick", "full"))
+    rep.add_argument("--only", nargs="*", default=(),
+                     help="restrict to specific artifact ids")
+    rep.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: load model, feasible-set geometry,
+the ROD placement algorithm and its extensions."""
+
+from .analysis import (
+    BottleneckReport,
+    axis_headroom,
+    bottleneck_report,
+    headroom,
+    resilience_summary,
+)
+from .feasible_set import FeasibleSet
+from .linearize import LinearizationReport, find_cut_streams, linearization_report
+from .load_model import LoadModel, build_load_model
+from .plans import Placement, diff_placements, placement_from_mapping
+from .rod import RodStep, rod_extend, rod_order, rod_place
+from .viz import compare_feasible_sets, render_feasible_set
+from .clustering import (
+    ClusteredModel,
+    Clustering,
+    ClusteringSearchResult,
+    cluster_operators,
+    communication_feasible_set,
+    search_clusterings,
+)
+
+__all__ = [
+    "BottleneckReport",
+    "ClusteredModel",
+    "axis_headroom",
+    "bottleneck_report",
+    "headroom",
+    "resilience_summary",
+    "Clustering",
+    "ClusteringSearchResult",
+    "FeasibleSet",
+    "LinearizationReport",
+    "LoadModel",
+    "Placement",
+    "RodStep",
+    "build_load_model",
+    "cluster_operators",
+    "communication_feasible_set",
+    "compare_feasible_sets",
+    "diff_placements",
+    "render_feasible_set",
+    "find_cut_streams",
+    "linearization_report",
+    "placement_from_mapping",
+    "rod_extend",
+    "rod_order",
+    "rod_place",
+    "search_clusterings",
+]

@@ -1,0 +1,171 @@
+"""Resilience analysis of placements — the questions operators ask.
+
+The feasible set is the formal object; an operator on call wants its
+practical projections:
+
+* *How much can the whole workload grow before something saturates?*
+  (:func:`headroom` — scale along the current mix)
+* *How much can stream k alone burst?* (:func:`axis_headroom`)
+* *Which node goes down first, and which streams drive it?*
+  (:func:`bottleneck_report`)
+
+All answers are closed-form in the linear model: node ``i`` saturates
+along direction ``R`` at scale ``C_i / (L^n_i · R)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .plans import Placement
+
+__all__ = [
+    "headroom",
+    "axis_headroom",
+    "BottleneckReport",
+    "bottleneck_report",
+    "resilience_summary",
+]
+
+
+def _rates_vector(placement: Placement, rates: Sequence[float]) -> np.ndarray:
+    r = np.asarray(rates, dtype=float)
+    d = placement.model.num_variables
+    if r.shape != (d,):
+        raise ValueError(f"expected {d} rates, got shape {r.shape}")
+    if np.any(r < 0):
+        raise ValueError("rates must be >= 0")
+    return r
+
+
+def headroom(placement: Placement, rates: Sequence[float]) -> float:
+    """Largest factor the whole rate vector can scale by and stay feasible.
+
+    ``min_i C_i / (L^n_i · R)``; ``inf`` if the point generates no load.
+    A value below 1 means the system is already infeasible at ``R``.
+    """
+    r = _rates_vector(placement, rates)
+    loads = placement.node_coefficients() @ r
+    capacities = placement.capacities
+    with np.errstate(divide="ignore"):
+        scales = np.where(loads > 1e-15, capacities / loads, math.inf)
+    return float(scales.min())
+
+
+def axis_headroom(
+    placement: Placement,
+    rates: Sequence[float],
+    axis: int,
+) -> float:
+    """How much additional rate stream ``axis`` alone can absorb at ``R``.
+
+    Returns the largest ``delta >= 0`` such that ``R + delta * e_axis``
+    stays feasible (``inf`` if no node loads that variable; ``0`` if some
+    node is already saturated).  This is the per-axis burst tolerance —
+    MMAD's axis distances translated back to physical rates.
+    """
+    r = _rates_vector(placement, rates)
+    d = placement.model.num_variables
+    if not 0 <= axis < d:
+        raise IndexError(f"axis {axis} out of range for d={d}")
+    ln = placement.node_coefficients()
+    slack = placement.capacities - ln @ r
+    if np.any(slack < 0):
+        return 0.0
+    column = ln[:, axis]
+    with np.errstate(divide="ignore"):
+        deltas = np.where(column > 1e-15, slack / column, math.inf)
+    return float(max(deltas.min(), 0.0))
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Which node saturates first along the current mix, and why."""
+
+    node: int
+    utilization: float
+    saturation_scale: float
+    #: (variable name, fraction of the node's load it contributes).
+    dominant_variables: Tuple[Tuple[str, float], ...]
+
+
+def bottleneck_report(
+    placement: Placement,
+    rates: Sequence[float],
+    top: int = 3,
+) -> BottleneckReport:
+    """Identify the first node to saturate and its dominant load sources."""
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    r = _rates_vector(placement, rates)
+    ln = placement.node_coefficients()
+    loads = ln @ r
+    utilizations = loads / placement.capacities
+    node = int(np.argmax(utilizations))
+    contributions = ln[node] * r
+    total = contributions.sum()
+    names = placement.model.variables
+    ranked = sorted(
+        range(len(names)), key=lambda k: -contributions[k]
+    )[:top]
+    dominant = tuple(
+        (names[k], float(contributions[k] / total) if total > 0 else 0.0)
+        for k in ranked
+        if contributions[k] > 0
+    )
+    scale = (
+        float(placement.capacities[node] / loads[node])
+        if loads[node] > 1e-15
+        else math.inf
+    )
+    return BottleneckReport(
+        node=node,
+        utilization=float(utilizations[node]),
+        saturation_scale=scale,
+        dominant_variables=dominant,
+    )
+
+
+def resilience_summary(
+    placement: Placement,
+    rates: Optional[Sequence[float]] = None,
+) -> str:
+    """Multi-line operational summary of a placement's burst tolerance."""
+    model = placement.model
+    if rates is None:
+        # Default probe point: uniform mix at 50% of total capacity.
+        totals = model.column_totals()
+        safe = np.where(totals > 1e-15, totals, np.inf)
+        rates = 0.5 * placement.capacities.sum() / (safe * model.num_variables)
+    r = _rates_vector(placement, rates)
+    report = bottleneck_report(placement, r)
+    lines: List[str] = []
+    lines.append(
+        f"at rates {np.round(r, 4).tolist()}: bottleneck node "
+        f"{report.node} at {report.utilization:.0%} utilization"
+    )
+    lines.append(
+        f"  uniform growth headroom: {headroom(placement, r):.2f}x"
+    )
+    for k, name in enumerate(model.variables):
+        extra = axis_headroom(placement, r, k)
+        if math.isinf(extra):
+            lines.append(f"  {name}: unconstrained (carries no load)")
+        else:
+            base = r[k]
+            factor = (base + extra) / base if base > 0 else math.inf
+            lines.append(
+                f"  {name}: can burst by +{extra:.4g} tuples/s "
+                f"({factor:.2f}x) before saturation"
+            )
+    if report.dominant_variables:
+        drivers = ", ".join(
+            f"{name} ({share:.0%})"
+            for name, share in report.dominant_variables
+        )
+        lines.append(f"  bottleneck driven by: {drivers}")
+    return "\n".join(lines)

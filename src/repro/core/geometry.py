@@ -1,0 +1,207 @@
+"""Hyperplane geometry of node load constraints (Sections 3 and 4).
+
+Given a node load coefficient matrix ``L^n`` (n x d) and a CPU capacity
+vector ``C``, node ``i``'s constraint is the halfspace ``L^n_i . R <= C_i``
+bounded by the *node hyperplane* ``L^n_i . R = C_i``.  The feasible set is
+the intersection of these halfspaces with the non-negative orthant.
+
+Everything the ROD heuristics need is expressed in the *normalized* space
+``x_k = l_k r_k / C_T`` where:
+
+* the ideal hyperplane (Theorem 1) is ``sum_k x_k = 1``;
+* node hyperplanes are ``W_i . x = 1`` with the weight matrix
+  ``w_ik = (l^n_ik / l_k) / (C_i / C_T)``;
+* MMAD's axis distance of node ``i`` on axis ``k`` is ``1 / w_ik``;
+* MMPD's plane distance of node ``i`` is ``1 / ||W_i||_2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "validate_capacities",
+    "weight_matrix",
+    "axis_distances",
+    "plane_distances",
+    "min_plane_distance",
+    "plane_distance_from_point",
+    "ideal_volume",
+    "ideal_plane_distance",
+    "normalize_lower_bound",
+    "hypersphere_volume_fraction",
+]
+
+_EPS = 1e-12
+
+
+def validate_capacities(capacities: Sequence[float]) -> np.ndarray:
+    """Check and convert a capacity vector ``C`` (positive, finite)."""
+    c = np.asarray(capacities, dtype=float)
+    if c.ndim != 1 or c.size == 0:
+        raise ValueError(f"capacity vector must be 1-D and non-empty, got {c!r}")
+    if not np.all(np.isfinite(c)) or np.any(c <= 0):
+        raise ValueError(f"capacities must be finite and > 0, got {c!r}")
+    return c
+
+
+def weight_matrix(
+    node_coefficients: np.ndarray,
+    capacities: Sequence[float],
+    column_totals: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The normalized weight matrix ``W = {w_ik}``.
+
+    ``w_ik = (l^n_ik / l_k) / (C_i / C_T)`` — the share of stream ``k``'s
+    total load placed on node ``i``, relative to the node's share of total
+    capacity.  The ideal plan of Theorem 1 has ``w_ik = 1`` everywhere.
+
+    A variable with zero total load coefficient (no operator consumes it)
+    contributes weight 0 on every node.
+    """
+    ln = np.asarray(node_coefficients, dtype=float)
+    if ln.ndim != 2:
+        raise ValueError(f"L^n must be 2-D, got shape {ln.shape}")
+    c = validate_capacities(capacities)
+    if c.shape[0] != ln.shape[0]:
+        raise ValueError(
+            f"L^n has {ln.shape[0]} rows but C has {c.shape[0]} entries"
+        )
+    totals = (
+        ln.sum(axis=0) if column_totals is None
+        else np.asarray(column_totals, dtype=float)
+    )
+    if totals.shape != (ln.shape[1],):
+        raise ValueError(
+            f"column totals shape {totals.shape} does not match d={ln.shape[1]}"
+        )
+    safe_totals = np.where(totals > _EPS, totals, 1.0)
+    share = ln / safe_totals
+    share[:, totals <= _EPS] = 0.0
+    capacity_share = c / c.sum()
+    return share / capacity_share[:, None]
+
+
+def axis_distances(weights: np.ndarray) -> np.ndarray:
+    """Per-node, per-axis distances ``1 / w_ik`` (``inf`` where weight 0).
+
+    The ideal hyperplane has axis distance 1 on every axis; MMAD maximizes
+    the minimum of these per axis.
+    """
+    w = np.asarray(weights, dtype=float)
+    with np.errstate(divide="ignore"):
+        return np.where(w > _EPS, 1.0 / np.maximum(w, _EPS), np.inf)
+
+
+def plane_distances(weights: np.ndarray) -> np.ndarray:
+    """Per-node plane distances ``1 / ||W_i||_2`` (``inf`` for empty rows)."""
+    w = np.asarray(weights, dtype=float)
+    norms = np.linalg.norm(w, axis=1)
+    with np.errstate(divide="ignore"):
+        return np.where(norms > _EPS, 1.0 / np.maximum(norms, _EPS), np.inf)
+
+
+def min_plane_distance(weights: np.ndarray) -> float:
+    """``r = min_i 1 / ||W_i||`` — the MMPD objective (Section 4.2)."""
+    return float(np.min(plane_distances(weights)))
+
+
+def plane_distance_from_point(
+    weights: np.ndarray, point: Sequence[float]
+) -> np.ndarray:
+    """Distance from ``point`` to each node hyperplane ``W_i . x = 1``.
+
+    Used by the lower-bound extension (Section 6.1): the radius of the
+    largest hypersphere centered at the normalized lower bound ``B̂`` is
+    ``min_i (1 - W_i . B̂) / ||W_i||``.  Distances are signed: negative
+    means the point is already beyond the hyperplane (node overloaded at
+    the lower bound itself).
+    """
+    w = np.asarray(weights, dtype=float)
+    p = np.asarray(point, dtype=float)
+    if p.shape != (w.shape[1],):
+        raise ValueError(
+            f"point shape {p.shape} does not match d={w.shape[1]}"
+        )
+    norms = np.linalg.norm(w, axis=1)
+    slack = 1.0 - w @ p
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(norms > _EPS, slack / np.maximum(norms, _EPS), np.inf)
+
+
+def ideal_volume(
+    capacities: Sequence[float], column_totals: Sequence[float]
+) -> float:
+    """Volume of the ideal feasible set ``C_T^d / (d! * prod_k l_k)``.
+
+    Infinite if any variable carries no load (the simplex is unbounded in
+    that direction).
+    """
+    c = validate_capacities(capacities)
+    totals = np.asarray(column_totals, dtype=float)
+    if np.any(totals < 0):
+        raise ValueError(f"column totals must be >= 0, got {totals!r}")
+    if np.any(totals <= _EPS):
+        return math.inf
+    d = totals.shape[0]
+    c_t = float(c.sum())
+    log_vol = (
+        d * math.log(c_t)
+        - math.lgamma(d + 1)
+        - float(np.sum(np.log(totals)))
+    )
+    return math.exp(log_vol)
+
+
+def ideal_plane_distance(dimension: int) -> float:
+    """Distance from the origin to the ideal hyperplane ``sum x_k = 1``."""
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    return 1.0 / math.sqrt(dimension)
+
+
+def normalize_lower_bound(
+    lower_bound: Sequence[float],
+    column_totals: Sequence[float],
+    total_capacity: float,
+) -> np.ndarray:
+    """Map a physical rate lower bound ``B`` to ``B̂ = (b_k l_k / C_T)_k``."""
+    b = np.asarray(lower_bound, dtype=float)
+    totals = np.asarray(column_totals, dtype=float)
+    if b.shape != totals.shape:
+        raise ValueError(
+            f"lower bound shape {b.shape} does not match totals {totals.shape}"
+        )
+    if np.any(b < 0):
+        raise ValueError(f"lower bound must be >= 0, got {b!r}")
+    if total_capacity <= 0:
+        raise ValueError(f"total capacity must be > 0, got {total_capacity}")
+    return b * totals / total_capacity
+
+
+def hypersphere_volume_fraction(radius_ratio: float, dimension: int) -> float:
+    """Lower bound on feasible-set / ideal-set volume from a plane radius.
+
+    If all node hyperplanes are at plane distance >= ``r``, the feasible set
+    contains the positive-orthant part of the radius-``r`` hypersphere.
+    With ``rho = r / r*`` (``r*`` the ideal hyperplane's distance) this
+    fraction scales as a constant times ``rho^d`` — the lower-bound curve
+    of Figure 9.  The constant is the ratio of the orthant ball volume
+    ``(1/2^d) * V_ball(d, r)`` to the unit-simplex volume ``1/d!``.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    if radius_ratio < 0:
+        raise ValueError("radius ratio must be >= 0")
+    r = radius_ratio * ideal_plane_distance(dimension)
+    d = dimension
+    log_ball = (d / 2.0) * math.log(math.pi) - math.lgamma(d / 2.0 + 1.0)
+    if r <= 0:
+        return 0.0
+    log_fraction = (
+        log_ball + d * math.log(r) - d * math.log(2.0) + math.lgamma(d + 1)
+    )
+    return min(1.0, math.exp(log_fraction))

@@ -1,0 +1,98 @@
+"""Linearization of non-linear query graphs (Section 6.2).
+
+The linear load model requires every operator's load to be a linear
+function of a fixed set of rate variables.  Two operator classes break
+this when the variables are only the system input rates:
+
+* operators with *unknown or varying selectivity* — their own load is
+  still linear in their input rate, but everything downstream is not;
+* *window joins* — their load is ``c * w * r_u * r_v``, a product of two
+  rates.
+
+The paper's fix is to *cut* the offending output streams: each cut stream's
+rate becomes an additional variable, downstream loads become linear in it,
+and a join's own load becomes ``(c/s) * r_out`` — linear in its output-rate
+variable.  This module decides where to cut and reports the result; the
+actual coefficient propagation lives in :mod:`repro.core.load_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..graphs.operators import VariableSelectivityOp, WindowJoin
+from ..graphs.query_graph import QueryGraph
+
+__all__ = ["find_cut_streams", "LinearizationReport", "linearization_report"]
+
+
+def find_cut_streams(graph: QueryGraph) -> Tuple[str, ...]:
+    """Streams whose rates must become auxiliary variables.
+
+    A stream is cut iff its producer's output rate is not a constant linear
+    combination of that producer's input rates — i.e. the producer is a
+    window join or has variable selectivity.  This is the minimal cut: the
+    paper notes that fewer auxiliary variables are better because each new
+    variable is one more dimension whose weight must be balanced.
+    """
+    cuts = []
+    for op in graph.operators():
+        if not op.is_linear:
+            cuts.append(graph.output_of(op.name).name)
+    return tuple(cuts)
+
+
+@dataclass(frozen=True)
+class LinearizationReport:
+    """Summary of how a graph was linearized.
+
+    Attributes
+    ----------
+    input_streams:
+        The original system input streams (the first variables).
+    cut_streams:
+        Auxiliary variables introduced, in topological order.
+    cut_producers:
+        The non-linear operators whose outputs were cut, aligned with
+        ``cut_streams``.
+    """
+
+    input_streams: Tuple[str, ...]
+    cut_streams: Tuple[str, ...]
+    cut_producers: Tuple[str, ...]
+
+    @property
+    def num_variables(self) -> int:
+        """Total dimensionality of the linearized rate space."""
+        return len(self.input_streams) + len(self.cut_streams)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the graph was already linear (no cuts needed)."""
+        return not self.cut_streams
+
+
+def linearization_report(graph: QueryGraph) -> LinearizationReport:
+    """Describe the linear-cut decomposition of ``graph`` (Figure 13)."""
+    cut_streams = find_cut_streams(graph)
+    producers = tuple(graph.stream(s).producer for s in cut_streams)
+    for op_name in producers:
+        op = graph.operator(op_name)
+        if isinstance(op, WindowJoin) and op.selectivity <= 0:
+            raise ValueError(
+                f"{op_name}: join selectivity must be positive to express "
+                "its load as (c/s) * output rate"
+            )
+        if not isinstance(op, (WindowJoin, VariableSelectivityOp)):
+            # Any future non-linear operator must define how its load maps
+            # onto the cut variable; fail loudly rather than mis-model it.
+            raise TypeError(
+                f"{op_name}: do not know how to linearize "
+                f"{type(op).__name__}"
+            )
+    return LinearizationReport(
+        input_streams=graph.input_names,
+        cut_streams=cut_streams,
+        cut_producers=producers,
+    )

@@ -1,0 +1,210 @@
+"""The linear load model (Section 2.2).
+
+Builds, from a query graph, the operator load coefficient matrix
+``L^o = {l^o_jk}_{m x d}`` such that ``load(o_j) = sum_k l^o_jk * x_k``
+where ``x`` ranges over the model's *variables*: the system input stream
+rates plus, for non-linear graphs, one auxiliary variable per cut stream
+(Section 6.2).
+
+The model also keeps the rate of every stream as a linear function of the
+variables, which the simulator and the workload samplers use to map
+physical input-rate points into variable space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.operators import VariableSelectivityOp, WindowJoin
+from ..graphs.query_graph import QueryGraph
+from .linearize import LinearizationReport, linearization_report
+
+__all__ = ["LoadModel", "build_load_model"]
+
+
+@dataclass(frozen=True)
+class LoadModel:
+    """Immutable linear load model of a query graph.
+
+    Attributes
+    ----------
+    graph:
+        The query graph this model was derived from.
+    variables:
+        Names of the rate variables, system inputs first, then cut streams
+        in topological order.  ``d`` is ``len(variables)``.
+    operator_names:
+        Operator names in topological order; row ``j`` of ``coefficients``
+        belongs to ``operator_names[j]``.
+    coefficients:
+        ``L^o``, shape ``(m, d)``, ``l^o_jk`` = CPU seconds per unit time
+        contributed to operator ``j`` by one tuple/second on variable ``k``.
+    stream_coefficients:
+        Rate of every *linear* stream as a ``d``-vector over the variables.
+        Cut streams map to their own unit vector.
+    linearization:
+        How the graph was cut (trivial for linear graphs).
+    """
+
+    graph: QueryGraph
+    variables: Tuple[str, ...]
+    operator_names: Tuple[str, ...]
+    coefficients: np.ndarray
+    stream_coefficients: Mapping[str, np.ndarray]
+    linearization: LinearizationReport
+
+    # ----------------------------------------------------------- dimensions
+
+    @property
+    def num_variables(self) -> int:
+        """``d`` — dimensionality of the (possibly extended) rate space."""
+        return len(self.variables)
+
+    @property
+    def num_operators(self) -> int:
+        """``m`` — number of operators."""
+        return len(self.operator_names)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of *physical* system input streams."""
+        return self.graph.num_inputs
+
+    @property
+    def is_linearized(self) -> bool:
+        """True if auxiliary cut variables were introduced."""
+        return not self.linearization.is_trivial
+
+    # ------------------------------------------------------------- indexing
+
+    def variable_index(self, name: str) -> int:
+        try:
+            return self.variables.index(name)
+        except ValueError:
+            raise KeyError(f"unknown variable: {name!r}") from None
+
+    def operator_index(self, name: str) -> int:
+        try:
+            return self.operator_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown operator: {name!r}") from None
+
+    def operator_load_vector(self, name: str) -> np.ndarray:
+        """Row ``l^o_j`` of ``L^o`` for the named operator."""
+        return self.coefficients[self.operator_index(name)].copy()
+
+    # ------------------------------------------------------------ aggregate
+
+    def column_totals(self) -> np.ndarray:
+        """``l_k = sum_j l^o_jk`` — total load coefficient per variable.
+
+        These are the denominators of the weight matrix and the slopes of
+        the ideal hyperplane ``sum_k l_k r_k = C_T`` (Theorem 1).
+        """
+        return self.coefficients.sum(axis=0)
+
+    def operator_norms(self) -> np.ndarray:
+        """``||l^o_j||_2`` per operator — ROD's phase-1 sort key."""
+        return np.linalg.norm(self.coefficients, axis=1)
+
+    # ------------------------------------------------------------ evaluation
+
+    def loads(self, rates: Sequence[float]) -> np.ndarray:
+        """Per-operator load at a point in *variable* space."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (self.num_variables,):
+            raise ValueError(
+                f"expected {self.num_variables} variable rates, "
+                f"got shape {rates.shape}"
+            )
+        return self.coefficients @ rates
+
+    def variable_point(self, input_rates: Sequence[float]) -> np.ndarray:
+        """Map physical input rates to a point in variable space.
+
+        For linear graphs this is the identity.  For linearized graphs the
+        auxiliary variables take the *true* (non-linear) steady-state rates
+        of their cut streams, computed by propagating ``input_rates``
+        through the original graph.
+        """
+        if len(input_rates) != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} input rates, got {len(input_rates)}"
+            )
+        if not self.is_linearized:
+            return np.asarray(input_rates, dtype=float)
+        true_rates = self.graph.stream_rates(input_rates)
+        return np.array([
+            true_rates[name] if name in true_rates else 0.0
+            for name in self.variables
+        ])
+
+    def stream_rate_vector(self, stream_name: str) -> np.ndarray:
+        """Rate of a stream as a linear function (d-vector) of variables."""
+        try:
+            return np.array(self.stream_coefficients[stream_name], dtype=float)
+        except KeyError:
+            raise KeyError(f"unknown stream: {stream_name!r}") from None
+
+
+def build_load_model(graph: QueryGraph) -> LoadModel:
+    """Derive the linear load model of ``graph``, cutting where needed.
+
+    For a linear graph the variables are exactly the system input streams
+    and every ``l^o_jk`` is a product of the operator's per-port costs and
+    the accumulated upstream selectivities (Example 1).  Non-linear
+    operators trigger the Section 6.2 transformation automatically.
+    """
+    report = linearization_report(graph)
+    variables = tuple(report.input_streams) + tuple(report.cut_streams)
+    d = len(variables)
+    var_index = {name: k for k, name in enumerate(variables)}
+
+    def unit(name: str) -> np.ndarray:
+        v = np.zeros(d)
+        v[var_index[name]] = 1.0
+        return v
+
+    # Rate of each stream as a d-vector over the variables.
+    stream_coeffs: Dict[str, np.ndarray] = {
+        name: unit(name) for name in report.input_streams
+    }
+
+    rows = []
+    for op in graph.operators():
+        in_coeffs = [stream_coeffs[s] for s in graph.inputs_of(op.name)]
+        out_stream = graph.output_of(op.name).name
+        if op.is_linear:
+            row = np.zeros(d)
+            for port, coeff in enumerate(in_coeffs):
+                row += op.cost_of_port(port) * coeff
+            stream_coeffs[out_stream] = sum(
+                s * coeff
+                for s, coeff in zip(op.selectivities, in_coeffs)
+            )
+        elif isinstance(op, VariableSelectivityOp):
+            # Load is still linear in the input rate; only the output is cut.
+            row = op.cost * in_coeffs[0]
+            stream_coeffs[out_stream] = unit(out_stream)
+        elif isinstance(op, WindowJoin):
+            # load = (c/s) * r_out, linear in the cut output variable.
+            row = op.load_per_output_tuple * unit(out_stream)
+            stream_coeffs[out_stream] = unit(out_stream)
+        else:  # pragma: no cover - linearization_report already rejects this
+            raise TypeError(f"cannot linearize {type(op).__name__}")
+        rows.append(row)
+
+    coefficients = (
+        np.vstack(rows) if rows else np.zeros((0, d))
+    )
+    return LoadModel(
+        graph=graph,
+        variables=variables,
+        operator_names=graph.operator_names,
+        coefficients=coefficients,
+        stream_coefficients=stream_coeffs,
+        linearization=report,
+    )

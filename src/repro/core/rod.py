@@ -1,0 +1,324 @@
+"""The Resilient Operator Distribution algorithm (Section 5, Figure 10).
+
+ROD is a two-phase greedy placement:
+
+1. **Operator ordering** — sort operators by the Euclidean norm of their
+   load coefficient vectors, descending, so high-impact operators are
+   placed while there is still freedom to balance them.
+2. **Operator assignment** — for each operator, compute every node's
+   *candidate* weight row (the weights the node would have after receiving
+   the operator).  Nodes whose candidate hyperplane is still entirely on
+   or above the ideal hyperplane (``w_ik <= 1`` for all ``k``) form
+   *Class I*: choosing one cannot shrink the achievable feasible set, so
+   any of them is safe (MMAD's regime).  If Class I is empty the feasible
+   set must shrink, and ROD picks the node with the maximum candidate
+   plane distance (MMPD's regime).
+
+The lower-bound extension (Section 6.1) only changes the distance metric:
+plane distances are measured from the normalized workload floor ``B̂``
+instead of the origin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import geometry
+from .load_model import LoadModel
+from .plans import Placement
+
+__all__ = ["RodStep", "rod_order", "rod_place", "rod_extend"]
+
+_EPS = 1e-12
+# Tolerance for the Class I test: candidate hyperplanes numerically on the
+# ideal hyperplane still count as Class I.
+_CLASS_ONE_TOL = 1e-9
+
+CLASS_ONE_POLICIES = ("plane", "first", "random", "connections")
+
+
+@dataclass(frozen=True)
+class RodStep:
+    """One assignment decision, for inspection and tests."""
+
+    operator: str
+    node: int
+    class_one: Tuple[int, ...]
+    chosen_from_class_one: bool
+    candidate_distances: Tuple[float, ...]
+
+
+def rod_order(model: LoadModel) -> List[int]:
+    """Phase 1: operator indices sorted by ``||l^o_j||_2`` descending.
+
+    Ties broken by model order so the result is deterministic.
+    """
+    norms = model.operator_norms()
+    return sorted(range(model.num_operators), key=lambda j: (-norms[j], j))
+
+
+def _candidate_weights(
+    node_coeffs: np.ndarray,
+    op_row: np.ndarray,
+    totals: np.ndarray,
+    capacity_share: np.ndarray,
+) -> np.ndarray:
+    """Weight matrix every node would have after receiving the operator.
+
+    Row ``i`` is node ``i``'s weights with the operator added to *it*
+    (other nodes unchanged do not matter for the decision).
+    """
+    safe_totals = np.where(totals > _EPS, totals, 1.0)
+    share = (node_coeffs + op_row) / safe_totals
+    share[:, totals <= _EPS] = 0.0
+    return share / capacity_share[:, None]
+
+
+def _plane_distance_rows(
+    weights: np.ndarray, origin: Optional[np.ndarray]
+) -> np.ndarray:
+    """Candidate plane distance per node (from origin or from ``B̂``)."""
+    if origin is None:
+        return geometry.plane_distances(weights)
+    return geometry.plane_distance_from_point(weights, origin)
+
+
+def rod_place(
+    model: LoadModel,
+    capacities: Sequence[float],
+    lower_bound: Optional[Sequence[float]] = None,
+    class_one_policy: str = "plane",
+    seed: Optional[int] = None,
+    order: Optional[Sequence[int]] = None,
+    steps: Optional[List[RodStep]] = None,
+) -> Placement:
+    """Run ROD and return the resulting :class:`Placement`.
+
+    Parameters
+    ----------
+    model:
+        Linear(ized) load model to place.
+    capacities:
+        Per-node CPU capacities ``C``.
+    lower_bound:
+        Optional workload floor ``B`` in variable space (Section 6.1).
+    class_one_policy:
+        How to pick among Class I nodes, all of which are feasible-set
+        neutral: ``"plane"`` (max candidate plane distance — the default,
+        biasing toward balance), ``"first"``, ``"random"``, or
+        ``"connections"`` (fewest new inter-node arcs, the communication
+        -aware choice mentioned in Section 5.2).
+    seed:
+        Random seed for the ``"random"`` policy.
+    order:
+        Optional explicit assignment order (operator indices); used by the
+        ordering ablation.  Defaults to :func:`rod_order`.
+    steps:
+        Optional list that receives a :class:`RodStep` per assignment.
+    """
+    if class_one_policy not in CLASS_ONE_POLICIES:
+        raise ValueError(
+            f"unknown class-I policy {class_one_policy!r}; "
+            f"expected one of {CLASS_ONE_POLICIES}"
+        )
+    capacities = geometry.validate_capacities(capacities)
+    n = capacities.shape[0]
+    d = model.num_variables
+    totals = model.column_totals()
+    capacity_share = capacities / capacities.sum()
+
+    b_hat: Optional[np.ndarray] = None
+    if lower_bound is not None:
+        b_hat = geometry.normalize_lower_bound(
+            lower_bound, totals, float(capacities.sum())
+        )
+
+    if order is None:
+        order = rod_order(model)
+    else:
+        order = list(order)
+        if sorted(order) != list(range(model.num_operators)):
+            raise ValueError(
+                "order must be a permutation of all operator indices"
+            )
+
+    rng = random.Random(seed)
+    graph = model.graph
+    node_coeffs = np.zeros((n, d))
+    assignment = [-1] * model.num_operators
+
+    def new_cross_arcs(op_index: int, node: int) -> int:
+        """Inter-node arcs created by putting operator ``op_index`` on node."""
+        name = model.operator_names[op_index]
+        count = 0
+        for neighbor in (
+            graph.upstream_operators(name) + graph.downstream_operators(name)
+        ):
+            other = assignment[model.operator_index(neighbor)]
+            if other >= 0 and other != node:
+                count += 1
+        return count
+
+    for j in order:
+        op_row = model.coefficients[j]
+        candidates = _candidate_weights(
+            node_coeffs, op_row, totals, capacity_share
+        )
+        class_one = [
+            i
+            for i in range(n)
+            if np.all(candidates[i] <= 1.0 + _CLASS_ONE_TOL)
+        ]
+        distances = _plane_distance_rows(candidates, b_hat)
+
+        if class_one:
+            chosen_from_one = True
+            if class_one_policy == "first":
+                node = class_one[0]
+            elif class_one_policy == "random":
+                node = rng.choice(class_one)
+            elif class_one_policy == "connections":
+                node = min(
+                    class_one,
+                    key=lambda i: (new_cross_arcs(j, i), -distances[i], i),
+                )
+            else:  # "plane"
+                node = max(class_one, key=lambda i: (distances[i], -i))
+        else:
+            chosen_from_one = False
+            node = int(np.argmax(distances))
+
+        assignment[j] = node
+        node_coeffs[node] += op_row
+        if steps is not None:
+            steps.append(
+                RodStep(
+                    operator=model.operator_names[j],
+                    node=node,
+                    class_one=tuple(class_one),
+                    chosen_from_class_one=chosen_from_one,
+                    candidate_distances=tuple(float(x) for x in distances),
+                )
+            )
+
+    return Placement(
+        model=model,
+        capacities=capacities,
+        assignment=tuple(assignment),
+        lower_bound=None if b_hat is None else np.asarray(lower_bound, float),
+    )
+
+
+def rod_extend(
+    placement: Placement,
+    new_model: LoadModel,
+    lower_bound: Optional[Sequence[float]] = None,
+    class_one_policy: str = "plane",
+    seed: Optional[int] = None,
+) -> Placement:
+    """Place newly added operators without moving existing ones.
+
+    Long-running deployments grow: new queries attach operators to a
+    system whose current operators cannot be migrated (the paper's core
+    premise).  ROD's greedy step is naturally incremental — existing
+    assignments simply pre-load the node coefficient accumulators, and
+    only the new operators are ordered and assigned.
+
+    ``new_model`` must contain every operator of ``placement.model``
+    (same names); operators unique to ``new_model`` are the ones placed.
+    Variables may grow too (new input streams or cut streams).
+    """
+    if class_one_policy not in CLASS_ONE_POLICIES:
+        raise ValueError(
+            f"unknown class-I policy {class_one_policy!r}; "
+            f"expected one of {CLASS_ONE_POLICIES}"
+        )
+    old_model = placement.model
+    old_names = set(old_model.operator_names)
+    missing = old_names - set(new_model.operator_names)
+    if missing:
+        raise ValueError(
+            f"new model dropped operators {sorted(missing)}; rod_extend "
+            "only supports additive growth"
+        )
+    capacities = placement.capacities
+    n = capacities.shape[0]
+    totals = new_model.column_totals()
+    capacity_share = capacities / capacities.sum()
+
+    b_hat: Optional[np.ndarray] = None
+    if lower_bound is not None:
+        b_hat = geometry.normalize_lower_bound(
+            lower_bound, totals, float(capacities.sum())
+        )
+
+    # Pre-load node coefficients with the pinned operators.
+    node_coeffs = np.zeros((n, new_model.num_variables))
+    assignment = [-1] * new_model.num_operators
+    for j, name in enumerate(new_model.operator_names):
+        if name in old_names:
+            node = placement.node_of(name)
+            assignment[j] = node
+            node_coeffs[node] += new_model.coefficients[j]
+
+    fresh = [
+        j
+        for j, name in enumerate(new_model.operator_names)
+        if name not in old_names
+    ]
+    norms = new_model.operator_norms()
+    fresh.sort(key=lambda j: (-norms[j], j))
+
+    rng = random.Random(seed)
+    graph = new_model.graph
+
+    def new_cross_arcs(op_index: int, node: int) -> int:
+        name = new_model.operator_names[op_index]
+        count = 0
+        for neighbor in (
+            graph.upstream_operators(name) + graph.downstream_operators(name)
+        ):
+            other = assignment[new_model.operator_index(neighbor)]
+            if other >= 0 and other != node:
+                count += 1
+        return count
+
+    for j in fresh:
+        op_row = new_model.coefficients[j]
+        candidates = _candidate_weights(
+            node_coeffs, op_row, totals, capacity_share
+        )
+        class_one = [
+            i for i in range(n)
+            if np.all(candidates[i] <= 1.0 + _CLASS_ONE_TOL)
+        ]
+        distances = _plane_distance_rows(candidates, b_hat)
+        if class_one:
+            if class_one_policy == "first":
+                node = class_one[0]
+            elif class_one_policy == "random":
+                node = rng.choice(class_one)
+            elif class_one_policy == "connections":
+                node = min(
+                    class_one,
+                    key=lambda i: (new_cross_arcs(j, i), -distances[i], i),
+                )
+            else:  # "plane"
+                node = max(class_one, key=lambda i: (distances[i], -i))
+        else:
+            node = int(np.argmax(distances))
+        assignment[j] = node
+        node_coeffs[node] += op_row
+
+    return Placement(
+        model=new_model,
+        capacities=capacities,
+        assignment=tuple(assignment),
+        lower_bound=(
+            None if b_hat is None else np.asarray(lower_bound, float)
+        ),
+    )

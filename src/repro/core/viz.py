@@ -1,0 +1,89 @@
+"""Text rendering of two-dimensional feasible sets (Figures 5 and 6).
+
+For systems with two rate variables the feasible set is a polygon under
+the node hyperplanes; this module draws it in the terminal so plans can
+be eyeballed the way the paper's figures present them:
+
+* ``#`` — feasible points,
+* ``.`` — points inside the *ideal* feasible set that this plan wastes,
+* (blank) — outside the ideal set (no plan can reach these),
+* ``*`` — below the workload floor, when a lower bound is set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .feasible_set import FeasibleSet
+
+__all__ = ["render_feasible_set", "compare_feasible_sets"]
+
+
+def render_feasible_set(
+    feasible_set: FeasibleSet,
+    width: int = 56,
+    height: int = 20,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII plot of a 2-D feasible set against the ideal simplex."""
+    if feasible_set.dimension != 2:
+        raise ValueError(
+            "only 2-D feasible sets can be rendered, got dimension "
+            f"{feasible_set.dimension}"
+        )
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4 characters")
+    totals = np.asarray(feasible_set.column_totals, dtype=float)
+    if np.any(totals <= 0):
+        raise ValueError("both variables must carry load to plot the ideal")
+    c_t = feasible_set.total_capacity
+    # Axis ranges: the ideal intercepts, with a small margin.
+    x_max = 1.05 * c_t / totals[0]
+    y_max = 1.05 * c_t / totals[1]
+
+    bound = feasible_set.lower_bound
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height, 0, -1):
+        y = (row - 0.5) / height * y_max
+        cells = []
+        for col in range(width):
+            x = (col + 0.5) / width * x_max
+            point = np.array([x, y])
+            in_ideal = totals @ point <= c_t
+            if not in_ideal:
+                cells.append(" ")
+            elif bound is not None and np.any(point < bound):
+                cells.append("*")
+            elif np.all(
+                feasible_set.node_coefficients @ point
+                <= feasible_set.capacities
+            ):
+                cells.append("#")
+            else:
+                cells.append(".")
+        lines.append("|" + "".join(cells))
+    lines.append("+" + "-" * width + "> r1")
+    ratio = feasible_set.volume_ratio(samples=2048)
+    lines.append(
+        f"  '#' feasible ({ratio:.0%} of ideal), '.' wasted, "
+        f"r1 in [0, {x_max:.3g}], r2 in [0, {y_max:.3g}]"
+    )
+    return "\n".join(lines)
+
+
+def compare_feasible_sets(
+    first: FeasibleSet,
+    second: FeasibleSet,
+    labels: tuple = ("plan A", "plan B"),
+    width: int = 56,
+    height: int = 20,
+) -> str:
+    """Render two plans of the same system one above the other."""
+    return "\n\n".join(
+        render_feasible_set(fs, width=width, height=height, title=label)
+        for fs, label in zip((first, second), labels)
+    )

@@ -1,0 +1,29 @@
+"""Feasible-set volume computation: QMC estimates and exact polytopes."""
+
+from .qmc import (
+    feasible_fraction,
+    first_primes,
+    halton,
+    sample_unit_simplex,
+    simplex_from_cube,
+    van_der_corput,
+)
+from .polytope import (
+    feasible_volume,
+    polytope_vertices,
+    polytope_volume,
+    simplex_volume,
+)
+
+__all__ = [
+    "feasible_fraction",
+    "feasible_volume",
+    "first_primes",
+    "halton",
+    "polytope_vertices",
+    "polytope_volume",
+    "sample_unit_simplex",
+    "simplex_from_cube",
+    "simplex_volume",
+    "van_der_corput",
+]

@@ -1,0 +1,224 @@
+"""High-level deployment facade.
+
+Ties the whole pipeline — linearize, (optionally) cluster, place,
+analyze, simulate, grow — behind one object, so the common path is three
+lines:
+
+>>> from repro.deploy import Deployment
+>>> from repro.graphs import monitoring_graph
+>>> deployment = Deployment.plan(monitoring_graph(2, seed=1), [1.0, 1.0])
+>>> 0.0 < deployment.volume_ratio() <= 1.0
+True
+
+Everything the facade does is available piecemeal in ``repro.core`` /
+``repro.placement`` / ``repro.simulator``; this module only composes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .core.analysis import resilience_summary
+from .core.clustering import communication_feasible_set, search_clusterings
+from .core.load_model import LoadModel, build_load_model
+from .core.plans import Placement
+from .core.rod import rod_extend, rod_place
+from .graphs.query_graph import QueryGraph
+from .placement import (
+    ConnectedPlacer,
+    CorrelationPlacer,
+    LLFPlacer,
+    MilpBalancePlacer,
+    OptimalPlacer,
+    RandomPlacer,
+)
+from .simulator.engine import Simulator
+from .simulator.feasibility import FeasibilityProbe
+from .simulator.metrics import SimulationResult
+from .workload.rates import rate_series
+
+__all__ = ["Deployment"]
+
+TransferCosts = Union[float, Mapping[str, float]]
+
+STRATEGIES = (
+    "rod", "llf", "connected", "correlation", "random", "optimal", "milp",
+)
+
+
+def _build_baseline(strategy: str, model: LoadModel, seed: Optional[int]):
+    if strategy == "llf":
+        return LLFPlacer()
+    if strategy == "connected":
+        return ConnectedPlacer()
+    if strategy == "random":
+        return RandomPlacer(seed=seed)
+    if strategy == "correlation":
+        return CorrelationPlacer(
+            rate_series(model.num_variables, 128, seed=seed or 0)
+        )
+    if strategy == "optimal":
+        return OptimalPlacer()
+    if strategy == "milp":
+        return MilpBalancePlacer()
+    raise ValueError(
+        f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+    )
+
+
+class Deployment:
+    """A placed query graph plus everything you do with it afterwards."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        transfer_costs: TransferCosts = 0.0,
+    ) -> None:
+        self.placement = placement
+        self.transfer_costs = transfer_costs
+
+    # ------------------------------------------------------------- planning
+
+    @classmethod
+    def plan(
+        cls,
+        graph: QueryGraph,
+        capacities: Sequence[float],
+        strategy: str = "rod",
+        lower_bound: Optional[Sequence[float]] = None,
+        transfer_costs: TransferCosts = 0.0,
+        cluster: Optional[bool] = None,
+        seed: Optional[int] = None,
+    ) -> "Deployment":
+        """Plan a deployment of ``graph`` onto a cluster.
+
+        ``strategy`` picks the placement algorithm (``"rod"`` by
+        default).  Non-linear graphs are linearized automatically.  When
+        ``transfer_costs`` are non-zero, operator clustering (Section
+        6.3) runs before ROD by default (``cluster=None`` means "auto");
+        pass ``cluster=False`` to skip it or ``cluster=True`` to force
+        it.  Clustering is only supported with the ROD strategy.
+        """
+        model = build_load_model(graph)
+        nonzero_transfer = (
+            any(float(v) > 0 for v in transfer_costs.values())
+            if isinstance(transfer_costs, Mapping)
+            else float(transfer_costs) > 0
+        )
+        use_clustering = (
+            nonzero_transfer if cluster is None else bool(cluster)
+        )
+        if use_clustering and strategy != "rod":
+            raise ValueError(
+                "operator clustering is only supported with the ROD "
+                "strategy"
+            )
+        if use_clustering and not nonzero_transfer:
+            raise ValueError(
+                "clustering was requested but transfer costs are zero"
+            )
+        if strategy == "rod":
+            if use_clustering:
+                result = search_clusterings(
+                    model,
+                    capacities,
+                    transfer_costs,
+                    lower_bound=lower_bound,
+                )
+                placement = result.placement
+            else:
+                placement = rod_place(
+                    model, capacities, lower_bound=lower_bound, seed=seed
+                )
+        else:
+            if lower_bound is not None:
+                raise ValueError(
+                    "lower bounds are only supported with the ROD strategy"
+                )
+            placement = _build_baseline(strategy, model, seed).place(
+                model, capacities
+            )
+        return cls(placement, transfer_costs=transfer_costs)
+
+    def grow(self, new_graph: QueryGraph) -> "Deployment":
+        """Add new operators without moving deployed ones (rod_extend)."""
+        new_model = build_load_model(new_graph)
+        extended = rod_extend(
+            self.placement,
+            new_model,
+            lower_bound=self.placement.lower_bound,
+        )
+        return Deployment(extended, transfer_costs=self.transfer_costs)
+
+    # -------------------------------------------------------------- metrics
+
+    @property
+    def model(self) -> LoadModel:
+        return self.placement.model
+
+    def volume_ratio(self, samples: int = 4096) -> float:
+        """Feasible-set size relative to the ideal, communication-aware
+        when transfer costs were declared."""
+        if self._has_transfer():
+            return communication_feasible_set(
+                self.placement, self.transfer_costs
+            ).volume_ratio(samples=samples)
+        return self.placement.volume_ratio(samples=samples)
+
+    def summary(self) -> str:
+        """Placement, resilience analysis and headline metrics."""
+        parts = [self.placement.describe(), ""]
+        parts.append(resilience_summary(self.placement))
+        parts.append("")
+        parts.append(
+            f"feasible-set ratio to ideal: {self.volume_ratio():.4f}"
+        )
+        if self._has_transfer():
+            parts.append(
+                f"inter-node arcs: {self.placement.inter_node_arcs()}"
+            )
+        return "\n".join(parts)
+
+    def _has_transfer(self) -> bool:
+        if isinstance(self.transfer_costs, Mapping):
+            return any(float(v) > 0 for v in self.transfer_costs.values())
+        return float(self.transfer_costs) > 0
+
+    # ------------------------------------------------------------ execution
+
+    def simulate(
+        self,
+        rate_series: Optional[np.ndarray] = None,
+        rates: Optional[Sequence[float]] = None,
+        duration: Optional[float] = None,
+        **simulator_kwargs,
+    ) -> SimulationResult:
+        """Replay a workload through the discrete-event simulator."""
+        simulator = Simulator(
+            self.placement,
+            transfer_costs=self.transfer_costs,
+            **simulator_kwargs,
+        )
+        return simulator.run(
+            rate_series=rate_series, rates=rates, duration=duration
+        )
+
+    def probe(
+        self,
+        input_rates: Sequence[float],
+        duration: float = 10.0,
+    ) -> bool:
+        """Borealis-style feasibility probe at a constant rate point."""
+        probe = FeasibilityProbe(
+            duration=duration, transfer_costs=self.transfer_costs
+        )
+        return probe.is_feasible(self.placement, input_rates)
+
+    def __repr__(self) -> str:
+        return (
+            f"Deployment({self.model.graph.name!r}, "
+            f"nodes={self.placement.num_nodes}, "
+            f"operators={self.model.num_operators})"
+        )

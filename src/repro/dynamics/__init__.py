@@ -1,0 +1,18 @@
+"""Dynamic operator migration — the alternative the paper argues against
+for short-term load variations (Section 1)."""
+
+from .controller import LoadBalancingController, Migration, MigrationController
+from .state import (
+    MigrationCostModel,
+    graph_state_tuples,
+    operator_state_tuples,
+)
+
+__all__ = [
+    "LoadBalancingController",
+    "Migration",
+    "MigrationController",
+    "MigrationCostModel",
+    "graph_state_tuples",
+    "operator_state_tuples",
+]

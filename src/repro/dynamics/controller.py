@@ -1,0 +1,180 @@
+"""Dynamic operator migration controllers.
+
+The alternative the paper argues against for short-term variations:
+watch node loads and move operators at run time.  A controller is polled
+by the simulator every ``period`` seconds with the utilization each node
+accumulated over the last period and may return migrations; each
+migration stalls both endpoint nodes for a state-dependent pause
+(:class:`~repro.dynamics.state.MigrationCostModel`).
+
+:class:`LoadBalancingController` reproduces the classic reactive scheme:
+when the most loaded node exceeds the least loaded by more than a
+threshold, move the best-fitting operator across.  Its weakness is
+exactly the paper's point — by the time a short burst is observed, paying
+hundreds of milliseconds of stall to chase it makes latency worse.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.load_model import LoadModel
+from .state import MigrationCostModel
+
+__all__ = ["Migration", "MigrationController", "LoadBalancingController"]
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One operator move decided by a controller."""
+
+    operator: str
+    source: int
+    target: int
+    pause_seconds: float
+
+
+class MigrationController(abc.ABC):
+    """Interface the simulator polls for migration decisions."""
+
+    def __init__(self, period: float = 1.0) -> None:
+        if period <= 0:
+            raise ValueError("control period must be > 0")
+        self.period = period
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        now: float,
+        utilizations: np.ndarray,
+        assignment: Mapping[str, int],
+        model: LoadModel,
+        capacities: np.ndarray,
+        operator_loads: Optional[Mapping[str, float]] = None,
+    ) -> List[Migration]:
+        """Return migrations to apply at time ``now`` (may be empty).
+
+        ``operator_loads`` carries each operator's measured CPU demand
+        (fraction of one CPU) over the last control period — the per-
+        operator statistics a Borealis-style monitor provides.
+        """
+
+
+class LoadBalancingController(MigrationController):
+    """Reactive pairwise balancing with state-aware migration costs."""
+
+    def __init__(
+        self,
+        period: float = 1.0,
+        imbalance_threshold: float = 0.2,
+        max_moves_per_period: int = 1,
+        cooldown: Optional[float] = None,
+        cost_model: Optional[MigrationCostModel] = None,
+        state_tuples: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """``state_tuples`` maps operator name to estimated state size
+        (see :func:`repro.dynamics.state.graph_state_tuples`); operators
+        not listed are treated as stateless.  ``cooldown`` (default
+        ``5 * period``) is how long a just-moved operator is pinned, the
+        usual anti-thrashing guard in reactive balancers."""
+        super().__init__(period)
+        if imbalance_threshold < 0:
+            raise ValueError("imbalance threshold must be >= 0")
+        if max_moves_per_period < 1:
+            raise ValueError("max_moves_per_period must be >= 1")
+        self.imbalance_threshold = imbalance_threshold
+        self.max_moves_per_period = max_moves_per_period
+        self.cooldown = 5.0 * period if cooldown is None else float(cooldown)
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.cost_model = cost_model or MigrationCostModel()
+        self.state_tuples: Dict[str, float] = dict(state_tuples or {})
+        #: EWMA factor for utilization smoothing; reactive balancers must
+        #: filter per-period measurement noise or they chase it.
+        self.smoothing = 0.5
+        #: All migrations this controller has issued, for inspection.
+        self.history: List[Migration] = []
+        self._last_moved: Dict[str, float] = {}
+        self._smoothed: Optional[np.ndarray] = None
+        self._smoothed_loads: Dict[str, float] = {}
+
+    def decide(
+        self,
+        now: float,
+        utilizations: np.ndarray,
+        assignment: Mapping[str, int],
+        model: LoadModel,
+        capacities: np.ndarray,
+        operator_loads: Optional[Mapping[str, float]] = None,
+    ) -> List[Migration]:
+        moves: List[Migration] = []
+        raw = np.asarray(utilizations, dtype=float)
+        if self._smoothed is None or self._smoothed.shape != raw.shape:
+            self._smoothed = raw.copy()
+        else:
+            self._smoothed = (
+                self.smoothing * raw + (1 - self.smoothing) * self._smoothed
+            )
+        utilizations = self._smoothed.copy()
+        if operator_loads is not None:
+            for name, value in operator_loads.items():
+                previous = self._smoothed_loads.get(name, float(value))
+                self._smoothed_loads[name] = (
+                    self.smoothing * float(value)
+                    + (1 - self.smoothing) * previous
+                )
+        working = dict(assignment)
+
+        def load_of(name: str) -> float:
+            if self._smoothed_loads:
+                return self._smoothed_loads.get(name, 0.0)
+            # Monitoring fallback: apportion node demand by coefficient
+            # mass when per-operator statistics are unavailable.
+            return float(model.coefficients[model.operator_index(name)].sum())
+
+        for _ in range(self.max_moves_per_period):
+            busiest = int(np.argmax(utilizations))
+            calmest = int(np.argmin(utilizations))
+            gap = utilizations[busiest] - utilizations[calmest]
+            if busiest == calmest or gap < self.imbalance_threshold:
+                break
+            candidates = [
+                name
+                for name, node in working.items()
+                if node == busiest
+                and now - self._last_moved.get(name, -math.inf)
+                >= self.cooldown
+            ]
+            if not candidates:
+                break
+            # Move the operator whose measured demand best matches half
+            # the gap — the standard even-out move.  Never move more than
+            # the whole gap (that would just flip the imbalance).
+            target = gap / 2.0 * capacities[busiest]
+            best = min(
+                candidates, key=lambda name: abs(load_of(name) - target)
+            )
+            transfer = load_of(best) / capacities[busiest]
+            if transfer > gap or transfer <= 0.0:
+                break
+            pause = self.cost_model.pause_seconds(
+                self.state_tuples.get(best, 0.0)
+            )
+            move = Migration(
+                operator=best, source=busiest, target=calmest,
+                pause_seconds=pause,
+            )
+            moves.append(move)
+            self._last_moved[best] = now
+            working[best] = calmest
+            utilizations[busiest] -= transfer
+            utilizations[calmest] += (
+                transfer * capacities[busiest] / capacities[calmest]
+            )
+        self.history.extend(moves)
+        return moves

@@ -1,0 +1,68 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+================  ==============================================
+module            paper artifact
+================  ==============================================
+fig2_traces       Figure 2 (trace burstiness / self-similarity)
+fig9_plane_distance  Figure 9 (volume ratio vs plane distance)
+resiliency        Figure 14 (base resiliency results)
+optimal_gap       §7.3.1 ROD-vs-optimal ratios
+dimensions        Figure 15 (varying the number of inputs)
+latency           prototype latency replay (reconstructed)
+lower_bound       §6.1 extension (reconstructed)
+nonlinear         §6.2 join workloads (reconstructed)
+clustering_experiment  §6.3 clustering (reconstructed)
+dynamic_migration  §1 static-resilient vs reactive migration (reconstructed)
+fidelity          simulator-vs-analytic cross-check
+ablations         design-choice ablations (DESIGN.md §6)
+================  ==============================================
+"""
+
+from . import (
+    ablations,
+    balance_bound,
+    clustering_experiment,
+    dimensions,
+    dynamic_migration,
+    fidelity,
+    fig2_traces,
+    fig9_plane_distance,
+    heterogeneous,
+    latency,
+    linearization_value,
+    lower_bound,
+    nonlinear,
+    optimal_gap,
+    partitioning,
+    qmc_convergence,
+    report,
+    resiliency,
+    scheduling_ablation,
+    search_gap,
+)
+from .common import ALGORITHMS, format_rows
+
+__all__ = [
+    "ALGORITHMS",
+    "ablations",
+    "balance_bound",
+    "clustering_experiment",
+    "dimensions",
+    "dynamic_migration",
+    "fidelity",
+    "fig2_traces",
+    "fig9_plane_distance",
+    "format_rows",
+    "heterogeneous",
+    "latency",
+    "linearization_value",
+    "lower_bound",
+    "nonlinear",
+    "optimal_gap",
+    "partitioning",
+    "qmc_convergence",
+    "report",
+    "resiliency",
+    "scheduling_ablation",
+    "search_gap",
+]

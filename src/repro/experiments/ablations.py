@@ -1,0 +1,99 @@
+"""Ablations of ROD's design choices (DESIGN.md §6).
+
+Two knobs the paper motivates but does not isolate:
+
+* **operator ordering** — Section 5.1 sorts by load-vector norm so heavy
+  operators are placed early; the ablation compares against graph order
+  and random orders;
+* **Class I tie-break** — Section 5.2 leaves the choice among Class I
+  nodes open ("a random node can be selected or ... some other criteria");
+  the ablation compares maximizing candidate plane distance, first-fit,
+  random, and fewest inter-node arcs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.rod import CLASS_ONE_POLICIES, rod_place
+from .common import make_model
+
+__all__ = ["run_ordering", "run_class_one_policy"]
+
+
+def run_ordering(
+    num_inputs: int = 5,
+    operators_per_tree: int = 16,
+    num_nodes: int = 8,
+    random_orders: int = 5,
+    samples: int = 4096,
+    seed: int = 11,
+) -> List[Dict[str, object]]:
+    """Volume ratio of norm-sorted vs graph-order vs random-order ROD."""
+    model = make_model(num_inputs, operators_per_tree, seed=seed)
+    capacities = [1.0] * num_nodes
+    rows: List[Dict[str, object]] = []
+
+    sorted_plan = rod_place(model, capacities)
+    rows.append(
+        {
+            "ordering": "norm_descending",
+            "volume_ratio": sorted_plan.volume_ratio(samples=samples),
+            "plane_distance": sorted_plan.plane_distance(),
+        }
+    )
+    natural = rod_place(
+        model, capacities, order=list(range(model.num_operators))
+    )
+    rows.append(
+        {
+            "ordering": "graph_order",
+            "volume_ratio": natural.volume_ratio(samples=samples),
+            "plane_distance": natural.plane_distance(),
+        }
+    )
+    rng = random.Random(seed)
+    ratios, distances = [], []
+    for _ in range(random_orders):
+        order = list(range(model.num_operators))
+        rng.shuffle(order)
+        plan = rod_place(model, capacities, order=order)
+        ratios.append(plan.volume_ratio(samples=samples))
+        distances.append(plan.plane_distance())
+    rows.append(
+        {
+            "ordering": f"random_mean_of_{random_orders}",
+            "volume_ratio": float(np.mean(ratios)),
+            "plane_distance": float(np.mean(distances)),
+        }
+    )
+    return rows
+
+
+def run_class_one_policy(
+    num_inputs: int = 5,
+    operators_per_tree: int = 16,
+    num_nodes: int = 8,
+    samples: int = 4096,
+    seed: int = 19,
+) -> List[Dict[str, object]]:
+    """Volume ratio and inter-node arcs per Class I tie-break policy."""
+    model = make_model(num_inputs, operators_per_tree, seed=seed)
+    capacities = [1.0] * num_nodes
+    rows: List[Dict[str, object]] = []
+    for policy in CLASS_ONE_POLICIES:
+        plan = rod_place(
+            model, capacities, class_one_policy=policy, seed=seed
+        )
+        rows.append(
+            {
+                "policy": policy,
+                "volume_ratio": plan.volume_ratio(samples=samples),
+                "plane_distance": plan.plane_distance(),
+                "inter_node_arcs": plan.inter_node_arcs(),
+            }
+        )
+    return rows

@@ -1,0 +1,79 @@
+"""How close is ROD's balance to the provable optimum? (DESIGN.md §6)
+
+ROD's Class I phase pursues MMAD — balancing every stream across nodes —
+greedily.  :class:`~repro.placement.milp.MilpBalancePlacer` solves that
+objective *exactly* (minimum possible maximum weight ``w_ik``), so the
+gap between the two quantifies what the greedy heuristic leaves on the
+table, on instances beyond the exhaustive search's reach.
+
+Two regimes, deliberately:
+
+* **plentiful** operators (many small pieces per stream) — near-perfect
+  balance is achievable, the exact solver reaches weight ≈ 1 (i.e. the
+  ideal plan!) and beats greedy ROD on volume too.  The catch is cost:
+  the MILP has ``n·m`` binaries and blows up long before the paper's
+  200-operator workloads, while ROD stays in milliseconds.
+* **scarce** operators (a few heavy pieces) — perfect balance is
+  impossible, the balance objective stops being a volume proxy, and
+  greedy ROD with its MMPD fallback matches or beats the balance-optimal
+  plan's volume.
+
+The rows report both weights, both volumes, and both planning times.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from ..core.rod import rod_place
+from ..placement.milp import MilpBalancePlacer
+from .common import make_model
+
+__all__ = ["run"]
+
+
+def run(
+    graph_seeds: Sequence[int] = (3, 5, 8),
+    regimes: Sequence[int] = (2, 12),
+    num_inputs: int = 3,
+    num_nodes: int = 4,
+    samples: int = 4096,
+    time_limit: float = 20.0,
+) -> List[Dict[str, object]]:
+    """One row per (operators-per-tree regime, workload graph)."""
+    capacities = [1.0] * num_nodes
+    placer = MilpBalancePlacer(time_limit=time_limit)
+    rows: List[Dict[str, object]] = []
+    for operators_per_tree in regimes:
+        for seed in graph_seeds:
+            model = make_model(num_inputs, operators_per_tree, seed=seed)
+            start = time.perf_counter()
+            rod_plan = rod_place(model, capacities)
+            rod_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            milp_plan = placer.place(model, capacities)
+            milp_seconds = time.perf_counter() - start
+            rod_weight = float(rod_plan.weights().max())
+            milp_weight = float(milp_plan.weights().max())
+            rows.append(
+                {
+                    "regime": (
+                        "scarce" if operators_per_tree <= 4 else "plentiful"
+                    ),
+                    "graph_seed": seed,
+                    "operators": model.num_operators,
+                    "rod_max_weight": rod_weight,
+                    "optimal_max_weight": milp_weight,
+                    "balance_gap": rod_weight / milp_weight - 1.0,
+                    "rod_volume_ratio": rod_plan.volume_ratio(
+                        samples=samples
+                    ),
+                    "milp_volume_ratio": milp_plan.volume_ratio(
+                        samples=samples
+                    ),
+                    "rod_seconds": rod_seconds,
+                    "milp_seconds": milp_seconds,
+                }
+            )
+    return rows

@@ -1,0 +1,148 @@
+"""Shared plumbing for the experiment harnesses.
+
+Each experiment module exposes ``run(...) -> list[dict]`` returning the
+rows of the corresponding paper table/figure, plus uses
+:func:`format_rows` so benchmarks and examples print uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.load_model import LoadModel, build_load_model
+from ..graphs.generator import RandomGraphConfig, random_tree_graph
+from ..placement import (
+    ConnectedPlacer,
+    CorrelationPlacer,
+    LLFPlacer,
+    Placer,
+    RODPlacer,
+    RandomPlacer,
+)
+from ..workload.rates import rate_series
+
+__all__ = [
+    "ALGORITHMS",
+    "format_rows",
+    "make_model",
+    "make_placer",
+    "mean_volume_ratio",
+    "volume_ratio_runs",
+]
+
+#: Algorithm names in the paper's Figure 14 legend order.
+ALGORITHMS = ("rod", "correlation", "llf", "random", "connected")
+
+
+def make_model(
+    num_inputs: int, operators_per_tree: int, seed: int
+) -> LoadModel:
+    """A random-tree workload model with the paper's parameters."""
+    config = RandomGraphConfig(
+        num_inputs=num_inputs, operators_per_tree=operators_per_tree
+    )
+    return build_load_model(random_tree_graph(config, seed=seed))
+
+
+def make_placer(
+    name: str,
+    model: LoadModel,
+    run_seed: int,
+    series_steps: int = 128,
+) -> Placer:
+    """Instantiate one run of a named algorithm.
+
+    Every non-ROD algorithm is randomized per run exactly as in Section
+    7.3.1: Random gets a fresh shuffle seed, the balancers get random
+    input stream rates, and the correlation scheme gets a random
+    stream-rate time series.  ROD is deterministic and rate-oblivious.
+    """
+    rng = np.random.default_rng(run_seed)
+    if name == "rod":
+        return RODPlacer()
+    if name == "random":
+        return RandomPlacer(seed=run_seed)
+    if name == "llf":
+        return LLFPlacer(rates=rng.uniform(0.1, 1.0, model.num_variables))
+    if name == "connected":
+        return ConnectedPlacer(rates=rng.uniform(0.1, 1.0, model.num_variables))
+    if name == "correlation":
+        series = rate_series(
+            model.num_variables,
+            series_steps,
+            mean_rates=rng.uniform(0.5, 1.5, model.num_variables),
+            seed=run_seed,
+        )
+        return CorrelationPlacer(series)
+    raise ValueError(f"unknown algorithm: {name!r}")
+
+
+def volume_ratio_runs(
+    name: str,
+    model: LoadModel,
+    capacities: Sequence[float],
+    repeats: int = 10,
+    samples: int = 4096,
+    base_seed: int = 0,
+) -> np.ndarray:
+    """Feasible-set/ideal ratios across randomized runs of an algorithm.
+
+    ROD "does not need to be repeated because it does not depend on the
+    input stream rates" — one run suffices; the baselines get fresh
+    random rate points / seeds per run, as in Section 7.3.1.
+    """
+    runs = 1 if name == "rod" else repeats
+    ratios = []
+    for r in range(runs):
+        placer = make_placer(name, model, run_seed=base_seed * 1000 + r)
+        placement = placer.place(model, capacities)
+        ratios.append(placement.volume_ratio(samples=samples))
+    return np.asarray(ratios)
+
+
+def mean_volume_ratio(
+    name: str,
+    model: LoadModel,
+    capacities: Sequence[float],
+    repeats: int = 10,
+    samples: int = 4096,
+    base_seed: int = 0,
+) -> float:
+    """Average of :func:`volume_ratio_runs`."""
+    return float(
+        volume_ratio_runs(
+            name, model, capacities,
+            repeats=repeats, samples=samples, base_seed=base_seed,
+        ).mean()
+    )
+
+
+def format_rows(
+    rows: List[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render experiment rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(line[i]) for line in table))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(v.ljust(w) for v, w in zip(line, widths)) for line in table
+    )
+    return f"{header}\n{rule}\n{body}"

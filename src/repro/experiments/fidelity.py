@@ -1,0 +1,124 @@
+"""Simulator-vs-analytic fidelity check (Section 7.3.1 methodology).
+
+The paper validates its simulator by observing that "the simulator
+results tracked the results in Borealis very closely".  Our analogue: the
+discrete-event simulator's empirical feasibility verdicts and measured
+utilizations must track the analytic predicate ``L^n R <= C`` on sampled
+workload points.  Disagreements should only appear in a thin band around
+the feasibility boundary (batching and warm-up effects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.rod import rod_place
+from ..simulator.feasibility import FeasibilityProbe
+from ..workload.rates import ideal_rate_points
+from .common import make_model
+
+__all__ = ["run", "run_protocol_comparison"]
+
+
+def run(
+    num_inputs: int = 3,
+    operators_per_tree: int = 8,
+    num_nodes: int = 4,
+    points: int = 40,
+    duration: float = 10.0,
+    boundary_band: float = 0.05,
+    seed: int = 3,
+) -> List[Dict[str, object]]:
+    """Summary rows: agreement rate and utilization tracking error."""
+    model = make_model(num_inputs, operators_per_tree, seed=seed)
+    capacities = [1.0] * num_nodes
+    placement = rod_place(model, capacities)
+    feasible_set = placement.feasible_set()
+    samples = ideal_rate_points(
+        model, capacities, points, seed=seed, method="random"
+    )
+    probe = FeasibilityProbe(duration=duration)
+
+    agreements = 0
+    near_boundary_disagreements = 0
+    clear_disagreements = 0
+    utilization_errors = []
+    for i in range(points):
+        rates = samples[i]
+        predicted_util = float(feasible_set.utilizations(rates).max())
+        analytic = predicted_util <= 1.0
+        empirical = probe.is_feasible(placement, rates)
+        simulator = _measured_max_utilization(placement, rates, probe)
+        utilization_errors.append(abs(simulator - predicted_util))
+        if analytic == empirical:
+            agreements += 1
+        elif abs(predicted_util - 1.0) <= boundary_band:
+            near_boundary_disagreements += 1
+        else:
+            clear_disagreements += 1
+    return [
+        {
+            "points": points,
+            "agreement_rate": agreements / points,
+            "near_boundary_disagreements": near_boundary_disagreements,
+            "clear_disagreements": clear_disagreements,
+            "mean_utilization_error": float(np.mean(utilization_errors)),
+            "max_utilization_error": float(np.max(utilization_errors)),
+        }
+    ]
+
+
+def run_protocol_comparison(
+    num_inputs: int = 3,
+    operators_per_tree: int = 8,
+    num_nodes: int = 4,
+    points: int = 60,
+    duration: float = 8.0,
+    seed: int = 9,
+) -> List[Dict[str, object]]:
+    """The Borealis measurement protocol vs the QMC volume.
+
+    Section 7.1 measures feasible-set size by running the prototype at
+    random workload points inside the ideal set and counting how many
+    probe feasible.  This harness does exactly that on the simulator for
+    ROD and a balancer, next to the analytic QMC ratio — the two columns
+    should agree within sampling error, justifying the fast analytic
+    path the other experiments use.
+    """
+    from ..simulator.feasibility import empirical_feasible_fraction
+    from .common import make_placer
+
+    model = make_model(num_inputs, operators_per_tree, seed=seed)
+    capacities = [1.0] * num_nodes
+    samples = ideal_rate_points(
+        model, capacities, points, seed=seed, method="random"
+    )
+    probe = FeasibilityProbe(duration=duration)
+    rows: List[Dict[str, object]] = []
+    for name in ("rod", "llf"):
+        placement = make_placer(name, model, run_seed=seed).place(
+            model, capacities
+        )
+        empirical = empirical_feasible_fraction(placement, samples, probe)
+        analytic = placement.volume_ratio(samples=4096)
+        rows.append(
+            {
+                "algorithm": name,
+                "empirical_fraction": empirical,
+                "qmc_ratio": analytic,
+                "abs_difference": abs(empirical - analytic),
+                "probe_points": points,
+            }
+        )
+    return rows
+
+
+def _measured_max_utilization(placement, rates, probe) -> float:
+    from ..simulator.engine import Simulator
+
+    result = Simulator(placement, step_seconds=probe.step_seconds).run(
+        rates=rates, duration=probe.duration
+    )
+    return result.max_utilization

@@ -1,0 +1,103 @@
+"""Figure 9 — feasible-set size vs the minimum plane distance ``r``.
+
+The paper generates 1000 random node load coefficient matrices (10 nodes,
+3 input streams), plots feasible-set-size / ideal-size against ``r / r*``
+and overlays the hypersphere-volume lower bound, observing that both the
+upper and lower envelope grow with ``r / r*`` — the justification for the
+MMPD heuristic.
+
+``run`` reproduces the scatter; ``binned`` summarizes it as (bin, min,
+mean, max, analytic lower bound) rows, which is what the benchmark prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import geometry
+from ..core.volume import qmc
+
+__all__ = ["run", "binned"]
+
+
+def _random_weight_matrix(
+    n: int, d: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A random plan's weights: each variable's load split across nodes.
+
+    Column ``k`` of the underlying ``L^n`` is a random share of ``l_k``
+    per node (Dirichlet); with homogeneous capacities the weight matrix is
+    simply ``n`` times the share matrix.
+    """
+    shares = rng.dirichlet(np.ones(n), size=d).T  # (n, d), columns sum to 1
+    return shares * n
+
+
+def run(
+    count: int = 1000,
+    num_nodes: int = 10,
+    num_streams: int = 3,
+    samples: int = 2048,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """One row per random matrix: ``r_ratio`` and ``volume_ratio``."""
+    rng = np.random.default_rng(seed)
+    r_ideal = geometry.ideal_plane_distance(num_streams)
+    points = qmc.sample_unit_simplex(samples, num_streams, method="halton")
+    rows = []
+    for index in range(count):
+        weights = _random_weight_matrix(num_nodes, num_streams, rng)
+        r = geometry.min_plane_distance(weights)
+        feasible = np.all(points @ weights.T <= 1.0 + 1e-12, axis=1)
+        rows.append(
+            {
+                "index": index,
+                "dimension": num_streams,
+                "r_ratio": r / r_ideal,
+                "volume_ratio": float(np.mean(feasible)),
+            }
+        )
+    return rows
+
+
+def binned(
+    rows: List[Dict[str, object]], bins: int = 10
+) -> List[Dict[str, object]]:
+    """Summarize the scatter into ``bins`` intervals of ``r / r*``."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    if not rows:
+        return []
+    dimensions = {row.get("dimension", 3) for row in rows}
+    if len(dimensions) != 1:
+        raise ValueError(
+            "cannot bin rows of mixed dimensionality: "
+            f"{sorted(dimensions)}"
+        )
+    (d,) = dimensions
+    r_values = np.array([row["r_ratio"] for row in rows])
+    v_values = np.array([row["volume_ratio"] for row in rows])
+    edges = np.linspace(0.0, max(1.0, r_values.max()), bins + 1)
+    summary = []
+    for b in range(bins):
+        mask = (r_values >= edges[b]) & (r_values < edges[b + 1])
+        if b == bins - 1:
+            mask |= r_values == edges[b + 1]
+        if not np.any(mask):
+            continue
+        mid = 0.5 * (edges[b] + edges[b + 1])
+        summary.append(
+            {
+                "r_ratio_bin": f"[{edges[b]:.2f}, {edges[b + 1]:.2f})",
+                "count": int(mask.sum()),
+                "min_ratio": float(v_values[mask].min()),
+                "mean_ratio": float(v_values[mask].mean()),
+                "max_ratio": float(v_values[mask].max()),
+                "sphere_lower_bound": geometry.hypersphere_volume_fraction(
+                    mid, d
+                ),
+            }
+        )
+    return summary

@@ -1,0 +1,70 @@
+"""QMC methodology check: Halton vs plain Monte Carlo convergence.
+
+Section 7.1 computes feasible-set sizes "using Quasi Monte Carlo
+integration".  This artifact justifies that choice within the
+reproduction: on instances small enough for *exact* polytope volumes,
+it measures the estimation error of Halton-sequence sampling against
+pseudo-random sampling across sample counts.
+
+Expected shape: both errors shrink with sample count; Halton's shrinks
+faster (≈ N^-1 vs N^-1/2), so every experiment gets more accuracy per
+sample from QMC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.rod import rod_place
+from .common import make_model
+
+__all__ = ["run"]
+
+
+def run(
+    sample_counts: Sequence[int] = (256, 1024, 4096, 16384),
+    graph_seeds: Sequence[int] = (2, 4, 6, 9, 12),
+    num_inputs: int = 3,
+    operators_per_tree: int = 6,
+    num_nodes: int = 3,
+    mc_repeats: int = 5,
+) -> List[Dict[str, object]]:
+    """One row per sample count with mean |error| for both samplers."""
+    capacities = [1.0] * num_nodes
+    cases = []
+    for seed in graph_seeds:
+        model = make_model(num_inputs, operators_per_tree, seed=seed)
+        plan = rod_place(model, capacities)
+        fs = plan.feasible_set()
+        cases.append((fs, fs.exact_volume_ratio()))
+
+    rows: List[Dict[str, object]] = []
+    for samples in sample_counts:
+        halton_errors, random_errors = [], []
+        for fs, exact in cases:
+            halton_errors.append(
+                abs(fs.volume_ratio(samples=samples, method="halton") - exact)
+            )
+            for r in range(mc_repeats):
+                random_errors.append(
+                    abs(
+                        fs.volume_ratio(
+                            samples=samples, method="random", seed=r
+                        )
+                        - exact
+                    )
+                )
+        rows.append(
+            {
+                "samples": samples,
+                "halton_mean_abs_error": float(np.mean(halton_errors)),
+                "random_mean_abs_error": float(np.mean(random_errors)),
+                "halton_advantage": float(
+                    np.mean(random_errors) / max(np.mean(halton_errors),
+                                                 1e-12)
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,217 @@
+"""One-shot reproduction report: every experiment, one markdown file.
+
+``generate()`` runs every harness and renders a single document mirroring
+EXPERIMENTS.md's structure with freshly measured numbers.  Two scales:
+
+* ``"quick"`` — minutes-scale parameters for smoke reproduction;
+* ``"full"`` — the benchmark-suite parameters the committed numbers use.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable, List, Sequence, Tuple
+
+from . import (
+    ablations,
+    balance_bound,
+    linearization_value,
+    search_gap,
+    clustering_experiment,
+    dimensions,
+    dynamic_migration,
+    fidelity,
+    fig2_traces,
+    fig9_plane_distance,
+    heterogeneous,
+    latency,
+    lower_bound,
+    nonlinear,
+    optimal_gap,
+    partitioning,
+    qmc_convergence,
+    resiliency,
+    scheduling_ablation,
+)
+from .common import format_rows
+
+__all__ = ["ARTIFACTS", "generate", "write_report"]
+
+
+def _fig9(scale: str) -> List[dict]:
+    count = 200 if scale == "quick" else 1000
+    return fig9_plane_distance.binned(
+        fig9_plane_distance.run(count=count, samples=1024)
+    )
+
+
+def _fig14(scale: str) -> List[dict]:
+    if scale == "quick":
+        return resiliency.run(
+            operator_counts=(40, 80), repeats=3, graph_repeats=1,
+            samples=1024,
+        )
+    return resiliency.run()
+
+
+def _optimal(scale: str) -> List[dict]:
+    if scale == "quick":
+        rows = optimal_gap.run(dimensions=(2, 3), graphs_per_dimension=2)
+    else:
+        rows = optimal_gap.run()
+    rows.append(
+        {"inputs": "", "operators": "", "graph": "aggregate",
+         **optimal_gap.aggregate(rows)}
+    )
+    return rows
+
+
+def _fig15(scale: str) -> List[dict]:
+    if scale == "quick":
+        return dimensions.run(
+            input_counts=(2, 3, 4), operators_per_tree=8, repeats=2,
+            samples=1024,
+        )
+    return dimensions.run()
+
+
+def _latency(scale: str) -> List[dict]:
+    steps = 200 if scale == "quick" else 400
+    return latency.run(steps=steps)
+
+
+def _lower_bound(scale: str) -> List[dict]:
+    samples = 1024 if scale == "quick" else 4096
+    return lower_bound.run(samples=samples)
+
+
+def _nonlinear(scale: str) -> List[dict]:
+    directions = 10 if scale == "quick" else 30
+    repeats = 2 if scale == "quick" else 5
+    return nonlinear.run(directions=directions, repeats=repeats)
+
+
+def _clustering(scale: str) -> List[dict]:
+    samples = 1024 if scale == "quick" else 4096
+    return clustering_experiment.run(samples=samples)
+
+
+def _fidelity(scale: str) -> List[dict]:
+    points = 10 if scale == "quick" else 40
+    return fidelity.run(points=points, duration=5.0)
+
+
+def _protocol(scale: str) -> List[dict]:
+    points = 20 if scale == "quick" else 60
+    return fidelity.run_protocol_comparison(points=points, duration=5.0)
+
+
+def _dynamic(scale: str) -> List[dict]:
+    steps = 150 if scale == "quick" else 300
+    return dynamic_migration.run(steps=steps)
+
+
+def _heterogeneous(scale: str) -> List[dict]:
+    if scale == "quick":
+        return heterogeneous.run(
+            operators_per_tree=8, repeats=2, samples=1024,
+            profiles=("uniform", "skewed"),
+        )
+    return heterogeneous.run()
+
+
+def _partitioning(scale: str) -> List[dict]:
+    samples = 1024 if scale == "quick" else 4096
+    return partitioning.run(samples=samples)
+
+
+def _ablations(scale: str) -> List[dict]:
+    samples = 1024 if scale == "quick" else 4096
+    rows = ablations.run_ordering(samples=samples)
+    rows += [
+        {"ordering": f"class-one policy: {r['policy']}",
+         "volume_ratio": r["volume_ratio"],
+         "plane_distance": r["plane_distance"]}
+        for r in ablations.run_class_one_policy(samples=samples)
+    ]
+    return rows
+
+
+#: (artifact id, title, runner) in the paper's order.
+ARTIFACTS: Sequence[Tuple[str, str, Callable[[str], List[dict]]]] = (
+    ("fig2", "Figure 2 — trace burstiness and self-similarity",
+     lambda s: fig2_traces.run(steps=2048)),
+    ("fig9", "Figure 9 — volume ratio vs plane distance", _fig9),
+    ("fig14", "Figure 14 — base resiliency results", _fig14),
+    ("tab-opt", "§7.3.1 — ROD vs exhaustive optimum", _optimal),
+    ("fig15", "Figure 15 — varying the number of inputs", _fig15),
+    ("fig-lat", "Latency under bursty replay (reconstructed)", _latency),
+    ("fig-lb", "§6.1 lower-bound extension (reconstructed)", _lower_bound),
+    ("fig-nl", "§6.2 non-linear join workloads (reconstructed)", _nonlinear),
+    ("fig-cl", "§6.3 operator clustering (reconstructed)", _clustering),
+    ("fig-dyn", "§1 static resilience vs reactive migration "
+                "(reconstructed)", _dynamic),
+    ("fig-het", "Heterogeneous clusters (reconstructed)", _heterogeneous),
+    ("fig-part", "§7.3.1 data partitioning (reconstructed)", _partitioning),
+    ("fig-sim-fid", "Simulator fidelity check", _fidelity),
+    ("fig-protocol", "Borealis probing protocol vs QMC", _protocol),
+    ("ablations", "Design-choice ablations", _ablations),
+    ("balance-bound", "ROD vs exact MILP balance optimum",
+     lambda s: balance_bound.run(
+         graph_seeds=(3, 5) if s == "quick" else (3, 5, 8),
+         samples=1024 if s == "quick" else 4096,
+     )),
+    ("qmc-convergence", "Halton vs Monte Carlo convergence",
+     lambda s: qmc_convergence.run(
+         sample_counts=(256, 1024) if s == "quick"
+         else (256, 1024, 4096, 16384),
+     )),
+    ("scheduling", "Node scheduling policy ablation",
+     lambda s: scheduling_ablation.run(
+         steps=150 if s == "quick" else 300,
+     )),
+    ("linearization", "§6.2 variable-selectivity linearization value",
+     lambda s: linearization_value.run(
+         workload_seeds=tuple(range(4 if s == "quick" else 10)),
+     )),
+    ("search-gap", "Greedy ROD vs direct volume search",
+     lambda s: search_gap.run(
+         budgets=(("polish", 1000), ("scratch-short", 1000))
+         if s == "quick"
+         else (("polish", 4000), ("scratch-short", 4000),
+               ("scratch-long", 40000)),
+     )),
+)
+
+
+def generate(
+    scale: str = "quick",
+    only: Sequence[str] = (),
+) -> str:
+    """Run the experiments and return the markdown report."""
+    if scale not in ("quick", "full"):
+        raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+    selected = set(only)
+    unknown = selected - {artifact_id for artifact_id, _, _ in ARTIFACTS}
+    if unknown:
+        raise ValueError(f"unknown artifact ids: {sorted(unknown)}")
+    out = io.StringIO()
+    out.write(f"# Reproduction report ({scale} scale)\n")
+    for artifact_id, title, runner in ARTIFACTS:
+        if selected and artifact_id not in selected:
+            continue
+        out.write(f"\n## {artifact_id} — {title}\n\n")
+        rows = runner(scale)
+        out.write("```\n")
+        out.write(format_rows(rows))
+        out.write("\n```\n")
+    return out.getvalue()
+
+
+def write_report(
+    path: str, scale: str = "quick", only: Sequence[str] = ()
+) -> None:
+    """Generate and write the report to ``path``."""
+    content = generate(scale=scale, only=only)
+    with open(path, "w") as handle:
+        handle.write(content)

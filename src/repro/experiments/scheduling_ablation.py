@@ -1,0 +1,64 @@
+"""Node scheduling policy ablation (simulator substrate, DESIGN.md §6).
+
+Feasibility is scheduling-independent — total CPU demand does not depend
+on service order — but the *latency distribution* under bursts does.
+This ablation replays the same bursty trace through the same ROD
+placement under each per-node scheduling policy and reports latency
+statistics, verifying:
+
+* identical delivered throughput and utilization across policies (the
+  resilience results never depended on the scheduler);
+* round-robin flattening the tail that FIFO's head-of-line blocking
+  creates, with longest-queue in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.rod import rod_place
+from ..simulator.engine import Simulator
+from ..simulator.scheduling import POLICIES
+from ..workload.rates import rate_series, scale_point_to_utilization
+from .common import make_model
+
+__all__ = ["run"]
+
+
+def run(
+    policies: Sequence[str] = POLICIES,
+    num_inputs: int = 3,
+    operators_per_tree: int = 10,
+    num_nodes: int = 4,
+    utilization: float = 0.8,
+    steps: int = 300,
+    step_seconds: float = 0.05,
+    seed: int = 41,
+) -> List[Dict[str, object]]:
+    """One row per scheduling policy under the same placement/workload."""
+    model = make_model(num_inputs, operators_per_tree, seed=seed)
+    capacities = [1.0] * num_nodes
+    placement = rod_place(model, capacities)
+    series = rate_series(model.num_inputs, steps, seed=seed + 1)
+    means = series.mean(axis=0)
+    target = scale_point_to_utilization(
+        model, capacities, means, utilization
+    )
+    series = series * (target / means)
+
+    rows: List[Dict[str, object]] = []
+    for policy in policies:
+        result = Simulator(
+            placement, step_seconds=step_seconds, scheduling=policy
+        ).run(rate_series=series)
+        rows.append(
+            {
+                "policy": policy,
+                "tuples_out": result.tuples_out,
+                "max_node_utilization": result.max_utilization,
+                "mean_latency_ms": result.latency.mean() * 1e3,
+                "p95_latency_ms": result.latency.percentile(95) * 1e3,
+                "max_latency_ms": result.latency.maximum() * 1e3,
+            }
+        )
+    return rows

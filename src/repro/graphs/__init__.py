@@ -1,0 +1,61 @@
+"""Query graphs, operators and workload-graph generators."""
+
+from .operators import (
+    Aggregate,
+    Delay,
+    Filter,
+    LinearOperator,
+    Map,
+    Operator,
+    Union,
+    VariableSelectivityOp,
+    WindowJoin,
+)
+from .query_graph import Arc, QueryGraph, Stream
+from .partition import parallelize_heaviest, partition_operator
+from .serialize import dump_graph, graph_from_dict, graph_to_dict, load_graph
+from .stats import (
+    MeasuredStatistics,
+    graph_from_statistics,
+    measure_statistics,
+    measure_statistics_stable,
+)
+from .generator import (
+    RandomGraphConfig,
+    join_graph,
+    monitoring_graph,
+    paper_example3_graph,
+    paper_example_graph,
+    random_tree_graph,
+)
+
+__all__ = [
+    "Aggregate",
+    "Arc",
+    "Delay",
+    "Filter",
+    "LinearOperator",
+    "Map",
+    "MeasuredStatistics",
+    "graph_from_statistics",
+    "measure_statistics",
+    "measure_statistics_stable",
+    "Operator",
+    "QueryGraph",
+    "RandomGraphConfig",
+    "Stream",
+    "Union",
+    "VariableSelectivityOp",
+    "WindowJoin",
+    "dump_graph",
+    "graph_from_dict",
+    "graph_to_dict",
+    "join_graph",
+    "load_graph",
+    "monitoring_graph",
+    "parallelize_heaviest",
+    "partition_operator",
+    "paper_example3_graph",
+    "paper_example_graph",
+    "random_tree_graph",
+]

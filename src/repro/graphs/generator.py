@@ -1,0 +1,275 @@
+"""Query-graph generators used throughout the evaluation.
+
+Reproduces the workload construction of Section 7.1:
+
+* random query graphs generated "as a collection of operator trees rooted
+  at input operators", with one to three downstream operators per tree
+  node chosen with equal probability, and the same number of operators per
+  tree;
+* *delay* operators whose per-tuple processing cost is uniform in
+  [0.1 ms, 1 ms] CPU time; half of the operators have selectivity one and
+  the other half selectivities uniform in [0.5, 1];
+* an aggregation-heavy network-traffic-monitoring graph (the motivating
+  application);
+* windowed-join graphs for the non-linear experiments of Section 6.2;
+* the worked examples of the paper (Figure 4 / Example 2 and Example 3),
+  used as ground truth in unit tests.
+
+Costs are expressed in CPU *seconds* per tuple, so a node with capacity 1.0
+is a machine fully dedicated to stream processing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .operators import (
+    Aggregate,
+    Delay,
+    Filter,
+    Map,
+    Union,
+    VariableSelectivityOp,
+    WindowJoin,
+)
+from .query_graph import QueryGraph, Stream
+
+__all__ = [
+    "RandomGraphConfig",
+    "random_tree_graph",
+    "monitoring_graph",
+    "join_graph",
+    "paper_example_graph",
+    "paper_example3_graph",
+]
+
+# Per-tuple CPU cost bounds from Section 7.1 ("delay times ... uniformly
+# distributed between 0.1 ms to 1 ms"), in seconds.
+MIN_DELAY_COST = 1e-4
+MAX_DELAY_COST = 1e-3
+
+
+@dataclass(frozen=True)
+class RandomGraphConfig:
+    """Parameters of the paper's random-tree workload generator."""
+
+    num_inputs: int = 5
+    operators_per_tree: int = 20
+    min_fanout: int = 1
+    max_fanout: int = 3
+    min_cost: float = MIN_DELAY_COST
+    max_cost: float = MAX_DELAY_COST
+    min_selectivity: float = 0.5
+    max_selectivity: float = 1.0
+    unit_selectivity_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise ValueError("need at least one input stream")
+        if self.operators_per_tree < 1:
+            raise ValueError("each tree needs at least one operator")
+        if not (1 <= self.min_fanout <= self.max_fanout):
+            raise ValueError("fanout bounds must satisfy 1 <= min <= max")
+        if not (0 < self.min_cost <= self.max_cost):
+            raise ValueError("cost bounds must satisfy 0 < min <= max")
+        if not (0 < self.min_selectivity <= self.max_selectivity <= 1):
+            raise ValueError("selectivity bounds must lie in (0, 1]")
+        if not (0 <= self.unit_selectivity_fraction <= 1):
+            raise ValueError("unit_selectivity_fraction must be in [0, 1]")
+
+
+def _random_delay(
+    name: str, rng: random.Random, config: RandomGraphConfig
+) -> Delay:
+    """One synthetic delay operator with the paper's cost/selectivity mix."""
+    cost = rng.uniform(config.min_cost, config.max_cost)
+    if rng.random() < config.unit_selectivity_fraction:
+        selectivity = 1.0
+    else:
+        selectivity = rng.uniform(config.min_selectivity, config.max_selectivity)
+    return Delay(name, cost=cost, selectivity=selectivity)
+
+
+def random_tree_graph(
+    config: RandomGraphConfig = RandomGraphConfig(),
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> QueryGraph:
+    """Generate the paper's random workload: one operator tree per input.
+
+    Each tree is grown breadth-first from its input stream; every stream on
+    the frontier spawns between ``min_fanout`` and ``max_fanout`` downstream
+    operators (equal probability), truncated so each tree holds exactly
+    ``operators_per_tree`` operators.
+    """
+    rng = rng if rng is not None else random.Random(seed)
+    graph = QueryGraph(name=f"random-{config.num_inputs}x{config.operators_per_tree}")
+    counter = 0
+    for k in range(config.num_inputs):
+        root = graph.add_input(f"I{k}")
+        frontier: List[Stream] = [root]
+        remaining = config.operators_per_tree
+        while remaining > 0:
+            stream = frontier.pop(0)
+            fanout = rng.randint(config.min_fanout, config.max_fanout)
+            fanout = min(fanout, remaining)
+            for _ in range(fanout):
+                op = _random_delay(f"op{counter}", rng, config)
+                counter += 1
+                out = graph.add_operator(op, [stream])
+                frontier.append(out)
+                remaining -= 1
+    return graph
+
+
+def monitoring_graph(
+    num_links: int = 3,
+    seed: Optional[int] = None,
+) -> QueryGraph:
+    """Aggregation-heavy network-traffic monitoring workload.
+
+    One input stream per monitored link.  Each link's packets are filtered
+    (protocol of interest), mapped (header normalization), then aggregated
+    over a fast and a slow window; per-link alert filters watch the fast
+    aggregate, and a cross-link union feeds a global top-talkers aggregate.
+    Costs are drawn deterministically from ``seed`` so the graph is
+    reproducible.
+    """
+    if num_links < 1:
+        raise ValueError("need at least one monitored link")
+    rng = random.Random(seed if seed is not None else 7)
+    graph = QueryGraph(name=f"monitoring-{num_links}")
+    fast_aggregates = []
+    for k in range(num_links):
+        link = graph.add_input(f"link{k}")
+        flt = graph.add_operator(
+            Filter(f"proto_filter{k}", cost=rng.uniform(1e-4, 3e-4),
+                   selectivity=rng.uniform(0.5, 0.9)),
+            [link],
+        )
+        normalized = graph.add_operator(
+            Map(f"normalize{k}", cost=rng.uniform(1e-4, 4e-4)), [flt]
+        )
+        fast = graph.add_operator(
+            Aggregate(f"agg_fast{k}", cost=rng.uniform(2e-4, 6e-4),
+                      selectivity=0.2),
+            [normalized],
+        )
+        graph.add_operator(
+            Aggregate(f"agg_slow{k}", cost=rng.uniform(2e-4, 6e-4),
+                      selectivity=0.05),
+            [normalized],
+        )
+        graph.add_operator(
+            Filter(f"alert{k}", cost=rng.uniform(1e-4, 2e-4),
+                   selectivity=0.1),
+            [fast],
+        )
+        fast_aggregates.append(fast)
+    if num_links >= 2:
+        union = graph.add_operator(
+            Union("merge_links",
+                  costs=[rng.uniform(5e-5, 1.5e-4)] * num_links),
+            fast_aggregates,
+        )
+        graph.add_operator(
+            Aggregate("top_talkers", cost=rng.uniform(3e-4, 8e-4),
+                      selectivity=0.1),
+            [union],
+        )
+    return graph
+
+
+def join_graph(
+    num_join_pairs: int = 2,
+    downstream_per_join: int = 3,
+    window: float = 0.01,
+    seed: Optional[int] = None,
+) -> QueryGraph:
+    """Windowed-join workload for the non-linear experiments (Section 6.2).
+
+    Each pair of input streams is pre-filtered and joined with a time
+    window; a small chain of delay operators consumes each join output.
+    """
+    if num_join_pairs < 1:
+        raise ValueError("need at least one join pair")
+    if downstream_per_join < 0:
+        raise ValueError("downstream_per_join must be >= 0")
+    rng = random.Random(seed if seed is not None else 11)
+    graph = QueryGraph(name=f"joins-{num_join_pairs}")
+    config = RandomGraphConfig()
+    counter = 0
+    for p in range(num_join_pairs):
+        left = graph.add_input(f"L{p}")
+        right = graph.add_input(f"R{p}")
+        fl = graph.add_operator(
+            Filter(f"prefilter_l{p}", cost=rng.uniform(1e-4, 3e-4),
+                   selectivity=rng.uniform(0.6, 1.0)),
+            [left],
+        )
+        fr = graph.add_operator(
+            Filter(f"prefilter_r{p}", cost=rng.uniform(1e-4, 3e-4),
+                   selectivity=rng.uniform(0.6, 1.0)),
+            [right],
+        )
+        out = graph.add_operator(
+            WindowJoin(f"join{p}", cost_per_pair=rng.uniform(2e-4, 5e-4),
+                       selectivity=rng.uniform(0.05, 0.2), window=window),
+            [fl, fr],
+        )
+        for _ in range(downstream_per_join):
+            op = _random_delay(f"jop{counter}", rng, config)
+            counter += 1
+            out = graph.add_operator(op, [out])
+    return graph
+
+
+def paper_example_graph() -> QueryGraph:
+    """The query graph of Figure 4 with Example 2's constants.
+
+    Two chains: ``I1 -> o1(c=4, s=1) -> o2(c=6)`` and
+    ``I2 -> o3(c=9, s=0.5) -> o4(c=4)``, giving the operator load
+    coefficient matrix ``L^o = [[4,0],[6,0],[0,9],[0,2]]``
+    (column order ``(I1, I2)``; ``load(o4) = c4*s3*r2 = 2 r2``).
+    """
+    graph = QueryGraph(name="paper-example")
+    i1 = graph.add_input("I1")
+    i2 = graph.add_input("I2")
+    o1 = graph.add_operator(Delay("o1", cost=4.0, selectivity=1.0), [i1])
+    graph.add_operator(Delay("o2", cost=6.0, selectivity=1.0), [o1])
+    o3 = graph.add_operator(Delay("o3", cost=9.0, selectivity=0.5), [i2])
+    graph.add_operator(Delay("o4", cost=4.0, selectivity=1.0), [o3])
+    return graph
+
+
+def paper_example3_graph(
+    join_cost: float = 2.0,
+    join_selectivity: float = 0.5,
+    window: float = 1.0,
+) -> QueryGraph:
+    """The non-linear query graph of Example 3 / Figure 13.
+
+    ``o1`` has variable selectivity (its output must be cut), ``o5`` is a
+    window join over the outputs of ``o2`` and ``o4``, and ``o6`` consumes
+    the join output.  Linearization must introduce exactly two auxiliary
+    variables: the output of ``o1`` (``r3``) and the output of ``o5``
+    (``r4``).
+    """
+    graph = QueryGraph(name="paper-example3")
+    i1 = graph.add_input("I1")
+    i2 = graph.add_input("I2")
+    o1 = graph.add_operator(
+        VariableSelectivityOp("o1", cost=1.0, nominal_selectivity=0.8), [i1]
+    )
+    o2 = graph.add_operator(Delay("o2", cost=2.0, selectivity=1.0), [o1])
+    o3 = graph.add_operator(Delay("o3", cost=1.5, selectivity=0.7), [i2])
+    o4 = graph.add_operator(Delay("o4", cost=1.0, selectivity=1.0), [o3])
+    o5 = graph.add_operator(
+        WindowJoin("o5", cost_per_pair=join_cost,
+                   selectivity=join_selectivity, window=window),
+        [o2, o4],
+    )
+    graph.add_operator(Delay("o6", cost=3.0, selectivity=1.0), [o5])
+    return graph

@@ -1,0 +1,335 @@
+"""Stream-processing operators.
+
+The paper models each continuous-query operator by two statistics gathered
+from trial runs (Section 2.2):
+
+* **cost** — average CPU cycles needed to process one input tuple arriving
+  on a given input stream, and
+* **selectivity** — ratio of an output stream's rate to an input stream's
+  rate.
+
+Operators whose output rate is a fixed linear combination of their input
+rates (filter, map, union, aggregate, the paper's tunable *delay* operator)
+form the *linear* load model of Section 2.2.  Time-window joins are the
+canonical *non-linear* operator (Section 6.2): their load is
+``c * w * r_u * r_v`` and must be linearized by cutting the query graph.
+
+Every operator produces exactly one output stream.  Fan-out is expressed in
+the query graph by letting several downstream operators consume the same
+output stream; multi-output computations (e.g. a splitter) are modelled as
+several filters reading one stream, which is load-equivalent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "Operator",
+    "LinearOperator",
+    "Map",
+    "Filter",
+    "Union",
+    "Aggregate",
+    "Delay",
+    "VariableSelectivityOp",
+    "WindowJoin",
+]
+
+
+def _validate_costs(costs: Sequence[float], arity: int) -> Tuple[float, ...]:
+    """Check per-input-port costs: one finite non-negative value per port."""
+    costs = tuple(float(c) for c in costs)
+    if len(costs) != arity:
+        raise ValueError(
+            f"expected {arity} per-port costs, got {len(costs)}: {costs!r}"
+        )
+    for c in costs:
+        if not math.isfinite(c) or c < 0:
+            raise ValueError(f"operator cost must be finite and >= 0, got {c}")
+    return costs
+
+
+def _validate_selectivities(
+    selectivities: Sequence[float], arity: int
+) -> Tuple[float, ...]:
+    """Check per-input-port selectivities: finite and non-negative."""
+    sels = tuple(float(s) for s in selectivities)
+    if len(sels) != arity:
+        raise ValueError(
+            f"expected {arity} per-port selectivities, got {len(sels)}: {sels!r}"
+        )
+    for s in sels:
+        if not math.isfinite(s) or s < 0:
+            raise ValueError(f"selectivity must be finite and >= 0, got {s}")
+    return sels
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Base class for all operators.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a query graph.
+    """
+
+    name: str
+
+    @property
+    def arity(self) -> int:
+        """Number of input ports."""
+        raise NotImplementedError
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether both load and output rate are linear in the input rates."""
+        raise NotImplementedError
+
+    def cost_of_port(self, port: int) -> float:
+        """CPU cycles spent per tuple arriving on input ``port``."""
+        raise NotImplementedError
+
+    def load(self, input_rates: Sequence[float]) -> float:
+        """CPU cycles per unit time at the given input stream rates."""
+        raise NotImplementedError
+
+    def output_rate(self, input_rates: Sequence[float]) -> float:
+        """Rate of the single output stream at the given input rates."""
+        raise NotImplementedError
+
+    def _check_rates(self, input_rates: Sequence[float]) -> Tuple[float, ...]:
+        rates = tuple(float(r) for r in input_rates)
+        if len(rates) != self.arity:
+            raise ValueError(
+                f"{self.name}: expected {self.arity} input rates, "
+                f"got {len(rates)}"
+            )
+        for r in rates:
+            if not math.isfinite(r) or r < 0:
+                raise ValueError(f"{self.name}: rate must be >= 0, got {r}")
+        return rates
+
+
+@dataclass(frozen=True)
+class LinearOperator(Operator):
+    """Operator with per-port linear cost and selectivity.
+
+    ``load = sum_p costs[p] * rate_p`` and
+    ``output_rate = sum_p selectivities[p] * rate_p``.
+
+    This single shape covers every linear operator in the paper: map and
+    filter (arity 1), union (arity >= 2, selectivity 1 per port), windowed
+    aggregate (arity 1, selectivity < 1 when it compresses), and the
+    experimental delay operator with tunable cost and selectivity.
+    """
+
+    costs: Tuple[float, ...] = (1.0,)
+    selectivities: Tuple[float, ...] = (1.0,)
+
+    def __post_init__(self) -> None:
+        arity = len(self.costs)
+        if arity < 1:
+            raise ValueError(f"{self.name}: operator needs at least one input")
+        object.__setattr__(self, "costs", _validate_costs(self.costs, arity))
+        object.__setattr__(
+            self,
+            "selectivities",
+            _validate_selectivities(self.selectivities, arity),
+        )
+
+    @property
+    def arity(self) -> int:
+        return len(self.costs)
+
+    @property
+    def is_linear(self) -> bool:
+        return True
+
+    def cost_of_port(self, port: int) -> float:
+        return self.costs[port]
+
+    def load(self, input_rates: Sequence[float]) -> float:
+        rates = self._check_rates(input_rates)
+        return sum(c * r for c, r in zip(self.costs, rates))
+
+    def output_rate(self, input_rates: Sequence[float]) -> float:
+        rates = self._check_rates(input_rates)
+        return sum(s * r for s, r in zip(self.selectivities, rates))
+
+
+class Map(LinearOperator):
+    """Stateless per-tuple transform; one output tuple per input tuple."""
+
+    def __init__(self, name: str, cost: float):
+        super().__init__(name=name, costs=(cost,), selectivities=(1.0,))
+
+
+class Filter(LinearOperator):
+    """Predicate filter passing a ``selectivity`` fraction of tuples."""
+
+    def __init__(self, name: str, cost: float, selectivity: float):
+        if selectivity > 1.0:
+            raise ValueError(
+                f"{name}: filter selectivity must be <= 1, got {selectivity}"
+            )
+        super().__init__(name=name, costs=(cost,), selectivities=(selectivity,))
+
+
+class Union(LinearOperator):
+    """Order-insensitive merge of several streams into one."""
+
+    def __init__(self, name: str, costs: Sequence[float]):
+        if len(costs) < 2:
+            raise ValueError(f"{name}: union needs at least two inputs")
+        super().__init__(
+            name=name,
+            costs=tuple(costs),
+            selectivities=(1.0,) * len(costs),
+        )
+
+
+class Aggregate(LinearOperator):
+    """Window aggregate emitting ``selectivity`` output tuples per input.
+
+    A tumbling window of ``k`` tuples corresponds to ``selectivity = 1/k``.
+    """
+
+    def __init__(self, name: str, cost: float, selectivity: float):
+        super().__init__(name=name, costs=(cost,), selectivities=(selectivity,))
+
+
+class Delay(LinearOperator):
+    """The paper's synthetic operator with adjustable cost and selectivity.
+
+    Used throughout Section 7 to build random query graphs whose per-tuple
+    processing cost (the busy-wait "delay") and selectivity can be set
+    directly.
+    """
+
+    def __init__(self, name: str, cost: float, selectivity: float):
+        super().__init__(name=name, costs=(cost,), selectivities=(selectivity,))
+
+
+@dataclass(frozen=True)
+class VariableSelectivityOp(Operator):
+    """Linear-cost operator whose selectivity is unknown or time-varying.
+
+    Its *load* is linear in its input rate, but its *output* rate cannot be
+    written as a constant times the input rate, so the output stream must be
+    cut during linearization (operator ``o1`` in the paper's Example 3).
+    ``nominal_selectivity`` is used only by the simulator and by rate
+    estimation, never by the linear load model.
+    """
+
+    cost: float = 1.0
+    nominal_selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        _validate_costs((self.cost,), 1)
+        _validate_selectivities((self.nominal_selectivity,), 1)
+
+    @property
+    def arity(self) -> int:
+        return 1
+
+    @property
+    def is_linear(self) -> bool:
+        return False
+
+    @property
+    def load_is_linear_in_inputs(self) -> bool:
+        """Load is still a linear function of the input rate (cost * rate)."""
+        return True
+
+    def cost_of_port(self, port: int) -> float:
+        if port != 0:
+            raise IndexError(port)
+        return self.cost
+
+    def load(self, input_rates: Sequence[float]) -> float:
+        (rate,) = self._check_rates(input_rates)
+        return self.cost * rate
+
+    def output_rate(self, input_rates: Sequence[float]) -> float:
+        (rate,) = self._check_rates(input_rates)
+        return self.nominal_selectivity * rate
+
+
+@dataclass(frozen=True)
+class WindowJoin(Operator):
+    """Time-window-based join (Section 6.2, Example 3).
+
+    ``window`` is the *total* temporal extent: tuples match when their
+    timestamps differ by at most ``window / 2``.  With input rates ``r_u``
+    and ``r_v``, the number of tuple pairs processed per unit time is then
+    ``window * r_u * r_v``;
+    the load is ``cost_per_pair`` cycles per pair and the output rate is
+    ``selectivity`` tuples per pair:
+
+    * ``load = cost_per_pair * window * r_u * r_v``
+    * ``output_rate = selectivity * window * r_u * r_v``
+
+    Hence ``load = (cost_per_pair / selectivity) * output_rate`` — linear in
+    the *output* rate, which is why cutting the output stream linearizes the
+    model.
+    """
+
+    cost_per_pair: float = 1.0
+    selectivity: float = 1.0
+    window: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.cost_per_pair) or self.cost_per_pair < 0:
+            raise ValueError(
+                f"{self.name}: cost_per_pair must be >= 0, "
+                f"got {self.cost_per_pair}"
+            )
+        if not math.isfinite(self.selectivity) or self.selectivity <= 0:
+            raise ValueError(
+                f"{self.name}: join selectivity must be > 0 (load is "
+                f"expressed as (c/s) * output rate), got {self.selectivity}"
+            )
+        if not math.isfinite(self.window) or self.window <= 0:
+            raise ValueError(
+                f"{self.name}: window must be > 0, got {self.window}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return 2
+
+    @property
+    def is_linear(self) -> bool:
+        return False
+
+    @property
+    def load_is_linear_in_inputs(self) -> bool:
+        return False
+
+    @property
+    def load_per_output_tuple(self) -> float:
+        """CPU cycles per *output* tuple: the ``c/s`` factor of Example 3."""
+        return self.cost_per_pair / self.selectivity
+
+    def cost_of_port(self, port: int) -> float:
+        # Per-input-tuple cost depends on the opposite stream's rate and is
+        # therefore not a constant; callers needing per-tuple costs must go
+        # through the linearized model.
+        raise TypeError(
+            f"{self.name}: a window join has no constant per-tuple cost; "
+            "linearize the query graph instead"
+        )
+
+    def pairs_per_unit_time(self, input_rates: Sequence[float]) -> float:
+        r_u, r_v = self._check_rates(input_rates)
+        return self.window * r_u * r_v
+
+    def load(self, input_rates: Sequence[float]) -> float:
+        return self.cost_per_pair * self.pairs_per_unit_time(input_rates)
+
+    def output_rate(self, input_rates: Sequence[float]) -> float:
+        return self.selectivity * self.pairs_per_unit_time(input_rates)

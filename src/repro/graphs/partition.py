@@ -1,0 +1,153 @@
+"""Data-partitioning graph rewrites (Section 7.3.1's remark).
+
+"Even in cases where the user-specified query graph is rather small,
+parallelization techniques (e.g., range-based data partitioning)
+significantly increase the number of operator instances, thus creating
+much wider, larger graphs."
+
+Wider graphs are exactly where ROD shines: each stream's load splits
+into more, smaller pieces that can be balanced.  This module performs
+the rewrite: a linear single-input operator is replaced by ``ways``
+parallel instances behind range partitioners, with a union merging their
+outputs.  In the load model a uniform range partitioner is precisely a
+filter of selectivity ``1/ways`` — so the rewritten graph stays within
+the linear framework with no new operator kinds.
+
+The rewrite preserves semantics in expectation (uniform key
+distribution) and preserves the *total* load of the replaced operator
+exactly, adding only the partitioners' routing cost and the merge
+union's cost — which is why resilience improves rather than load
+magically disappearing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .operators import Filter, LinearOperator, Union
+from .query_graph import QueryGraph
+
+__all__ = ["partition_operator", "parallelize_heaviest"]
+
+#: Default per-tuple CPU cost of routing a tuple to its range partition.
+DEFAULT_ROUTE_COST = 1e-5
+#: Default per-tuple CPU cost of merging partitioned outputs.
+DEFAULT_MERGE_COST = 1e-5
+
+
+def _copy_operator(op, new_name: str):
+    """A clone of a linear single-input operator under a new name."""
+    return LinearOperator(
+        new_name, costs=op.costs, selectivities=op.selectivities
+    )
+
+
+def partition_operator(
+    graph: QueryGraph,
+    operator_name: str,
+    ways: int,
+    route_cost: float = DEFAULT_ROUTE_COST,
+    merge_cost: float = DEFAULT_MERGE_COST,
+) -> QueryGraph:
+    """Rewrite ``graph`` with ``operator_name`` split ``ways`` ways.
+
+    Only linear single-input operators can be partitioned (joins would
+    need key-consistent co-partitioning of both inputs — the paper's
+    remark concerns the common linear case).  Returns a new graph; the
+    original is untouched.
+    """
+    if ways < 2:
+        raise ValueError("ways must be >= 2")
+    target = graph.operator(operator_name)
+    if not isinstance(target, LinearOperator):
+        raise TypeError(
+            f"{operator_name}: only linear operators can be partitioned"
+        )
+    if target.arity != 1:
+        raise ValueError(
+            f"{operator_name}: only single-input operators can be "
+            "partitioned"
+        )
+    (target_input,) = graph.inputs_of(operator_name)
+    old_output = graph.output_of(operator_name).name
+
+    rebuilt = QueryGraph(name=f"{graph.name}/part-{operator_name}x{ways}")
+    for input_name in graph.input_names:
+        rebuilt.add_input(input_name)
+
+    # Stream names in the old graph map to themselves except the
+    # partitioned operator's output, which is produced by the new union.
+    for name in graph.operator_names:
+        if name == operator_name:
+            instance_outputs = []
+            for part in range(ways):
+                route = rebuilt.add_operator(
+                    Filter(
+                        f"{operator_name}.route{part}",
+                        cost=route_cost,
+                        selectivity=1.0 / ways,
+                    ),
+                    [target_input],
+                )
+                instance = rebuilt.add_operator(
+                    _copy_operator(target, f"{operator_name}.part{part}"),
+                    [route],
+                )
+                instance_outputs.append(instance)
+            rebuilt.add_operator(
+                Union(
+                    f"{operator_name}.merge",
+                    costs=[merge_cost] * ways,
+                ),
+                instance_outputs,
+                output_name=old_output,
+            )
+        else:
+            op = graph.operator(name)
+            rebuilt.add_operator(
+                op,
+                list(graph.inputs_of(name)),
+                output_name=graph.output_of(name).name,
+            )
+    return rebuilt
+
+
+def parallelize_heaviest(
+    graph: QueryGraph,
+    count: int,
+    ways: int,
+    rates: Optional[Sequence[float]] = None,
+    route_cost: float = DEFAULT_ROUTE_COST,
+    merge_cost: float = DEFAULT_MERGE_COST,
+) -> QueryGraph:
+    """Partition the ``count`` heaviest eligible operators ``ways`` ways.
+
+    "Heaviest" is judged by load at ``rates`` (default: all-ones input
+    rates).  Operators created by earlier partitioning steps (routes,
+    instances, merges) are never re-partitioned.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    result = graph
+    partitioned: set = set()
+    for _ in range(count):
+        probe_rates = (
+            [1.0] * result.num_inputs if rates is None else list(rates)
+        )
+        loads = result.operator_loads(probe_rates)
+        candidates = []
+        for name, load in loads.items():
+            op = result.operator(name)
+            if name in partitioned or "." in name:
+                continue
+            if isinstance(op, LinearOperator) and op.arity == 1:
+                candidates.append((load, name))
+        if not candidates:
+            break
+        _, heaviest = max(candidates)
+        result = partition_operator(
+            result, heaviest, ways,
+            route_cost=route_cost, merge_cost=merge_cost,
+        )
+        partitioned.add(heaviest)
+    return result

@@ -1,0 +1,153 @@
+"""JSON serialization of query graphs.
+
+Lets deployments describe query networks declaratively (config files,
+the CLI) and lets plans/graphs round-trip through ops tooling.  The
+document format:
+
+.. code-block:: json
+
+    {
+      "name": "my-query",
+      "inputs": ["I1", "I2"],
+      "operators": [
+        {"name": "f", "kind": "filter", "inputs": ["I1"],
+         "cost": 1e-4, "selectivity": 0.5},
+        {"name": "j", "kind": "window_join", "inputs": ["f.out", "I2"],
+         "cost_per_pair": 2e-4, "selectivity": 0.1, "window": 0.1}
+      ]
+    }
+
+Operators may set ``"output"`` to override the default ``<name>.out``
+stream name.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .operators import (
+    Aggregate,
+    Delay,
+    Filter,
+    LinearOperator,
+    Map,
+    Operator,
+    Union,
+    VariableSelectivityOp,
+    WindowJoin,
+)
+from .query_graph import QueryGraph
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dump_graph", "load_graph"]
+
+
+def _operator_to_dict(op: Operator) -> Dict[str, Any]:
+    if isinstance(op, Map):
+        return {"kind": "map", "cost": op.costs[0]}
+    if isinstance(op, Filter):
+        return {"kind": "filter", "cost": op.costs[0],
+                "selectivity": op.selectivities[0]}
+    if isinstance(op, Union):
+        return {"kind": "union", "costs": list(op.costs)}
+    if isinstance(op, Aggregate):
+        return {"kind": "aggregate", "cost": op.costs[0],
+                "selectivity": op.selectivities[0]}
+    if isinstance(op, Delay):
+        return {"kind": "delay", "cost": op.costs[0],
+                "selectivity": op.selectivities[0]}
+    if isinstance(op, VariableSelectivityOp):
+        return {"kind": "variable_selectivity", "cost": op.cost,
+                "nominal_selectivity": op.nominal_selectivity}
+    if isinstance(op, WindowJoin):
+        return {"kind": "window_join", "cost_per_pair": op.cost_per_pair,
+                "selectivity": op.selectivity, "window": op.window}
+    if isinstance(op, LinearOperator):
+        return {"kind": "linear", "costs": list(op.costs),
+                "selectivities": list(op.selectivities)}
+    raise TypeError(f"cannot serialize operator type {type(op).__name__}")
+
+
+def _operator_from_dict(doc: Dict[str, Any]) -> Operator:
+    kind = doc.get("kind")
+    name = doc["name"]
+    if kind == "map":
+        return Map(name, cost=doc["cost"])
+    if kind == "filter":
+        return Filter(name, cost=doc["cost"], selectivity=doc["selectivity"])
+    if kind == "union":
+        return Union(name, costs=doc["costs"])
+    if kind == "aggregate":
+        return Aggregate(name, cost=doc["cost"],
+                         selectivity=doc["selectivity"])
+    if kind == "delay":
+        return Delay(name, cost=doc["cost"], selectivity=doc["selectivity"])
+    if kind == "variable_selectivity":
+        return VariableSelectivityOp(
+            name, cost=doc["cost"],
+            nominal_selectivity=doc.get("nominal_selectivity", 1.0),
+        )
+    if kind == "window_join":
+        return WindowJoin(name, cost_per_pair=doc["cost_per_pair"],
+                          selectivity=doc["selectivity"],
+                          window=doc["window"])
+    if kind == "linear":
+        return LinearOperator(name, costs=tuple(doc["costs"]),
+                              selectivities=tuple(doc["selectivities"]))
+    raise ValueError(f"unknown operator kind: {kind!r}")
+
+
+def graph_to_dict(graph: QueryGraph) -> Dict[str, Any]:
+    """Serialize a query graph to a plain dictionary."""
+    operators: List[Dict[str, Any]] = []
+    for op in graph.operators():
+        doc = _operator_to_dict(op)
+        doc["name"] = op.name
+        doc["inputs"] = list(graph.inputs_of(op.name))
+        output = graph.output_of(op.name).name
+        if output != f"{op.name}.out":
+            doc["output"] = output
+        operators.append(doc)
+    return {
+        "name": graph.name,
+        "inputs": list(graph.input_names),
+        "operators": operators,
+    }
+
+
+def graph_from_dict(doc: Dict[str, Any]) -> QueryGraph:
+    """Rebuild a query graph from :func:`graph_to_dict`'s format.
+
+    Operators must appear after the streams they consume (the format is
+    emitted in topological order; hand-written documents must respect
+    that too, and get a clear error otherwise).
+    """
+    if "inputs" not in doc or "operators" not in doc:
+        raise ValueError("graph document needs 'inputs' and 'operators'")
+    graph = QueryGraph(name=doc.get("name", "query"))
+    for input_name in doc["inputs"]:
+        graph.add_input(input_name)
+    for op_doc in doc["operators"]:
+        if "name" not in op_doc or "inputs" not in op_doc:
+            raise ValueError(
+                f"operator document needs 'name' and 'inputs': {op_doc!r}"
+            )
+        graph.add_operator(
+            _operator_from_dict(op_doc),
+            op_doc["inputs"],
+            output_name=op_doc.get("output"),
+        )
+    return graph
+
+
+def dump_graph(graph: QueryGraph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=2)
+        handle.write("\n")
+
+
+def load_graph(path: str) -> QueryGraph:
+    """Read a graph from a JSON file."""
+    with open(path) as handle:
+        return graph_from_dict(json.load(handle))

@@ -1,0 +1,25 @@
+"""Placement algorithms: ROD plus the baselines of Section 7.2."""
+
+from .annealing import AnnealingPlacer
+from .base import Placer
+from .connected import ConnectedPlacer
+from .correlation import CorrelationPlacer, correlation_coefficient
+from .llf import LLFPlacer
+from .milp import MilpBalancePlacer
+from .optimal import OptimalPlacer, enumerate_assignments
+from .random_placer import RandomPlacer
+from .rod_placer import RODPlacer
+
+__all__ = [
+    "AnnealingPlacer",
+    "ConnectedPlacer",
+    "CorrelationPlacer",
+    "LLFPlacer",
+    "MilpBalancePlacer",
+    "OptimalPlacer",
+    "Placer",
+    "RODPlacer",
+    "RandomPlacer",
+    "correlation_coefficient",
+    "enumerate_assignments",
+]

@@ -1,0 +1,66 @@
+"""Common interface for operator placement algorithms.
+
+Every placer consumes a :class:`~repro.core.load_model.LoadModel` and a
+capacity vector and returns a :class:`~repro.core.plans.Placement`.  The
+load-balancing baselines of Section 7.2 additionally need a *load point*:
+the average input rates they balance for.  ROD needs none — that is the
+paper's point.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import geometry
+from ..core.load_model import LoadModel
+from ..core.plans import Placement
+
+__all__ = ["Placer", "relative_loads"]
+
+
+class Placer(abc.ABC):
+    """An operator placement algorithm."""
+
+    #: Short identifier used in experiment tables.
+    name: str = "placer"
+
+    @abc.abstractmethod
+    def place(
+        self, model: LoadModel, capacities: Sequence[float]
+    ) -> Placement:
+        """Assign every operator of ``model`` to a node."""
+
+    def _validated(self, model: LoadModel, capacities: Sequence[float]):
+        caps = geometry.validate_capacities(capacities)
+        if model.num_operators == 0:
+            raise ValueError("cannot place an empty query graph")
+        return caps
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def relative_loads(
+    node_loads: np.ndarray, capacities: np.ndarray
+) -> np.ndarray:
+    """Load/capacity per node — the balancing baselines' greedy key."""
+    return node_loads / capacities
+
+
+def resolve_rates(
+    model: LoadModel, rates: Optional[Sequence[float]]
+) -> np.ndarray:
+    """Default the balancers' load point to the all-ones rate vector."""
+    if rates is None:
+        return np.ones(model.num_variables)
+    r = np.asarray(rates, dtype=float)
+    if r.shape != (model.num_variables,):
+        raise ValueError(
+            f"expected {model.num_variables} rates, got shape {r.shape}"
+        )
+    if np.any(r < 0):
+        raise ValueError("rates must be >= 0")
+    return r

@@ -1,0 +1,49 @@
+"""Largest-Load-First load balancing (Section 7.2).
+
+The classical greedy list-scheduling balancer: order operators by their
+load at the observed (average) input rates, descending, and assign each to
+the node with the smallest current load relative to its capacity.  It
+optimizes for exactly one load point — the behaviour ROD is contrasted
+with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.load_model import LoadModel
+from ..core.plans import Placement
+from .base import Placer, resolve_rates
+
+__all__ = ["LLFPlacer"]
+
+
+class LLFPlacer(Placer):
+    """Largest-Load-First balancing at a fixed rate point."""
+
+    name = "llf"
+
+    def __init__(self, rates: Optional[Sequence[float]] = None) -> None:
+        """``rates`` is the load point balanced for (default: all ones)."""
+        self.rates = rates
+
+    def place(
+        self, model: LoadModel, capacities: Sequence[float]
+    ) -> Placement:
+        caps = self._validated(model, capacities)
+        rates = resolve_rates(model, self.rates)
+        loads = model.coefficients @ rates
+        order = sorted(
+            range(model.num_operators), key=lambda j: (-loads[j], j)
+        )
+        node_load = np.zeros(caps.shape[0])
+        assignment = [0] * model.num_operators
+        for j in order:
+            node = int(np.argmin(node_load / caps))
+            assignment[j] = node
+            node_load[node] += loads[j]
+        return Placement(
+            model=model, capacities=caps, assignment=tuple(assignment)
+        )

@@ -1,0 +1,40 @@
+"""Random placement baseline (Section 7.2).
+
+Shuffles the operators and deals them out so every node receives an equal
+number (±1), mirroring the paper's "random placement while maintaining an
+equal number of operators on each node".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..core.load_model import LoadModel
+from ..core.plans import Placement
+from .base import Placer
+
+__all__ = ["RandomPlacer"]
+
+
+class RandomPlacer(Placer):
+    """Uniformly random, count-balanced placement."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+
+    def place(
+        self, model: LoadModel, capacities: Sequence[float]
+    ) -> Placement:
+        caps = self._validated(model, capacities)
+        n = caps.shape[0]
+        order = list(range(model.num_operators))
+        self._rng.shuffle(order)
+        assignment = [0] * model.num_operators
+        for position, op_index in enumerate(order):
+            assignment[op_index] = position % n
+        return Placement(
+            model=model, capacities=caps, assignment=tuple(assignment)
+        )

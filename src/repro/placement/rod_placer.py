@@ -1,0 +1,44 @@
+"""Placer adapter around the ROD algorithm.
+
+Lets the experiment harness treat ROD uniformly with the baselines of
+Section 7.2.  ROD needs neither a rate point nor a rate history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.load_model import LoadModel
+from ..core.plans import Placement
+from ..core.rod import rod_place
+from .base import Placer
+
+__all__ = ["RODPlacer"]
+
+
+class RODPlacer(Placer):
+    """Resilient Operator Distribution as a :class:`Placer`."""
+
+    name = "rod"
+
+    def __init__(
+        self,
+        lower_bound: Optional[Sequence[float]] = None,
+        class_one_policy: str = "plane",
+        seed: Optional[int] = None,
+    ) -> None:
+        self.lower_bound = lower_bound
+        self.class_one_policy = class_one_policy
+        self.seed = seed
+
+    def place(
+        self, model: LoadModel, capacities: Sequence[float]
+    ) -> Placement:
+        self._validated(model, capacities)
+        return rod_place(
+            model,
+            capacities,
+            lower_bound=self.lower_bound,
+            class_one_policy=self.class_one_policy,
+            seed=self.seed,
+        )

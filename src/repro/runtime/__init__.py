@@ -1,0 +1,39 @@
+"""Functional runtime: execute real queries, measure real statistics.
+
+The logical layer above the load model: build a
+:class:`~repro.runtime.program.StreamProgram` of real computations, run
+it with the :class:`~repro.runtime.interpreter.Interpreter` to get both
+answers and measured selectivities, then lower it with
+``program.to_query_graph(measured)`` and place it with ROD.
+"""
+
+from .distributed import DistributedInterpreter, DistributedRunResult
+from .functional import (
+    FnAggregate,
+    FnCountWindow,
+    FnFilter,
+    FnMap,
+    FnOperator,
+    FnUnion,
+    FnWindowJoin,
+)
+from .interpreter import Interpreter, RunResult, records_from_trace
+from .program import StreamProgram
+from .records import Record
+
+__all__ = [
+    "DistributedInterpreter",
+    "DistributedRunResult",
+    "FnAggregate",
+    "FnCountWindow",
+    "FnFilter",
+    "FnMap",
+    "FnOperator",
+    "FnUnion",
+    "FnWindowJoin",
+    "Interpreter",
+    "Record",
+    "RunResult",
+    "StreamProgram",
+    "records_from_trace",
+]

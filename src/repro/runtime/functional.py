@@ -1,0 +1,358 @@
+"""Functional operators: real computations over records.
+
+Each functional operator consumes :class:`~repro.runtime.records.Record`
+batches per input port and produces output records.  Event time drives
+windows: operators may buffer records and release results when they
+*observe* time passing (a watermark), plus a final ``flush`` at end of
+stream.
+
+Every functional operator also declares which load-model operator it
+corresponds to (``to_model_operator``), so a logical program can be
+lowered to a :class:`~repro.graphs.query_graph.QueryGraph` for placement
+— with selectivities either declared or *measured* from an actual run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..graphs import operators as model_ops
+from .records import Record
+
+__all__ = [
+    "FnOperator",
+    "FnMap",
+    "FnFilter",
+    "FnUnion",
+    "FnAggregate",
+    "FnCountWindow",
+    "FnWindowJoin",
+]
+
+
+def _bucket_order(bucket_key):
+    """Deterministic window-emission order, robust to mixed group types."""
+    index, group = bucket_key
+    return (index, repr(group))
+
+
+class FnOperator:
+    """Base functional operator.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a program.
+    cost:
+        Declared CPU seconds per input tuple (used when lowering to the
+        load model; the interpreter itself is not timed).
+    """
+
+    arity = 1
+
+    def __init__(self, name: str, cost: float = 1e-4) -> None:
+        if not math.isfinite(cost) or cost < 0:
+            raise ValueError(f"{name}: cost must be finite >= 0")
+        self.name = name
+        self.cost = cost
+
+    def accept(self, port: int, record: Record) -> List[Record]:
+        """Process one record arriving on ``port``."""
+        raise NotImplementedError
+
+    def observe_time(self, now: float) -> List[Record]:
+        """Watermark: event time has advanced to ``now``."""
+        return []
+
+    def flush(self) -> List[Record]:
+        """End of stream: release any buffered results."""
+        return []
+
+    def to_model_operator(
+        self, selectivity: Optional[float] = None
+    ) -> model_ops.Operator:
+        """The load-model operator this computation corresponds to."""
+        raise NotImplementedError
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.arity:
+            raise IndexError(
+                f"{self.name}: port {port} out of range (arity {self.arity})"
+            )
+
+
+class FnMap(FnOperator):
+    """Per-record transform: ``fn(data) -> data``."""
+
+    def __init__(self, name: str, fn: Callable[[Any], Any],
+                 cost: float = 1e-4) -> None:
+        super().__init__(name, cost)
+        self.fn = fn
+
+    def accept(self, port: int, record: Record) -> List[Record]:
+        self._check_port(port)
+        return [Record(time=record.time, data=self.fn(dict(record.data)))]
+
+    def to_model_operator(self, selectivity=None) -> model_ops.Operator:
+        return model_ops.Map(self.name, cost=self.cost)
+
+
+class FnFilter(FnOperator):
+    """Predicate filter: keeps records where ``predicate(data)``."""
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool],
+                 cost: float = 1e-4) -> None:
+        super().__init__(name, cost)
+        self.predicate = predicate
+
+    def accept(self, port: int, record: Record) -> List[Record]:
+        self._check_port(port)
+        return [record] if self.predicate(dict(record.data)) else []
+
+    def to_model_operator(self, selectivity=None) -> model_ops.Operator:
+        return model_ops.Filter(
+            self.name,
+            cost=self.cost,
+            selectivity=1.0 if selectivity is None else min(selectivity, 1.0),
+        )
+
+
+class FnUnion(FnOperator):
+    """Merge several streams, tagging each record with its source port."""
+
+    def __init__(self, name: str, arity: int = 2, cost: float = 5e-5) -> None:
+        super().__init__(name, cost)
+        if arity < 2:
+            raise ValueError(f"{name}: union needs at least two inputs")
+        self.arity = arity
+
+    def accept(self, port: int, record: Record) -> List[Record]:
+        self._check_port(port)
+        return [record.with_data(_source=port)]
+
+    def to_model_operator(self, selectivity=None) -> model_ops.Operator:
+        return model_ops.Union(self.name, costs=[self.cost] * self.arity)
+
+
+class FnAggregate(FnOperator):
+    """Event-time window aggregate with optional grouping and sliding.
+
+    ``reducer(records) -> data`` is applied to each (window, group) when
+    the watermark passes the window's end; the output record carries the
+    window end time plus the group key under ``"key"``.
+
+    ``slide`` defaults to ``window`` (tumbling).  A smaller slide gives
+    overlapping (hopping) windows: window ``k`` covers
+    ``[k * slide, k * slide + window)`` and each record lands in
+    ``window / slide`` of them, which the measured selectivity reflects
+    automatically when the operator is lowered to the load model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window: float,
+        reducer: Callable[[List[Record]], Any],
+        key: Optional[Callable[[Any], Any]] = None,
+        cost: float = 2e-4,
+        slide: Optional[float] = None,
+    ) -> None:
+        super().__init__(name, cost)
+        if window <= 0:
+            raise ValueError(f"{name}: window must be > 0")
+        self.window = window
+        self.slide = window if slide is None else float(slide)
+        if not 0 < self.slide <= self.window:
+            raise ValueError(
+                f"{name}: slide must be in (0, window], got {self.slide}"
+            )
+        self.reducer = reducer
+        self.key = key
+        self._buckets: Dict[Tuple[int, Any], List[Record]] = {}
+        self._in_count = 0
+        self._out_count = 0
+
+    def _window_indices(self, t: float) -> range:
+        """Indices k with k*slide <= t < k*slide + window."""
+        last = math.floor(t / self.slide)
+        first = math.floor((t - self.window) / self.slide) + 1
+        return range(max(first, 0), last + 1)
+
+    def accept(self, port: int, record: Record) -> List[Record]:
+        self._check_port(port)
+        self._in_count += 1
+        group = self.key(dict(record.data)) if self.key else None
+        for index in self._window_indices(record.time):
+            self._buckets.setdefault((index, group), []).append(record)
+        return self.observe_time(record.time)
+
+    def _window_end(self, index: int) -> float:
+        return index * self.slide + self.window
+
+    def observe_time(self, now: float) -> List[Record]:
+        ready = [
+            key for key in self._buckets if self._window_end(key[0]) <= now
+        ]
+        out = []
+        for key in sorted(ready, key=_bucket_order):
+            out.extend(self._emit(key))
+        return out
+
+    def flush(self) -> List[Record]:
+        out = []
+        for key in sorted(self._buckets, key=_bucket_order):
+            out.extend(self._emit(key))
+        return out
+
+    def _emit(self, bucket_key: Tuple[int, Any]) -> List[Record]:
+        records = self._buckets.pop(bucket_key)
+        index, group = bucket_key
+        data = dict(self.reducer(records))
+        data["key"] = group
+        self._out_count += 1
+        return [Record(time=self._window_end(index), data=data)]
+
+    def to_model_operator(self, selectivity=None) -> model_ops.Operator:
+        if selectivity is None:
+            selectivity = (
+                self._out_count / self._in_count if self._in_count else 1.0
+            )
+        return model_ops.Aggregate(
+            self.name, cost=self.cost, selectivity=selectivity
+        )
+
+
+class FnCountWindow(FnOperator):
+    """Count-based tumbling window: emit every ``size`` records per group.
+
+    The classic "aggregate every N tuples" operator; its selectivity is
+    exactly ``1/size``, which makes it the cleanest functional
+    counterpart of the load model's
+    :class:`~repro.graphs.operators.Aggregate` (a tumbling window of
+    ``k`` tuples has selectivity ``1/k`` — Section 2.2's example).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        reducer: Callable[[List[Record]], Any],
+        key: Optional[Callable[[Any], Any]] = None,
+        cost: float = 2e-4,
+    ) -> None:
+        super().__init__(name, cost)
+        if size < 1:
+            raise ValueError(f"{name}: window size must be >= 1")
+        self.size = size
+        self.reducer = reducer
+        self.key = key
+        self._groups: Dict[Any, List[Record]] = {}
+
+    def accept(self, port: int, record: Record) -> List[Record]:
+        self._check_port(port)
+        group = self.key(dict(record.data)) if self.key else None
+        bucket = self._groups.setdefault(group, [])
+        bucket.append(record)
+        if len(bucket) < self.size:
+            return []
+        del self._groups[group]
+        data = dict(self.reducer(bucket))
+        data["key"] = group
+        return [Record(time=bucket[-1].time, data=data)]
+
+    def flush(self) -> List[Record]:
+        """Partial windows are dropped at end of stream (strict count
+        semantics): an incomplete window never fired in the live system
+        either."""
+        self._groups.clear()
+        return []
+
+    def to_model_operator(self, selectivity=None) -> model_ops.Operator:
+        # Count windows have exact, structural selectivity.
+        del selectivity
+        return model_ops.Aggregate(
+            self.name, cost=self.cost, selectivity=1.0 / self.size
+        )
+
+
+class FnWindowJoin(FnOperator):
+    """Symmetric key-equality join within an event-time window.
+
+    Records from the two ports match when their keys are equal and their
+    timestamps differ by at most ``window / 2`` — the same semantics as
+    the load model's :class:`~repro.graphs.operators.WindowJoin` and the
+    simulator's join runtime.  ``merge(left_data, right_data) -> data``
+    builds the output record.
+    """
+
+    arity = 2
+
+    def __init__(
+        self,
+        name: str,
+        window: float,
+        left_key: Callable[[Any], Any],
+        right_key: Callable[[Any], Any],
+        merge: Callable[[Any, Any], Any],
+        cost_per_pair: float = 2e-4,
+    ) -> None:
+        super().__init__(name, cost_per_pair)
+        if window <= 0:
+            raise ValueError(f"{name}: window must be > 0")
+        self.window = window
+        self.keys = (left_key, right_key)
+        self.merge = merge
+        self._stores: Tuple[List[Record], List[Record]] = ([], [])
+        self._pairs_examined = 0
+        self._matches = 0
+
+    def _expire(self, now: float, port: int) -> None:
+        horizon = now - self.window / 2.0
+        store = self._stores[port]
+        keep = [r for r in store if r.time > horizon]
+        store[:] = keep
+
+    def accept(self, port: int, record: Record) -> List[Record]:
+        self._check_port(port)
+        other = 1 - port
+        self._expire(record.time, other)
+        my_key = self.keys[port](dict(record.data))
+        out = []
+        for candidate in self._stores[other]:
+            self._pairs_examined += 1
+            other_key = self.keys[other](dict(candidate.data))
+            if my_key == other_key:
+                self._matches += 1
+                left, right = (
+                    (record, candidate) if port == 0 else (candidate, record)
+                )
+                out.append(
+                    Record(
+                        time=max(record.time, candidate.time),
+                        data=self.merge(dict(left.data), dict(right.data)),
+                    )
+                )
+        self._expire(record.time, port)
+        self._stores[port].append(record)
+        return out
+
+    @property
+    def match_selectivity(self) -> float:
+        """Measured matches per examined pair (the model's ``s``)."""
+        if self._pairs_examined == 0:
+            return 1.0
+        return self._matches / self._pairs_examined
+
+    def to_model_operator(self, selectivity=None) -> model_ops.Operator:
+        # The model's join selectivity is *per pair*.  Interpreter-level
+        # output/input ratios have the wrong units for a join, so the
+        # passed-in value is ignored in favour of the pair statistics
+        # this operator gathered itself.
+        del selectivity
+        return model_ops.WindowJoin(
+            self.name,
+            cost_per_pair=self.cost,
+            selectivity=max(self.match_selectivity, 1e-9),
+            window=self.window,
+        )

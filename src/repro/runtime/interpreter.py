@@ -1,0 +1,151 @@
+"""Single-process interpreter for stream programs.
+
+Executes a :class:`~repro.runtime.program.StreamProgram` over concrete
+input records in event-time order, collecting:
+
+* all records reaching each sink stream (the query's answers), and
+* per-operator input/output counts — the *measured selectivities* the
+  Section 7.1 planning workflow feeds to the load model.
+
+The interpreter is deliberately simple (one process, one pass, no
+placement): it answers "what does this query compute, and what are its
+true statistics?", while :mod:`repro.simulator` answers "how does the
+placed query perform?".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+from .program import StreamProgram
+from .records import Record
+
+__all__ = ["RunResult", "Interpreter"]
+
+
+@dataclass
+class RunResult:
+    """Everything one interpreter run produced."""
+
+    sink_records: Dict[str, List[Record]] = field(default_factory=dict)
+    tuples_in: Dict[str, int] = field(default_factory=dict)
+    operator_in: Dict[str, int] = field(default_factory=dict)
+    operator_out: Dict[str, int] = field(default_factory=dict)
+
+    def selectivities(self) -> Dict[str, float]:
+        """Measured output/input ratio per operator (1.0 if unseen)."""
+        return {
+            name: (
+                self.operator_out[name] / self.operator_in[name]
+                if self.operator_in[name]
+                else 1.0
+            )
+            for name in self.operator_in
+        }
+
+    @property
+    def total_output(self) -> int:
+        return sum(len(records) for records in self.sink_records.values())
+
+
+class Interpreter:
+    """Runs a stream program over record iterators."""
+
+    def __init__(self, program: StreamProgram) -> None:
+        self.program = program
+
+    def run(
+        self, inputs: Mapping[str, Iterable[Record]]
+    ) -> RunResult:
+        """Execute over the given per-input record streams.
+
+        Each input iterable must be individually time-ordered; the
+        interpreter merges them into one global event-time order (ties
+        broken by input declaration order).  Windows flush at end of
+        stream.
+        """
+        program = self.program
+        unknown = set(inputs) - set(program.input_names)
+        if unknown:
+            raise ValueError(f"unknown input streams: {sorted(unknown)}")
+
+        result = RunResult(
+            sink_records={s: [] for s in program.sink_streams()},
+            tuples_in={name: 0 for name in program.input_names},
+            operator_in={name: 0 for name in program.operator_names},
+            operator_out={name: 0 for name in program.operator_names},
+        )
+
+        def deliver(stream: str, records: List[Record]) -> None:
+            """Push records down every consumer, depth-first."""
+            if not records:
+                return
+            consumers = program.consumers_of(stream)
+            if not consumers:
+                result.sink_records.setdefault(stream, []).extend(records)
+                return
+            for op_name, port in consumers:
+                operator = program.operator(op_name)
+                for record in records:
+                    result.operator_in[op_name] += 1
+                    produced = operator.accept(port, record)
+                    result.operator_out[op_name] += len(produced)
+                    deliver(program.output_of(op_name), produced)
+
+        # Merge input streams by event time.
+        order = {name: i for i, name in enumerate(program.input_names)}
+
+        def keyed(name: str, stream: Iterable[Record]):
+            for i, record in enumerate(stream):
+                yield (record.time, order[name], i, name, record)
+
+        merged = heapq.merge(
+            *(keyed(name, stream) for name, stream in inputs.items())
+        )
+        for _, _, _, name, record in merged:
+            result.tuples_in[name] += 1
+            deliver(name, [record])
+            # Watermark: let windowed operators downstream release
+            # anything the advancing clock has closed.
+            for op_name in program.operator_names:
+                operator = program.operator(op_name)
+                released = operator.observe_time(record.time)
+                if released:
+                    result.operator_out[op_name] += len(released)
+                    deliver(program.output_of(op_name), released)
+
+        # End of stream: flush remaining window state in topology order.
+        for op_name in program.operator_names:
+            operator = program.operator(op_name)
+            released = operator.flush()
+            if released:
+                result.operator_out[op_name] += len(released)
+                deliver(program.output_of(op_name), released)
+        return result
+
+
+def records_from_trace(
+    trace, step_seconds: float, make_data, start: float = 0.0
+) -> List[Record]:
+    """Expand a rate trace into individual records.
+
+    ``make_data(index)`` builds the payload of the ``index``-th record;
+    records within a step are spread uniformly across it.  A convenience
+    for feeding interpreter runs from :mod:`repro.workload.traces`.
+    """
+    if step_seconds <= 0:
+        raise ValueError("step_seconds must be > 0")
+    records = []
+    counter = itertools.count()
+    carry = 0.0
+    for step, rate in enumerate(trace):
+        carry += float(rate) * step_seconds
+        count = int(carry)
+        carry -= count
+        for i in range(count):
+            t = start + (step + (i + 0.5) / max(count, 1)) * step_seconds
+            records.append(Record(time=t, data=make_data(next(counter))))
+    return records

@@ -1,0 +1,134 @@
+"""Stream programs: logical dataflow of functional operators.
+
+A :class:`StreamProgram` is the *logical* counterpart of a
+:class:`~repro.graphs.query_graph.QueryGraph`: the same DAG shape, but
+its vertices compute real values.  The bridge to placement is
+:meth:`StreamProgram.to_query_graph`, which lowers the program to a load
+-model graph using each operator's declared cost and either declared or
+*measured* selectivities (the Section 7.1 workflow: run, measure, plan).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..graphs.query_graph import QueryGraph
+from .functional import FnOperator
+
+__all__ = ["StreamProgram"]
+
+
+class StreamProgram:
+    """A DAG of functional operators over named streams."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._inputs: List[str] = []
+        self._ops: Dict[str, FnOperator] = {}
+        self._op_inputs: Dict[str, Tuple[str, ...]] = {}
+        self._op_order: List[str] = []
+        self._streams: Dict[str, Optional[str]] = {}  # stream -> producer
+
+    # ------------------------------------------------------------------ build
+
+    def add_input(self, name: str) -> str:
+        if name in self._streams:
+            raise ValueError(f"duplicate stream name: {name!r}")
+        self._inputs.append(name)
+        self._streams[name] = None
+        return name
+
+    def add(self, operator: FnOperator, inputs: Sequence[str]) -> str:
+        """Attach a functional operator; returns its output stream name."""
+        if operator.name in self._ops:
+            raise ValueError(f"duplicate operator name: {operator.name!r}")
+        inputs = tuple(inputs)
+        if len(inputs) != operator.arity:
+            raise ValueError(
+                f"{operator.name}: arity {operator.arity} but "
+                f"{len(inputs)} inputs given"
+            )
+        for stream in inputs:
+            if stream not in self._streams:
+                raise KeyError(f"unknown stream: {stream!r}")
+        output = f"{operator.name}.out"
+        if output in self._streams:
+            raise ValueError(f"duplicate stream name: {output!r}")
+        self._ops[operator.name] = operator
+        self._op_inputs[operator.name] = inputs
+        self._op_order.append(operator.name)
+        self._streams[output] = operator.name
+        return output
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def operator_names(self) -> Tuple[str, ...]:
+        return tuple(self._op_order)
+
+    def operator(self, name: str) -> FnOperator:
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise KeyError(f"unknown operator: {name!r}") from None
+
+    def inputs_of(self, name: str) -> Tuple[str, ...]:
+        return self._op_inputs[name]
+
+    def output_of(self, name: str) -> str:
+        self.operator(name)
+        return f"{name}.out"
+
+    def consumers_of(self, stream: str) -> Tuple[Tuple[str, int], ...]:
+        """(operator, port) pairs consuming a stream."""
+        if stream not in self._streams:
+            raise KeyError(f"unknown stream: {stream!r}")
+        found = []
+        for name in self._op_order:
+            for port, s in enumerate(self._op_inputs[name]):
+                if s == stream:
+                    found.append((name, port))
+        return tuple(found)
+
+    def sink_streams(self) -> Tuple[str, ...]:
+        consumed = {
+            s for name in self._op_order for s in self._op_inputs[name]
+        }
+        return tuple(
+            s for s in self._streams if s not in consumed
+        )
+
+    # -------------------------------------------------------------- lowering
+
+    def to_query_graph(
+        self,
+        selectivities: Optional[Mapping[str, float]] = None,
+    ) -> QueryGraph:
+        """Lower to a load-model query graph for placement.
+
+        ``selectivities`` overrides per-operator selectivity (typically
+        the measurements an :class:`~repro.runtime.interpreter.Interpreter`
+        run produced); operators not listed use their declared or
+        internally-measured values.
+        """
+        selectivities = selectivities or {}
+        graph = QueryGraph(name=self.name)
+        for input_name in self._inputs:
+            graph.add_input(input_name)
+        for name in self._op_order:
+            fn_op = self._ops[name]
+            graph.add_operator(
+                fn_op.to_model_operator(selectivities.get(name)),
+                list(self._op_inputs[name]),
+            )
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamProgram({self.name!r}, inputs={len(self._inputs)}, "
+            f"operators={len(self._op_order)})"
+        )

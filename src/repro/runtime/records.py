@@ -1,0 +1,46 @@
+"""Records — the tuples that flow through the functional runtime.
+
+The performance simulator (:mod:`repro.simulator`) moves anonymous tuple
+*counts*; the functional runtime executes real queries over real values.
+A :class:`Record` is an immutable event-timestamped mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+__all__ = ["Record"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One data tuple: an event time plus named fields."""
+
+    time: float
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time):
+            raise ValueError(f"record time must be finite, got {self.time}")
+        object.__setattr__(
+            self, "data", MappingProxyType(dict(self.data))
+        )
+
+    def with_data(self, **updates: Any) -> "Record":
+        """A copy with fields added or replaced."""
+        merged = dict(self.data)
+        merged.update(updates)
+        return Record(time=self.time, data=merged)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"Record(t={self.time:g}, {fields})"

@@ -1,0 +1,16 @@
+"""Discrete-event distributed stream-processing simulator."""
+
+from .engine import Simulator
+from .feasibility import FeasibilityProbe, empirical_feasible_fraction
+from .metrics import LatencyStats, SimulationResult
+from .runtime import OperatorRuntime, make_runtime
+
+__all__ = [
+    "FeasibilityProbe",
+    "LatencyStats",
+    "OperatorRuntime",
+    "SimulationResult",
+    "Simulator",
+    "empirical_feasible_fraction",
+    "make_runtime",
+]

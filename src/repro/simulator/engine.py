@@ -1,0 +1,382 @@
+"""Discrete-event simulator for distributed stream processing.
+
+The Borealis stand-in: a cluster of single-CPU nodes, each running the
+operators a :class:`~repro.core.plans.Placement` assigned to it.  Tuples
+arrive in per-step batches from the input streams, flow through operator
+runtimes (costs, selectivities, join windows), and cross the network —
+charging CPU on both endpoints — whenever an arc spans two nodes.
+
+Each node serves one batch at a time at its capacity (CPU-seconds of
+operator work per wall-clock second); pending batches wait in a
+per-node queue whose service order is set by a scheduling policy
+(:mod:`repro.simulator.scheduling`).  The engine records per-node
+utilization and backlog plus end-to-end tuple latency at every sink,
+which is everything Section 7's prototype experiments measure.
+
+An optional :class:`~repro.dynamics.controller.MigrationController` turns
+the static deployment into a reactive one: the engine polls it on a fixed
+period with each node's recent utilization, and applies the migrations it
+returns — stalling both endpoint nodes for the state-dependent pause (as
+the paper's prototype measurements describe, Section 1) and moving the
+operator's queued batches to the destination.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.plans import Placement
+from ..workload.arrivals import ArrivalProcess
+from .metrics import LatencyStats, OperatorStats, SimulationResult
+from .runtime import OperatorRuntime, make_runtime
+from .scheduling import SchedulerQueue, Stall
+
+__all__ = ["Simulator"]
+
+TransferCosts = Union[float, Mapping[str, float]]
+
+# Event priorities at equal timestamps: controls first (migrations take
+# effect before new work lands), then completions, then arrivals.
+_CONTROL, _COMPLETION, _ARRIVAL = 0, 1, 2
+
+
+def _transfer_cost(costs: TransferCosts, stream: str) -> float:
+    if isinstance(costs, Mapping):
+        value = float(costs.get(stream, 0.0))
+    else:
+        value = float(costs)
+    if value < 0 or not math.isfinite(value):
+        raise ValueError(f"transfer cost for {stream!r} must be finite >= 0")
+    return value
+
+
+@dataclass(frozen=True)
+class _Batch:
+    """A batch of identical-age tuples bound for one operator port."""
+
+    birth: float        # when the originating source tuples entered
+    arrival: float      # when this batch reached its current operator
+    operator: str
+    port: int
+    count: int
+    extra_work: float = 0.0  # receive-side network CPU, unit capacity
+
+
+@dataclass(frozen=True)
+class _Completion:
+    """A node finishing its current queue entry."""
+
+    node: int
+    batch: Optional[_Batch]          # None for stalls
+    out_count: int = 0
+    deliveries: Tuple[Tuple[str, int, float], ...] = ()
+    work: float = 0.0
+
+
+class Simulator:
+    """Simulate a placed query graph under a rate workload."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        step_seconds: float = 0.1,
+        transfer_costs: TransferCosts = 0.0,
+        arrival_kind: str = "deterministic",
+        seed: Optional[int] = None,
+        controller: Optional[object] = None,
+        scheduling: str = "fifo",
+    ) -> None:
+        """``controller``, if given, is a ``MigrationController`` polled
+        every ``controller.period`` seconds to move operators at run
+        time; ``scheduling`` picks the per-node service discipline."""
+        if step_seconds <= 0:
+            raise ValueError("step_seconds must be > 0")
+        self.placement = placement
+        self.graph = placement.model.graph
+        for op in self.graph.operators():
+            window = getattr(op, "window", None)
+            if window is not None and step_seconds > window / 2.0:
+                raise ValueError(
+                    f"{op.name}: simulation step {step_seconds:g}s exceeds "
+                    f"the join half-window {window / 2.0:g}s; batch "
+                    "arrivals would misstate the pairing load — use "
+                    "step_seconds well below window/2 (window/4 or finer "
+                    "recommended)"
+                )
+        self.step_seconds = float(step_seconds)
+        self.transfer_costs = transfer_costs
+        self.arrival_kind = arrival_kind
+        self.seed = seed
+        self.controller = controller
+        self.scheduling = scheduling
+        SchedulerQueue(scheduling)  # validate the policy eagerly
+        # (consumer operator, port) pairs per stream, precomputed.
+        self._routes: Dict[str, List[Tuple[str, int]]] = {}
+        for stream in self.graph.streams():
+            routes = []
+            for consumer in self.graph.consumers_of(stream.name):
+                for port, s in enumerate(self.graph.inputs_of(consumer)):
+                    if s == stream.name:
+                        routes.append((consumer, port))
+            self._routes[stream.name] = routes
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        rate_series: Optional[np.ndarray] = None,
+        rates: Optional[Sequence[float]] = None,
+        duration: Optional[float] = None,
+    ) -> SimulationResult:
+        """Simulate either a rate time series or a constant rate point.
+
+        ``rate_series`` has shape ``(steps, num_inputs)``, one row per
+        ``step_seconds``.  Alternatively pass constant ``rates`` plus a
+        ``duration`` in seconds.  Arrivals stop at the horizon; processing
+        continues until every queued tuple drains, so latency of
+        backlogged tuples is fully observed.
+        """
+        series = self._resolve_series(rate_series, rates, duration)
+        steps = series.shape[0]
+        horizon = steps * self.step_seconds
+        n = self.placement.num_nodes
+        capacities = self.placement.capacities
+
+        runtimes: Dict[str, OperatorRuntime] = {
+            op.name: make_runtime(op) for op in self.graph.operators()
+        }
+        queues = [SchedulerQueue(self.scheduling) for _ in range(n)]
+        busy = [False] * n
+        last_free = np.zeros(n)
+        node_work = np.zeros(n)
+        timeline = np.zeros((steps, n))
+
+        latency = LatencyStats()
+        sink_latency: Dict[str, LatencyStats] = {}
+        operator_stats: Dict[str, OperatorStats] = {
+            name: OperatorStats() for name in self.graph.operator_names
+        }
+        tuples_in = 0
+        tuples_out = 0
+        migrations: List[object] = []
+
+        # Mutable routing table: starts at the static placement; a
+        # controller may rewrite it mid-run.
+        assignment: Dict[str, int] = {
+            name: self.placement.node_of(name)
+            for name in self.graph.operator_names
+        }
+
+        sequence = itertools.count()
+        events: List[Tuple[float, int, int, object]] = []
+
+        def push_event(time: float, priority: int, payload: object) -> None:
+            heapq.heappush(events, (time, priority, next(sequence), payload))
+
+        def start_service(node: int, now: float) -> None:
+            """Begin serving the next queue entry on an idle node."""
+            entry = queues[node].pop()
+            busy[node] = True
+            if isinstance(entry, Stall):
+                work = entry.duration * capacities[node]
+                push_event(
+                    now + entry.duration,
+                    _COMPLETION,
+                    _Completion(node=node, batch=None, work=work),
+                )
+                return
+            batch: _Batch = entry
+            runtime = runtimes[batch.operator]
+            work, out_count = runtime.process(
+                batch.arrival, batch.port, batch.count
+            )
+            stats = operator_stats[batch.operator]
+            stats.tuples_in += batch.count
+            stats.tuples_out += out_count
+            stats.work_seconds += work
+            work += batch.extra_work
+
+            out_stream = self.graph.output_of(batch.operator).name
+            send_work = 0.0
+            deliveries: List[Tuple[str, int, float]] = []
+            if out_count > 0:
+                for consumer, port in self._routes[out_stream]:
+                    recv = 0.0
+                    if assignment[consumer] != node:
+                        per_tuple = _transfer_cost(
+                            self.transfer_costs, out_stream
+                        )
+                        send_work += per_tuple * out_count
+                        recv = per_tuple * out_count
+                    deliveries.append((consumer, port, recv))
+            total_work = work + send_work
+            push_event(
+                now + total_work / capacities[node],
+                _COMPLETION,
+                _Completion(
+                    node=node,
+                    batch=batch,
+                    out_count=out_count,
+                    deliveries=tuple(deliveries),
+                    work=total_work,
+                ),
+            )
+
+        def enqueue(batch: _Batch) -> None:
+            node = assignment[batch.operator]
+            queues[node].push(batch)
+            if not busy[node]:
+                start_service(node, batch.arrival)
+
+        # Control polls.
+        last_work = np.zeros(n)
+        last_op_work: Dict[str, float] = {
+            name: 0.0 for name in self.graph.operator_names
+        }
+        if self.controller is not None:
+            period = float(self.controller.period)
+            t = period
+            while t < horizon + period:
+                push_event(t, _CONTROL, None)
+                t += period
+
+        # Source arrivals.
+        for k, input_name in enumerate(self.graph.input_names):
+            process = ArrivalProcess(
+                series[:, k],
+                self.step_seconds,
+                kind=self.arrival_kind,
+                seed=None if self.seed is None else self.seed * 8191 + k,
+            )
+            routes = self._routes[input_name]
+            for start, count in process.steps():
+                tuples_in += count
+                for consumer, port in routes:
+                    push_event(
+                        start,
+                        _ARRIVAL,
+                        _Batch(birth=start, arrival=start,
+                               operator=consumer, port=port, count=count),
+                    )
+
+        # Event loop.
+        while events:
+            time, priority, _, payload = heapq.heappop(events)
+
+            if priority == _CONTROL:
+                period = float(self.controller.period)
+                recent = (node_work - last_work) / (capacities * period)
+                last_work = node_work.copy()
+                op_loads = {}
+                for name, stats in operator_stats.items():
+                    op_loads[name] = (
+                        stats.work_seconds - last_op_work[name]
+                    ) / period
+                    last_op_work[name] = stats.work_seconds
+                for move in self.controller.decide(
+                    time, recent, assignment, self.placement.model,
+                    capacities, operator_loads=op_loads,
+                ):
+                    if assignment.get(move.operator) != move.source:
+                        continue  # stale decision; operator already moved
+                    assignment[move.operator] = move.target
+                    # Queued work follows the operator.
+                    for batch in queues[move.source].take_operator(
+                        move.operator
+                    ):
+                        queues[move.target].push(batch)
+                    for endpoint in (move.source, move.target):
+                        queues[endpoint].push_stall(move.pause_seconds)
+                        if not busy[endpoint]:
+                            start_service(endpoint, time)
+                    migrations.append(move)
+                continue
+
+            if priority == _ARRIVAL:
+                enqueue(payload)
+                continue
+
+            # Completion.
+            completion: _Completion = payload
+            node = completion.node
+            node_work[node] += completion.work
+            bin_index = min(int(time / self.step_seconds), steps - 1)
+            timeline[bin_index, node] += completion.work
+            batch = completion.batch
+            if batch is not None and completion.out_count > 0:
+                out_stream = self.graph.output_of(batch.operator).name
+                if completion.deliveries:
+                    for consumer, port, recv in completion.deliveries:
+                        push_event(
+                            time,
+                            _ARRIVAL,
+                            _Batch(birth=batch.birth, arrival=time,
+                                   operator=consumer, port=port,
+                                   count=completion.out_count,
+                                   extra_work=recv),
+                        )
+                else:
+                    tuples_out += completion.out_count
+                    sample = time - batch.birth
+                    latency.record(sample, completion.out_count)
+                    sink_latency.setdefault(
+                        out_stream, LatencyStats()
+                    ).record(sample, completion.out_count)
+            if queues[node].is_empty:
+                busy[node] = False
+                last_free[node] = time
+            else:
+                start_service(node, time)
+
+        utilization = node_work / (capacities * horizon)
+        backlog = np.maximum(last_free - horizon, 0.0)
+        return SimulationResult(
+            duration=horizon,
+            node_busy=node_work,
+            node_utilization=utilization,
+            backlog_seconds=backlog,
+            latency=latency,
+            sink_latency=sink_latency,
+            operator_stats=operator_stats,
+            tuples_in=tuples_in,
+            tuples_out=tuples_out,
+            migrations=migrations,
+            work_timeline=timeline,
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    def _resolve_series(
+        self,
+        rate_series: Optional[np.ndarray],
+        rates: Optional[Sequence[float]],
+        duration: Optional[float],
+    ) -> np.ndarray:
+        d = self.graph.num_inputs
+        if rate_series is not None:
+            if rates is not None or duration is not None:
+                raise ValueError(
+                    "pass either rate_series or (rates, duration), not both"
+                )
+            series = np.asarray(rate_series, dtype=float)
+            if series.ndim != 2 or series.shape[1] != d:
+                raise ValueError(
+                    f"rate series must have shape (steps, {d}), "
+                    f"got {series.shape}"
+                )
+            return series
+        if rates is None or duration is None:
+            raise ValueError("pass rate_series, or both rates and duration")
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        r = np.asarray(rates, dtype=float)
+        if r.shape != (d,):
+            raise ValueError(f"expected {d} rates, got shape {r.shape}")
+        steps = max(1, int(round(duration / self.step_seconds)))
+        return np.tile(r, (steps, 1))

@@ -1,0 +1,114 @@
+"""Rate-point and rate-series construction for experiments.
+
+Two jobs:
+
+* sample workload points "all within the ideal feasible set" — the
+  Borealis feasibility-probing protocol of Section 7.1 — by mapping
+  uniform simplex samples back to physical rate space;
+* build multi-input rate *time series* (one trace per input stream) for
+  the correlation-based placer and the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.load_model import LoadModel
+from ..core.volume import qmc
+from .traces import TRACE_KINDS, make_trace
+
+__all__ = [
+    "ideal_rate_points",
+    "scale_point_to_utilization",
+    "rate_series",
+]
+
+
+def ideal_rate_points(
+    model: LoadModel,
+    capacities: Sequence[float],
+    count: int,
+    seed: Optional[int] = None,
+    method: str = "random",
+) -> np.ndarray:
+    """Sample ``count`` rate points uniformly inside the ideal feasible set.
+
+    The normalized ideal set is the unit simplex; a simplex sample ``x``
+    maps back to rates ``r_k = x_k * C_T / l_k``.  Variables with zero
+    total load coefficient are unconstrained by the ideal hyperplane; they
+    get rate 0 (they contribute no load anyway).
+    """
+    totals = model.column_totals()
+    c_t = float(np.sum(np.asarray(capacities, dtype=float)))
+    points = qmc.sample_unit_simplex(
+        count, model.num_variables, method=method, seed=seed
+    )
+    safe = np.where(totals > 1e-12, totals, np.inf)
+    return points * (c_t / safe)
+
+
+def scale_point_to_utilization(
+    model: LoadModel,
+    capacities: Sequence[float],
+    direction: Sequence[float],
+    utilization: float,
+) -> np.ndarray:
+    """Scale a rate direction so aggregate demand hits a target fraction.
+
+    Returns ``s * direction`` with ``s`` chosen so total load equals
+    ``utilization * C_T``.  Useful for placing workloads at a controlled
+    distance from the ideal hyperplane.
+    """
+    if utilization <= 0:
+        raise ValueError("utilization must be > 0")
+    d = np.asarray(direction, dtype=float)
+    if np.any(d < 0) or not np.any(d > 0):
+        raise ValueError("direction must be non-negative and non-zero")
+    totals = model.column_totals()
+    demand = float(totals @ d)
+    if demand <= 0:
+        raise ValueError("direction generates no load")
+    c_t = float(np.sum(np.asarray(capacities, dtype=float)))
+    return d * (utilization * c_t / demand)
+
+
+def rate_series(
+    num_inputs: int,
+    steps: int,
+    mean_rates: Optional[Sequence[float]] = None,
+    kinds: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """A ``(steps, num_inputs)`` matrix of per-input rate traces.
+
+    Each input stream gets its own independent trace; kinds cycle through
+    the paper's three archetypes by default.
+    """
+    if num_inputs < 1:
+        raise ValueError("need at least one input")
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    means = (
+        np.ones(num_inputs)
+        if mean_rates is None
+        else np.asarray(mean_rates, dtype=float)
+    )
+    if means.shape != (num_inputs,):
+        raise ValueError(
+            f"mean_rates shape {means.shape} does not match d={num_inputs}"
+        )
+    if np.any(means <= 0):
+        raise ValueError("mean rates must be > 0")
+    if kinds is None:
+        kinds = [TRACE_KINDS[k % len(TRACE_KINDS)] for k in range(num_inputs)]
+    if len(kinds) != num_inputs:
+        raise ValueError(f"expected {num_inputs} trace kinds, got {len(kinds)}")
+    base_seed = 0 if seed is None else seed
+    columns = [
+        make_trace(kind, steps, mean_rate=float(means[k]),
+                   seed=base_seed * 1000 + k)
+        for k, kind in enumerate(kinds)
+    ]
+    return np.column_stack(columns)

@@ -1,0 +1,116 @@
+"""Prepackaged workload scenarios for experiments and examples.
+
+The evaluation keeps staging the same three situations — steady traces
+at a target mean utilization, a short burst, a sustained shift.  These
+builders produce the ``(steps, num_inputs)`` rate matrices for them so
+experiments share one implementation (and its tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.load_model import LoadModel
+from .rates import rate_series, scale_point_to_utilization
+
+__all__ = ["steady_trace_series", "burst_series", "shift_series"]
+
+
+def steady_trace_series(
+    model: LoadModel,
+    capacities: Sequence[float],
+    steps: int,
+    utilization: float,
+    seed: Optional[int] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> np.ndarray:
+    """Bursty per-input traces whose *mean* demand hits ``utilization``.
+
+    Each input gets an independent self-similar trace; the whole matrix
+    is scaled so the average rates consume ``utilization`` of the total
+    cluster capacity.
+    """
+    series = rate_series(
+        model.num_inputs, steps, seed=seed, kinds=kinds
+    )
+    means = series.mean(axis=0)
+    target = scale_point_to_utilization(
+        model, capacities, means, utilization
+    )
+    return series * (target / means)
+
+
+def _constant_series(
+    model: LoadModel,
+    capacities: Sequence[float],
+    steps: int,
+    mix: Sequence[float],
+    utilization: float,
+) -> np.ndarray:
+    point = scale_point_to_utilization(
+        model, capacities, list(mix), utilization
+    )
+    return np.tile(point, (steps, 1))
+
+
+def burst_series(
+    model: LoadModel,
+    capacities: Sequence[float],
+    steps: int,
+    base_mix: Sequence[float],
+    burst_mix: Sequence[float],
+    base_utilization: float,
+    burst_utilization: float,
+    burst_start: Optional[int] = None,
+    burst_steps: Optional[int] = None,
+) -> np.ndarray:
+    """Constant base workload with a temporary flip to a burst mix.
+
+    Defaults: the burst begins a third of the way in and lasts a tenth
+    of the horizon — a short-term variation in the paper's sense.
+    """
+    if steps < 2:
+        raise ValueError("need at least two steps")
+    series = _constant_series(
+        model, capacities, steps, base_mix, base_utilization
+    )
+    start = steps // 3 if burst_start is None else burst_start
+    length = max(1, steps // 10) if burst_steps is None else burst_steps
+    if not 0 <= start < steps:
+        raise ValueError(f"burst_start {start} outside [0, {steps})")
+    burst = _constant_series(
+        model, capacities, 1, burst_mix, burst_utilization
+    )[0]
+    series[start:min(start + length, steps)] = burst
+    return series
+
+
+def shift_series(
+    model: LoadModel,
+    capacities: Sequence[float],
+    steps: int,
+    base_mix: Sequence[float],
+    shifted_mix: Sequence[float],
+    base_utilization: float,
+    shifted_utilization: float,
+    shift_at: Optional[int] = None,
+) -> np.ndarray:
+    """Constant base workload that permanently flips to a new mix.
+
+    Default: the shift lands a sixth of the way in — a medium/long-term
+    variation (market close, flash crowd onset) in the paper's sense.
+    """
+    if steps < 2:
+        raise ValueError("need at least two steps")
+    series = _constant_series(
+        model, capacities, steps, base_mix, base_utilization
+    )
+    at = steps // 6 if shift_at is None else shift_at
+    if not 0 <= at < steps:
+        raise ValueError(f"shift_at {at} outside [0, {steps})")
+    series[at:] = _constant_series(
+        model, capacities, 1, shifted_mix, shifted_utilization
+    )[0]
+    return series

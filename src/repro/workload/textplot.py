@@ -1,0 +1,74 @@
+"""Terminal plots for traces and latency series.
+
+Everything in this reproduction reports through the terminal, so the
+Figure-2-style visuals do too: block-character sparklines and simple
+multi-row area charts, no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "area_chart"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line block-character plot of a series.
+
+    ``width`` resamples the series by averaging equal chunks; defaults
+    to one character per value.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("cannot plot an empty series")
+    if not np.all(np.isfinite(v)):
+        raise ValueError("series must be finite")
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([
+            v[a:b].mean() if b > a else v[min(a, v.size - 1)]
+            for a, b in zip(edges[:-1], edges[1:])
+        ])
+    low, high = float(v.min()), float(v.max())
+    if high - low < 1e-15:
+        return _BLOCKS[1] * v.size
+    scaled = (v - low) / (high - low) * (len(_BLOCKS) - 2)
+    return "".join(_BLOCKS[1 + int(round(s))] for s in scaled)
+
+
+def area_chart(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 8,
+    label: str = "",
+) -> str:
+    """Multi-row filled chart with a max/mean annotation."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("cannot plot an empty series")
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be >= 1")
+    edges = np.linspace(0, v.size, width + 1).astype(int)
+    sampled = np.array([
+        v[a:b].mean() if b > a else v[min(a, v.size - 1)]
+        for a, b in zip(edges[:-1], edges[1:])
+    ])
+    top = float(sampled.max())
+    if top <= 0:
+        top = 1.0
+    rows = []
+    levels = np.ceil(sampled / top * height).astype(int)
+    for row in range(height, 0, -1):
+        rows.append(
+            "|" + "".join("#" if lv >= row else " " for lv in levels)
+        )
+    rows.append("+" + "-" * width)
+    stats = f"max={v.max():.4g} mean={v.mean():.4g}"
+    rows.append(f" {label} {stats}".rstrip())
+    return "\n".join(rows)

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's worked examples and small workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_load_model
+from repro.graphs import (
+    RandomGraphConfig,
+    join_graph,
+    monitoring_graph,
+    paper_example3_graph,
+    paper_example_graph,
+    random_tree_graph,
+)
+
+
+@pytest.fixture
+def example_graph():
+    """Figure 4 / Example 2: two 2-operator chains."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def example_model(example_graph):
+    return build_load_model(example_graph)
+
+
+@pytest.fixture
+def example3_graph():
+    """Example 3 / Figure 13: variable selectivity + window join."""
+    return paper_example3_graph()
+
+
+@pytest.fixture
+def example3_model(example3_graph):
+    return build_load_model(example3_graph)
+
+
+@pytest.fixture
+def small_tree_model():
+    """A 3-input, 18-operator random tree workload."""
+    config = RandomGraphConfig(num_inputs=3, operators_per_tree=6)
+    return build_load_model(random_tree_graph(config, seed=123))
+
+
+@pytest.fixture
+def monitoring_model():
+    return build_load_model(monitoring_graph(num_links=3, seed=7))
+
+
+@pytest.fixture
+def join_model():
+    return build_load_model(
+        join_graph(num_join_pairs=1, downstream_per_join=2, window=0.1, seed=5)
+    )
+
+
+@pytest.fixture
+def two_nodes():
+    return np.array([1.0, 1.0])
+
+
+@pytest.fixture
+def four_nodes():
+    return np.array([1.0, 1.0, 1.0, 1.0])

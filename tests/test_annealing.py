@@ -1,0 +1,66 @@
+"""Unit tests for the annealing placer."""
+
+import pytest
+
+from repro.core.rod import rod_place
+from repro.placement import AnnealingPlacer
+
+
+class TestAnnealingPlacer:
+    def test_polish_never_worse_than_rod(self, small_tree_model,
+                                         four_nodes):
+        rod_plan = rod_place(small_tree_model, four_nodes)
+        annealed = AnnealingPlacer(
+            iterations=500, samples=1024, start="rod", seed=1
+        ).place(small_tree_model, four_nodes)
+        assert annealed.volume_ratio(samples=2048) >= (
+            rod_plan.volume_ratio(samples=2048) - 0.02
+        )
+
+    def test_random_start_produces_valid_plan(self, small_tree_model,
+                                              four_nodes):
+        plan = AnnealingPlacer(
+            iterations=300, samples=512, start="random", seed=2
+        ).place(small_tree_model, four_nodes)
+        assert len(plan.assignment) == small_tree_model.num_operators
+        assert set(plan.assignment) <= set(range(4))
+
+    def test_deterministic_for_seed(self, small_tree_model, four_nodes):
+        kwargs = dict(iterations=200, samples=512, start="random", seed=3)
+        a = AnnealingPlacer(**kwargs).place(small_tree_model, four_nodes)
+        b = AnnealingPlacer(**kwargs).place(small_tree_model, four_nodes)
+        assert a.assignment == b.assignment
+
+    def test_more_iterations_do_not_hurt(self, small_tree_model,
+                                         four_nodes):
+        short = AnnealingPlacer(
+            iterations=100, samples=1024, start="random", seed=4,
+            initial_temperature=0.0,
+        ).place(small_tree_model, four_nodes)
+        long = AnnealingPlacer(
+            iterations=2000, samples=1024, start="random", seed=4,
+            initial_temperature=0.0,
+        ).place(small_tree_model, four_nodes)
+        # Greedy (zero-temperature) hill climbing is monotone in budget.
+        assert long.volume_ratio(samples=2048) >= (
+            short.volume_ratio(samples=2048) - 1e-9
+        )
+
+    def test_single_node_noop(self, small_tree_model):
+        # n=1: no alternative target exists; must still terminate.
+        plan = AnnealingPlacer(iterations=10, samples=256, seed=5).place(
+            small_tree_model, [1.0]
+        )
+        assert set(plan.assignment) == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingPlacer(iterations=0)
+        with pytest.raises(ValueError):
+            AnnealingPlacer(samples=0)
+        with pytest.raises(ValueError):
+            AnnealingPlacer(cooling=1.5)
+        with pytest.raises(ValueError):
+            AnnealingPlacer(initial_temperature=-1.0)
+        with pytest.raises(ValueError):
+            AnnealingPlacer(start="lukewarm")

@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = str(tmp_path / "graph.json")
+    code = main([
+        "generate", "--kind", "random", "--inputs", "2",
+        "--ops-per-tree", "5", "--seed", "3", "-o", path,
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def plan_file(tmp_path, graph_file):
+    path = str(tmp_path / "plan.json")
+    code = main([
+        "place", "--graph", graph_file, "--nodes", "2",
+        "--algorithm", "rod", "-o", path,
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_graph_document(self, graph_file):
+        with open(graph_file) as handle:
+            doc = json.load(handle)
+        assert len(doc["inputs"]) == 2
+        assert len(doc["operators"]) == 10
+
+    def test_monitoring_kind(self, tmp_path):
+        path = str(tmp_path / "mon.json")
+        assert main(["generate", "--kind", "monitoring", "--inputs", "2",
+                     "-o", path]) == 0
+        with open(path) as handle:
+            assert json.load(handle)["name"].startswith("monitoring")
+
+    def test_joins_kind(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        assert main(["generate", "--kind", "joins", "--inputs", "2",
+                     "-o", path]) == 0
+
+
+class TestPlace:
+    def test_plan_document(self, plan_file):
+        with open(plan_file) as handle:
+            doc = json.load(handle)
+        assert set(doc) == {"graph", "capacities", "assignment"}
+        assert all(node in (0, 1) for node in doc["assignment"].values())
+
+    @pytest.mark.parametrize(
+        "algorithm", ["llf", "random", "connected", "correlation", "milp"]
+    )
+    def test_other_algorithms(self, graph_file, algorithm, capsys):
+        assert main([
+            "place", "--graph", graph_file, "--nodes", "2",
+            "--algorithm", algorithm, "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "feasible-set ratio" in out
+
+
+class TestEvaluate:
+    def test_prints_metrics_and_plot(self, graph_file, plan_file, capsys):
+        assert main([
+            "evaluate", "--graph", graph_file, "--plan", plan_file,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plane distance" in out
+        assert "> r1" in out  # 2-D plot rendered
+
+
+class TestSimulate:
+    def test_feasible_point_exits_zero(self, graph_file, plan_file, capsys):
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "3", "--check",
+        ]) == 0
+        assert "feasible at this rate point: True" in capsys.readouterr().out
+
+    def test_infeasible_point_fails_check(self, graph_file, plan_file):
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "100000,100000", "--duration", "3", "--check",
+        ]) == 1
+
+
+class TestExperiment:
+    def test_registry_covers_every_artifact(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "fig9", "fig14", "fig15", "optimal-gap", "latency",
+            "lower-bound", "nonlinear", "clustering", "fidelity", "dynamic",
+            "heterogeneous", "partitioning", "balance-bound",
+            "qmc-convergence", "scheduling", "protocol", "linearization",
+            "search-gap",
+        }
+
+    def test_runs_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "PKT" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nope"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestReport:
+    def test_writes_selected_artifacts(self, tmp_path, capsys):
+        path = str(tmp_path / "report.md")
+        assert main([
+            "report", "-o", path, "--scale", "quick", "--only", "fig2",
+        ]) == 0
+        content = open(path).read()
+        assert content.startswith("# Reproduction report")
+        assert "fig2" in content
+        assert "fig14" not in content
+
+    def test_report_module_validation(self):
+        from repro.experiments import report
+
+        with pytest.raises(ValueError, match="scale"):
+            report.generate(scale="galactic")
+        with pytest.raises(ValueError, match="artifact ids"):
+            report.generate(only=("fig999",))
+
+    def test_artifact_ids_unique(self):
+        from repro.experiments.report import ARTIFACTS
+
+        ids = [artifact_id for artifact_id, _, _ in ARTIFACTS]
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 18

@@ -1,0 +1,20 @@
+"""Docstring examples in the public entry points must stay runnable."""
+
+import doctest
+
+import repro
+import repro.deploy
+
+
+def _run(module) -> None:
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__}: no doctests found"
+    assert results.failed == 0, f"{module.__name__}: doctest failures"
+
+
+def test_package_quickstart_doctest():
+    _run(repro)
+
+
+def test_deploy_doctest():
+    _run(repro.deploy)

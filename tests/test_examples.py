@@ -1,0 +1,38 @@
+"""Smoke-run every example script — examples must never rot.
+
+Each script runs in a subprocess with the repo's interpreter; we assert
+a zero exit code and that something was printed.  These are the slowest
+unit tests in the suite (~1 minute total), which is the price of
+guaranteeing the README's examples table stays true.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[s.stem for s in SCRIPTS]
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example printed nothing"
+
+
+def test_every_example_is_documented():
+    readme = (EXAMPLES_DIR / "README.md").read_text()
+    for script in SCRIPTS:
+        assert script.name in readme, (
+            f"{script.name} missing from examples/README.md"
+        )

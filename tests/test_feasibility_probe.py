@@ -1,0 +1,66 @@
+"""Unit tests for empirical feasibility probing (Section 7.1 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rod import rod_place
+from repro.simulator import FeasibilityProbe, empirical_feasible_fraction
+from repro.workload.rates import ideal_rate_points
+
+
+@pytest.fixture
+def plan(small_tree_model, four_nodes):
+    return rod_place(small_tree_model, four_nodes)
+
+
+class TestProbe:
+    def test_clearly_feasible_point(self, plan, small_tree_model,
+                                    four_nodes):
+        point = ideal_rate_points(small_tree_model, four_nodes, 1, seed=1)[0]
+        probe = FeasibilityProbe(duration=5.0)
+        assert probe.is_feasible(plan, point * 0.3)
+
+    def test_clearly_infeasible_point(self, plan, small_tree_model,
+                                      four_nodes):
+        point = ideal_rate_points(small_tree_model, four_nodes, 1, seed=1)[0]
+        probe = FeasibilityProbe(duration=5.0)
+        assert not probe.is_feasible(plan, point * 10.0)
+
+    def test_matches_analytic_predicate(self, plan, small_tree_model,
+                                        four_nodes):
+        probe = FeasibilityProbe(duration=8.0)
+        feasible_set = plan.feasible_set()
+        points = ideal_rate_points(
+            small_tree_model, four_nodes, 6, seed=2, method="random"
+        )
+        for point in points:
+            predicted = feasible_set.utilizations(point).max()
+            if abs(predicted - 1.0) > 0.05:  # skip the boundary band
+                assert probe.is_feasible(plan, point) == (predicted <= 1.0)
+
+
+class TestEmpiricalFraction:
+    def test_fraction_between_zero_and_one(self, plan, small_tree_model,
+                                           four_nodes):
+        points = ideal_rate_points(
+            small_tree_model, four_nodes, 8, seed=3, method="random"
+        )
+        probe = FeasibilityProbe(duration=4.0)
+        fraction = empirical_feasible_fraction(plan, points, probe)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_tracks_qmc_ratio(self, plan, small_tree_model, four_nodes):
+        """The Borealis protocol and the QMC volume agree."""
+        points = ideal_rate_points(
+            small_tree_model, four_nodes, 30, seed=4, method="random"
+        )
+        probe = FeasibilityProbe(duration=4.0)
+        empirical = empirical_feasible_fraction(plan, points, probe)
+        analytic = plan.volume_ratio(samples=4096)
+        assert empirical == pytest.approx(analytic, abs=0.2)
+
+    def test_validation(self, plan):
+        with pytest.raises(ValueError, match="2-D"):
+            empirical_feasible_fraction(plan, np.ones(3))
+        with pytest.raises(ValueError, match="at least one"):
+            empirical_feasible_fraction(plan, np.ones((0, 3)))

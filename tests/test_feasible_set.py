@@ -1,0 +1,190 @@
+"""Unit tests for FeasibleSet (Section 2.3 / Figure 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import placement_from_mapping
+from repro.core.feasible_set import FeasibleSet
+
+
+@pytest.fixture
+def example_plan_a(example_model, two_nodes):
+    """Table 2 Plan (a): the two chains on separate nodes."""
+    return placement_from_mapping(
+        example_model, two_nodes, {"o1": 0, "o2": 0, "o3": 1, "o4": 1}
+    )
+
+
+class TestConstruction:
+    def test_dimensions(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        assert fs.num_nodes == 2
+        assert fs.dimension == 2
+        assert fs.total_capacity == 2.0
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FeasibleSet(np.array([[-1.0]]), np.array([1.0]))
+
+    def test_rejects_shape_mismatches(self):
+        with pytest.raises(ValueError, match="rows"):
+            FeasibleSet(np.ones((2, 2)), np.array([1.0]))
+        with pytest.raises(ValueError, match="totals"):
+            FeasibleSet(np.ones((1, 2)), np.array([1.0]),
+                        column_totals=np.ones(3))
+        with pytest.raises(ValueError, match="lower bound"):
+            FeasibleSet(np.ones((1, 2)), np.array([1.0]),
+                        lower_bound=np.ones(3))
+
+    def test_totals_default_to_column_sums(self):
+        fs = FeasibleSet(np.array([[1.0, 2.0], [3.0, 4.0]]),
+                         np.array([1.0, 1.0]))
+        assert np.allclose(fs.column_totals, [4.0, 6.0])
+
+
+class TestFeasibility:
+    def test_node_loads_and_utilizations(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        # L^n = [[10, 0], [0, 11]].
+        assert np.allclose(fs.node_loads([0.05, 0.05]), [0.5, 0.55])
+        assert np.allclose(fs.utilizations([0.05, 0.05]), [0.5, 0.55])
+
+    def test_is_feasible(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        assert fs.is_feasible([0.09, 0.09])
+        assert not fs.is_feasible([0.11, 0.0])
+
+    def test_bottleneck(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        assert fs.bottleneck([0.05, 0.01]) == 0
+        assert fs.bottleneck([0.01, 0.05]) == 1
+
+    def test_lower_bound_domain_check(self, example_plan_a):
+        fs = FeasibleSet(
+            example_plan_a.node_coefficients(),
+            example_plan_a.capacities,
+            lower_bound=np.array([0.02, 0.0]),
+        )
+        assert not fs.is_feasible([0.01, 0.01])  # below the floor
+        assert fs.is_feasible([0.05, 0.05])
+
+    def test_rate_shape_checked(self, example_plan_a):
+        with pytest.raises(ValueError):
+            example_plan_a.feasible_set().node_loads([1.0])
+
+
+class TestGeometryAccessors:
+    def test_plan_a_weights(self, example_plan_a):
+        # Chain 1 (total 10) all on node 0, chain 2 (total 11) on node 1.
+        w = example_plan_a.feasible_set().weights()
+        assert np.allclose(w, [[2.0, 0.0], [0.0, 2.0]])
+
+    def test_plan_a_plane_distance(self, example_plan_a):
+        assert example_plan_a.plane_distance() == pytest.approx(0.5)
+
+    def test_axis_distances(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        assert np.allclose(fs.min_axis_distances(), [0.5, 0.5])
+
+    def test_normalized_lower_bound_default_origin(self, example_plan_a):
+        assert np.allclose(
+            example_plan_a.feasible_set().normalized_lower_bound(), 0.0
+        )
+
+
+class TestVolumes:
+    def test_plan_a_exact_ratio_is_half(self, example_plan_a):
+        # Rectangle vs triangle with the same intercepts.
+        fs = example_plan_a.feasible_set()
+        assert fs.exact_volume_ratio() == pytest.approx(0.5, abs=1e-6)
+
+    def test_qmc_matches_exact(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        assert fs.volume_ratio(samples=1 << 14) == pytest.approx(0.5, abs=0.01)
+
+    def test_ideal_volume_closed_form(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        assert fs.ideal_volume() == pytest.approx(2.0 ** 2 / (2 * 10 * 11))
+
+    def test_absolute_volume(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        assert fs.volume(samples=1 << 14) == pytest.approx(
+            fs.exact_volume(), rel=0.02
+        )
+
+    def test_unbounded_ideal_rejected(self):
+        fs = FeasibleSet(
+            np.array([[1.0, 0.0]]),
+            np.array([1.0]),
+            column_totals=np.array([1.0, 0.0]),
+        )
+        assert math.isinf(fs.ideal_volume())
+        with pytest.raises(ValueError, match="unbounded"):
+            fs.volume()
+
+    def test_lower_bound_shrinks_ideal_volume(self, example_plan_a):
+        base = example_plan_a.feasible_set()
+        floored = FeasibleSet(
+            example_plan_a.node_coefficients(),
+            example_plan_a.capacities,
+            column_totals=example_plan_a.model.column_totals(),
+            lower_bound=np.array([0.05, 0.0]),
+        )
+        assert floored.ideal_volume() < base.ideal_volume()
+
+    def test_floor_beyond_capacity_zero_ideal(self, example_plan_a):
+        floored = FeasibleSet(
+            example_plan_a.node_coefficients(),
+            example_plan_a.capacities,
+            column_totals=example_plan_a.model.column_totals(),
+            lower_bound=np.array([0.5, 0.0]),  # 0.5*10 = 5 > C_T = 2
+        )
+        assert floored.ideal_volume() == 0.0
+        assert floored.volume_ratio(samples=64) == 0.0
+
+
+class TestVertices:
+    def test_plan_a_rectangle_corners(self, example_plan_a):
+        vertices = example_plan_a.feasible_set().vertices()
+        expected = {(0.0, 0.0), (0.1, 0.0), (0.0, 1 / 11), (0.1, 1 / 11)}
+        got = {tuple(np.round(v, 9)) for v in vertices}
+        assert got == {tuple(np.round(e, 9)) for e in expected}
+
+    def test_vertices_span_the_exact_volume(self, example_plan_a):
+        fs = example_plan_a.feasible_set()
+        from scipy.spatial import ConvexHull
+
+        hull = ConvexHull(fs.vertices())
+        assert hull.volume == pytest.approx(fs.exact_volume())
+
+
+class TestAllPlansOfExample2:
+    def test_enumerated_ratios_bounded_by_ideal(self, example_model,
+                                                two_nodes):
+        """Every 2-node plan of the example has ratio in (0, 1]."""
+        import itertools
+
+        for assignment in itertools.product((0, 1), repeat=4):
+            plan = placement_from_mapping(
+                example_model,
+                two_nodes,
+                dict(zip(example_model.operator_names, assignment)),
+            )
+            ratio = plan.feasible_set().exact_volume_ratio()
+            assert 0.0 < ratio <= 1.0 + 1e-9
+
+    def test_no_plan_achieves_ideal(self, example_model, two_nodes):
+        """Example 2's text: no distribution achieves the ideal set."""
+        import itertools
+
+        best = max(
+            placement_from_mapping(
+                example_model,
+                two_nodes,
+                dict(zip(example_model.operator_names, assignment)),
+            ).feasible_set().exact_volume_ratio()
+            for assignment in itertools.product((0, 1), repeat=4)
+        )
+        assert best < 1.0 - 1e-6

@@ -1,0 +1,133 @@
+"""Unit tests for the workload-graph generators."""
+
+import pytest
+
+from repro.graphs import (
+    RandomGraphConfig,
+    join_graph,
+    monitoring_graph,
+    paper_example3_graph,
+    paper_example_graph,
+    random_tree_graph,
+)
+from repro.graphs.generator import MAX_DELAY_COST, MIN_DELAY_COST
+from repro.graphs.query_graph import subgraph_operator_count
+
+
+class TestRandomTreeGraph:
+    def test_total_operator_count(self):
+        config = RandomGraphConfig(num_inputs=4, operators_per_tree=10)
+        graph = random_tree_graph(config, seed=1)
+        assert graph.num_operators == 40
+        assert graph.num_inputs == 4
+
+    def test_each_tree_has_equal_size(self):
+        config = RandomGraphConfig(num_inputs=3, operators_per_tree=7)
+        graph = random_tree_graph(config, seed=2)
+        for name in graph.input_names:
+            assert subgraph_operator_count(graph, [name]) == 7
+
+    def test_fanout_within_bounds(self):
+        config = RandomGraphConfig(num_inputs=2, operators_per_tree=30)
+        graph = random_tree_graph(config, seed=3)
+        for name in graph.operator_names:
+            assert len(graph.downstream_operators(name)) <= config.max_fanout
+
+    def test_costs_within_paper_bounds(self):
+        graph = random_tree_graph(seed=4)
+        for op in graph.operators():
+            assert MIN_DELAY_COST <= op.costs[0] <= MAX_DELAY_COST
+
+    def test_selectivity_mix(self):
+        config = RandomGraphConfig(num_inputs=5, operators_per_tree=40)
+        graph = random_tree_graph(config, seed=5)
+        sels = [op.selectivities[0] for op in graph.operators()]
+        unit = sum(1 for s in sels if s == 1.0)
+        fractional = [s for s in sels if s < 1.0]
+        # Half unit selectivity (binomially distributed around 100/200).
+        assert 0.35 * len(sels) <= unit <= 0.65 * len(sels)
+        assert all(0.5 <= s < 1.0 for s in fractional)
+
+    def test_deterministic_for_seed(self):
+        a = random_tree_graph(seed=6)
+        b = random_tree_graph(seed=6)
+        assert a.operator_names == b.operator_names
+        assert [op.costs for op in a.operators()] == [
+            op.costs for op in b.operators()
+        ]
+
+    def test_seeds_differ(self):
+        a = random_tree_graph(seed=6)
+        b = random_tree_graph(seed=7)
+        assert [op.costs for op in a.operators()] != [
+            op.costs for op in b.operators()
+        ]
+
+    def test_graphs_are_linear(self):
+        assert not random_tree_graph(seed=8).has_nonlinear_operators()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomGraphConfig(num_inputs=0)
+        with pytest.raises(ValueError):
+            RandomGraphConfig(operators_per_tree=0)
+        with pytest.raises(ValueError):
+            RandomGraphConfig(min_fanout=3, max_fanout=2)
+        with pytest.raises(ValueError):
+            RandomGraphConfig(min_cost=0.0)
+        with pytest.raises(ValueError):
+            RandomGraphConfig(min_selectivity=0.9, max_selectivity=0.5)
+        with pytest.raises(ValueError):
+            RandomGraphConfig(unit_selectivity_fraction=1.5)
+
+
+class TestMonitoringGraph:
+    def test_one_tree_per_link_plus_merge(self):
+        graph = monitoring_graph(num_links=3, seed=1)
+        assert graph.num_inputs == 3
+        # 5 per link + union + top_talkers
+        assert graph.num_operators == 3 * 5 + 2
+
+    def test_single_link_has_no_union(self):
+        graph = monitoring_graph(num_links=1, seed=1)
+        assert "merge_links" not in graph
+
+    def test_validates(self):
+        monitoring_graph(num_links=4, seed=2).validate()
+
+    def test_rejects_zero_links(self):
+        with pytest.raises(ValueError):
+            monitoring_graph(num_links=0)
+
+
+class TestJoinGraph:
+    def test_structure(self):
+        graph = join_graph(num_join_pairs=2, downstream_per_join=3, seed=1)
+        assert graph.num_inputs == 4
+        assert len(graph.join_operators()) == 2
+        assert graph.num_operators == 2 * (2 + 1 + 3)
+
+    def test_nonlinear(self):
+        assert join_graph(seed=1).has_nonlinear_operators()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            join_graph(num_join_pairs=0)
+        with pytest.raises(ValueError):
+            join_graph(downstream_per_join=-1)
+
+
+class TestPaperExamples:
+    def test_example_matches_table(self, example_model):
+        import numpy as np
+
+        expected = np.array([[4.0, 0.0], [6.0, 0.0], [0.0, 9.0], [0.0, 2.0]])
+        assert np.allclose(example_model.coefficients, expected)
+
+    def test_example3_cuts(self):
+        graph = paper_example3_graph()
+        assert graph.has_nonlinear_operators()
+        assert graph.join_operators() == ("o5",)
+
+    def test_example_graph_is_linear(self):
+        assert not paper_example_graph().has_nonlinear_operators()

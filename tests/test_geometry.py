@@ -1,0 +1,157 @@
+"""Unit tests for the hyperplane geometry (Sections 3-4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import geometry
+
+
+class TestWeightMatrix:
+    def test_ideal_plan_has_unit_weights(self):
+        # Theorem 1: l*_ik = l_k C_i / C_T  ->  w_ik = 1 everywhere.
+        totals = np.array([10.0, 11.0])
+        caps = np.array([1.0, 3.0])
+        ln = np.outer(caps / caps.sum(), totals)
+        w = geometry.weight_matrix(ln, caps, totals)
+        assert np.allclose(w, 1.0)
+
+    def test_weights_scale_with_capacity_share(self):
+        ln = np.array([[5.0], [5.0]])
+        w = geometry.weight_matrix(ln, [1.0, 4.0], np.array([10.0]))
+        # Node 0 holds half the load with 1/5 of the capacity.
+        assert w[0, 0] == pytest.approx(2.5)
+        assert w[1, 0] == pytest.approx(0.625)
+
+    def test_column_sums_for_homogeneous_nodes(self):
+        rng = np.random.default_rng(0)
+        ln = rng.random((4, 3))
+        w = geometry.weight_matrix(ln, [1.0] * 4)
+        # sum_i w_ik = sum_i (l_ik/l_k) / (1/n) = n for every loaded column.
+        assert np.allclose(w.sum(axis=0), 4.0)
+
+    def test_zero_total_column_gets_zero_weight(self):
+        ln = np.array([[1.0, 0.0], [1.0, 0.0]])
+        w = geometry.weight_matrix(ln, [1.0, 1.0])
+        assert np.all(w[:, 1] == 0.0)
+
+    def test_explicit_totals_differ_from_column_sums(self):
+        # Partial placements: totals come from the whole model.
+        ln = np.array([[5.0]])
+        w = geometry.weight_matrix(ln, [1.0], np.array([10.0]))
+        assert w[0, 0] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            geometry.weight_matrix(np.zeros(3), [1.0])
+        with pytest.raises(ValueError, match="rows"):
+            geometry.weight_matrix(np.zeros((2, 2)), [1.0])
+        with pytest.raises(ValueError, match="totals"):
+            geometry.weight_matrix(np.zeros((2, 2)), [1.0, 1.0],
+                                   np.array([1.0]))
+
+
+class TestDistances:
+    def test_axis_distances_are_reciprocal_weights(self):
+        w = np.array([[0.5, 2.0]])
+        assert np.allclose(geometry.axis_distances(w), [[2.0, 0.5]])
+
+    def test_axis_distance_infinite_for_zero_weight(self):
+        w = np.array([[0.0, 1.0]])
+        d = geometry.axis_distances(w)
+        assert math.isinf(d[0, 0])
+
+    def test_plane_distance_formula(self):
+        w = np.array([[3.0, 4.0]])
+        assert geometry.plane_distances(w)[0] == pytest.approx(0.2)
+
+    def test_min_plane_distance(self):
+        w = np.array([[1.0, 0.0], [3.0, 4.0]])
+        assert geometry.min_plane_distance(w) == pytest.approx(0.2)
+
+    def test_plane_distance_from_origin_equals_plane_distances(self):
+        rng = np.random.default_rng(1)
+        w = rng.random((3, 4)) + 0.1
+        from_origin = geometry.plane_distance_from_point(w, np.zeros(4))
+        assert np.allclose(from_origin, geometry.plane_distances(w))
+
+    def test_plane_distance_from_point_signed(self):
+        w = np.array([[1.0, 1.0]])
+        inside = geometry.plane_distance_from_point(w, [0.25, 0.25])[0]
+        outside = geometry.plane_distance_from_point(w, [1.0, 1.0])[0]
+        assert inside == pytest.approx(0.5 / math.sqrt(2))
+        assert outside < 0
+
+    def test_point_shape_checked(self):
+        with pytest.raises(ValueError, match="point shape"):
+            geometry.plane_distance_from_point(np.ones((2, 3)), [0.0, 0.0])
+
+    def test_ideal_plane_distance(self):
+        assert geometry.ideal_plane_distance(4) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            geometry.ideal_plane_distance(0)
+
+
+class TestIdealVolume:
+    def test_closed_form(self):
+        # C_T^d / (d! prod l_k) with C_T = 2, l = (10, 11).
+        v = geometry.ideal_volume([1.0, 1.0], [10.0, 11.0])
+        assert v == pytest.approx(4.0 / (2 * 110))
+
+    def test_infinite_when_variable_unloaded(self):
+        assert math.isinf(geometry.ideal_volume([1.0], [10.0, 0.0]))
+
+    def test_rejects_negative_totals(self):
+        with pytest.raises(ValueError):
+            geometry.ideal_volume([1.0], [-1.0])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            geometry.validate_capacities([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometry.validate_capacities([])
+        with pytest.raises(ValueError):
+            geometry.validate_capacities([math.inf])
+
+
+class TestLowerBoundNormalization:
+    def test_maps_to_load_share(self):
+        b_hat = geometry.normalize_lower_bound([2.0, 0.0], [10.0, 11.0], 4.0)
+        assert np.allclose(b_hat, [5.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            geometry.normalize_lower_bound([1.0], [1.0, 1.0], 1.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            geometry.normalize_lower_bound([-1.0], [1.0], 1.0)
+        with pytest.raises(ValueError, match="capacity"):
+            geometry.normalize_lower_bound([1.0], [1.0], 0.0)
+
+
+class TestHypersphereBound:
+    def test_zero_radius_is_zero(self):
+        assert geometry.hypersphere_volume_fraction(0.0, 3) == 0.0
+
+    def test_monotone_in_radius(self):
+        values = [
+            geometry.hypersphere_volume_fraction(r, 3)
+            for r in (0.2, 0.4, 0.6, 0.8)
+        ]
+        assert values == sorted(values)
+
+    def test_full_radius_2d(self):
+        # Quarter disc of radius 1/sqrt(2) over the unit triangle (1/2):
+        # (pi/4 * 1/2) / (1/2) = pi/4.
+        assert geometry.hypersphere_volume_fraction(1.0, 2) == pytest.approx(
+            math.pi / 4
+        )
+
+    def test_capped_at_one(self):
+        assert geometry.hypersphere_volume_fraction(10.0, 2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometry.hypersphere_volume_fraction(-0.1, 2)
+        with pytest.raises(ValueError):
+            geometry.hypersphere_volume_fraction(0.5, 0)

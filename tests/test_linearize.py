@@ -1,0 +1,93 @@
+"""Unit tests for linearization (Section 6.2)."""
+
+import pytest
+
+from repro.core.linearize import (
+    find_cut_streams,
+    linearization_report,
+)
+from repro.graphs import (
+    Map,
+    QueryGraph,
+    VariableSelectivityOp,
+    WindowJoin,
+    paper_example3_graph,
+    paper_example_graph,
+)
+
+
+class TestFindCutStreams:
+    def test_linear_graph_needs_no_cuts(self):
+        assert find_cut_streams(paper_example_graph()) == ()
+
+    def test_example3_cuts_two_streams(self):
+        assert find_cut_streams(paper_example3_graph()) == (
+            "o1.out",
+            "o5.out",
+        )
+
+    def test_cut_per_nonlinear_operator(self):
+        g = QueryGraph()
+        a, b = g.add_input("A"), g.add_input("B")
+        j1 = g.add_operator(WindowJoin("j1", window=1.0), [a, b])
+        g.add_operator(WindowJoin("j2", window=1.0), [j1, b])
+        assert find_cut_streams(g) == ("j1.out", "j2.out")
+
+
+class TestLinearizationReport:
+    def test_trivial_for_linear(self):
+        report = linearization_report(paper_example_graph())
+        assert report.is_trivial
+        assert report.num_variables == 2
+        assert report.cut_producers == ()
+
+    def test_example3_report(self):
+        report = linearization_report(paper_example3_graph())
+        assert not report.is_trivial
+        assert report.input_streams == ("I1", "I2")
+        assert report.cut_streams == ("o1.out", "o5.out")
+        assert report.cut_producers == ("o1", "o5")
+        assert report.num_variables == 4
+
+    def test_variable_selectivity_alone(self):
+        g = QueryGraph()
+        i = g.add_input("I")
+        v = g.add_operator(VariableSelectivityOp("v", cost=1.0), [i])
+        g.add_operator(Map("m", cost=1.0), [v])
+        report = linearization_report(g)
+        assert report.cut_streams == ("v.out",)
+
+    def test_unknown_nonlinear_operator_rejected(self):
+        from repro.graphs.operators import Operator
+
+        class Weird(Operator):
+            @property
+            def arity(self):
+                return 1
+
+            @property
+            def is_linear(self):
+                return False
+
+            def output_rate(self, rates):
+                return rates[0] ** 2
+
+            def load(self, rates):
+                return rates[0] ** 2
+
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Weird("w"), [i])
+        with pytest.raises(TypeError, match="linearize"):
+            linearization_report(g)
+
+    def test_minimality_only_nonlinear_outputs_cut(self):
+        """Linear operators downstream of a cut do not add variables."""
+        g = QueryGraph()
+        a, b = g.add_input("A"), g.add_input("B")
+        j = g.add_operator(WindowJoin("j", window=1.0), [a, b])
+        m = g.add_operator(Map("m1", cost=1.0), [j])
+        g.add_operator(Map("m2", cost=1.0), [m])
+        report = linearization_report(g)
+        assert report.cut_streams == ("j.out",)
+        assert report.num_variables == 3

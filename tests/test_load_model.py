@@ -1,0 +1,152 @@
+"""Unit tests for the linear load model (Section 2.2, Example 1/2)."""
+
+import numpy as np
+import pytest
+
+from repro import build_load_model
+from repro.graphs import Delay, Filter, Map, QueryGraph, Union
+
+
+class TestPaperExample:
+    def test_coefficients_match_example(self, example_model):
+        # load(o1)=c1 r1, load(o2)=c2 s1 r1, load(o3)=c3 r2,
+        # load(o4)=c4 s3 r2 with c=(4,6,9,4), s1=1, s3=0.5.
+        expected = np.array([[4.0, 0.0], [6.0, 0.0], [0.0, 9.0], [0.0, 2.0]])
+        assert np.allclose(example_model.coefficients, expected)
+
+    def test_column_totals(self, example_model):
+        assert np.allclose(example_model.column_totals(), [10.0, 11.0])
+
+    def test_variables_are_inputs(self, example_model):
+        assert example_model.variables == ("I1", "I2")
+        assert not example_model.is_linearized
+
+    def test_loads_at_point(self, example_model):
+        loads = example_model.loads([2.0, 1.0])
+        assert np.allclose(loads, [8.0, 12.0, 9.0, 2.0])
+
+    def test_loads_match_graph_ground_truth(self, example_model):
+        rates = [1.7, 0.3]
+        truth = example_model.graph.operator_loads(rates)
+        model_loads = dict(
+            zip(example_model.operator_names, example_model.loads(rates))
+        )
+        for name in truth:
+            assert model_loads[name] == pytest.approx(truth[name])
+
+    def test_operator_norms(self, example_model):
+        assert np.allclose(example_model.operator_norms(), [4.0, 6.0, 9.0, 2.0])
+
+    def test_operator_load_vector(self, example_model):
+        assert np.allclose(example_model.operator_load_vector("o3"), [0.0, 9.0])
+
+    def test_indexing_errors(self, example_model):
+        with pytest.raises(KeyError):
+            example_model.operator_index("nope")
+        with pytest.raises(KeyError):
+            example_model.variable_index("nope")
+        with pytest.raises(KeyError):
+            example_model.stream_rate_vector("nope")
+
+
+class TestUnionAndFanout:
+    def test_union_accumulates_both_inputs(self):
+        g = QueryGraph()
+        a, b = g.add_input("A"), g.add_input("B")
+        fa = g.add_operator(Filter("fa", cost=1.0, selectivity=0.5), [a])
+        u = g.add_operator(Union("u", costs=[2.0, 3.0]), [fa, b])
+        g.add_operator(Map("m", cost=1.0), [u])
+        model = build_load_model(g)
+        # u: 2*(0.5 rA) + 3*rB ; m: 0.5 rA + rB (union selectivity 1).
+        assert np.allclose(
+            model.operator_load_vector("u"), [1.0, 3.0]
+        )
+        assert np.allclose(model.operator_load_vector("m"), [0.5, 1.0])
+
+    def test_fanout_duplicates_rate(self):
+        g = QueryGraph()
+        i = g.add_input("I")
+        a = g.add_operator(Map("a", cost=1.0), [i])
+        g.add_operator(Map("b", cost=2.0), [a])
+        g.add_operator(Map("c", cost=3.0), [a])
+        model = build_load_model(g)
+        assert np.allclose(model.column_totals(), [6.0])
+
+    def test_stream_rate_vector(self):
+        g = QueryGraph()
+        i = g.add_input("I")
+        f = g.add_operator(Filter("f", cost=1.0, selectivity=0.25), [i])
+        model = build_load_model(g)
+        assert np.allclose(model.stream_rate_vector("f.out"), [0.25])
+        assert np.allclose(model.stream_rate_vector("I"), [1.0])
+
+
+class TestLinearizedModel:
+    def test_variables_include_cut_streams(self, example3_model):
+        assert example3_model.variables == ("I1", "I2", "o1.out", "o5.out")
+        assert example3_model.is_linearized
+        assert example3_model.num_inputs == 2
+        assert example3_model.num_variables == 4
+
+    def test_join_coefficient_is_c_over_s(self, example3_model):
+        # o5: cost_per_pair=2, selectivity=0.5 -> 4 per output tuple.
+        row = example3_model.operator_load_vector("o5")
+        assert np.allclose(row, [0.0, 0.0, 0.0, 4.0])
+
+    def test_downstream_of_cut_uses_aux_variable(self, example3_model):
+        # o2 consumes o1's (cut) output with cost 2.
+        assert np.allclose(
+            example3_model.operator_load_vector("o2"), [0, 0, 2.0, 0]
+        )
+        # o6 consumes o5's output with cost 3.
+        assert np.allclose(
+            example3_model.operator_load_vector("o6"), [0, 0, 0, 3.0]
+        )
+
+    def test_variable_point_uses_true_rates(self, example3_model):
+        point = example3_model.variable_point([2.0, 3.0])
+        # o1.out = 0.8*2 ; o2.out = 1.6 ; o4.out = 0.7*3 = 2.1
+        # o5.out = 0.5 * 1.0 * 1.6 * 2.1
+        assert np.allclose(point, [2.0, 3.0, 1.6, 1.68])
+
+    def test_variable_point_identity_for_linear(self, example_model):
+        assert np.allclose(
+            example_model.variable_point([5.0, 7.0]), [5.0, 7.0]
+        )
+
+    def test_variable_point_checks_length(self, example3_model):
+        with pytest.raises(ValueError, match="input rates"):
+            example3_model.variable_point([1.0, 2.0, 3.0])
+
+    def test_loads_checks_shape(self, example3_model):
+        with pytest.raises(ValueError, match="variable rates"):
+            example3_model.loads([1.0, 2.0])
+
+    def test_model_loads_match_truth_through_cuts(self, example3_model):
+        rates = [2.0, 3.0]
+        truth = example3_model.graph.operator_loads(rates)
+        point = example3_model.variable_point(rates)
+        loads = dict(
+            zip(example3_model.operator_names, example3_model.loads(point))
+        )
+        for name in truth:
+            assert loads[name] == pytest.approx(truth[name]), name
+
+
+class TestEdgeCases:
+    def test_empty_graph_has_empty_matrix(self):
+        g = QueryGraph()
+        g.add_input("I")
+        model = build_load_model(g)
+        assert model.coefficients.shape == (0, 1)
+        assert model.num_operators == 0
+
+    def test_chain_selectivity_compounds(self):
+        g = QueryGraph()
+        s = g.add_input("I")
+        for k in range(3):
+            s = g.add_operator(
+                Delay(f"d{k}", cost=1.0, selectivity=0.5), [s]
+            )
+        model = build_load_model(g)
+        assert np.allclose(model.coefficients[:, 0], [1.0, 0.5, 0.25])

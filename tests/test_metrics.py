@@ -1,0 +1,103 @@
+"""Unit tests for latency statistics and simulation results."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.metrics import LatencyStats, OperatorStats, SimulationResult
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.is_empty
+        assert stats.mean() == 0.0
+        assert stats.percentile(95) == 0.0
+        assert stats.maximum() == 0.0
+        assert stats.total_tuples == 0
+
+    def test_weighted_mean(self):
+        stats = LatencyStats()
+        stats.record(1.0, count=1)
+        stats.record(3.0, count=3)
+        assert stats.mean() == pytest.approx(2.5)
+        assert stats.total_tuples == 4
+
+    def test_percentiles_weighted(self):
+        stats = LatencyStats()
+        stats.record(1.0, count=90)
+        stats.record(10.0, count=10)
+        assert stats.percentile(50) == 1.0
+        assert stats.percentile(99) == 10.0
+
+    def test_percentile_monotone(self):
+        rng = np.random.default_rng(0)
+        stats = LatencyStats()
+        for value in rng.random(100):
+            stats.record(float(value))
+        values = [stats.percentile(q) for q in (10, 50, 90, 100)]
+        assert values == sorted(values)
+
+    def test_maximum(self):
+        stats = LatencyStats()
+        stats.record(0.5)
+        stats.record(2.5)
+        assert stats.maximum() == 2.5
+
+    def test_merge(self):
+        a, b = LatencyStats(), LatencyStats()
+        a.record(1.0, 2)
+        b.record(3.0, 2)
+        a.merge(b)
+        assert a.mean() == pytest.approx(2.0)
+
+    def test_validation(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError):
+            stats.record(-1.0)
+        with pytest.raises(ValueError):
+            stats.record(1.0, count=0)
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+
+
+class TestOperatorStats:
+    def test_measured_quantities(self):
+        stats = OperatorStats(tuples_in=100, tuples_out=25, work_seconds=0.5)
+        assert stats.measured_cost == pytest.approx(0.005)
+        assert stats.measured_selectivity == pytest.approx(0.25)
+
+    def test_zero_input_safe(self):
+        stats = OperatorStats()
+        assert stats.measured_cost == 0.0
+        assert stats.measured_selectivity == 0.0
+
+
+class TestSimulationResult:
+    def make(self, utilization, backlog):
+        return SimulationResult(
+            duration=10.0,
+            node_busy=np.array([utilization * 10.0]),
+            node_utilization=np.array([utilization]),
+            backlog_seconds=np.array([backlog]),
+            latency=LatencyStats(),
+        )
+
+    def test_feasible_when_under_threshold(self):
+        assert self.make(0.8, 0.0).is_feasible()
+
+    def test_infeasible_when_saturated(self):
+        assert not self.make(1.05, 0.0).is_feasible()
+
+    def test_infeasible_when_backlogged(self):
+        assert not self.make(0.8, 1.0).is_feasible()
+
+    def test_threshold_configurable(self):
+        assert self.make(0.95, 0.0).is_feasible(utilization_threshold=0.99)
+        assert not self.make(0.95, 0.0).is_feasible(
+            utilization_threshold=0.9
+        )
+
+    def test_summary_mentions_key_figures(self):
+        text = self.make(0.5, 0.0).summary()
+        assert "max_util=0.500" in text
+        assert "duration=10s" in text

@@ -1,0 +1,75 @@
+"""Unit tests for the MILP balance placer."""
+
+import numpy as np
+import pytest
+
+from repro import build_load_model
+from repro.core.rod import rod_place
+from repro.graphs import Delay, QueryGraph
+from repro.placement import MilpBalancePlacer
+
+
+def chain_free_model(costs_by_stream):
+    """Independent single operators per input stream (no chains)."""
+    g = QueryGraph()
+    counter = 0
+    for k, costs in enumerate(costs_by_stream):
+        stream = g.add_input(f"I{k}")
+        for cost in costs:
+            g.add_operator(
+                Delay(f"d{counter}", cost=cost, selectivity=1.0), [stream]
+            )
+            counter += 1
+    return build_load_model(g)
+
+
+class TestMilpBalancePlacer:
+    def test_perfectly_splittable_load_reaches_weight_one(self):
+        # Four equal operators per stream over two nodes: perfect balance.
+        model = chain_free_model([(1.0, 1.0, 1.0, 1.0)])
+        plan = MilpBalancePlacer().place(model, [1.0, 1.0])
+        assert plan.weights().max() == pytest.approx(1.0)
+
+    def test_optimal_on_indivisible_loads(self):
+        # Loads 3,3,2 on two nodes: best max weight is (3+2)/8 normalized.
+        model = chain_free_model([(3.0, 3.0, 2.0)])
+        plan = MilpBalancePlacer().place(model, [1.0, 1.0])
+        assert plan.weights().max() == pytest.approx(2 * 5.0 / 8.0)
+
+    def test_never_worse_than_rod_on_max_weight(self, small_tree_model,
+                                                four_nodes):
+        milp_plan = MilpBalancePlacer().place(small_tree_model, four_nodes)
+        rod_plan = rod_place(small_tree_model, four_nodes)
+        assert (
+            milp_plan.weights().max() <= rod_plan.weights().max() + 1e-6
+        )
+
+    def test_balance_is_not_volume(self, example_model, two_nodes):
+        """The MILP optimizes MMAD only; ROD may still win on volume."""
+        milp_plan = MilpBalancePlacer().place(example_model, two_nodes)
+        rod_plan = rod_place(example_model, two_nodes)
+        assert (
+            rod_plan.feasible_set().exact_volume()
+            >= 0.99 * milp_plan.feasible_set().exact_volume()
+        )
+
+    def test_heterogeneous_capacities(self):
+        model = chain_free_model([(1.0, 1.0, 1.0, 1.0)])
+        plan = MilpBalancePlacer().place(model, [3.0, 1.0])
+        counts = plan.operator_counts()
+        assert counts[0] == 3 and counts[1] == 1
+
+    def test_size_guard(self):
+        model = chain_free_model([(1.0,) * 30])
+        placer = MilpBalancePlacer(max_variables=50)
+        with pytest.raises(ValueError, match="exceeds"):
+            placer.place(model, [1.0, 1.0])
+
+    def test_every_operator_assigned_once(self, small_tree_model,
+                                          four_nodes):
+        plan = MilpBalancePlacer().place(small_tree_model, four_nodes)
+        assert len(plan.assignment) == small_tree_model.num_operators
+        assert np.allclose(
+            plan.node_coefficients().sum(axis=0),
+            small_tree_model.column_totals(),
+        )

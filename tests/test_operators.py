@@ -1,0 +1,157 @@
+"""Unit tests for the operator model."""
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    Aggregate,
+    Delay,
+    Filter,
+    LinearOperator,
+    Map,
+    Union,
+    VariableSelectivityOp,
+    WindowJoin,
+)
+
+
+class TestLinearOperator:
+    def test_load_is_cost_times_rate(self):
+        op = LinearOperator("o", costs=(3.0,), selectivities=(0.5,))
+        assert op.load([10.0]) == pytest.approx(30.0)
+
+    def test_output_rate_applies_selectivity(self):
+        op = LinearOperator("o", costs=(3.0,), selectivities=(0.5,))
+        assert op.output_rate([10.0]) == pytest.approx(5.0)
+
+    def test_multi_port_load_sums_ports(self):
+        op = LinearOperator("o", costs=(1.0, 2.0), selectivities=(1.0, 1.0))
+        assert op.load([10.0, 5.0]) == pytest.approx(20.0)
+        assert op.output_rate([10.0, 5.0]) == pytest.approx(15.0)
+
+    def test_arity_matches_costs(self):
+        assert LinearOperator("o", costs=(1.0, 1.0, 1.0),
+                              selectivities=(1.0, 1.0, 1.0)).arity == 3
+
+    def test_is_linear(self):
+        assert LinearOperator("o").is_linear
+
+    def test_rejects_mismatched_selectivities(self):
+        with pytest.raises(ValueError, match="selectivities"):
+            LinearOperator("o", costs=(1.0, 2.0), selectivities=(1.0,))
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError, match="cost"):
+            LinearOperator("o", costs=(-1.0,), selectivities=(1.0,))
+
+    def test_rejects_nan_cost(self):
+        with pytest.raises(ValueError, match="cost"):
+            LinearOperator("o", costs=(math.nan,), selectivities=(1.0,))
+
+    def test_rejects_negative_selectivity(self):
+        with pytest.raises(ValueError, match="selectivity"):
+            LinearOperator("o", costs=(1.0,), selectivities=(-0.5,))
+
+    def test_rejects_wrong_rate_count(self):
+        op = LinearOperator("o", costs=(1.0,), selectivities=(1.0,))
+        with pytest.raises(ValueError, match="input rates"):
+            op.load([1.0, 2.0])
+
+    def test_rejects_negative_rate(self):
+        op = LinearOperator("o", costs=(1.0,), selectivities=(1.0,))
+        with pytest.raises(ValueError, match="rate"):
+            op.load([-1.0])
+
+    def test_zero_input_operator_rejected(self):
+        with pytest.raises(ValueError, match="at least one input"):
+            LinearOperator("o", costs=(), selectivities=())
+
+
+class TestConvenienceOperators:
+    def test_map_has_unit_selectivity(self):
+        op = Map("m", cost=2.0)
+        assert op.output_rate([7.0]) == pytest.approx(7.0)
+        assert op.load([7.0]) == pytest.approx(14.0)
+
+    def test_filter_caps_selectivity_at_one(self):
+        with pytest.raises(ValueError, match="<= 1"):
+            Filter("f", cost=1.0, selectivity=1.5)
+
+    def test_filter_passes_fraction(self):
+        assert Filter("f", cost=1.0, selectivity=0.25).output_rate([8.0]) == 2.0
+
+    def test_union_sums_inputs(self):
+        op = Union("u", costs=[1.0, 1.0, 1.0])
+        assert op.output_rate([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_union_needs_two_inputs(self):
+        with pytest.raises(ValueError, match="two inputs"):
+            Union("u", costs=[1.0])
+
+    def test_aggregate_compresses(self):
+        op = Aggregate("a", cost=1.0, selectivity=0.1)
+        assert op.output_rate([100.0]) == pytest.approx(10.0)
+
+    def test_delay_matches_paper_parameters(self):
+        op = Delay("d", cost=4.0, selectivity=1.0)
+        assert op.load([3.0]) == pytest.approx(12.0)
+
+
+class TestVariableSelectivityOp:
+    def test_not_linear(self):
+        assert not VariableSelectivityOp("v", cost=1.0).is_linear
+
+    def test_load_still_linear_in_input(self):
+        op = VariableSelectivityOp("v", cost=2.0, nominal_selectivity=0.5)
+        assert op.load_is_linear_in_inputs
+        assert op.load([4.0]) == pytest.approx(8.0)
+
+    def test_output_uses_nominal_selectivity(self):
+        op = VariableSelectivityOp("v", cost=2.0, nominal_selectivity=0.5)
+        assert op.output_rate([4.0]) == pytest.approx(2.0)
+
+    def test_cost_of_port(self):
+        assert VariableSelectivityOp("v", cost=2.0).cost_of_port(0) == 2.0
+        with pytest.raises(IndexError):
+            VariableSelectivityOp("v", cost=2.0).cost_of_port(1)
+
+
+class TestWindowJoin:
+    def test_pairs_per_unit_time(self):
+        op = WindowJoin("j", cost_per_pair=1.0, selectivity=0.5, window=2.0)
+        assert op.pairs_per_unit_time([3.0, 4.0]) == pytest.approx(24.0)
+
+    def test_load_is_quadratic(self):
+        op = WindowJoin("j", cost_per_pair=0.5, selectivity=0.5, window=1.0)
+        assert op.load([2.0, 2.0]) == pytest.approx(2.0)
+        assert op.load([4.0, 4.0]) == pytest.approx(8.0)  # 4x, not 2x
+
+    def test_output_rate(self):
+        op = WindowJoin("j", cost_per_pair=1.0, selectivity=0.25, window=1.0)
+        assert op.output_rate([2.0, 4.0]) == pytest.approx(2.0)
+
+    def test_load_per_output_tuple_is_c_over_s(self):
+        op = WindowJoin("j", cost_per_pair=2.0, selectivity=0.5, window=1.0)
+        assert op.load_per_output_tuple == pytest.approx(4.0)
+
+    def test_not_linear(self):
+        assert not WindowJoin("j").is_linear
+        assert not WindowJoin("j").load_is_linear_in_inputs
+
+    def test_no_constant_per_tuple_cost(self):
+        with pytest.raises(TypeError, match="linearize"):
+            WindowJoin("j").cost_of_port(0)
+
+    def test_rejects_zero_selectivity(self):
+        with pytest.raises(ValueError, match="selectivity"):
+            WindowJoin("j", selectivity=0.0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowJoin("j", window=0.0)
+
+    def test_arity_is_two(self):
+        assert WindowJoin("j").arity == 2
+        with pytest.raises(ValueError):
+            WindowJoin("j").load([1.0])

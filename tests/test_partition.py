@@ -1,0 +1,126 @@
+"""Unit tests for data-partitioning graph rewrites."""
+
+import numpy as np
+import pytest
+
+from repro import build_load_model
+from repro.graphs import Delay, Filter, QueryGraph, WindowJoin, Union
+from repro.graphs.partition import parallelize_heaviest, partition_operator
+
+
+@pytest.fixture
+def chain():
+    g = QueryGraph("chain")
+    i = g.add_input("I")
+    heavy = g.add_operator(Delay("heavy", cost=8.0, selectivity=0.5), [i])
+    g.add_operator(Delay("tail", cost=1.0, selectivity=1.0), [heavy])
+    return g
+
+
+class TestPartitionOperator:
+    def test_structure(self, chain):
+        rebuilt = partition_operator(chain, "heavy", ways=4)
+        names = rebuilt.operator_names
+        assert sum(1 for n in names if n.startswith("heavy.route")) == 4
+        assert sum(1 for n in names if n.startswith("heavy.part")) == 4
+        assert "heavy.merge" in names
+        assert "tail" in names
+
+    def test_downstream_rewired_transparently(self, chain):
+        rebuilt = partition_operator(chain, "heavy", ways=2)
+        # The merge reuses the old output stream name, so 'tail' still
+        # consumes "heavy.out".
+        assert rebuilt.inputs_of("tail") == ("heavy.out",)
+
+    def test_rates_preserved(self, chain):
+        rebuilt = partition_operator(chain, "heavy", ways=3)
+        original = chain.stream_rates([12.0])
+        again = rebuilt.stream_rates([12.0])
+        assert again["heavy.out"] == pytest.approx(original["heavy.out"])
+        assert again["tail.out"] == pytest.approx(original["tail.out"])
+
+    def test_total_load_preserved_up_to_overhead(self, chain):
+        rebuilt = partition_operator(
+            chain, "heavy", ways=4, route_cost=0.0, merge_cost=0.0
+        )
+        assert rebuilt.total_load([5.0]) == pytest.approx(
+            chain.total_load([5.0])
+        )
+
+    def test_overhead_is_route_plus_merge(self, chain):
+        rebuilt = partition_operator(
+            chain, "heavy", ways=2, route_cost=0.1, merge_cost=0.2
+        )
+        # routes: 2 * 0.1 * r ; merge: 0.2 per arriving tuple, arriving
+        # rate = 0.5 r total.
+        extra = rebuilt.total_load([1.0]) - chain.total_load([1.0])
+        assert extra == pytest.approx(2 * 0.1 + 0.2 * 0.5)
+
+    def test_load_model_splits_columns(self, chain):
+        rebuilt = partition_operator(
+            chain, "heavy", ways=4, route_cost=0.0, merge_cost=0.0
+        )
+        model = build_load_model(rebuilt)
+        row = model.operator_load_vector("heavy.part0")
+        assert row[0] == pytest.approx(8.0 / 4)
+
+    def test_resilience_improves(self, chain):
+        from repro.core.rod import rod_place
+
+        base_plan = rod_place(build_load_model(chain), [1.0, 1.0])
+        rebuilt = partition_operator(chain, "heavy", ways=4)
+        part_plan = rod_place(build_load_model(rebuilt), [1.0, 1.0])
+        assert part_plan.volume_ratio(samples=2048) > (
+            base_plan.volume_ratio(samples=2048)
+        )
+
+    def test_validation(self, chain):
+        with pytest.raises(ValueError, match="ways"):
+            partition_operator(chain, "heavy", ways=1)
+        with pytest.raises(KeyError):
+            partition_operator(chain, "ghost", ways=2)
+
+    def test_joins_rejected(self):
+        g = QueryGraph()
+        a, b = g.add_input("A"), g.add_input("B")
+        g.add_operator(WindowJoin("j", window=1.0), [a, b])
+        with pytest.raises(TypeError, match="linear"):
+            partition_operator(g, "j", ways=2)
+
+    def test_multi_input_rejected(self):
+        g = QueryGraph()
+        a, b = g.add_input("A"), g.add_input("B")
+        g.add_operator(Union("u", costs=[1.0, 1.0]), [a, b])
+        with pytest.raises(ValueError, match="single-input"):
+            partition_operator(g, "u", ways=2)
+
+    def test_original_graph_untouched(self, chain):
+        partition_operator(chain, "heavy", ways=2)
+        assert chain.num_operators == 2
+
+
+class TestParallelizeHeaviest:
+    def test_splits_requested_count(self, chain):
+        rebuilt = parallelize_heaviest(chain, count=2, ways=2)
+        assert any(n.startswith("heavy.part") for n in rebuilt.operator_names)
+        assert any(n.startswith("tail.part") for n in rebuilt.operator_names)
+
+    def test_heaviest_first(self, chain):
+        rebuilt = parallelize_heaviest(chain, count=1, ways=2)
+        assert any(n.startswith("heavy.part") for n in rebuilt.operator_names)
+        assert "tail" in rebuilt.operator_names
+
+    def test_runs_out_of_candidates_gracefully(self, chain):
+        rebuilt = parallelize_heaviest(chain, count=10, ways=2)
+        # Both originals split; created instances are never re-split.
+        originals = [
+            n for n in rebuilt.operator_names if "." not in n
+        ]
+        assert originals == []
+
+    def test_zero_count_is_identity(self, chain):
+        assert parallelize_heaviest(chain, count=0, ways=2) is chain
+
+    def test_validation(self, chain):
+        with pytest.raises(ValueError):
+            parallelize_heaviest(chain, count=-1, ways=2)

@@ -1,0 +1,63 @@
+"""Soft performance guards on the hot paths.
+
+These protect the property the paper leans on — ROD plans in effectively
+no time even at the largest evaluated scale — plus the estimation paths
+every experiment hammers.  Bounds are deliberately loose (10x typical)
+so they only catch real regressions, not machine noise.
+"""
+
+import time
+
+import pytest
+
+from repro import build_load_model, rod_place
+from repro.graphs import random_tree_graph
+from repro.graphs.generator import RandomGraphConfig
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def paper_scale_model():
+    """The paper's largest workload: 200 operators over 5 inputs."""
+    config = RandomGraphConfig(num_inputs=5, operators_per_tree=40)
+    return build_load_model(random_tree_graph(config, seed=99))
+
+
+class TestPlanningSpeed:
+    def test_rod_paper_scale_under_a_second(self, paper_scale_model):
+        _, seconds = timed(rod_place, paper_scale_model, [1.0] * 10)
+        assert seconds < 1.0
+
+    def test_model_build_is_fast(self):
+        config = RandomGraphConfig(num_inputs=5, operators_per_tree=40)
+        graph = random_tree_graph(config, seed=100)
+        _, seconds = timed(build_load_model, graph)
+        assert seconds < 0.5
+
+
+class TestEstimationSpeed:
+    def test_volume_ratio_4096_samples_fast(self, paper_scale_model):
+        plan = rod_place(paper_scale_model, [1.0] * 10)
+        fs = plan.feasible_set()
+        fs.volume_ratio(samples=256)  # warm any caches
+        _, seconds = timed(fs.volume_ratio, samples=4096)
+        assert seconds < 0.5
+
+    def test_simulation_throughput(self, paper_scale_model):
+        """~10 simulated seconds of a 200-operator graph in bounded time."""
+        from repro.simulator import Simulator
+        from repro.workload import steady_trace_series
+
+        plan = rod_place(paper_scale_model, [1.0] * 10)
+        series = steady_trace_series(
+            paper_scale_model, [1.0] * 10, 100, 0.5, seed=1
+        )
+        _, seconds = timed(
+            Simulator(plan, step_seconds=0.1).run, rate_series=series
+        )
+        assert seconds < 10.0

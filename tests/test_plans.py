@@ -1,0 +1,109 @@
+"""Unit tests for Placement (the allocation matrix A)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import placement_from_mapping
+from repro.core.plans import Placement
+
+
+@pytest.fixture
+def plan(example_model, two_nodes):
+    return placement_from_mapping(
+        example_model, two_nodes, {"o1": 0, "o2": 1, "o3": 1, "o4": 0}
+    )
+
+
+class TestConstruction:
+    def test_assignment_length_checked(self, example_model, two_nodes):
+        with pytest.raises(ValueError, match="covers"):
+            Placement(example_model, two_nodes, (0, 1))
+
+    def test_node_range_checked(self, example_model, two_nodes):
+        with pytest.raises(ValueError, match="node 7"):
+            Placement(example_model, two_nodes, (0, 1, 7, 0))
+
+    def test_mapping_must_cover_all_operators(self, example_model, two_nodes):
+        with pytest.raises(ValueError, match="missing"):
+            placement_from_mapping(example_model, two_nodes, {"o1": 0})
+
+    def test_mapping_rejects_unknown_operators(self, example_model,
+                                               two_nodes):
+        mapping = {"o1": 0, "o2": 0, "o3": 0, "o4": 0, "ghost": 1}
+        with pytest.raises(ValueError, match="unknown"):
+            placement_from_mapping(example_model, two_nodes, mapping)
+
+    def test_capacities_validated(self, example_model):
+        with pytest.raises(ValueError):
+            Placement(example_model, np.array([0.0, 1.0]), (0, 0, 0, 0))
+
+
+class TestStructure:
+    def test_node_of(self, plan):
+        assert plan.node_of("o1") == 0
+        assert plan.node_of("o3") == 1
+
+    def test_operators_on(self, plan):
+        assert plan.operators_on(0) == ("o1", "o4")
+        assert plan.operators_on(1) == ("o2", "o3")
+        with pytest.raises(IndexError):
+            plan.operators_on(5)
+
+    def test_operator_counts(self, plan):
+        assert np.array_equal(plan.operator_counts(), [2, 2])
+
+    def test_allocation_matrix(self, plan):
+        a = plan.allocation_matrix()
+        assert a.shape == (2, 4)
+        assert np.array_equal(a.sum(axis=0), np.ones(4))
+        assert a[0, 0] == 1.0 and a[1, 1] == 1.0
+
+    def test_node_coefficients_equal_A_times_Lo(self, plan):
+        expected = plan.allocation_matrix() @ plan.model.coefficients
+        assert np.allclose(plan.node_coefficients(), expected)
+
+    def test_node_coefficients_values(self, plan):
+        # node 0: o1 + o4 = (4, 2); node 1: o2 + o3 = (6, 9).
+        assert np.allclose(plan.node_coefficients(), [[4.0, 2.0], [6.0, 9.0]])
+
+    def test_inter_node_arcs(self, plan):
+        # o1->o2 crosses, o3->o4 crosses.
+        assert plan.inter_node_arcs() == 2
+
+    def test_colocated_chains_have_no_crossings(self, example_model,
+                                                two_nodes):
+        plan = placement_from_mapping(
+            example_model, two_nodes, {"o1": 0, "o2": 0, "o3": 1, "o4": 1}
+        )
+        assert plan.inter_node_arcs() == 0
+
+
+class TestSerialization:
+    def test_mapping_roundtrip(self, plan, example_model, two_nodes):
+        rebuilt = placement_from_mapping(
+            example_model, two_nodes, plan.to_mapping()
+        )
+        assert rebuilt.assignment == plan.assignment
+
+    def test_json_is_valid(self, plan):
+        doc = json.loads(plan.to_json())
+        assert doc["assignment"] == {"o1": 0, "o2": 1, "o3": 1, "o4": 0}
+        assert doc["capacities"] == [1.0, 1.0]
+
+    def test_describe_mentions_nodes_and_distance(self, plan):
+        text = plan.describe()
+        assert "node 0" in text
+        assert "plane distance" in text
+
+
+class TestMetrics:
+    def test_volume_ratio_in_unit_interval(self, plan):
+        assert 0.0 < plan.volume_ratio(samples=1024) <= 1.0
+
+    def test_plane_distance_positive(self, plan):
+        assert plan.plane_distance() > 0.0
+
+    def test_weights_shape(self, plan):
+        assert plan.weights().shape == (2, 2)

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import geometry
+from repro.core.volume import polytope, qmc
+from repro.workload.arrivals import deterministic_arrivals
+
+finite_floats = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+positive_floats = st.floats(
+    min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def weight_matrices(draw, max_nodes=5, max_dims=4):
+    n = draw(st.integers(1, max_nodes))
+    d = draw(st.integers(1, max_dims))
+    return draw(
+        hnp.arrays(
+            float,
+            (n, d),
+            elements=st.floats(0.0, 10.0, allow_nan=False),
+        )
+    )
+
+
+@st.composite
+def coefficient_matrices(draw, max_nodes=4, max_dims=3):
+    n = draw(st.integers(1, max_nodes))
+    d = draw(st.integers(1, max_dims))
+    ln = draw(
+        hnp.arrays(float, (n, d), elements=st.floats(0.05, 5.0,
+                                                     allow_nan=False))
+    )
+    return ln
+
+
+class TestSimplexSampling:
+    @given(
+        hnp.arrays(
+            float,
+            st.tuples(st.integers(1, 20), st.integers(1, 6)),
+            elements=st.floats(0.0, 1.0, exclude_max=True, allow_nan=False),
+        )
+    )
+    def test_simplex_from_cube_always_in_simplex(self, cube):
+        pts = qmc.simplex_from_cube(cube)
+        assert np.all(pts >= -1e-12)
+        assert np.all(pts.sum(axis=1) <= 1.0 + 1e-9)
+
+    @given(st.integers(1, 200), st.integers(1, 6))
+    def test_halton_points_in_unit_cube(self, count, dim):
+        pts = qmc.halton(count, dim)
+        assert pts.shape == (count, dim)
+        assert np.all((pts >= 0) & (pts < 1))
+
+    @given(st.integers(2, 50), st.integers(2, 16))
+    def test_van_der_corput_distinct(self, count, base):
+        seq = qmc.van_der_corput(count, base)
+        assert len(np.unique(seq)) == count
+
+
+class TestGeometryInvariants:
+    @given(weight_matrices())
+    def test_plane_distance_from_origin_matches(self, weights):
+        from_point = geometry.plane_distance_from_point(
+            weights, np.zeros(weights.shape[1])
+        )
+        direct = geometry.plane_distances(weights)
+        mask = np.isfinite(direct)
+        assert np.allclose(from_point[mask], direct[mask])
+
+    @given(coefficient_matrices())
+    def test_homogeneous_weight_columns_sum_to_n(self, ln):
+        n = ln.shape[0]
+        w = geometry.weight_matrix(ln, np.ones(n))
+        assert np.allclose(w.sum(axis=0), n, atol=1e-9)
+
+    @given(coefficient_matrices(), st.floats(0.5, 4.0, allow_nan=False))
+    def test_weights_invariant_to_uniform_capacity_scaling(self, ln, scale):
+        n = ln.shape[0]
+        base = geometry.weight_matrix(ln, np.ones(n))
+        scaled = geometry.weight_matrix(ln, np.full(n, scale))
+        assert np.allclose(base, scaled)
+
+    @given(
+        st.lists(positive_floats, min_size=1, max_size=5),
+        st.lists(positive_floats, min_size=1, max_size=5),
+    )
+    def test_ideal_volume_positive_and_finite(self, caps, totals):
+        v = geometry.ideal_volume(caps, totals)
+        assert v > 0
+        assert math.isfinite(v)
+
+    @given(st.integers(1, 10), st.floats(0.0, 1.0, allow_nan=False))
+    def test_hypersphere_fraction_in_unit_interval(self, d, rho):
+        f = geometry.hypersphere_volume_fraction(rho, d)
+        assert 0.0 <= f <= 1.0
+
+
+class TestVolumeInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(coefficient_matrices())
+    def test_exact_volume_never_exceeds_ideal(self, ln):
+        caps = np.ones(ln.shape[0])
+        exact = polytope.polytope_volume(ln, caps)
+        ideal = geometry.ideal_volume(caps, ln.sum(axis=0))
+        assert exact <= ideal * (1 + 1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(coefficient_matrices())
+    def test_adding_a_constraint_never_grows_volume(self, ln):
+        assume(ln.shape[0] >= 2)
+        caps = np.ones(ln.shape[0])
+        full = polytope.polytope_volume(ln, caps)
+        subset = polytope.polytope_volume(ln[:-1], caps[:-1])
+        assert full <= subset * (1 + 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(weight_matrices(max_nodes=4, max_dims=3),
+           st.floats(1.1, 3.0, allow_nan=False))
+    def test_feasible_fraction_monotone_in_weights(self, weights, factor):
+        assume(np.all(weights.sum(axis=1) > 0))
+        base = qmc.feasible_fraction(weights, samples=512)
+        heavier = qmc.feasible_fraction(weights * factor, samples=512)
+        assert heavier <= base + 1e-12
+
+
+class TestRodInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(2, 10))
+    def test_rod_always_places_everything(self, seed, nodes, ops):
+        from repro import build_load_model
+        from repro.core.rod import rod_place
+        from repro.graphs import random_tree_graph
+        from repro.graphs.generator import RandomGraphConfig
+
+        config = RandomGraphConfig(num_inputs=2, operators_per_tree=ops)
+        model = build_load_model(random_tree_graph(config, seed=seed))
+        plan = rod_place(model, [1.0] * nodes)
+        assert len(plan.assignment) == model.num_operators
+        assert set(plan.assignment) <= set(range(nodes))
+        # Placed coefficients account for the whole model.
+        assert np.allclose(
+            plan.node_coefficients().sum(axis=0), model.column_totals()
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_plane_distance_bounded_by_ideal(self, seed):
+        from repro import build_load_model
+        from repro.core.rod import rod_place
+        from repro.graphs import random_tree_graph
+        from repro.graphs.generator import RandomGraphConfig
+
+        config = RandomGraphConfig(num_inputs=3, operators_per_tree=6)
+        model = build_load_model(random_tree_graph(config, seed=seed))
+        plan = rod_place(model, [1.0, 1.0, 1.0])
+        ideal = geometry.ideal_plane_distance(model.num_variables)
+        assert plan.plane_distance() <= ideal + 1e-9
+
+
+class TestArrivalInvariants:
+    @given(
+        st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=1,
+                 max_size=100),
+        st.floats(0.01, 2.0, allow_nan=False),
+    )
+    def test_deterministic_arrivals_conserve_volume(self, rates, dt):
+        counts = deterministic_arrivals(rates, dt)
+        total = sum(rates) * dt
+        assert abs(counts.sum() - total) <= 1.0 + 1e-6
+        assert np.all(counts >= 0)
+
+    @given(
+        st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=1,
+                 max_size=100)
+    )
+    def test_prefix_sums_never_exceed_cumulative_rate(self, rates):
+        counts = deterministic_arrivals(rates, 1.0)
+        prefix = np.cumsum(counts)
+        cumulative = np.cumsum(rates)
+        assert np.all(prefix <= cumulative + 1e-6)
+
+
+class TestLatencyStatsInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 100.0, allow_nan=False),
+                      st.integers(1, 10)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_mean_between_min_and_max(self, samples):
+        from repro.simulator.metrics import LatencyStats
+
+        stats = LatencyStats()
+        for value, count in samples:
+            stats.record(value, count)
+        values = [v for v, _ in samples]
+        assert min(values) - 1e-9 <= stats.mean() <= max(values) + 1e-9
+        assert stats.percentile(0) <= stats.percentile(50)
+        assert stats.percentile(50) <= stats.percentile(100)
+        assert stats.percentile(100) == pytest.approx(stats.maximum())

@@ -1,0 +1,126 @@
+"""Unit tests for rate-point samplers and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    deterministic_arrivals,
+    poisson_arrivals,
+)
+from repro.workload.rates import (
+    ideal_rate_points,
+    rate_series,
+    scale_point_to_utilization,
+)
+
+
+class TestIdealRatePoints:
+    def test_points_inside_ideal_set(self, example_model, two_nodes):
+        pts = ideal_rate_points(example_model, two_nodes, 200, seed=1)
+        totals = example_model.column_totals()
+        demand = pts @ totals
+        assert np.all(demand <= two_nodes.sum() + 1e-9)
+        assert np.all(pts >= 0)
+
+    def test_shape(self, example_model, two_nodes):
+        assert ideal_rate_points(example_model, two_nodes, 7).shape == (7, 2)
+
+    def test_qmc_method(self, example_model, two_nodes):
+        pts = ideal_rate_points(
+            example_model, two_nodes, 64, method="halton"
+        )
+        assert pts.shape == (64, 2)
+
+
+class TestScaleToUtilization:
+    def test_total_demand_hits_target(self, example_model, two_nodes):
+        point = scale_point_to_utilization(
+            example_model, two_nodes, [1.0, 1.0], 0.6
+        )
+        demand = float(example_model.column_totals() @ point)
+        assert demand == pytest.approx(0.6 * two_nodes.sum())
+
+    def test_direction_preserved(self, example_model, two_nodes):
+        point = scale_point_to_utilization(
+            example_model, two_nodes, [2.0, 1.0], 0.5
+        )
+        assert point[0] / point[1] == pytest.approx(2.0)
+
+    def test_validation(self, example_model, two_nodes):
+        with pytest.raises(ValueError):
+            scale_point_to_utilization(example_model, two_nodes, [0, 0], 0.5)
+        with pytest.raises(ValueError):
+            scale_point_to_utilization(example_model, two_nodes, [1, 1], 0.0)
+        with pytest.raises(ValueError):
+            scale_point_to_utilization(example_model, two_nodes, [-1, 1], 0.5)
+
+
+class TestRateSeries:
+    def test_shape_and_means(self):
+        series = rate_series(3, 1024, mean_rates=[10.0, 20.0, 30.0], seed=1)
+        assert series.shape == (1024, 3)
+        assert np.allclose(series.mean(axis=0), [10.0, 20.0, 30.0])
+
+    def test_kinds_cycle(self):
+        series = rate_series(4, 128, seed=2)
+        assert series.shape == (4 * 0 + 128, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rate_series(0, 10)
+        with pytest.raises(ValueError):
+            rate_series(2, 0)
+        with pytest.raises(ValueError):
+            rate_series(2, 10, mean_rates=[1.0])
+        with pytest.raises(ValueError):
+            rate_series(2, 10, mean_rates=[1.0, 0.0])
+        with pytest.raises(ValueError):
+            rate_series(2, 10, kinds=["pkt"])
+
+
+class TestDeterministicArrivals:
+    def test_conserves_volume(self):
+        rates = [10.0, 0.0, 3.7, 3.7, 3.7]
+        counts = deterministic_arrivals(rates, 1.0)
+        assert counts.sum() == int(sum(rates))
+
+    def test_fractional_carry(self):
+        counts = deterministic_arrivals([0.5] * 10, 1.0)
+        assert counts.sum() == 5
+        assert counts.max() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            deterministic_arrivals([1.0], 0.0)
+        with pytest.raises(ValueError):
+            deterministic_arrivals([-1.0], 1.0)
+
+
+class TestPoissonArrivals:
+    def test_mean_matches_rate(self):
+        counts = poisson_arrivals([100.0] * 2000, 0.1, seed=3)
+        assert counts.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        a = poisson_arrivals([5.0] * 50, 1.0, seed=4)
+        b = poisson_arrivals([5.0] * 50, 1.0, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals([1.0], -1.0)
+
+
+class TestArrivalProcess:
+    def test_steps_skip_empty(self):
+        process = ArrivalProcess([2.0, 0.0, 1.0], 1.0, kind="deterministic")
+        steps = list(process.steps())
+        assert steps == [(0.0, 2), (2.0, 1)]
+
+    def test_num_steps(self):
+        assert ArrivalProcess([1.0] * 7, 0.5).num_steps == 7
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ArrivalProcess([1.0], 1.0, kind="burst")

@@ -1,0 +1,192 @@
+"""Unit tests for the ROD algorithm (Section 5, Figure 10)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import build_load_model, placement_from_mapping
+from repro.core.rod import CLASS_ONE_POLICIES, RodStep, rod_order, rod_place
+from repro.graphs import Delay, QueryGraph, random_tree_graph
+from repro.graphs.generator import RandomGraphConfig
+
+
+class TestOrdering:
+    def test_sorts_by_norm_descending(self, example_model):
+        # Norms are (4, 6, 9, 2) -> order o3, o2, o1, o4.
+        order = rod_order(example_model)
+        names = [example_model.operator_names[j] for j in order]
+        assert names == ["o3", "o2", "o1", "o4"]
+
+    def test_ties_broken_by_index(self):
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Delay("a", cost=1.0, selectivity=1.0), [i])
+        g.add_operator(Delay("b", cost=1.0, selectivity=1.0), [i])
+        model = build_load_model(g)
+        assert rod_order(model) == [0, 1]
+
+
+class TestAssignment:
+    def test_balances_each_stream_across_nodes(self, example_model,
+                                               two_nodes):
+        """Each chain's operators split across the two nodes (MMAD)."""
+        plan = rod_place(example_model, two_nodes)
+        assert plan.node_of("o1") != plan.node_of("o2")
+        assert plan.node_of("o3") != plan.node_of("o4")
+
+    def test_matches_exhaustive_optimum_on_example(self, example_model,
+                                                   two_nodes):
+        best = max(
+            placement_from_mapping(
+                example_model,
+                two_nodes,
+                dict(zip(example_model.operator_names, assignment)),
+            ).feasible_set().exact_volume()
+            for assignment in itertools.product((0, 1), repeat=4)
+        )
+        rod_volume = rod_place(
+            example_model, two_nodes
+        ).feasible_set().exact_volume()
+        assert rod_volume == pytest.approx(best, rel=1e-9)
+
+    def test_deterministic(self, small_tree_model, four_nodes):
+        a = rod_place(small_tree_model, four_nodes)
+        b = rod_place(small_tree_model, four_nodes)
+        assert a.assignment == b.assignment
+
+    def test_every_operator_assigned(self, small_tree_model, four_nodes):
+        plan = rod_place(small_tree_model, four_nodes)
+        assert len(plan.assignment) == small_tree_model.num_operators
+        assert all(0 <= n < 4 for n in plan.assignment)
+
+    def test_single_node_trivial(self, example_model):
+        plan = rod_place(example_model, [1.0])
+        assert set(plan.assignment) == {0}
+
+    def test_heterogeneous_capacity_proportionality(self):
+        """A node with 3x capacity should carry about 3x the load."""
+        config = RandomGraphConfig(num_inputs=2, operators_per_tree=40)
+        model = build_load_model(random_tree_graph(config, seed=9))
+        caps = [3.0, 1.0]
+        plan = rod_place(model, caps)
+        ln = plan.node_coefficients()
+        loads = ln.sum(axis=1)
+        assert loads[0] / loads[1] == pytest.approx(3.0, rel=0.25)
+
+    def test_trace_records_every_step(self, example_model, two_nodes):
+        steps = []
+        rod_place(example_model, two_nodes, steps=steps)
+        assert len(steps) == 4
+        assert all(isinstance(s, RodStep) for s in steps)
+        assert steps[0].operator == "o3"  # largest norm first
+
+    def test_first_assignment_is_class_one_when_shares_small(self,
+                                                             two_nodes):
+        """With every operator under half a stream's load, empty nodes'
+        candidate hyperplanes stay above the ideal one (Class I)."""
+        g = QueryGraph()
+        i = g.add_input("I")
+        for k in range(8):
+            g.add_operator(Delay(f"d{k}", cost=1.0, selectivity=1.0), [i])
+        model = build_load_model(g)
+        steps = []
+        rod_place(model, two_nodes, steps=steps)
+        assert steps[0].chosen_from_class_one
+        assert steps[0].class_one == (0, 1)
+
+    def test_class_two_when_one_operator_dominates(self, two_nodes):
+        """An operator holding a whole stream can never be Class I on
+        multiple nodes: some node must end up past the ideal hyperplane."""
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Delay("big", cost=10.0, selectivity=1.0), [i])
+        g.add_operator(Delay("small", cost=1.0, selectivity=1.0), [i])
+        model = build_load_model(g)
+        steps = []
+        rod_place(model, two_nodes, steps=steps)
+        big_step = steps[0]
+        assert big_step.operator == "big"
+        assert not big_step.chosen_from_class_one
+
+
+class TestClassOnePolicies:
+    @pytest.mark.parametrize("policy", CLASS_ONE_POLICIES)
+    def test_all_policies_produce_valid_plans(self, small_tree_model,
+                                              four_nodes, policy):
+        plan = rod_place(
+            small_tree_model, four_nodes, class_one_policy=policy, seed=3
+        )
+        assert len(plan.assignment) == small_tree_model.num_operators
+
+    def test_unknown_policy_rejected(self, example_model, two_nodes):
+        with pytest.raises(ValueError, match="policy"):
+            rod_place(example_model, two_nodes, class_one_policy="bogus")
+
+    def test_connections_policy_reduces_crossings(self, four_nodes):
+        config = RandomGraphConfig(num_inputs=2, operators_per_tree=30)
+        model = build_load_model(random_tree_graph(config, seed=17))
+        plane = rod_place(model, four_nodes, class_one_policy="plane")
+        conn = rod_place(model, four_nodes, class_one_policy="connections")
+        assert conn.inter_node_arcs() <= plane.inter_node_arcs()
+
+    def test_random_policy_respects_seed(self, small_tree_model, four_nodes):
+        a = rod_place(small_tree_model, four_nodes,
+                      class_one_policy="random", seed=5)
+        b = rod_place(small_tree_model, four_nodes,
+                      class_one_policy="random", seed=5)
+        assert a.assignment == b.assignment
+
+
+class TestExplicitOrder:
+    def test_order_must_be_permutation(self, example_model, two_nodes):
+        with pytest.raises(ValueError, match="permutation"):
+            rod_place(example_model, two_nodes, order=[0, 0, 1, 2])
+        with pytest.raises(ValueError, match="permutation"):
+            rod_place(example_model, two_nodes, order=[0, 1])
+
+    def test_norm_order_not_worse_than_reverse(self, four_nodes):
+        config = RandomGraphConfig(num_inputs=3, operators_per_tree=12)
+        model = build_load_model(random_tree_graph(config, seed=23))
+        sorted_plan = rod_place(model, four_nodes)
+        reverse = list(reversed(rod_order(model)))
+        reverse_plan = rod_place(model, four_nodes, order=reverse)
+        assert (
+            sorted_plan.volume_ratio(samples=2048)
+            >= reverse_plan.volume_ratio(samples=2048) - 0.02
+        )
+
+
+class TestLowerBoundVariant:
+    def test_zero_floor_matches_plain(self, small_tree_model, four_nodes):
+        plain = rod_place(small_tree_model, four_nodes)
+        floored = rod_place(
+            small_tree_model,
+            four_nodes,
+            lower_bound=np.zeros(small_tree_model.num_variables),
+        )
+        assert plain.assignment == floored.assignment
+
+    def test_lower_bound_carried_to_placement(self, small_tree_model,
+                                              four_nodes):
+        floor = np.zeros(small_tree_model.num_variables)
+        floor[0] = 0.1
+        plan = rod_place(small_tree_model, four_nodes, lower_bound=floor)
+        assert plan.lower_bound is not None
+        assert plan.feasible_set().lower_bound is not None
+
+
+class TestAgainstBaselines:
+    def test_rod_beats_every_baseline_on_random_graphs(self, four_nodes):
+        """The headline claim, on a handful of random workloads."""
+        from repro.experiments.common import make_placer
+
+        for seed in (101, 202, 303):
+            config = RandomGraphConfig(num_inputs=3, operators_per_tree=15)
+            model = build_load_model(random_tree_graph(config, seed=seed))
+            rod_ratio = rod_place(model, four_nodes).volume_ratio(samples=2048)
+            for name in ("llf", "random", "connected"):
+                other = make_placer(name, model, run_seed=seed).place(
+                    model, four_nodes
+                )
+                assert rod_ratio >= other.volume_ratio(samples=2048) - 0.02

@@ -1,0 +1,113 @@
+"""Unit tests for incremental placement (rod_extend)."""
+
+import numpy as np
+import pytest
+
+from repro import build_load_model
+from repro.core.rod import rod_extend, rod_place
+from repro.graphs import Delay, QueryGraph
+
+
+def base_graph():
+    g = QueryGraph("grow")
+    i = g.add_input("I")
+    for k in range(4):
+        g.add_operator(Delay(f"old{k}", cost=1.0, selectivity=1.0), [i])
+    return g
+
+
+def grown_graph():
+    g = base_graph()
+    i2 = g.add_input("J")
+    for k in range(4):
+        g.add_operator(Delay(f"new{k}", cost=2.0, selectivity=1.0), [i2])
+    return g
+
+
+class TestRodExtend:
+    def test_existing_operators_never_move(self, two_nodes):
+        old_model = build_load_model(base_graph())
+        placement = rod_place(old_model, two_nodes)
+        new_model = build_load_model(grown_graph())
+        extended = rod_extend(placement, new_model)
+        for name in old_model.operator_names:
+            assert extended.node_of(name) == placement.node_of(name)
+
+    def test_new_operators_all_placed(self, two_nodes):
+        old_model = build_load_model(base_graph())
+        placement = rod_place(old_model, two_nodes)
+        new_model = build_load_model(grown_graph())
+        extended = rod_extend(placement, new_model)
+        assert len(extended.assignment) == new_model.num_operators
+        assert np.allclose(
+            extended.node_coefficients().sum(axis=0),
+            new_model.column_totals(),
+        )
+
+    def test_new_stream_balanced_across_nodes(self, two_nodes):
+        """The four equal new operators should split evenly."""
+        old_model = build_load_model(base_graph())
+        placement = rod_place(old_model, two_nodes)
+        extended = rod_extend(placement, build_load_model(grown_graph()))
+        new_nodes = [extended.node_of(f"new{k}") for k in range(4)]
+        assert sorted(new_nodes).count(0) == 2
+
+    def test_matches_full_rod_quality_when_growth_is_balanced(
+        self, two_nodes
+    ):
+        old_model = build_load_model(base_graph())
+        placement = rod_place(old_model, two_nodes)
+        new_model = build_load_model(grown_graph())
+        extended = rod_extend(placement, new_model)
+        fresh = rod_place(new_model, two_nodes)
+        assert extended.volume_ratio(samples=2048) >= (
+            fresh.volume_ratio(samples=2048) - 0.05
+        )
+
+    def test_rejects_dropped_operators(self, two_nodes):
+        old_model = build_load_model(grown_graph())
+        placement = rod_place(old_model, two_nodes)
+        smaller = build_load_model(base_graph())
+        with pytest.raises(ValueError, match="dropped"):
+            rod_extend(placement, smaller)
+
+    def test_rejects_unknown_policy(self, two_nodes):
+        old_model = build_load_model(base_graph())
+        placement = rod_place(old_model, two_nodes)
+        with pytest.raises(ValueError, match="policy"):
+            rod_extend(placement, build_load_model(grown_graph()),
+                       class_one_policy="bogus")
+
+    def test_noop_growth_returns_same_assignment(self, two_nodes):
+        model = build_load_model(base_graph())
+        placement = rod_place(model, two_nodes)
+        extended = rod_extend(placement, model)
+        assert extended.assignment == placement.assignment
+
+    def test_lower_bound_carried(self, two_nodes):
+        old_model = build_load_model(base_graph())
+        placement = rod_place(old_model, two_nodes)
+        new_model = build_load_model(grown_graph())
+        floor = np.array([0.05, 0.0])
+        extended = rod_extend(placement, new_model, lower_bound=floor)
+        assert extended.lower_bound is not None
+
+    def test_connections_policy_prefers_colocated_neighbors(self, two_nodes):
+        g = QueryGraph("chainy")
+        i = g.add_input("I")
+        mid = g.add_operator(Delay("a", cost=1.0, selectivity=1.0), [i])
+        g.add_operator(Delay("b", cost=1.0, selectivity=1.0), [mid])
+        old_model = build_load_model(g)
+        placement = rod_place(old_model, two_nodes)
+
+        g2 = QueryGraph("chainy")
+        i = g2.add_input("I")
+        mid = g2.add_operator(Delay("a", cost=1.0, selectivity=1.0), [i])
+        g2.add_operator(Delay("b", cost=1.0, selectivity=1.0), [mid])
+        g2.add_operator(Delay("c", cost=0.1, selectivity=1.0), [mid])
+        new_model = build_load_model(g2)
+        extended = rod_extend(
+            placement, new_model, class_one_policy="connections"
+        )
+        # c is tiny: with the connections policy it sits with its producer.
+        assert extended.node_of("c") == extended.node_of("a")

@@ -1,0 +1,126 @@
+"""Unit tests for operator runtimes inside the simulator."""
+
+import pytest
+
+from repro.graphs import (
+    Filter,
+    LinearOperator,
+    Map,
+    Union,
+    VariableSelectivityOp,
+    WindowJoin,
+)
+from repro.simulator.runtime import (
+    LinearRuntime,
+    VariableSelectivityRuntime,
+    WindowJoinRuntime,
+    make_runtime,
+)
+
+
+class TestMakeRuntime:
+    def test_dispatch(self):
+        assert isinstance(make_runtime(Map("m", 1.0)), LinearRuntime)
+        assert isinstance(
+            make_runtime(VariableSelectivityOp("v", cost=1.0)),
+            VariableSelectivityRuntime,
+        )
+        assert isinstance(
+            make_runtime(WindowJoin("j", window=1.0)), WindowJoinRuntime
+        )
+
+    def test_unknown_operator_rejected(self):
+        from repro.graphs.operators import Operator
+
+        class Strange(Operator):
+            @property
+            def arity(self):
+                return 1
+
+            @property
+            def is_linear(self):
+                return False
+
+        with pytest.raises(TypeError, match="runtime"):
+            make_runtime(Strange("s"))
+
+
+class TestLinearRuntime:
+    def test_work_is_cost_times_count(self):
+        rt = make_runtime(Map("m", cost=0.5))
+        work, out = rt.process(0.0, 0, 10)
+        assert work == pytest.approx(5.0)
+        assert out == 10
+
+    def test_selectivity_with_carry_is_exact_longrun(self):
+        rt = make_runtime(Filter("f", cost=1.0, selectivity=0.3))
+        total_out = sum(rt.process(t, 0, 1)[1] for t in range(1000))
+        assert total_out == 300
+
+    def test_union_ports_have_independent_carries(self):
+        op = Union("u", costs=[1.0, 2.0])
+        rt = make_runtime(op)
+        work0, out0 = rt.process(0.0, 0, 4)
+        work1, out1 = rt.process(0.0, 1, 4)
+        assert (work0, out0) == (4.0, 4)
+        assert (work1, out1) == (8.0, 4)
+
+
+class TestVariableSelectivityRuntime:
+    def test_uses_nominal_selectivity(self):
+        rt = make_runtime(
+            VariableSelectivityOp("v", cost=2.0, nominal_selectivity=0.5)
+        )
+        work, out = rt.process(0.0, 0, 8)
+        assert work == pytest.approx(16.0)
+        assert out == 4
+
+
+class TestWindowJoinRuntime:
+    def make(self, window=2.0, cost=1.0, selectivity=1.0):
+        return make_runtime(
+            WindowJoin("j", cost_per_pair=cost, selectivity=selectivity,
+                       window=window)
+        )
+
+    def test_empty_window_no_pairs(self):
+        rt = self.make()
+        work, out = rt.process(0.0, 0, 5)
+        assert work == 0.0 and out == 0
+
+    def test_pairs_with_opposite_window(self):
+        rt = self.make(window=2.0)
+        rt.process(0.0, 0, 3)          # 3 left tuples at t=0
+        work, out = rt.process(0.5, 1, 4)  # 4 right tuples at t=0.5
+        assert work == pytest.approx(12.0)
+        assert out == 12
+
+    def test_expiry_uses_half_window(self):
+        rt = self.make(window=2.0)
+        rt.process(0.0, 0, 3)
+        # At t=1.5 the left batch is 1.5 > window/2 = 1.0 old: expired.
+        work, out = rt.process(1.5, 1, 4)
+        assert work == 0.0 and out == 0
+
+    def test_same_side_batches_do_not_pair(self):
+        rt = self.make()
+        rt.process(0.0, 0, 3)
+        work, _ = rt.process(0.1, 0, 3)
+        assert work == 0.0
+
+    def test_selectivity_applied_per_pair(self):
+        rt = self.make(selectivity=0.5)
+        rt.process(0.0, 0, 2)
+        _, out = rt.process(0.1, 1, 3)
+        assert out == 3  # 6 pairs * 0.5
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(IndexError):
+            self.make().process(0.0, 2, 1)
+
+    def test_window_population(self):
+        rt = self.make(window=4.0)
+        rt.process(0.0, 0, 3)
+        rt.process(1.0, 0, 2)
+        assert rt.window_population(1.5, 0) == 5
+        assert rt.window_population(2.5, 0) == 2  # first batch expired

@@ -1,0 +1,200 @@
+"""Tests for distributed execution of stream programs."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import build_load_model, rod_place
+from repro.runtime import (
+    DistributedInterpreter,
+    FnAggregate,
+    FnFilter,
+    FnMap,
+    FnWindowJoin,
+    Interpreter,
+    Record,
+    StreamProgram,
+)
+
+
+@pytest.fixture
+def program():
+    p = StreamProgram("dist")
+    src = p.add_input("src")
+    aux = p.add_input("aux")
+    kept = p.add(
+        FnFilter("keep", lambda d: d["v"] % 3 == 0, cost=1e-3), [src]
+    )
+    tagged = p.add(FnMap("tag", lambda d: {**d, "t": True}, cost=2e-3),
+                   [kept])
+    p.add(
+        FnWindowJoin(
+            "join", window=4.0,
+            left_key=lambda d: d["v"] % 2,
+            right_key=lambda d: d["k"],
+            merge=lambda l, r: {"v": l["v"], "mark": r["m"]},
+            cost_per_pair=5e-4,
+        ),
+        [tagged, aux],
+    )
+    return p
+
+
+@pytest.fixture
+def inputs():
+    return {
+        "src": [Record(t * 0.2, {"v": t}) for t in range(40)],
+        "aux": [
+            Record(t * 1.0, {"k": t % 2, "m": f"m{t}"}) for t in range(8)
+        ],
+    }
+
+
+class TestSemanticTransparency:
+    def test_answers_identical_for_every_assignment(self, inputs):
+        def build():
+            p = StreamProgram("x")
+            src = p.add_input("src")
+            kept = p.add(
+                FnFilter("keep", lambda d: d["v"] % 2 == 0), [src]
+            )
+            p.add(FnMap("neg", lambda d: {"v": -d["v"]}), [kept])
+            return p
+
+        reference = None
+        records = [Record(t * 0.1, {"v": t}) for t in range(30)]
+        for assignment in itertools.product((0, 1), repeat=2):
+            p = build()
+            mapping = dict(zip(("keep", "neg"), assignment))
+            run = DistributedInterpreter(p, mapping, num_nodes=2).run(
+                {"src": records}
+            )
+            outs = [r["v"] for r in run.result.sink_records["neg.out"]]
+            if reference is None:
+                reference = outs
+            assert outs == reference
+
+    def test_distributed_answers_match_single_process(self, inputs):
+        """Same program built twice: distributed == single-process."""
+
+        def build():
+            p = StreamProgram("cmp")
+            src = p.add_input("src")
+            agg = p.add(
+                FnAggregate("count", window=2.0,
+                            reducer=lambda rs: {"n": len(rs)}),
+                [src],
+            )
+            p.add(FnMap("fmt", lambda d: {"n": d["n"]}), [agg])
+            return p
+
+        records = [Record(t * 0.3, {"v": t}) for t in range(25)]
+        single = Interpreter(build()).run({"src": list(records)})
+        distributed = DistributedInterpreter(
+            build(), {"count": 1, "fmt": 0}, 2
+        ).run({"src": list(records)})
+        a = [r["n"] for r in single.sink_records["fmt.out"]]
+        b = [r["n"] for r in distributed.result.sink_records["fmt.out"]]
+        assert a == b
+
+
+class TestAccounting:
+    def test_node_work_matches_measured_traffic(self, program, inputs):
+        mapping = {"keep": 0, "tag": 1, "join": 1}
+        run = DistributedInterpreter(program, mapping, num_nodes=2).run(
+            inputs
+        )
+        r = run.result
+        expected_node0 = 1e-3 * r.operator_in["keep"]
+        join_op = program.operator("join")
+        expected_node1 = (
+            2e-3 * r.operator_in["tag"]
+            + 5e-4 * join_op._pairs_examined
+        )
+        assert run.node_work[0] == pytest.approx(expected_node0)
+        assert run.node_work[1] == pytest.approx(expected_node1)
+
+    def test_colocated_plan_has_no_network_tuples(self, program, inputs):
+        mapping = {"keep": 0, "tag": 0, "join": 0}
+        run = DistributedInterpreter(program, mapping, num_nodes=1).run(
+            inputs
+        )
+        assert run.network_tuples == 0
+        assert run.network_fraction == 0.0
+
+    def test_split_chain_crosses_network(self, program, inputs):
+        mapping = {"keep": 0, "tag": 1, "join": 0}
+        run = DistributedInterpreter(program, mapping, num_nodes=2).run(
+            inputs
+        )
+        assert run.network_tuples > 0
+        assert 0 < run.network_fraction <= 1.0
+
+    def test_work_conserved_across_assignments(self, inputs):
+        def build():
+            p = StreamProgram("y")
+            src = p.add_input("src")
+            kept = p.add(
+                FnFilter("keep", lambda d: True, cost=1e-3), [src]
+            )
+            p.add(FnMap("m", lambda d: d, cost=2e-3), [kept])
+            return p
+
+        records = [Record(t * 0.1, {"v": t}) for t in range(20)]
+        totals = []
+        for mapping in ({"keep": 0, "m": 0}, {"keep": 0, "m": 1}):
+            run = DistributedInterpreter(build(), mapping, 2).run(
+                {"src": records}
+            )
+            totals.append(run.node_work.sum())
+        assert totals[0] == pytest.approx(totals[1])
+
+
+class TestModelConsistency:
+    def test_node_work_tracks_linear_model(self):
+        """Measured distributed work ≈ L^n · (average rates)."""
+        p = StreamProgram("model-check")
+        src = p.add_input("src")
+        kept = p.add(
+            FnFilter("half", lambda d: d["v"] % 2 == 0, cost=1e-3), [src]
+        )
+        p.add(FnMap("m", lambda d: d, cost=4e-3), [kept])
+
+        duration = 20.0
+        rate = 50.0
+        records = [
+            Record(i / rate, {"v": i}) for i in range(int(rate * duration))
+        ]
+        run = DistributedInterpreter(p, {"half": 0, "m": 1}, 2).run(
+            {"src": records}
+        )
+        graph = p.to_query_graph(run.result.selectivities())
+        model = build_load_model(graph)
+        from repro import placement_from_mapping
+
+        plan = placement_from_mapping(
+            model, [1.0, 1.0], {"half": 0, "m": 1}
+        )
+        predicted = plan.feasible_set().node_loads([rate]) * duration
+        assert np.allclose(run.node_work, predicted, rtol=0.02)
+
+
+class TestValidation:
+    def test_missing_operator_rejected(self, program):
+        with pytest.raises(ValueError, match="missing"):
+            DistributedInterpreter(program, {"keep": 0}, 2)
+
+    def test_unknown_operator_rejected(self, program):
+        mapping = {"keep": 0, "tag": 0, "join": 0, "ghost": 1}
+        with pytest.raises(ValueError, match="unknown"):
+            DistributedInterpreter(program, mapping, 2)
+
+    def test_node_range_checked(self, program):
+        mapping = {"keep": 0, "tag": 0, "join": 5}
+        with pytest.raises(ValueError, match="out of range"):
+            DistributedInterpreter(program, mapping, 2)
+
+    def test_num_nodes_positive(self, program):
+        with pytest.raises(ValueError, match="at least one"):
+            DistributedInterpreter(program, {}, 0)

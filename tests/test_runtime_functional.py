@@ -1,0 +1,247 @@
+"""Unit tests for functional operators and records."""
+
+import math
+
+import pytest
+
+from repro.graphs import Aggregate, Filter, Map, Union, WindowJoin
+from repro.runtime import (
+    FnAggregate,
+    FnFilter,
+    FnMap,
+    FnUnion,
+    FnWindowJoin,
+    Record,
+)
+
+
+class TestRecord:
+    def test_immutable_mapping(self):
+        r = Record(1.0, {"a": 1})
+        with pytest.raises(TypeError):
+            r.data["a"] = 2
+
+    def test_with_data_copies(self):
+        r = Record(1.0, {"a": 1})
+        r2 = r.with_data(b=2)
+        assert r2["a"] == 1 and r2["b"] == 2
+        assert "b" not in r.data
+
+    def test_get_and_item(self):
+        r = Record(0.0, {"x": 5})
+        assert r["x"] == 5
+        assert r.get("y", 7) == 7
+
+    def test_rejects_nonfinite_time(self):
+        with pytest.raises(ValueError):
+            Record(math.nan, {})
+
+    def test_repr(self):
+        assert "x=1" in repr(Record(2.0, {"x": 1}))
+
+
+class TestFnMap:
+    def test_applies_function(self):
+        op = FnMap("m", lambda d: {"y": d["x"] * 2})
+        (out,) = op.accept(0, Record(1.0, {"x": 3}))
+        assert out["y"] == 6
+        assert out.time == 1.0
+
+    def test_lowering(self):
+        op = FnMap("m", lambda d: d, cost=2e-4)
+        model_op = op.to_model_operator()
+        assert isinstance(model_op, Map)
+        assert model_op.costs == (2e-4,)
+
+    def test_port_checked(self):
+        with pytest.raises(IndexError):
+            FnMap("m", lambda d: d).accept(1, Record(0.0))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            FnMap("m", lambda d: d, cost=-1.0)
+
+
+class TestFnFilter:
+    def test_keeps_and_drops(self):
+        op = FnFilter("f", lambda d: d["x"] > 0)
+        assert op.accept(0, Record(0.0, {"x": 1}))
+        assert op.accept(0, Record(0.0, {"x": -1})) == []
+
+    def test_lowering_uses_measured_selectivity(self):
+        op = FnFilter("f", lambda d: True)
+        model_op = op.to_model_operator(selectivity=0.25)
+        assert isinstance(model_op, Filter)
+        assert model_op.selectivities == (0.25,)
+
+    def test_lowering_caps_selectivity(self):
+        model_op = FnFilter("f", lambda d: True).to_model_operator(
+            selectivity=1.7
+        )
+        assert model_op.selectivities == (1.0,)
+
+
+class TestFnUnion:
+    def test_tags_source_port(self):
+        op = FnUnion("u", arity=3)
+        (out,) = op.accept(2, Record(0.0, {"x": 1}))
+        assert out["_source"] == 2
+
+    def test_arity_validated(self):
+        with pytest.raises(ValueError):
+            FnUnion("u", arity=1)
+
+    def test_lowering(self):
+        model_op = FnUnion("u", arity=3).to_model_operator()
+        assert isinstance(model_op, Union)
+        assert model_op.arity == 3
+
+
+class TestFnAggregate:
+    def make(self, window=1.0, key=None):
+        return FnAggregate(
+            "agg",
+            window=window,
+            reducer=lambda rs: {"n": len(rs)},
+            key=key,
+        )
+
+    def test_window_closes_on_watermark(self):
+        op = self.make()
+        assert op.accept(0, Record(0.2, {})) == []
+        assert op.accept(0, Record(0.7, {})) == []
+        (out,) = op.accept(0, Record(1.1, {}))
+        assert out["n"] == 2
+        assert out.time == 1.0
+
+    def test_grouping(self):
+        op = self.make(key=lambda d: d["k"])
+        op.accept(0, Record(0.1, {"k": "a"}))
+        op.accept(0, Record(0.2, {"k": "b"}))
+        op.accept(0, Record(0.3, {"k": "a"}))
+        outs = op.flush()
+        by_key = {o["key"]: o["n"] for o in outs}
+        assert by_key == {"a": 2, "b": 1}
+
+    def test_flush_releases_open_windows(self):
+        op = self.make()
+        op.accept(0, Record(0.5, {}))
+        (out,) = op.flush()
+        assert out["n"] == 1
+
+    def test_lowering_uses_observed_compression(self):
+        op = self.make()
+        for t in (0.1, 0.2, 0.3, 0.4):
+            op.accept(0, Record(t, {}))
+        op.flush()
+        model_op = op.to_model_operator()
+        assert isinstance(model_op, Aggregate)
+        assert model_op.selectivities[0] == pytest.approx(0.25)
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            self.make(window=0.0)
+
+
+class TestFnAggregateSliding:
+    def make(self, window=4.0, slide=2.0):
+        return FnAggregate(
+            "agg", window=window, slide=slide,
+            reducer=lambda rs: {"n": len(rs)},
+        )
+
+    def test_record_lands_in_overlapping_windows(self):
+        op = self.make(window=4.0, slide=2.0)
+        # t=3 belongs to windows [0,4) and [2,6).
+        op.accept(0, Record(3.0, {}))
+        outs = op.flush()
+        assert [o["n"] for o in outs] == [1, 1]
+        assert [o.time for o in outs] == [4.0, 6.0]
+
+    def test_watermark_emits_hops_in_order(self):
+        op = self.make(window=4.0, slide=2.0)
+        op.accept(0, Record(1.0, {}))   # windows 0 only (k=0)
+        op.accept(0, Record(3.0, {}))   # windows 0 and 1
+        released = op.accept(0, Record(6.5, {}))  # closes [0,4) and [2,6)
+        assert [o.time for o in released] == [4.0, 6.0]
+        assert [o["n"] for o in released] == [2, 1]
+
+    def test_output_rate_scales_with_overlap(self):
+        op = self.make(window=4.0, slide=1.0)
+        for t in range(40):
+            op.accept(0, Record(float(t), {}))
+        op.flush()
+        model_op = op.to_model_operator()
+        # ~1 output per slide, 1 input per unit time -> selectivity ~1.
+        assert model_op.selectivities[0] == pytest.approx(1.0, abs=0.15)
+
+    def test_slide_validation(self):
+        with pytest.raises(ValueError, match="slide"):
+            self.make(window=2.0, slide=3.0)
+        with pytest.raises(ValueError, match="slide"):
+            self.make(window=2.0, slide=0.0)
+
+    def test_tumbling_default_unchanged(self):
+        op = FnAggregate("agg", window=2.0,
+                         reducer=lambda rs: {"n": len(rs)})
+        assert op.slide == 2.0
+
+
+class TestFnWindowJoin:
+    def make(self, window=2.0):
+        return FnWindowJoin(
+            "j",
+            window=window,
+            left_key=lambda d: d["k"],
+            right_key=lambda d: d["k"],
+            merge=lambda l, r: {"k": l["k"], "both": (l["v"], r["v"])},
+        )
+
+    def test_matching_keys_within_window_join(self):
+        op = self.make()
+        op.accept(0, Record(0.0, {"k": "a", "v": 1}))
+        (out,) = op.accept(1, Record(0.5, {"k": "a", "v": 2}))
+        assert out["both"] == (1, 2)
+        assert out.time == 0.5
+
+    def test_mismatched_keys_do_not_join(self):
+        op = self.make()
+        op.accept(0, Record(0.0, {"k": "a", "v": 1}))
+        assert op.accept(1, Record(0.5, {"k": "b", "v": 2})) == []
+
+    def test_half_window_expiry(self):
+        op = self.make(window=2.0)
+        op.accept(0, Record(0.0, {"k": "a", "v": 1}))
+        assert op.accept(1, Record(1.5, {"k": "a", "v": 2})) == []
+
+    def test_merge_order_is_left_right(self):
+        op = self.make()
+        op.accept(1, Record(0.0, {"k": "a", "v": "right"}))
+        (out,) = op.accept(0, Record(0.1, {"k": "a", "v": "left"}))
+        assert out["both"] == ("left", "right")
+
+    def test_match_selectivity_measured(self):
+        op = self.make()
+        op.accept(0, Record(0.0, {"k": "a", "v": 1}))
+        op.accept(0, Record(0.0, {"k": "b", "v": 1}))
+        op.accept(1, Record(0.1, {"k": "a", "v": 2}))  # 2 pairs, 1 match
+        assert op.match_selectivity == pytest.approx(0.5)
+
+    def test_lowering_uses_pair_statistics(self):
+        op = self.make(window=3.0)
+        op.accept(0, Record(0.0, {"k": "a", "v": 1}))
+        op.accept(0, Record(0.0, {"k": "b", "v": 1}))
+        op.accept(1, Record(0.1, {"k": "a", "v": 2}))
+        # Interpreter-level ratios are ignored: per-pair stats rule.
+        model_op = op.to_model_operator(selectivity=0.9)
+        assert isinstance(model_op, WindowJoin)
+        assert model_op.window == 3.0
+        assert model_op.selectivity == pytest.approx(0.5)
+
+    def test_lowering_without_traffic_defaults_to_one(self):
+        model_op = self.make().to_model_operator()
+        assert model_op.selectivity == 1.0
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            self.make(window=-1.0)

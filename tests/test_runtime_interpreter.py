@@ -1,0 +1,185 @@
+"""Tests for stream programs and the interpreter."""
+
+import numpy as np
+import pytest
+
+from repro import build_load_model, rod_place
+from repro.runtime import (
+    FnAggregate,
+    FnFilter,
+    FnMap,
+    FnUnion,
+    FnWindowJoin,
+    Interpreter,
+    Record,
+    StreamProgram,
+    records_from_trace,
+)
+
+
+@pytest.fixture
+def pipeline():
+    p = StreamProgram("pipeline")
+    src = p.add_input("src")
+    kept = p.add(FnFilter("keep", lambda d: d["v"] % 2 == 0), [src])
+    p.add(FnMap("double", lambda d: {"v": d["v"] * 2}), [kept])
+    return p
+
+
+class TestStreamProgram:
+    def test_structure(self, pipeline):
+        assert pipeline.input_names == ("src",)
+        assert pipeline.operator_names == ("keep", "double")
+        assert pipeline.inputs_of("double") == ("keep.out",)
+        assert pipeline.sink_streams() == ("double.out",)
+
+    def test_consumers(self, pipeline):
+        assert pipeline.consumers_of("src") == (("keep", 0),)
+        assert pipeline.consumers_of("double.out") == ()
+
+    def test_duplicate_names_rejected(self, pipeline):
+        with pytest.raises(ValueError, match="duplicate operator"):
+            pipeline.add(FnMap("keep", lambda d: d), ["src"])
+        with pytest.raises(ValueError, match="duplicate stream"):
+            pipeline.add_input("src")
+
+    def test_arity_checked(self):
+        p = StreamProgram()
+        p.add_input("a")
+        with pytest.raises(ValueError, match="arity"):
+            p.add(FnUnion("u", arity=2), ["a"])
+
+    def test_unknown_stream_rejected(self, pipeline):
+        with pytest.raises(KeyError):
+            pipeline.add(FnMap("m", lambda d: d), ["nope"])
+
+    def test_lowering_produces_equivalent_graph(self, pipeline):
+        graph = pipeline.to_query_graph({"keep": 0.5})
+        assert graph.operator_names == ("keep", "double")
+        assert graph.operator("keep").selectivities == (0.5,)
+        model = build_load_model(graph)
+        assert model.num_variables == 1
+
+
+class TestInterpreter:
+    def test_end_to_end_values(self, pipeline):
+        records = [Record(t * 0.1, {"v": t}) for t in range(10)]
+        result = Interpreter(pipeline).run({"src": records})
+        outs = [r["v"] for r in result.sink_records["double.out"]]
+        assert outs == [0, 4, 8, 12, 16]
+        assert result.tuples_in == {"src": 10}
+
+    def test_measured_selectivities(self, pipeline):
+        records = [Record(t * 0.1, {"v": t}) for t in range(10)]
+        result = Interpreter(pipeline).run({"src": records})
+        sel = result.selectivities()
+        assert sel["keep"] == pytest.approx(0.5)
+        assert sel["double"] == pytest.approx(1.0)
+
+    def test_merges_inputs_by_time(self):
+        p = StreamProgram()
+        a, b = p.add_input("a"), p.add_input("b")
+        u = p.add(FnUnion("u", arity=2), [a, b])
+        p.add(FnMap("stamp", lambda d: d), [u])
+        result = Interpreter(p).run(
+            {
+                "a": [Record(0.0, {"v": "a0"}), Record(2.0, {"v": "a1"})],
+                "b": [Record(1.0, {"v": "b0"})],
+            }
+        )
+        outs = [r["v"] for r in result.sink_records["stamp.out"]]
+        assert outs == ["a0", "b0", "a1"]
+
+    def test_windows_flush_at_end(self):
+        p = StreamProgram()
+        src = p.add_input("src")
+        p.add(
+            FnAggregate("count", window=10.0,
+                        reducer=lambda rs: {"n": len(rs)}),
+            [src],
+        )
+        result = Interpreter(p).run(
+            {"src": [Record(0.1, {}), Record(0.2, {})]}
+        )
+        (out,) = result.sink_records["count.out"]
+        assert out["n"] == 2
+
+    def test_watermarks_release_before_end(self):
+        p = StreamProgram()
+        a, b = p.add_input("a"), p.add_input("b")
+        agg = p.add(
+            FnAggregate("count", window=1.0,
+                        reducer=lambda rs: {"n": len(rs)}),
+            [a],
+        )
+        p.add(
+            FnWindowJoin(
+                "j", window=4.0,
+                left_key=lambda d: 0, right_key=lambda d: 0,
+                merge=lambda l, r: {"n": l["n"], "mark": r["m"]},
+            ),
+            [agg, b],
+        )
+        # The aggregate's first window closes at t=1; a 'b' record at
+        # t=1.5 must see the released aggregate (watermark-driven).
+        result = Interpreter(p).run(
+            {
+                "a": [Record(0.4, {}), Record(0.6, {}), Record(1.2, {})],
+                "b": [Record(1.5, {"m": "x"})],
+            }
+        )
+        outs = result.sink_records["j.out"]
+        assert any(o["n"] == 2 and o["mark"] == "x" for o in outs)
+
+    def test_unknown_input_rejected(self, pipeline):
+        with pytest.raises(ValueError, match="unknown input"):
+            Interpreter(pipeline).run({"bogus": []})
+
+    def test_empty_run(self, pipeline):
+        result = Interpreter(pipeline).run({"src": []})
+        assert result.total_output == 0
+
+
+class TestRecordsFromTrace:
+    def test_count_matches_trace_volume(self):
+        records = records_from_trace(
+            [10.0, 10.0, 0.0, 5.0], 1.0, lambda i: {"i": i}
+        )
+        assert len(records) == 25
+        times = [r.time for r in records]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 4.0 for t in times)
+
+    def test_payload_builder_gets_sequence_numbers(self):
+        records = records_from_trace([3.0], 1.0, lambda i: {"i": i})
+        assert [r["i"] for r in records] == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            records_from_trace([1.0], 0.0, lambda i: {})
+
+
+class TestPlanFromMeasuredRun:
+    def test_measure_lower_place(self):
+        """The full workflow: run the real query, feed measured
+        selectivities to the load model, place with ROD."""
+        p = StreamProgram("workflow")
+        src = p.add_input("src")
+        kept = p.add(
+            FnFilter("rare", lambda d: d["v"] % 10 == 0, cost=1e-4), [src]
+        )
+        p.add(
+            FnAggregate("summary", window=1.0,
+                        reducer=lambda rs: {"n": len(rs)}, cost=2e-4),
+            [kept],
+        )
+        records = [Record(t * 0.01, {"v": t}) for t in range(1000)]
+        result = Interpreter(p).run({"src": records})
+        graph = p.to_query_graph(result.selectivities())
+        assert graph.operator("rare").selectivities[0] == pytest.approx(0.1)
+        model = build_load_model(graph)
+        plan = rod_place(model, [1.0, 1.0])
+        assert len(plan.assignment) == 2
+        assert np.isclose(
+            plan.node_coefficients().sum(axis=0), model.column_totals()
+        ).all()

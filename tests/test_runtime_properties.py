@@ -1,0 +1,128 @@
+"""Property-based tests on the functional runtime."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    FnAggregate,
+    FnFilter,
+    FnMap,
+    FnWindowJoin,
+    Interpreter,
+    Record,
+    StreamProgram,
+)
+
+times = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=0, max_size=60
+).map(sorted)
+
+
+def make_records(time_list, values=None):
+    return [
+        Record(t, {"v": (values[i] if values else i)})
+        for i, t in enumerate(time_list)
+    ]
+
+
+class TestAggregateConservation:
+    @given(times)
+    @settings(max_examples=50, deadline=None)
+    def test_counts_conserved_across_windows(self, time_list):
+        """Every input record lands in exactly one emitted window."""
+        op = FnAggregate("agg", window=7.0,
+                         reducer=lambda rs: {"n": len(rs)})
+        outs = []
+        for record in make_records(time_list):
+            outs.extend(op.accept(0, record))
+        outs.extend(op.flush())
+        assert sum(o["n"] for o in outs) == len(time_list)
+
+    @given(times)
+    @settings(max_examples=50, deadline=None)
+    def test_window_emission_times_monotone(self, time_list):
+        op = FnAggregate("agg", window=3.0,
+                         reducer=lambda rs: {"n": len(rs)})
+        outs = []
+        for record in make_records(time_list):
+            outs.extend(op.accept(0, record))
+        outs.extend(op.flush())
+        emitted = [o.time for o in outs]
+        assert emitted == sorted(emitted)
+
+
+class TestJoinProperties:
+    @given(times, times)
+    @settings(max_examples=40, deadline=None)
+    def test_join_is_symmetric_in_match_count(self, left, right):
+        """Swapping ports yields the same number of matches."""
+
+        def run(a, b):
+            op = FnWindowJoin(
+                "j", window=5.0,
+                left_key=lambda d: 0, right_key=lambda d: 0,
+                merge=lambda l, r: {},
+            )
+            merged = sorted(
+                [(t, 0) for t in a] + [(t, 1) for t in b]
+            )
+            total = 0
+            for t, port in merged:
+                total += len(op.accept(port, Record(t, {"v": 0})))
+            return total
+
+        assert run(left, right) == run(right, left)
+
+    @given(times, times)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_respect_half_window(self, left, right):
+        window = 4.0
+        op = FnWindowJoin(
+            "j", window=window,
+            left_key=lambda d: 0, right_key=lambda d: 0,
+            merge=lambda l, r: {"lt": l["t"], "rt": r["t"]},
+        )
+        merged = sorted(
+            [(t, 0) for t in left] + [(t, 1) for t in right]
+        )
+        outs = []
+        for t, port in merged:
+            outs.extend(op.accept(port, Record(t, {"v": 0, "t": t})))
+        for o in outs:
+            assert abs(o["lt"] - o["rt"]) <= window / 2.0 + 1e-9
+
+
+class TestPipelineInvariants:
+    @given(
+        st.lists(st.integers(-100, 100), min_size=0, max_size=60),
+        st.integers(-100, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_filter_map_equals_python(self, values, threshold):
+        """The interpreter agrees with plain Python comprehension."""
+        p = StreamProgram()
+        src = p.add_input("src")
+        kept = p.add(
+            FnFilter("keep", lambda d: d["v"] > threshold), [src]
+        )
+        p.add(FnMap("neg", lambda d: {"v": -d["v"]}), [kept])
+        records = [
+            Record(i * 0.1, {"v": v}) for i, v in enumerate(values)
+        ]
+        result = Interpreter(p).run({"src": records})
+        outs = [r["v"] for r in result.sink_records["neg.out"]]
+        assert outs == [-v for v in values if v > threshold]
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_selectivity_counts_consistent(self, values):
+        p = StreamProgram()
+        src = p.add_input("src")
+        p.add(FnFilter("even", lambda d: d["v"] % 2 == 0), [src])
+        records = [
+            Record(i * 0.1, {"v": v}) for i, v in enumerate(values)
+        ]
+        result = Interpreter(p).run({"src": records})
+        expected = sum(1 for v in values if v % 2 == 0) / len(values)
+        assert result.selectivities()["even"] == pytest.approx(expected)

@@ -1,0 +1,96 @@
+"""Unit tests for prepackaged workload scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.workload import burst_series, shift_series, steady_trace_series
+
+
+class TestSteadyTraceSeries:
+    def test_mean_demand_hits_target(self, small_tree_model, four_nodes):
+        series = steady_trace_series(
+            small_tree_model, four_nodes, 200, 0.7, seed=1
+        )
+        totals = small_tree_model.column_totals()
+        mean_demand = float(series.mean(axis=0) @ totals)
+        assert mean_demand == pytest.approx(0.7 * four_nodes.sum())
+
+    def test_shape_and_positivity(self, small_tree_model, four_nodes):
+        series = steady_trace_series(
+            small_tree_model, four_nodes, 64, 0.5, seed=2
+        )
+        assert series.shape == (64, small_tree_model.num_inputs)
+        assert np.all(series >= 0)
+
+    def test_traces_are_bursty(self, small_tree_model, four_nodes):
+        series = steady_trace_series(
+            small_tree_model, four_nodes, 512, 0.5, seed=3
+        )
+        # At least one input's trace varies substantially.
+        cv = series.std(axis=0) / series.mean(axis=0)
+        assert cv.max() > 0.2
+
+
+class TestBurstSeries:
+    def test_burst_window_has_burst_mix(self, small_tree_model, four_nodes):
+        series = burst_series(
+            small_tree_model, four_nodes, 100,
+            base_mix=(3.0, 1.0, 1.0), burst_mix=(1.0, 3.0, 1.0),
+            base_utilization=0.5, burst_utilization=0.9,
+            burst_start=40, burst_steps=10,
+        )
+        totals = small_tree_model.column_totals()
+        assert float(series[45] @ totals) == pytest.approx(
+            0.9 * four_nodes.sum()
+        )
+        assert float(series[10] @ totals) == pytest.approx(
+            0.5 * four_nodes.sum()
+        )
+        # Base returns after the burst.
+        assert np.allclose(series[60], series[10])
+
+    def test_default_burst_placement(self, small_tree_model, four_nodes):
+        series = burst_series(
+            small_tree_model, four_nodes, 90,
+            base_mix=(1.0, 1.0, 1.0), burst_mix=(2.0, 1.0, 1.0),
+            base_utilization=0.4, burst_utilization=0.8,
+        )
+        # Burst occupies [30, 39] by default.
+        assert not np.allclose(series[31], series[0])
+        assert np.allclose(series[50], series[0])
+
+    def test_validation(self, small_tree_model, four_nodes):
+        with pytest.raises(ValueError, match="burst_start"):
+            burst_series(
+                small_tree_model, four_nodes, 50,
+                base_mix=(1, 1, 1), burst_mix=(1, 1, 1),
+                base_utilization=0.5, burst_utilization=0.8,
+                burst_start=99,
+            )
+        with pytest.raises(ValueError, match="steps"):
+            burst_series(
+                small_tree_model, four_nodes, 1,
+                base_mix=(1, 1, 1), burst_mix=(1, 1, 1),
+                base_utilization=0.5, burst_utilization=0.8,
+            )
+
+
+class TestShiftSeries:
+    def test_permanent_flip(self, small_tree_model, four_nodes):
+        series = shift_series(
+            small_tree_model, four_nodes, 60,
+            base_mix=(4.0, 1.0, 1.0), shifted_mix=(1.0, 4.0, 1.0),
+            base_utilization=0.5, shifted_utilization=0.8,
+            shift_at=20,
+        )
+        assert np.allclose(series[59], series[20])
+        assert not np.allclose(series[19], series[20])
+
+    def test_validation(self, small_tree_model, four_nodes):
+        with pytest.raises(ValueError, match="shift_at"):
+            shift_series(
+                small_tree_model, four_nodes, 50,
+                base_mix=(1, 1, 1), shifted_mix=(1, 1, 1),
+                base_utilization=0.5, shifted_utilization=0.8,
+                shift_at=-1,
+            )

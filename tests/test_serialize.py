@@ -1,0 +1,142 @@
+"""Unit tests for query-graph JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.graphs import (
+    QueryGraph,
+    WindowJoin,
+    dump_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    monitoring_graph,
+    paper_example3_graph,
+    paper_example_graph,
+    random_tree_graph,
+)
+
+
+def assert_graphs_equivalent(a: QueryGraph, b: QueryGraph) -> None:
+    assert a.input_names == b.input_names
+    assert a.operator_names == b.operator_names
+    for name in a.operator_names:
+        assert a.inputs_of(name) == b.inputs_of(name)
+        assert a.output_of(name).name == b.output_of(name).name
+        assert type(a.operator(name)) is type(b.operator(name))
+    rates_a = a.stream_rates([1.0] * a.num_inputs)
+    rates_b = b.stream_rates([1.0] * b.num_inputs)
+    for stream, rate in rates_a.items():
+        assert rates_b[stream] == pytest.approx(rate)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            paper_example_graph,
+            paper_example3_graph,
+            lambda: monitoring_graph(3, seed=1),
+            lambda: random_tree_graph(seed=2),
+        ],
+    )
+    def test_dict_roundtrip(self, factory):
+        graph = factory()
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert_graphs_equivalent(graph, rebuilt)
+
+    def test_loads_preserved(self):
+        graph = paper_example3_graph()
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        original = graph.operator_loads([2.0, 3.0])
+        again = rebuilt.operator_loads([2.0, 3.0])
+        for name, load in original.items():
+            assert again[name] == pytest.approx(load)
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = monitoring_graph(2, seed=5)
+        path = str(tmp_path / "graph.json")
+        dump_graph(graph, path)
+        assert_graphs_equivalent(graph, load_graph(path))
+
+    def test_document_is_plain_json(self, tmp_path):
+        path = str(tmp_path / "graph.json")
+        dump_graph(paper_example_graph(), path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["inputs"] == ["I1", "I2"]
+        assert {op["kind"] for op in doc["operators"]} == {"delay"}
+
+    def test_custom_output_names_survive(self):
+        g = QueryGraph("custom")
+        i = g.add_input("I")
+        from repro.graphs import Map
+
+        g.add_operator(Map("m", cost=1.0), [i], output_name="renamed")
+        rebuilt = graph_from_dict(graph_to_dict(g))
+        assert rebuilt.output_of("m").name == "renamed"
+
+
+class TestValidation:
+    def test_missing_sections_rejected(self):
+        with pytest.raises(ValueError, match="'inputs'"):
+            graph_from_dict({"operators": []})
+
+    def test_missing_operator_fields_rejected(self):
+        with pytest.raises(ValueError, match="'name'"):
+            graph_from_dict(
+                {"inputs": ["I"], "operators": [{"kind": "map"}]}
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown operator kind"):
+            graph_from_dict(
+                {
+                    "inputs": ["I"],
+                    "operators": [
+                        {"name": "x", "kind": "teleport", "inputs": ["I"]}
+                    ],
+                }
+            )
+
+    def test_forward_reference_rejected(self):
+        doc = {
+            "inputs": ["I"],
+            "operators": [
+                {"name": "b", "kind": "map", "cost": 1.0,
+                 "inputs": ["a.out"]},
+                {"name": "a", "kind": "map", "cost": 1.0, "inputs": ["I"]},
+            ],
+        }
+        with pytest.raises(KeyError, match="unknown stream"):
+            graph_from_dict(doc)
+
+    def test_all_kinds_serializable(self):
+        g = QueryGraph("kinds")
+        a, b = g.add_input("A"), g.add_input("B")
+        from repro.graphs import (
+            Aggregate,
+            Filter,
+            LinearOperator,
+            Map,
+            Union,
+            VariableSelectivityOp,
+        )
+
+        f = g.add_operator(Filter("f", cost=1.0, selectivity=0.5), [a])
+        m = g.add_operator(Map("m", cost=1.0), [f])
+        u = g.add_operator(Union("u", costs=[1.0, 1.0]), [m, b])
+        g.add_operator(Aggregate("ag", cost=1.0, selectivity=0.2), [u])
+        v = g.add_operator(VariableSelectivityOp("v", cost=1.0), [b])
+        g.add_operator(
+            WindowJoin("j", cost_per_pair=1.0, selectivity=0.5, window=1.0),
+            [v, m],
+        )
+        g.add_operator(
+            LinearOperator("lin", costs=(1.0, 2.0),
+                           selectivities=(0.5, 0.5)),
+            [m, b],
+        )
+        rebuilt = graph_from_dict(graph_to_dict(g))
+        assert_graphs_equivalent(g, rebuilt)

@@ -1,0 +1,130 @@
+"""Unit tests for trial-run statistics gathering (Section 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro import build_load_model
+from repro.graphs import (
+    Delay,
+    QueryGraph,
+    graph_from_statistics,
+    measure_statistics,
+)
+from repro.graphs import measure_statistics_stable
+from repro.graphs.stats import MeasuredStatistics
+
+
+@pytest.fixture
+def measured(small_tree_model):
+    graph = small_tree_model.graph
+    return measure_statistics(
+        graph, rates=[30.0, 30.0, 30.0], duration=20.0, seed=1
+    )
+
+
+class TestMeasureStatistics:
+    def test_costs_close_to_declared(self, small_tree_model, measured):
+        graph = small_tree_model.graph
+        for op in graph.operators():
+            if measured.tuples_processed[op.name] > 50:
+                assert measured.costs[op.name] == pytest.approx(
+                    op.costs[0], rel=0.05
+                )
+
+    def test_selectivities_close_to_declared(self, small_tree_model,
+                                             measured):
+        graph = small_tree_model.graph
+        for op in graph.operators():
+            if measured.tuples_processed[op.name] > 200:
+                assert measured.selectivities[op.name] == pytest.approx(
+                    op.selectivities[0], abs=0.05
+                )
+
+    def test_coverage_full_on_active_workload(self, measured):
+        assert measured.coverage() == 1.0
+
+    def test_coverage_zero_when_no_traffic(self, small_tree_model):
+        stats = measure_statistics(
+            small_tree_model.graph, rates=[0.0, 0.0, 0.0], duration=1.0
+        )
+        assert stats.coverage() == 0.0
+
+
+class TestMeasureStatisticsStable:
+    def test_converges_to_declared_statistics(self, small_tree_model):
+        graph = small_tree_model.graph
+        stats = measure_statistics_stable(
+            graph, rates=[40.0, 40.0, 40.0], tolerance=0.05,
+            chunk_duration=10.0, max_duration=60.0, seed=2,
+        )
+        assert stats.coverage() == 1.0
+        for op in graph.operators():
+            if stats.tuples_processed[op.name] > 100:
+                assert stats.selectivities[op.name] == pytest.approx(
+                    op.selectivities[0], abs=0.1
+                )
+
+    def test_rejects_starved_operators(self, small_tree_model):
+        with pytest.raises(RuntimeError, match="no traffic"):
+            measure_statistics_stable(
+                small_tree_model.graph,
+                rates=[0.0, 0.0, 0.0],
+                chunk_duration=1.0,
+                max_duration=2.0,
+            )
+
+    def test_parameter_validation(self, small_tree_model):
+        graph = small_tree_model.graph
+        with pytest.raises(ValueError):
+            measure_statistics_stable(graph, [1.0, 1.0, 1.0], tolerance=0.0)
+        with pytest.raises(ValueError):
+            measure_statistics_stable(
+                graph, [1.0, 1.0, 1.0], chunk_duration=10.0,
+                max_duration=5.0,
+            )
+
+
+class TestGraphFromStatistics:
+    def test_structure_preserved(self, small_tree_model, measured):
+        graph = small_tree_model.graph
+        rebuilt = graph_from_statistics(graph, measured)
+        assert rebuilt.operator_names == graph.operator_names
+        assert rebuilt.input_names == graph.input_names
+        for name in graph.operator_names:
+            assert rebuilt.inputs_of(name) == graph.inputs_of(name)
+
+    def test_measured_model_close_to_true_model(self, small_tree_model,
+                                                measured):
+        graph = small_tree_model.graph
+        rebuilt = build_load_model(graph_from_statistics(graph, measured))
+        true = small_tree_model.coefficients
+        est = rebuilt.coefficients
+        # Coefficients compound cost and upstream selectivities; allow a
+        # modest relative error on the dominant entries.
+        mask = true > true.max() * 0.05
+        assert np.allclose(est[mask], true[mask], rtol=0.25)
+
+    def test_unseen_operators_keep_declared_stats(self):
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Delay("d", cost=0.5, selectivity=0.5), [i])
+        stats = MeasuredStatistics(
+            costs={"d": 0.0},
+            selectivities={"d": 0.0},
+            tuples_processed={"d": 0},
+        )
+        rebuilt = graph_from_statistics(g, stats)
+        op = rebuilt.operator("d")
+        assert op.costs[0] == 0.5
+        assert op.selectivities[0] == 0.5
+
+    def test_planning_on_measured_graph_works_end_to_end(
+        self, small_tree_model, measured
+    ):
+        from repro.core.rod import rod_place
+
+        rebuilt = build_load_model(
+            graph_from_statistics(small_tree_model.graph, measured)
+        )
+        plan = rod_place(rebuilt, [1.0] * 4)
+        assert 0.0 < plan.volume_ratio(samples=1024) <= 1.0

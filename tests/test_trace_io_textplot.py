@@ -1,0 +1,127 @@
+"""Tests for trace file I/O, rebinning and terminal plots."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    area_chart,
+    hurst_exponent,
+    load_trace_csv,
+    make_trace,
+    rebin_trace,
+    save_trace_csv,
+    sparkline,
+)
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace("tcp", 256, seed=1)
+        path = str(tmp_path / "trace.csv")
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert np.allclose(loaded, trace)
+
+    def test_column_selection(self, tmp_path):
+        path = str(tmp_path / "multi.csv")
+        with open(path, "w") as handle:
+            handle.write("1,10\n2,20\n3,30\n")
+        assert np.allclose(load_trace_csv(path, column=1), [10, 20, 30])
+
+    def test_skip_header(self, tmp_path):
+        path = str(tmp_path / "hdr.csv")
+        with open(path, "w") as handle:
+            handle.write("# rate\n5\n6\n")
+        assert np.allclose(
+            load_trace_csv(path, skip_header=1), [5.0, 6.0]
+        )
+
+    def test_validation(self, tmp_path):
+        path = str(tmp_path / "bad.csv")
+        with open(path, "w") as handle:
+            handle.write("1,-2\n3,-4\n")
+        with pytest.raises(ValueError, match=">= 0"):
+            load_trace_csv(path, column=1)
+        with pytest.raises(ValueError, match="column"):
+            load_trace_csv(path, column=7)
+
+    def test_single_row_is_one_series(self, tmp_path):
+        """A one-line file parses as a (short) single-column trace."""
+        path = str(tmp_path / "one.csv")
+        with open(path, "w") as handle:
+            handle.write("7\n")
+        assert np.allclose(load_trace_csv(path), [7.0])
+
+
+class TestRebin:
+    def test_averages_bins(self):
+        assert np.allclose(
+            rebin_trace([1.0, 3.0, 5.0, 7.0], 2), [2.0, 6.0]
+        )
+
+    def test_drops_trailing_partial_bin(self):
+        assert rebin_trace([1.0, 2.0, 3.0], 2).shape == (1,)
+
+    def test_identity_factor(self):
+        trace = np.array([1.0, 2.0])
+        assert np.array_equal(rebin_trace(trace, 1), trace)
+
+    def test_self_similarity_survives_rebinning(self):
+        """Figure 2's multi-time-scale claim, made quantitative."""
+        trace = make_trace("tcp", 8192, seed=3)
+        coarse = rebin_trace(trace, 8)
+        assert hurst_exponent(coarse) > 0.6
+        # Burstiness (normalized std) persists at the coarser scale.
+        assert coarse.std() / coarse.mean() > 0.5
+
+    def test_poisson_noise_smooths_out(self):
+        rng = np.random.default_rng(0)
+        iid = rng.poisson(100, size=8192).astype(float)
+        coarse = rebin_trace(iid, 8)
+        assert coarse.std() / coarse.mean() < 0.5 * (iid.std() / iid.mean())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rebin_trace([1.0, 2.0], 0)
+        with pytest.raises(ValueError):
+            rebin_trace([1.0], 2)
+
+
+class TestSparkline:
+    def test_length_matches_width(self):
+        line = sparkline(np.arange(100), width=20)
+        assert len(line) == 20
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([float("nan")])
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestAreaChart:
+    def test_shape(self):
+        chart = area_chart(np.arange(200), width=40, height=6, label="ramp")
+        lines = chart.splitlines()
+        assert len(lines) == 8  # 6 rows + axis + stats
+        assert all(len(line) == 41 for line in lines[:6])
+        assert "ramp" in lines[-1]
+
+    def test_peak_reaches_top_row(self):
+        chart = area_chart([0, 0, 10, 0], width=4, height=5)
+        assert "#" in chart.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            area_chart([])
+        with pytest.raises(ValueError):
+            area_chart([1.0], width=0)

@@ -1,0 +1,137 @@
+"""Unit tests for synthetic trace generation (the Figure 2 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import traces
+
+
+class TestParetoOnOff:
+    def test_mean_rate_matched(self):
+        t = traces.pareto_on_off_trace(2048, mean_rate=50.0, seed=1)
+        assert t.mean() == pytest.approx(50.0)
+
+    def test_nonnegative(self):
+        assert np.all(traces.pareto_on_off_trace(512, seed=2) >= 0)
+
+    def test_self_similar(self):
+        t = traces.pareto_on_off_trace(4096, alpha=1.3, seed=3)
+        assert traces.hurst_exponent(t) > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            traces.pareto_on_off_trace(0)
+        with pytest.raises(ValueError):
+            traces.pareto_on_off_trace(10, sources=0)
+        with pytest.raises(ValueError):
+            traces.pareto_on_off_trace(10, alpha=2.5)
+        with pytest.raises(ValueError):
+            traces.pareto_on_off_trace(10, mean_rate=0.0)
+
+    def test_deterministic(self):
+        a = traces.pareto_on_off_trace(256, seed=4)
+        b = traces.pareto_on_off_trace(256, seed=4)
+        assert np.array_equal(a, b)
+
+
+class TestBModel:
+    def test_mean_rate_matched(self):
+        t = traces.b_model_trace(1000, mean_rate=20.0, seed=1)
+        assert t.mean() == pytest.approx(20.0)
+
+    def test_unbiased_cascade_is_flat(self):
+        t = traces.b_model_trace(64, bias=0.5, seed=1)
+        assert np.allclose(t, t[0])
+
+    def test_higher_bias_is_burstier(self):
+        mild = traces.b_model_trace(1024, bias=0.6, seed=2)
+        wild = traces.b_model_trace(1024, bias=0.9, seed=2)
+        assert wild.std() > mild.std()
+
+    def test_handles_non_power_of_two(self):
+        assert traces.b_model_trace(1000, seed=3).shape == (1000,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            traces.b_model_trace(10, bias=0.4)
+        with pytest.raises(ValueError):
+            traces.b_model_trace(10, bias=1.0)
+
+
+class TestFlashCrowd:
+    def test_mean_rate_matched(self):
+        t = traces.flash_crowd_trace(2048, mean_rate=75.0, seed=1)
+        assert t.mean() == pytest.approx(75.0)
+
+    def test_flash_events_create_spikes(self):
+        calm = traces.flash_crowd_trace(
+            2048, flash_probability=0.0, noise=0.05, seed=2
+        )
+        spiky = traces.flash_crowd_trace(
+            2048, flash_probability=0.02, noise=0.05, seed=2
+        )
+        assert spiky.max() / spiky.mean() > calm.max() / calm.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            traces.flash_crowd_trace(10, diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            traces.flash_crowd_trace(10, flash_decay=1.0)
+        with pytest.raises(ValueError):
+            traces.flash_crowd_trace(10, flash_probability=2.0)
+
+
+class TestDispatchAndStats:
+    def test_make_trace_kinds(self):
+        for kind in traces.TRACE_KINDS:
+            t = traces.make_trace(kind, 256, seed=1)
+            assert t.shape == (256,)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            traces.make_trace("dns", 256)
+
+    def test_normalize(self):
+        t = traces.make_trace("pkt", 512, mean_rate=123.0, seed=1)
+        n = traces.normalize_trace(t)
+        assert n.mean() == pytest.approx(1.0)
+
+    def test_normalize_validation(self):
+        with pytest.raises(ValueError):
+            traces.normalize_trace([])
+        with pytest.raises(ValueError):
+            traces.normalize_trace([0.0, 0.0])
+
+    def test_statistics_keys(self):
+        stats = traces.trace_statistics(traces.make_trace("tcp", 512, seed=1))
+        assert set(stats) == {"mean", "normalized_std", "peak_to_mean",
+                              "hurst"}
+        assert stats["peak_to_mean"] >= 1.0
+
+    def test_all_kinds_bursty(self):
+        """The point of Figure 2: significant variation over time."""
+        for kind in traces.TRACE_KINDS:
+            stats = traces.trace_statistics(
+                traces.make_trace(kind, 4096, seed=5)
+            )
+            assert stats["normalized_std"] > 0.1, kind
+
+
+class TestHurst:
+    def test_iid_noise_near_half(self):
+        rng = np.random.default_rng(0)
+        h = traces.hurst_exponent(rng.random(8192))
+        assert 0.3 < h < 0.65
+
+    def test_trend_near_one(self):
+        h = traces.hurst_exponent(np.linspace(0, 1, 4096) ** 2 + 1)
+        assert h > 0.9
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            traces.hurst_exponent(np.ones(10))
+
+    def test_result_clamped(self):
+        rng = np.random.default_rng(1)
+        h = traces.hurst_exponent(rng.random(512))
+        assert 0.0 <= h <= 1.0

@@ -1,0 +1,83 @@
+"""Unit tests for the 2-D feasible-set renderer."""
+
+import numpy as np
+import pytest
+
+from repro import placement_from_mapping
+from repro.core.feasible_set import FeasibleSet
+from repro.core.viz import compare_feasible_sets, render_feasible_set
+
+
+@pytest.fixture
+def plan(example_model, two_nodes):
+    return placement_from_mapping(
+        example_model, two_nodes, {"o1": 0, "o2": 0, "o3": 1, "o4": 1}
+    )
+
+
+class TestRender:
+    def test_contains_feasible_and_wasted_cells(self, plan):
+        text = render_feasible_set(plan.feasible_set())
+        assert "#" in text
+        assert "." in text
+        assert "> r1" in text
+
+    def test_feasible_fraction_roughly_half_for_plan_a(self, plan):
+        text = render_feasible_set(plan.feasible_set(), width=80, height=40)
+        hashes = text.count("#")
+        dots = text.count(".")
+        # Plan (a) wastes half the ideal set (Figure 5): the grid ratio
+        # should land near 0.5 (the legend line adds a few stray dots).
+        assert 0.35 <= hashes / (hashes + dots) <= 0.6
+
+    def test_title_included(self, plan):
+        text = render_feasible_set(plan.feasible_set(), title="Plan (a)")
+        assert text.splitlines()[0] == "Plan (a)"
+
+    def test_ideal_plan_fills_everything(self):
+        # L^n proportional to totals on one node: hyperplane == ideal.
+        fs = FeasibleSet(np.array([[10.0, 11.0]]), np.array([1.0]))
+        text = render_feasible_set(fs)
+        body = "\n".join(text.splitlines()[:-2])
+        assert "." not in body
+
+    def test_lower_bound_marked(self):
+        fs = FeasibleSet(
+            np.array([[10.0, 11.0]]),
+            np.array([1.0]),
+            lower_bound=np.array([0.03, 0.0]),
+        )
+        assert "*" in render_feasible_set(fs)
+
+    def test_rejects_other_dimensions(self):
+        fs = FeasibleSet(np.ones((1, 3)), np.array([1.0]))
+        with pytest.raises(ValueError, match="2-D"):
+            render_feasible_set(fs)
+
+    def test_rejects_tiny_canvas(self, plan):
+        with pytest.raises(ValueError, match="at least"):
+            render_feasible_set(plan.feasible_set(), width=4, height=2)
+
+    def test_rejects_unloaded_variable(self):
+        fs = FeasibleSet(
+            np.array([[1.0, 0.0]]),
+            np.array([1.0]),
+            column_totals=np.array([1.0, 0.0]),
+        )
+        with pytest.raises(ValueError, match="carry load"):
+            render_feasible_set(fs)
+
+
+class TestCompare:
+    def test_two_plots_with_labels(self, plan, example_model, two_nodes):
+        other = placement_from_mapping(
+            example_model, two_nodes, {"o1": 0, "o2": 1, "o3": 0, "o4": 1}
+        )
+        text = compare_feasible_sets(
+            plan.feasible_set(),
+            other.feasible_set(),
+            labels=("chains apart", "chains split"),
+        )
+        assert "chains apart" in text
+        assert "chains split" in text
+        assert text.count("> r1") == 2
