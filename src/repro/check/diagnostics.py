@@ -1,0 +1,189 @@
+"""Structured diagnostics for the static-analysis subsystem.
+
+Every verifier pass and lint rule reports :class:`Diagnostic` records —
+never raw exceptions — so problems in a query graph, load model,
+placement plan or source file surface *before* they become deep NumPy
+shape errors or silently-wrong volumes.  A :class:`CheckReport`
+aggregates diagnostics across passes and decides exit codes.
+
+Diagnostic codes are stable identifiers (documented in
+``docs/static_analysis.md``):
+
+* ``REPRO1xx`` — query-graph invariants
+* ``REPRO2xx`` — load-model invariants (``L^o`` shape, sign, finiteness)
+* ``REPRO3xx`` — placement-plan invariants (totality, bounds,
+  ``L^n = A L^o`` consistency)
+* ``REPRO4xx`` — experiment-config invariants (dimensions, seeds)
+* ``REPRO5xx`` — source lint rules (``repro-lint``)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Severity", "Diagnostic", "CheckReport", "CheckError"]
+
+
+class Severity(enum.IntEnum):
+    """Severity ladder; comparisons follow the integer ordering."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        """Parse a case-insensitive severity name (CLI ``--fail-on``)."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; "
+                f"expected one of {[s.name.lower() for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a verifier pass or lint rule.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``REPRO305``); groups findings of one rule.
+    severity:
+        :class:`Severity` — ``ERROR`` findings fail plan construction
+        and (by default) the ``repro-rod check`` exit code.
+    message:
+        Human-readable statement of the violated invariant.
+    location:
+        Where the problem is — ``"file.py:12"`` for lint findings,
+        ``"plan 'q'/operator 'f'"`` style paths for semantic ones.
+    fix_hint:
+        Optional actionable suggestion shown after the message.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+    fix_hint: Optional[str] = None
+
+    def format(self) -> str:
+        """Render as a single ``location: CODE severity: message`` line."""
+        prefix = f"{self.location}: " if self.location else ""
+        line = f"{prefix}{self.code} {self.severity}: {self.message}"
+        if self.fix_hint:
+            line += f" (hint: {self.fix_hint})"
+        return line
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+class CheckError(Exception):
+    """Raised when a check gate finds error-severity diagnostics.
+
+    Carries the full :class:`CheckReport` so callers (and tracebacks)
+    see every structured finding, not just the first.
+    """
+
+    def __init__(self, report: "CheckReport") -> None:
+        self.report = report
+        errors = report.errors
+        summary = "; ".join(d.format() for d in errors[:3])
+        if len(errors) > 3:
+            summary += f"; and {len(errors) - 3} more"
+        super().__init__(
+            f"{len(errors)} error-severity diagnostic(s): {summary}"
+        )
+
+
+@dataclass
+class CheckReport:
+    """An ordered collection of diagnostics with aggregate queries."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=lambda: [])
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        """Append another report's diagnostics in place; returns self."""
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # ------------------------------------------------------------ aggregate
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity == Severity.WARNING
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were reported."""
+        return not self.errors
+
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def at_least(self, threshold: Severity) -> List[Diagnostic]:
+        """Diagnostics at or above ``threshold``."""
+        return [d for d in self.diagnostics if d.severity >= threshold]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def counts(self) -> Tuple[int, int, int]:
+        """``(errors, warnings, infos)`` counts."""
+        infos = sum(
+            1 for d in self.diagnostics if d.severity == Severity.INFO
+        )
+        return (len(self.errors), len(self.warnings), infos)
+
+    # --------------------------------------------------------------- output
+
+    def format(self) -> str:
+        """Multi-line rendering: one line per diagnostic plus a summary."""
+        lines = [d.format() for d in self.diagnostics]
+        errors, warnings, infos = self.counts()
+        lines.append(
+            f"{errors} error(s), {warnings} warning(s), {infos} info(s)"
+        )
+        return "\n".join(lines)
+
+    def raise_if_errors(self) -> "CheckReport":
+        """Raise :class:`CheckError` if any error-severity finding exists.
+
+        Returns self otherwise, so gates can be chained fluently.
+        """
+        if not self.ok:
+            raise CheckError(self)
+        return self
+
+    # --------------------------------------------------------------- dunder
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __str__(self) -> str:
+        return self.format()

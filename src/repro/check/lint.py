@@ -1,0 +1,324 @@
+"""``repro-lint`` — AST lint rules for repo-specific invariants (``REPRO5xx``).
+
+Generic tools cannot know this repo's contracts; these rules encode the
+ones that have bitten stream-processing reproductions before:
+
+* **REPRO501 unseeded-rng** (error) — no ``random.Random()`` without a
+  seed and no global-state RNG calls (``random.random()``,
+  ``np.random.seed(...)``, ``np.random.uniform(...)``, ...).  Every
+  experiment must be replayable from its seed.
+* **REPRO502 float-equality** (error) — no ``==``/``!=`` against float
+  literals in load/rate math; use ``math.isclose`` or an explicit
+  tolerance.  ``assert`` statements are exempt: tests state exact
+  IEEE-representable oracles on purpose.
+* **REPRO503 mutable-default** (error) — no mutable default arguments.
+* **REPRO504 missing-all** (warning) — every public module under
+  ``src/`` defines ``__all__``.
+
+Suppress a finding by appending ``# noqa`` or ``# noqa: REPRO502`` to
+the offending line, with a justification comment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .diagnostics import CheckReport, Diagnostic, Severity
+
+__all__ = [
+    "LINT_CODES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+#: code -> (severity, one-line summary), the ``repro-lint`` rule registry.
+LINT_CODES = {
+    "REPRO501": (Severity.ERROR, "unseeded or global-state RNG"),
+    "REPRO502": (Severity.ERROR, "float literal compared with ==/!="),
+    "REPRO503": (Severity.ERROR, "mutable default argument"),
+    "REPRO504": (Severity.WARNING, "public module lacks __all__"),
+}
+
+_SKIP_DIRS = {".git", "__pycache__", "build", "dist", ".venv", "node_modules"}
+
+#: ``random`` module functions that mutate/consume the hidden global state.
+_RANDOM_STATE_FUNCS = frozenset({
+    "random", "seed", "randint", "randrange", "uniform", "gauss",
+    "normalvariate", "expovariate", "shuffle", "choice", "choices",
+    "sample", "betavariate", "triangular", "paretovariate", "getrandbits",
+})
+
+#: ``np.random`` attributes that are fine to call (seedable constructors).
+_NP_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "Philox",
+})
+
+
+def _is_test_path(path: Path) -> bool:
+    parts = set(path.parts)
+    return (
+        "tests" in parts
+        or "benchmarks" in parts
+        or path.stem.startswith("test_")
+        or path.stem == "conftest"
+    )
+
+
+def _noqa_codes(line: str) -> Optional[List[str]]:
+    """Codes suppressed on this line, ``[]`` meaning "all" (bare noqa)."""
+    marker = "# noqa"
+    index = line.find(marker)
+    if index < 0:
+        return None
+    rest = line[index + len(marker):]
+    if rest.startswith(":"):
+        codes = rest[1:].split("#")[0]
+        return [c.strip().upper() for c in codes.split(",") if c.strip()]
+    return []
+
+
+class _LintVisitor(ast.NodeVisitor):
+    """Single-pass visitor collecting REPRO501-503 findings."""
+
+    def __init__(self) -> None:
+        self.findings: List[Dict[str, object]] = []
+        self._assert_depth = 0
+
+    def _report(self, code: str, node: ast.AST, message: str,
+                fix_hint: str) -> None:
+        self.findings.append({
+            "code": code,
+            "lineno": getattr(node, "lineno", 1),
+            "message": message,
+            "fix_hint": fix_hint,
+        })
+
+    # ----------------------------------------------------------- REPRO501
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "random":
+                if func.attr == "Random" and not node.args and not node.keywords:
+                    self._report(
+                        "REPRO501", node,
+                        "random.Random() constructed without a seed",
+                        "pass an explicit seed: random.Random(seed)",
+                    )
+                elif func.attr in _RANDOM_STATE_FUNCS:
+                    self._report(
+                        "REPRO501", node,
+                        f"random.{func.attr}() uses the global RNG state",
+                        "use a seeded random.Random(seed) instance",
+                    )
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in ("np", "numpy")
+                and func.attr not in _NP_RANDOM_ALLOWED
+            ):
+                self._report(
+                    "REPRO501", node,
+                    f"np.random.{func.attr}() uses numpy's global RNG state",
+                    "use np.random.default_rng(seed)",
+                )
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------- REPRO502
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._assert_depth += 1
+        self.generic_visit(node)
+        self._assert_depth -= 1
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._assert_depth == 0:
+            operands = [node.left] + list(node.comparators)
+            has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            has_float = any(
+                isinstance(o, ast.Constant) and isinstance(o.value, float)
+                for o in operands
+            )
+            if has_eq and has_float:
+                self._report(
+                    "REPRO502", node,
+                    "float literal compared with ==/!=",
+                    "use math.isclose(...) or compare against a tolerance",
+                )
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------- REPRO503
+
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            )
+            if mutable:
+                self._report(
+                    "REPRO503", default,
+                    "mutable default argument is shared across calls",
+                    "default to None and create the value inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+
+def _module_defines_all(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                return True
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return True
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return True
+    return False
+
+
+def lint_source(source: str, path: Path) -> List[Diagnostic]:
+    """Lint one module's source text; returns its diagnostics."""
+    location = str(path)
+    try:
+        tree = ast.parse(source, filename=location)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            code="REPRO500",
+            severity=Severity.ERROR,
+            message=f"cannot parse module: {exc.msg}",
+            location=f"{location}:{exc.lineno or 1}",
+        )]
+
+    visitor = _LintVisitor()
+    visitor.visit(tree)
+
+    findings = visitor.findings
+    if (
+        "src" in path.parts
+        and not path.stem.startswith("_")
+        and not _is_test_path(path)
+        and not _module_defines_all(tree)
+    ):
+        findings.append({
+            "code": "REPRO504",
+            "lineno": 1,
+            "message": "public module does not define __all__",
+            "fix_hint": "declare __all__ with the module's public names",
+        })
+
+    lines = source.splitlines()
+    diagnostics = []
+    for finding in sorted(findings, key=lambda f: (f["lineno"], f["code"])):
+        code = str(finding["code"])
+        lineno = int(finding["lineno"])  # type: ignore[arg-type]
+        line = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        suppressed = _noqa_codes(line)
+        if suppressed is not None and (not suppressed or code in suppressed):
+            continue
+        severity, _ = LINT_CODES.get(code, (Severity.ERROR, ""))
+        diagnostics.append(Diagnostic(
+            code=code,
+            severity=severity,
+            message=str(finding["message"]),
+            location=f"{location}:{lineno}",
+            fix_hint=str(finding["fix_hint"]) if finding.get("fix_hint") else None,
+        ))
+    return diagnostics
+
+
+def lint_file(path: Path) -> List[Diagnostic]:
+    """Lint one ``.py`` file from disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Diagnostic(
+            code="REPRO500",
+            severity=Severity.ERROR,
+            message=f"cannot read file: {exc}",
+            location=str(path),
+        )]
+    return lint_source(source, path)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into the ``.py`` files to lint."""
+    result = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    result.append(candidate)
+        elif path.suffix == ".py":
+            result.append(path)
+    return result
+
+
+def lint_paths(paths: Sequence[object]) -> CheckReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    report = CheckReport()
+    for path in iter_python_files(Path(str(p)) for p in paths):
+        report.extend(lint_file(path))
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-lint [paths...] [--fail-on SEVERITY]`` console entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST lint for repo-specific invariants (REPRO5xx)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint")
+    parser.add_argument("--fail-on", default="warning",
+                        choices=("info", "warning", "error"),
+                        help="lowest severity that fails the run")
+    args = parser.parse_args(argv)
+
+    report = lint_paths(args.paths)
+    threshold = Severity.parse(args.fail_on)
+    failing = report.at_least(threshold)
+    for diagnostic in report:
+        print(diagnostic.format())
+    errors, warnings, infos = report.counts()
+    print(f"repro-lint: {errors} error(s), {warnings} warning(s), "
+          f"{infos} info(s)")
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

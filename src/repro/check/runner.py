@@ -1,0 +1,85 @@
+"""Verifier registry and dispatch.
+
+A :class:`CheckRunner` maps artifact types to verifier passes and runs
+every registered pass over whatever artifacts it is handed, aggregating
+one :class:`~repro.check.diagnostics.CheckReport`.  The module-level
+:func:`check_artifact` uses the default runner, which knows the core
+artifact types (query graphs, load models, placements); embedders can
+register extra passes for their own types without touching this package.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple, Type
+
+from ..core.load_model import LoadModel
+from ..core.plans import Placement
+from ..graphs.query_graph import QueryGraph
+from .diagnostics import CheckReport, Diagnostic, Severity
+from .verify_graph import check_graph
+from .verify_model import check_model
+from .verify_plan import check_placement
+
+__all__ = ["CheckRunner", "default_runner", "check_artifact"]
+
+Verifier = Callable[[Any], CheckReport]
+
+
+class CheckRunner:
+    """Aggregates verifier passes keyed by artifact type."""
+
+    def __init__(self) -> None:
+        self._passes: List[Tuple[Type[Any], Verifier]] = []
+
+    def register(self, artifact_type: Type[Any], verifier: Verifier) -> None:
+        """Run ``verifier`` on every artifact of ``artifact_type``."""
+        self._passes.append((artifact_type, verifier))
+
+    def verifiers_for(self, artifact: Any) -> List[Verifier]:
+        return [
+            verifier
+            for artifact_type, verifier in self._passes
+            if isinstance(artifact, artifact_type)
+        ]
+
+    def run(self, *artifacts: Any) -> CheckReport:
+        """Run all matching passes over the artifacts, in order."""
+        report = CheckReport()
+        for artifact in artifacts:
+            verifiers = self.verifiers_for(artifact)
+            if not verifiers:
+                report.add(Diagnostic(
+                    code="REPRO002",
+                    severity=Severity.INFO,
+                    message=(
+                        f"no verifier registered for "
+                        f"{type(artifact).__name__}; artifact skipped"
+                    ),
+                ))
+                continue
+            for verifier in verifiers:
+                report.merge(verifier(artifact))
+        return report
+
+
+def default_runner() -> CheckRunner:
+    """A runner pre-loaded with the core artifact verifiers.
+
+    A :class:`Placement` is checked as a plan *and* has its model and
+    graph checked; a :class:`LoadModel` also pulls in its graph.
+    """
+    runner = CheckRunner()
+    runner.register(QueryGraph, check_graph)
+    runner.register(LoadModel, lambda m: check_graph(m.graph))
+    runner.register(LoadModel, check_model)
+    runner.register(Placement, lambda p: check_graph(p.model.graph))
+    runner.register(Placement, check_placement)
+    return runner
+
+
+_DEFAULT = default_runner()
+
+
+def check_artifact(*artifacts: Any) -> CheckReport:
+    """Check artifacts with the default verifier registry."""
+    return _DEFAULT.run(*artifacts)

@@ -1,0 +1,115 @@
+"""Query-graph verifier pass (``REPRO1xx``).
+
+Checks the structural invariants every downstream layer assumes:
+topological stream ordering (acyclicity), input connectivity, and the
+consumer bookkeeping the load model walks.  All checks go through the
+public :class:`~repro.graphs.query_graph.QueryGraph` API, so they hold
+for deserialized and hand-built graphs alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..graphs.query_graph import QueryGraph
+from .diagnostics import CheckReport, Diagnostic, Severity
+
+__all__ = ["check_graph"]
+
+
+def _loc(graph: QueryGraph, *parts: str) -> str:
+    return "/".join((f"graph {graph.name!r}",) + parts)
+
+
+def _iter_graph_diagnostics(graph: QueryGraph) -> Iterator[Diagnostic]:
+    if graph.num_operators == 0:
+        yield Diagnostic(
+            code="REPRO101",
+            severity=Severity.WARNING,
+            message="graph defines no operators; every plan is empty",
+            location=_loc(graph),
+            fix_hint="add operators or drop the graph from the deployment",
+        )
+    if graph.num_operators > 0 and graph.num_inputs == 0:
+        yield Diagnostic(
+            code="REPRO104",
+            severity=Severity.ERROR,
+            message=(
+                "graph has operators but no system input streams; "
+                "the load model has dimension d=0"
+            ),
+            location=_loc(graph),
+            fix_hint="declare input streams with add_input() before operators",
+        )
+
+    for input_name in graph.input_names:
+        if not graph.consumers_of(input_name):
+            yield Diagnostic(
+                code="REPRO102",
+                severity=Severity.WARNING,
+                message=(
+                    f"input stream {input_name!r} is never consumed; "
+                    "it adds a load-free dimension and an unbounded "
+                    "feasible-set direction"
+                ),
+                location=_loc(graph, f"stream {input_name!r}"),
+                fix_hint="remove the input or attach an operator to it",
+            )
+
+    # Acyclicity / topological order: every operator may only consume
+    # streams that exist before it (system inputs or earlier outputs).
+    seen = set(graph.input_names)
+    for op_name in graph.operator_names:
+        for stream_name in graph.inputs_of(op_name):
+            if stream_name not in seen:
+                yield Diagnostic(
+                    code="REPRO103",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"operator {op_name!r} consumes stream "
+                        f"{stream_name!r} which is not defined upstream "
+                        "(cycle or forward reference)"
+                    ),
+                    location=_loc(graph, f"operator {op_name!r}"),
+                    fix_hint=(
+                        "reorder operators topologically; streams must be "
+                        "produced before they are consumed"
+                    ),
+                )
+        seen.add(graph.output_of(op_name).name)
+
+    # Consumer bookkeeping must mirror the per-operator input lists.
+    for op_name in graph.operator_names:
+        for stream_name in graph.inputs_of(op_name):
+            try:
+                consumers = graph.consumers_of(stream_name)
+            except KeyError:
+                yield Diagnostic(
+                    code="REPRO106",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"operator {op_name!r} references unknown stream "
+                        f"{stream_name!r}"
+                    ),
+                    location=_loc(graph, f"operator {op_name!r}"),
+                    fix_hint="declare the stream before wiring the operator",
+                )
+                continue
+            if op_name not in consumers:
+                yield Diagnostic(
+                    code="REPRO105",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"stream {stream_name!r} does not list its consumer "
+                        f"{op_name!r} (internal bookkeeping mismatch)"
+                    ),
+                    location=_loc(graph, f"stream {stream_name!r}"),
+                    fix_hint="rebuild the graph through the QueryGraph API",
+                )
+
+
+def check_graph(graph: QueryGraph) -> CheckReport:
+    """Verify structural invariants of a query graph."""
+    report = CheckReport()
+    report.extend(_iter_graph_diagnostics(graph))
+    return report

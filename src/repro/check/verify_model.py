@@ -1,0 +1,122 @@
+"""Load-model verifier pass (``REPRO2xx``).
+
+Validates the shape and numeric sanity of ``L^o`` against the model's
+declared variables and operators — the invariants that, when violated,
+otherwise surface as deep NumPy broadcasting errors or silently-wrong
+feasible-set volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.load_model import LoadModel
+from .diagnostics import CheckReport, Diagnostic, Severity
+
+__all__ = ["check_model"]
+
+
+def _loc(model: LoadModel, *parts: str) -> str:
+    return "/".join((f"model {model.graph.name!r}",) + parts)
+
+
+def _iter_model_diagnostics(model: LoadModel) -> Iterator[Diagnostic]:
+    m = len(model.operator_names)
+    d = len(model.variables)
+    coeffs = np.asarray(model.coefficients)
+
+    if coeffs.shape != (m, d):
+        yield Diagnostic(
+            code="REPRO201",
+            severity=Severity.ERROR,
+            message=(
+                f"L^o has shape {coeffs.shape} but the model declares "
+                f"{m} operator(s) x {d} variable(s)"
+            ),
+            location=_loc(model),
+            fix_hint="rebuild the model with build_load_model(graph)",
+        )
+        return  # every later check indexes by the declared shape
+
+    if len(set(model.variables)) != d:
+        dupes = sorted(
+            {v for v in model.variables if model.variables.count(v) > 1}
+        )
+        yield Diagnostic(
+            code="REPRO206",
+            severity=Severity.ERROR,
+            message=f"duplicate variable name(s): {dupes}",
+            location=_loc(model),
+            fix_hint="stream names must be unique within a graph",
+        )
+    if len(set(model.operator_names)) != m:
+        yield Diagnostic(
+            code="REPRO207",
+            severity=Severity.ERROR,
+            message="duplicate operator names in the model",
+            location=_loc(model),
+        )
+
+    bad = ~np.isfinite(coeffs)
+    if np.any(bad):
+        rows = sorted({int(j) for j in np.nonzero(bad)[0]})
+        names = [model.operator_names[j] for j in rows[:5]]
+        yield Diagnostic(
+            code="REPRO203",
+            severity=Severity.ERROR,
+            message=f"L^o contains NaN/inf entries in row(s) for {names}",
+            location=_loc(model),
+            fix_hint="operator costs and selectivities must be finite",
+        )
+    negative = np.isfinite(coeffs) & (coeffs < 0)
+    if np.any(negative):
+        rows = sorted({int(j) for j in np.nonzero(negative)[0]})
+        names = [model.operator_names[j] for j in rows[:5]]
+        yield Diagnostic(
+            code="REPRO202",
+            severity=Severity.ERROR,
+            message=f"negative load coefficient(s) in row(s) for {names}",
+            location=_loc(model),
+            fix_hint="CPU cost per tuple cannot be negative",
+        )
+
+    if m > 0 and np.all(np.isfinite(coeffs)):
+        totals = coeffs.sum(axis=0)
+        for k, total in enumerate(totals):
+            if total <= 0.0:
+                yield Diagnostic(
+                    code="REPRO204",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"variable {model.variables[k]!r} carries no load "
+                        "(zero column in L^o); the ideal feasible set is "
+                        "unbounded along it"
+                    ),
+                    location=_loc(model, f"variable {model.variables[k]!r}"),
+                    fix_hint=(
+                        "only volume *ratios* are meaningful for this model"
+                    ),
+                )
+
+    for name, vector in model.stream_coefficients.items():
+        v = np.asarray(vector, dtype=float)
+        if v.shape != (d,):
+            yield Diagnostic(
+                code="REPRO205",
+                severity=Severity.ERROR,
+                message=(
+                    f"stream {name!r} rate vector has shape {v.shape}, "
+                    f"expected ({d},)"
+                ),
+                location=_loc(model, f"stream {name!r}"),
+                fix_hint="rebuild the model with build_load_model(graph)",
+            )
+
+
+def check_model(model: LoadModel) -> CheckReport:
+    """Verify shape/sign/finiteness invariants of a load model."""
+    report = CheckReport()
+    report.extend(_iter_model_diagnostics(model))
+    return report

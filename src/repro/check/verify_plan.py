@@ -1,0 +1,266 @@
+"""Placement-plan verifier pass (``REPRO3xx``).
+
+Two entry points:
+
+* :func:`check_plan_document` validates a *plan document* (the JSON
+  dict ``repro-rod place -o`` writes) before any :class:`Placement` is
+  constructed — mapping totality, node-index bounds, capacity
+  positivity, and consistency of a stored ``L^n`` with the recomputed
+  ``A L^o`` when the load model is available.
+* :func:`check_placement` validates an already-constructed
+  :class:`~repro.core.plans.Placement` (model sanity plus plan-level
+  consistency between the placement and its derived feasible set).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Optional
+
+import numpy as np
+
+from ..core.load_model import LoadModel
+from ..core.plans import Placement
+from .diagnostics import CheckReport, Diagnostic, Severity
+from .verify_model import check_model
+
+__all__ = ["check_placement", "check_plan_document"]
+
+#: Relative tolerance for comparing a stored ``L^n`` against ``A L^o``.
+LN_CONSISTENCY_RTOL = 1e-9
+
+
+def _iter_document_diagnostics(
+    doc: Mapping[str, Any],
+    model: Optional[LoadModel],
+    location: str,
+) -> Iterator[Diagnostic]:
+    assignment = doc.get("assignment")
+    if not isinstance(assignment, Mapping):
+        yield Diagnostic(
+            code="REPRO301",
+            severity=Severity.ERROR,
+            message="plan document has no 'assignment' mapping",
+            location=location,
+            fix_hint="expected {'assignment': {operator: node index}}",
+        )
+        return
+
+    capacities = doc.get("capacities")
+    num_nodes: Optional[int] = None
+    if capacities is not None:
+        c = np.asarray(capacities, dtype=float)
+        if c.ndim != 1 or c.size == 0:
+            yield Diagnostic(
+                code="REPRO304",
+                severity=Severity.ERROR,
+                message=f"capacities must be a non-empty list, got {capacities!r}",
+                location=location,
+                fix_hint="one positive CPU capacity per node",
+            )
+        else:
+            num_nodes = int(c.size)
+            if not np.all(np.isfinite(c)) or np.any(c <= 0):
+                yield Diagnostic(
+                    code="REPRO304",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"capacities must be finite and > 0, got {c.tolist()}"
+                    ),
+                    location=location,
+                    fix_hint="a node with zero capacity can host nothing; "
+                    "remove it or give it positive capacity",
+                )
+
+    for op_name, node in assignment.items():
+        if not isinstance(node, int) or isinstance(node, bool) or node < 0:
+            yield Diagnostic(
+                code="REPRO303",
+                severity=Severity.ERROR,
+                message=(
+                    f"operator {op_name!r} is assigned to {node!r}; node "
+                    "indexes must be non-negative integers"
+                ),
+                location=f"{location}/operator {op_name!r}",
+            )
+        elif num_nodes is not None and node >= num_nodes:
+            yield Diagnostic(
+                code="REPRO303",
+                severity=Severity.ERROR,
+                message=(
+                    f"operator {op_name!r} is assigned to node {node}, but "
+                    f"the plan declares only {num_nodes} node(s)"
+                ),
+                location=f"{location}/operator {op_name!r}",
+                fix_hint="node indexes are 0-based and must be < len(capacities)",
+            )
+
+    if num_nodes is not None:
+        used = {
+            n for n in assignment.values()
+            if isinstance(n, int) and 0 <= n < num_nodes
+        }
+        for node in range(num_nodes):
+            if node not in used:
+                yield Diagnostic(
+                    code="REPRO306",
+                    severity=Severity.INFO,
+                    message=f"node {node} hosts no operators",
+                    location=location,
+                )
+
+    stored_ln = doc.get("node_coefficients")
+    if stored_ln is not None:
+        ln = np.asarray(stored_ln, dtype=float)
+        if ln.ndim != 2:
+            yield Diagnostic(
+                code="REPRO305",
+                severity=Severity.ERROR,
+                message=f"stored node_coefficients must be 2-D, got shape {ln.shape}",
+                location=location,
+                fix_hint="regenerate the plan with Placement.to_json()",
+            )
+            stored_ln = None
+        elif num_nodes is not None and ln.shape[0] != num_nodes:
+            yield Diagnostic(
+                code="REPRO305",
+                severity=Severity.ERROR,
+                message=(
+                    f"stored node_coefficients has {ln.shape[0]} row(s) but "
+                    f"the plan declares {num_nodes} node(s)"
+                ),
+                location=location,
+                fix_hint="regenerate the plan with Placement.to_json()",
+            )
+            stored_ln = None
+
+    if model is None:
+        return
+
+    graph_name = doc.get("graph")
+    if graph_name is not None and graph_name != model.graph.name:
+        yield Diagnostic(
+            code="REPRO308",
+            severity=Severity.WARNING,
+            message=(
+                f"plan was written for graph {graph_name!r} but is being "
+                f"checked against {model.graph.name!r}"
+            ),
+            location=location,
+        )
+
+    missing = [n for n in model.operator_names if n not in assignment]
+    if missing:
+        yield Diagnostic(
+            code="REPRO301",
+            severity=Severity.ERROR,
+            message=(
+                f"assignment is missing {len(missing)} operator(s): "
+                f"{missing[:5]}"
+            ),
+            location=location,
+            fix_hint="a plan must map every operator of the model to a node",
+        )
+    extra = [n for n in assignment if n not in model.operator_names]
+    if extra:
+        yield Diagnostic(
+            code="REPRO302",
+            severity=Severity.ERROR,
+            message=(
+                f"assignment names {len(extra)} unknown operator(s): "
+                f"{extra[:5]}"
+            ),
+            location=location,
+            fix_hint="remove stale operators or regenerate the plan",
+        )
+
+    if stored_ln is not None and not missing and not extra:
+        ln = np.asarray(stored_ln, dtype=float)
+        if ln.shape[1] != model.num_variables:
+            yield Diagnostic(
+                code="REPRO305",
+                severity=Severity.ERROR,
+                message=(
+                    f"stored node_coefficients has {ln.shape[1]} column(s) "
+                    f"but the model has d={model.num_variables} variable(s)"
+                ),
+                location=location,
+                fix_hint=(
+                    "the plan was computed against a different load model; "
+                    "regenerate it with Placement.to_json()"
+                ),
+            )
+        else:
+            n = ln.shape[0]
+            recomputed = np.zeros_like(ln)
+            in_bounds = True
+            for j, op_name in enumerate(model.operator_names):
+                node = assignment[op_name]
+                if not isinstance(node, int) or not 0 <= node < n:
+                    in_bounds = False
+                    break
+                recomputed[node] += model.coefficients[j]
+            if in_bounds and not np.allclose(
+                recomputed, ln, rtol=LN_CONSISTENCY_RTOL, atol=1e-12
+            ):
+                worst = np.unravel_index(
+                    np.argmax(np.abs(recomputed - ln)), ln.shape
+                )
+                yield Diagnostic(
+                    code="REPRO305",
+                    severity=Severity.ERROR,
+                    message=(
+                        "stored L^n disagrees with recomputed A.L^o "
+                        f"(largest gap at node {worst[0]}, variable "
+                        f"{model.variables[worst[1]]!r}: stored "
+                        f"{ln[worst]:g}, recomputed {recomputed[worst]:g})"
+                    ),
+                    location=location,
+                    fix_hint=(
+                        "the plan is stale relative to the graph/model; "
+                        "re-run placement or regenerate the plan file"
+                    ),
+                )
+
+
+def check_plan_document(
+    doc: Mapping[str, Any],
+    model: Optional[LoadModel] = None,
+    location: str = "plan",
+) -> CheckReport:
+    """Verify a plan document, optionally against its load model."""
+    report = CheckReport()
+    report.extend(_iter_document_diagnostics(doc, model, location))
+    return report
+
+
+def check_placement(placement: Placement) -> CheckReport:
+    """Verify a constructed placement and the model beneath it."""
+    report = check_model(placement.model)
+    location = f"plan {placement.model.graph.name!r}"
+    counts = placement.operator_counts()
+    for node, count in enumerate(counts):
+        if count == 0:
+            report.add(Diagnostic(
+                code="REPRO306",
+                severity=Severity.INFO,
+                message=f"node {node} hosts no operators",
+                location=location,
+            ))
+    fs = placement.feasible_set()
+    if not np.allclose(
+        fs.column_totals,
+        placement.model.column_totals(),
+        rtol=LN_CONSISTENCY_RTOL,
+        atol=1e-12,
+    ):
+        report.add(Diagnostic(
+            code="REPRO305",
+            severity=Severity.ERROR,
+            message=(
+                "feasible-set column totals disagree with the model's "
+                "(plan and model are out of sync)"
+            ),
+            location=location,
+            fix_hint="rebuild the placement from the current model",
+        ))
+    return report

@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Five subcommands cover the deploy-time workflow end to end::
+The subcommands cover the deploy-time workflow end to end::
 
     repro-rod generate --kind random --inputs 3 --ops-per-tree 10 -o g.json
     repro-rod place    --graph g.json --nodes 4 --algorithm rod -o plan.json
+    repro-rod check    --paths examples/configs --fail-on error
     repro-rod evaluate --graph g.json --plan plan.json
     repro-rod simulate --graph g.json --plan plan.json --rates 50,80 \\
                        --duration 20
@@ -11,7 +12,9 @@ Five subcommands cover the deploy-time workflow end to end::
 
 ``generate`` writes a query-graph JSON document (see
 :mod:`repro.graphs.serialize`); ``place`` runs any placement algorithm
-and emits an ``{operator: node}`` plan; ``evaluate`` scores a plan
+and emits an ``{operator: node}`` plan; ``check`` runs the static
+verifiers of :mod:`repro.check` over JSON artifacts and the custom lint
+pass over sources; ``evaluate`` scores a plan
 (feasible-set ratio, plane distance, and an ASCII picture for 2-D
 systems); ``simulate`` replays a constant rate point through the
 discrete-event simulator; ``experiment`` regenerates any paper artifact
@@ -26,6 +29,7 @@ import sys
 from typing import Optional, Sequence
 
 from . import experiments
+from .check import Severity, check_paths, check_plan_document
 from .core.load_model import LoadModel, build_load_model
 from .core.plans import Placement, placement_from_mapping
 from .core.analysis import resilience_summary
@@ -101,7 +105,16 @@ def _load_placement(
     model = build_load_model(load_graph(graph_path))
     with open(plan_path) as handle:
         doc = json.load(handle)
-    mapping = doc["assignment"] if "assignment" in doc else doc
+    if "assignment" in doc:
+        # Static-check the document before construction so a stale or
+        # corrupted plan fails with structured diagnostics, not a
+        # NumPy shape error mid-simulation.
+        report = check_plan_document(doc, model=model, location=plan_path)
+        if not report.ok:
+            raise SystemExit(report.format())
+        mapping = doc["assignment"]
+    else:
+        mapping = doc
     capacities = doc.get(
         "capacities",
         [1.0] * (nodes or (max(mapping.values()) + 1)),
@@ -183,6 +196,16 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    report = check_paths(args.paths, lint=not args.no_lint)
+    threshold = Severity.parse(args.fail_on)
+    for diagnostic in report:
+        print(diagnostic.format())
+    errors, warnings, infos = report.counts()
+    print(f"check: {errors} error(s), {warnings} warning(s), {infos} info(s)")
+    return 1 if report.at_least(threshold) else 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     try:
         runner = EXPERIMENTS[args.id]
@@ -243,6 +266,24 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--check", action="store_true",
                      help="exit non-zero if the point is infeasible")
     sim.set_defaults(func=cmd_simulate)
+
+    chk = sub.add_parser(
+        "check",
+        help="statically verify graphs/plans/configs and lint sources",
+    )
+    chk.add_argument(
+        "--paths", nargs="+", default=["."],
+        help="files or directories to check (JSON artifacts and .py files)",
+    )
+    chk.add_argument(
+        "--fail-on", default="error", choices=("info", "warning", "error"),
+        help="lowest diagnostic severity that fails the exit code",
+    )
+    chk.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the repro-lint pass over .py files",
+    )
+    chk.set_defaults(func=cmd_check)
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("id", choices=sorted(EXPERIMENTS))

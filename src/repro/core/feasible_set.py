@@ -222,7 +222,7 @@ class FeasibleSet:
         ideal = self.ideal_volume()
         if math.isinf(ideal):
             raise ValueError("ideal volume is unbounded")
-        if ideal == 0.0:
+        if math.isclose(ideal, 0.0, abs_tol=1e-300):
             return 0.0
         return self.exact_volume() / ideal
 

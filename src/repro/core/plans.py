@@ -146,17 +146,25 @@ class Placement:
             for name, node in zip(self.model.operator_names, self.assignment)
         }
 
+    def to_document(self) -> Dict[str, object]:
+        """Plain-dict plan document (what ``to_json`` serializes).
+
+        Includes the derived ``L^n`` so static checkers
+        (:func:`repro.check.check_plan_document`) can detect plans that
+        went stale relative to their graph: a stored ``node_coefficients``
+        that disagrees with the recomputed ``A L^o`` is diagnosed before
+        the plan is ever simulated.
+        """
+        return {
+            "graph": self.model.graph.name,
+            "capacities": self.capacities.tolist(),
+            "assignment": self.to_mapping(),
+            "node_coefficients": self.node_coefficients().tolist(),
+        }
+
     def to_json(self) -> str:
         """JSON document describing the plan (for ops tooling / debugging)."""
-        return json.dumps(
-            {
-                "graph": self.model.graph.name,
-                "capacities": self.capacities.tolist(),
-                "assignment": self.to_mapping(),
-            },
-            indent=2,
-            sort_keys=True,
-        )
+        return json.dumps(self.to_document(), indent=2, sort_keys=True)
 
     def describe(self) -> str:
         """Human-readable per-node summary."""

@@ -20,6 +20,7 @@ from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from .check import check_artifact
 from .core.analysis import resilience_summary
 from .core.clustering import communication_feasible_set, search_clusterings
 from .core.load_model import LoadModel, build_load_model
@@ -91,6 +92,7 @@ class Deployment:
         transfer_costs: TransferCosts = 0.0,
         cluster: Optional[bool] = None,
         seed: Optional[int] = None,
+        verify: bool = True,
     ) -> "Deployment":
         """Plan a deployment of ``graph`` onto a cluster.
 
@@ -100,8 +102,17 @@ class Deployment:
         6.3) runs before ROD by default (``cluster=None`` means "auto");
         pass ``cluster=False`` to skip it or ``cluster=True`` to force
         it.  Clustering is only supported with the ROD strategy.
+
+        With ``verify=True`` (the default) the static verifiers of
+        :mod:`repro.check` gate both ends of planning: the graph and
+        derived load model before placement, the finished plan after.
+        Error-severity diagnostics raise
+        :class:`~repro.check.CheckError` instead of surfacing later as
+        NumPy shape errors or silently-wrong volumes.
         """
         model = build_load_model(graph)
+        if verify:
+            check_artifact(model).raise_if_errors()
         nonzero_transfer = (
             any(float(v) > 0 for v in transfer_costs.values())
             if isinstance(transfer_costs, Mapping)
@@ -140,6 +151,8 @@ class Deployment:
             placement = _build_baseline(strategy, model, seed).place(
                 model, capacities
             )
+        if verify:
+            check_artifact(placement).raise_if_errors()
         return cls(placement, transfer_costs=transfer_costs)
 
     def grow(self, new_graph: QueryGraph) -> "Deployment":

@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..check import check_artifact, check_experiment_config
 from ..core.load_model import LoadModel, build_load_model
 from ..graphs.generator import RandomGraphConfig, random_tree_graph
 from ..placement import (
@@ -29,6 +30,7 @@ __all__ = [
     "make_model",
     "make_placer",
     "mean_volume_ratio",
+    "validate_run",
     "volume_ratio_runs",
 ]
 
@@ -43,7 +45,29 @@ def make_model(
     config = RandomGraphConfig(
         num_inputs=num_inputs, operators_per_tree=operators_per_tree
     )
-    return build_load_model(random_tree_graph(config, seed=seed))
+    model = build_load_model(random_tree_graph(config, seed=seed))
+    # Gate every harness run on the static verifiers: a malformed model
+    # should fail here with a structured diagnostic, not inside NumPy.
+    check_artifact(model).raise_if_errors()
+    return model
+
+
+def validate_run(
+    model: LoadModel,
+    capacities: Sequence[float],
+    seed: Optional[int],
+    **extras: object,
+) -> None:
+    """Verify one experiment run's config before constructing plans.
+
+    Raises :class:`repro.check.CheckError` on error-severity findings
+    (bad capacities, mismatched rate dimensions, unknown strategy).
+    Warnings — e.g. a missing seed — are tolerated here; ``repro-rod
+    check --fail-on warning`` makes them fatal in CI.
+    """
+    config = {"capacities": list(capacities), "seed": seed}
+    config.update(extras)
+    check_experiment_config(config, model=model).raise_if_errors()
 
 
 def make_placer(
@@ -93,6 +117,7 @@ def volume_ratio_runs(
     input stream rates" — one run suffices; the baselines get fresh
     random rate points / seeds per run, as in Section 7.3.1.
     """
+    validate_run(model, capacities, seed=base_seed, strategy=name)
     runs = 1 if name == "rod" else repeats
     ratios = []
     for r in range(runs):

@@ -53,8 +53,11 @@ class TestPlace:
     def test_plan_document(self, plan_file):
         with open(plan_file) as handle:
             doc = json.load(handle)
-        assert set(doc) == {"graph", "capacities", "assignment"}
+        assert set(doc) == {
+            "graph", "capacities", "assignment", "node_coefficients",
+        }
         assert all(node in (0, 1) for node in doc["assignment"].values())
+        assert len(doc["node_coefficients"]) == len(doc["capacities"])
 
     @pytest.mark.parametrize(
         "algorithm", ["llf", "random", "connected", "correlation", "milp"]
@@ -91,6 +94,72 @@ class TestSimulate:
             "simulate", "--graph", graph_file, "--plan", plan_file,
             "--rates", "100000,100000", "--duration", "3", "--check",
         ]) == 1
+
+
+class TestCheck:
+    def test_clean_artifacts_exit_zero(self, graph_file, plan_file, capsys):
+        assert main([
+            "check", "--paths", graph_file, plan_file,
+        ]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_bundled_configs_are_clean(self, capsys):
+        import pathlib
+
+        config_dir = str(
+            pathlib.Path(__file__).resolve().parents[1]
+            / "examples" / "configs"
+        )
+        assert main([
+            "check", "--paths", config_dir, "--fail-on", "warning",
+        ]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_error_diagnostic_exits_nonzero(
+        self, tmp_path, graph_file, plan_file, capsys
+    ):
+        import shutil
+
+        shutil.copy(graph_file, tmp_path / "g.graph.json")
+        with open(plan_file) as handle:
+            doc = json.load(handle)
+        doc["node_coefficients"][0][0] += 1.0  # stale L^n
+        (tmp_path / "bad.plan.json").write_text(json.dumps(doc))
+        assert main(["check", "--paths", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO305" in out
+        assert "hint:" in out
+
+    def test_fail_on_warning_promotes_warnings(self, tmp_path, capsys):
+        (tmp_path / "no_seed.experiment.json").write_text(
+            json.dumps({"kind": "experiment", "strategy": "rod"})
+        )
+        assert main(["check", "--paths", str(tmp_path)]) == 0
+        assert main([
+            "check", "--paths", str(tmp_path), "--fail-on", "warning",
+        ]) == 1
+        assert "REPRO401" in capsys.readouterr().out
+
+    def test_lint_layer_reachable_from_check(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "import random\nx = random.random()\n"
+        )
+        assert main(["check", "--paths", str(tmp_path)]) == 1
+        assert "REPRO501" in capsys.readouterr().out
+        assert main([
+            "check", "--paths", str(tmp_path), "--no-lint",
+        ]) == 0
+
+    def test_evaluate_rejects_corrupted_plan(
+        self, tmp_path, graph_file, plan_file
+    ):
+        with open(plan_file) as handle:
+            doc = json.load(handle)
+        doc["node_coefficients"][0][0] += 1.0
+        bad_plan = tmp_path / "bad.plan.json"
+        bad_plan.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit, match="REPRO305"):
+            main(["evaluate", "--graph", graph_file, "--plan", str(bad_plan)])
 
 
 class TestExperiment:

@@ -1,0 +1,151 @@
+"""Tests for repro-lint, the AST lint pass (REPRO5xx)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import Severity, lint_paths, lint_source
+from repro.check.lint import LINT_CODES, iter_python_files, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SRC_PATH = Path("src/repro/example.py")
+TEST_PATH = Path("tests/test_example.py")
+
+
+def codes(source, path=TEST_PATH):
+    return [d.code for d in lint_source(source, path)]
+
+
+class TestUnseededRng:
+    def test_random_random_flagged(self):
+        assert codes("import random\nx = random.random()\n") == ["REPRO501"]
+
+    def test_unseeded_random_instance_flagged(self):
+        assert codes("import random\nr = random.Random()\n") == ["REPRO501"]
+
+    def test_seeded_random_instance_ok(self):
+        assert codes("import random\nr = random.Random(42)\n") == []
+
+    def test_np_random_global_state_flagged(self):
+        assert codes("import numpy as np\nnp.random.seed(0)\n") == ["REPRO501"]
+        assert codes("import numpy as np\nx = np.random.uniform(0, 1)\n") == [
+            "REPRO501",
+        ]
+
+    def test_np_default_rng_ok(self):
+        assert codes("import numpy as np\nr = np.random.default_rng(7)\n") == []
+
+    def test_random_shuffle_flagged(self):
+        assert codes("import random\nrandom.shuffle(items)\n") == ["REPRO501"]
+
+
+class TestFloatEquality:
+    def test_control_flow_comparison_flagged(self):
+        assert codes("if ratio == 0.0:\n    pass\n") == ["REPRO502"]
+
+    def test_not_equal_flagged(self):
+        assert codes("y = [v for v in vs if v != 1.0]\n") == ["REPRO502"]
+
+    def test_assert_statements_exempt(self):
+        # Tests state exact IEEE-representable oracles on purpose.
+        assert codes("assert ratio == 0.0\n") == []
+        assert codes("assert a == 1.0 and b == 2.0\n") == []
+
+    def test_integer_literals_ok(self):
+        assert codes("if count == 0:\n    pass\n") == []
+
+    def test_inequalities_ok(self):
+        assert codes("if ratio <= 0.5:\n    pass\n") == []
+
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        assert codes("def f(items=[]):\n    pass\n") == ["REPRO503"]
+
+    def test_dict_constructor_flagged(self):
+        assert codes("def f(opts=dict()):\n    pass\n") == ["REPRO503"]
+
+    def test_keyword_only_default_flagged(self):
+        assert codes("def f(*, acc={}):\n    pass\n") == ["REPRO503"]
+
+    def test_none_default_ok(self):
+        assert codes("def f(items=None):\n    pass\n") == []
+
+    def test_tuple_default_ok(self):
+        assert codes("def f(dims=(1, 2)):\n    pass\n") == []
+
+
+class TestMissingAll:
+    def test_public_src_module_without_all(self):
+        report = lint_source("x = 1\n", SRC_PATH)
+        assert [d.code for d in report] == ["REPRO504"]
+        assert report[0].severity is Severity.WARNING
+
+    def test_src_module_with_all_ok(self):
+        assert codes('__all__ = ["x"]\nx = 1\n', SRC_PATH) == []
+
+    def test_private_module_exempt(self):
+        assert codes("x = 1\n", Path("src/repro/_private.py")) == []
+        assert codes("x = 1\n", Path("src/repro/__main__.py")) == []
+
+    def test_test_files_exempt(self):
+        assert codes("x = 1\n", TEST_PATH) == []
+
+    def test_non_src_files_exempt(self):
+        assert codes("x = 1\n", Path("examples/demo.py")) == []
+
+
+class TestSuppression:
+    def test_bare_noqa(self):
+        assert codes("x = random.random()  # noqa\n") == []
+
+    def test_coded_noqa(self):
+        assert codes("x = random.random()  # noqa: REPRO501\n") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        assert codes("x = random.random()  # noqa: REPRO502\n") == [
+            "REPRO501",
+        ]
+
+
+class TestMachinery:
+    def test_syntax_error_is_reported_not_raised(self):
+        assert codes("def broken(:\n") == ["REPRO500"]
+
+    def test_line_numbers_in_location(self):
+        (diag,) = lint_source("x = 1\ny = random.random()\n", TEST_PATH)
+        assert diag.location.endswith(":2")
+
+    def test_registry_documents_every_emitted_code(self):
+        emitted = {"REPRO501", "REPRO502", "REPRO503", "REPRO504"}
+        assert emitted <= set(LINT_CODES)
+
+    def test_iter_python_files_skips_caches(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert main([str(dirty)]) == 1
+        assert "REPRO501" in capsys.readouterr().out
+
+
+class TestMergedTreeIsClean:
+    def test_src_and_tests_lint_clean(self):
+        """Acceptance criterion: repro-lint src tests runs clean."""
+        report = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        assert [d.format() for d in report] == []
+
+    def test_examples_and_benchmarks_lint_clean(self):
+        report = lint_paths(
+            [REPO_ROOT / "examples", REPO_ROOT / "benchmarks"]
+        )
+        assert [d.format() for d in report] == []
