@@ -1,0 +1,86 @@
+"""Guard the null-sink contract at the wall-clock level.
+
+The observability layer promises that a simulator run with tracing
+*disabled* (the default ``NULL_TRACER``) costs the same as one with no
+tracer wired at all — the hot loop only pays one hoisted boolean check.
+This script times both configurations and fails if the relative
+difference exceeds ``--tolerance`` (CI runs it at 5%).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/benchmark_obs_overhead.py \
+        --tolerance 0.05
+
+Timing uses min-of-repeats (the standard noise-robust estimator for
+"how fast can this go"); both variants run the identical workload from
+the identical seed, interleaved so machine drift hits both equally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.deploy import Deployment
+from repro.graphs.generator import monitoring_graph
+from repro.obs.trace import NullSink, Tracer
+
+
+def build_deployment() -> Deployment:
+    return Deployment.plan(monitoring_graph(3, seed=7), [1.0, 1.0, 1.0])
+
+
+def time_run(deployment: Deployment, tracer: Tracer | None,
+             duration: float) -> float:
+    kwargs = {}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    start = time.perf_counter()
+    deployment.simulate(
+        rates=[120.0, 120.0, 120.0], duration=duration, **kwargs
+    )
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="max allowed relative slowdown (default 0.05)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats; the minimum of each is used")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="simulated seconds per run")
+    args = parser.parse_args(argv)
+
+    deployment = build_deployment()
+    disabled_tracer = Tracer(NullSink())
+
+    # Warm-up: JIT-free Python still benefits (allocator, caches).
+    time_run(deployment, None, args.duration)
+    time_run(deployment, disabled_tracer, args.duration)
+
+    baseline_times = []
+    disabled_times = []
+    for _ in range(args.repeats):
+        baseline_times.append(time_run(deployment, None, args.duration))
+        disabled_times.append(
+            time_run(deployment, disabled_tracer, args.duration)
+        )
+
+    baseline = min(baseline_times)
+    disabled = min(disabled_times)
+    overhead = (disabled - baseline) / baseline
+    print(f"baseline (no tracer):     {baseline * 1e3:8.2f} ms")
+    print(f"tracing disabled (null):  {disabled * 1e3:8.2f} ms")
+    print(f"relative overhead:        {overhead:+8.2%} "
+          f"(tolerance {args.tolerance:.0%})")
+    if overhead > args.tolerance:
+        print("FAIL: disabled tracing exceeds the overhead budget")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,11 @@ ones that have bitten stream-processing reproductions before:
 * **REPRO503 mutable-default** (error) — no mutable default arguments.
 * **REPRO504 missing-all** (warning) — every public module under
   ``src/`` defines ``__all__``.
+* **REPRO505 print-in-library** (error) — no ``print()`` in library
+  code under ``repro`` (console entry points ``cli.py`` and the text
+  renderer ``textplot.py`` are exempt, as are tests and benchmarks).
+  Library code reports through ``repro.obs.log.get_logger(__name__)``
+  so ``-v``/``-q`` and log capture work uniformly.
 
 Suppress a finding by appending ``# noqa`` or ``# noqa: REPRO502`` to
 the offending line, with a justification comment.
@@ -43,7 +48,12 @@ LINT_CODES = {
     "REPRO502": (Severity.ERROR, "float literal compared with ==/!="),
     "REPRO503": (Severity.ERROR, "mutable default argument"),
     "REPRO504": (Severity.WARNING, "public module lacks __all__"),
+    "REPRO505": (Severity.ERROR, "print() in library code"),
 }
+
+#: module stems under ``repro`` allowed to print: the console entry
+#: point and the ASCII renderer whose whole job is terminal output.
+_PRINT_EXEMPT_STEMS = frozenset({"cli", "textplot"})
 
 _SKIP_DIRS = {".git", "__pycache__", "build", "dist", ".venv", "node_modules"}
 
@@ -87,9 +97,10 @@ def _noqa_codes(line: str) -> Optional[List[str]]:
 class _LintVisitor(ast.NodeVisitor):
     """Single-pass visitor collecting REPRO501-503 findings."""
 
-    def __init__(self) -> None:
+    def __init__(self, forbid_print: bool = False) -> None:
         self.findings: List[Dict[str, object]] = []
         self._assert_depth = 0
+        self.forbid_print = forbid_print
 
     def _report(self, code: str, node: ast.AST, message: str,
                 fix_hint: str) -> None:
@@ -104,6 +115,16 @@ class _LintVisitor(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if (
+            self.forbid_print
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self._report(
+                "REPRO505", node,
+                "print() in library code",
+                "log via repro.obs.log.get_logger(__name__) instead",
+            )
         if isinstance(func, ast.Attribute):
             value = func.value
             if isinstance(value, ast.Name) and value.id == "random":
@@ -224,7 +245,12 @@ def lint_source(source: str, path: Path) -> List[Diagnostic]:
             location=f"{location}:{exc.lineno or 1}",
         )]
 
-    visitor = _LintVisitor()
+    forbid_print = (
+        "repro" in path.parts
+        and path.stem not in _PRINT_EXEMPT_STEMS
+        and not _is_test_path(path)
+    )
+    visitor = _LintVisitor(forbid_print=forbid_print)
     visitor.visit(tree)
 
     findings = visitor.findings
@@ -313,9 +339,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     threshold = Severity.parse(args.fail_on)
     failing = report.at_least(threshold)
     for diagnostic in report:
-        print(diagnostic.format())
+        # This *is* the console entry point; stdout is its interface.
+        print(diagnostic.format())  # noqa: REPRO505
     errors, warnings, infos = report.counts()
-    print(f"repro-lint: {errors} error(s), {warnings} warning(s), "
+    print(f"repro-lint: {errors} error(s), {warnings} warning(s), "  # noqa: REPRO505
           f"{infos} info(s)")
     return 1 if failing else 0
 

@@ -7,7 +7,8 @@ The subcommands cover the deploy-time workflow end to end::
     repro-rod check    --paths examples/configs --fail-on error
     repro-rod evaluate --graph g.json --plan plan.json
     repro-rod simulate --graph g.json --plan plan.json --rates 50,80 \\
-                       --duration 20
+                       --duration 20 --trace-out run.jsonl
+    repro-rod trace    run.jsonl
     repro-rod experiment fig14
 
 ``generate`` writes a query-graph JSON document (see
@@ -17,8 +18,14 @@ verifiers of :mod:`repro.check` over JSON artifacts and the custom lint
 pass over sources; ``evaluate`` scores a plan
 (feasible-set ratio, plane distance, and an ASCII picture for 2-D
 systems); ``simulate`` replays a constant rate point through the
-discrete-event simulator; ``experiment`` regenerates any paper artifact
-by id.
+discrete-event simulator; ``trace`` renders a JSONL event trace (see
+:mod:`repro.obs.trace`) as per-node utilization timelines; ``experiment``
+regenerates any paper artifact by id.
+
+``simulate`` and ``evaluate`` accept ``--trace-out FILE`` to stream
+structured events and ``--emit-metrics {json,prometheus}`` to dump the
+run's metrics registry after the normal output.  The global ``-v`` /
+``-q`` flags (before the subcommand) control ``repro.*`` log verbosity.
 """
 
 from __future__ import annotations
@@ -41,6 +48,14 @@ from .graphs.generator import (
     random_tree_graph,
 )
 from .graphs.serialize import dump_graph, load_graph
+from .obs import (
+    JsonlSink,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    configure,
+    read_trace,
+)
 from .placement import (
     ConnectedPlacer,
     CorrelationPlacer,
@@ -128,6 +143,30 @@ def _print_plan_summary(placement: Placement) -> None:
     print(f"inter-node arcs: {placement.inter_node_arcs()}")
 
 
+def _obs_from_args(args: argparse.Namespace):
+    """Build the Observability bundle the --trace-out flag asks for.
+
+    Returns ``(obs, sink)``; the caller must close ``sink`` (may be
+    ``None``) when the command finishes so the JSONL file is flushed.
+    """
+    sink = None
+    tracer = None
+    if getattr(args, "trace_out", None):
+        sink = JsonlSink(args.trace_out)
+        tracer = Tracer(sink)
+    return Observability(tracer=tracer), sink
+
+
+def _emit_metrics(args: argparse.Namespace, registry: MetricsRegistry) -> None:
+    fmt = getattr(args, "emit_metrics", None)
+    if not fmt:
+        return
+    if fmt == "json":
+        print(json.dumps(registry.to_json(), indent=2, sort_keys=True))
+    else:
+        print(registry.render_prometheus(), end="")
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.kind == "random":
         graph = random_tree_graph(
@@ -165,27 +204,63 @@ def cmd_place(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    placement = _load_placement(args.graph, args.plan, args.nodes)
-    _print_plan_summary(placement)
-    print()
-    print(resilience_summary(placement))
-    feasible_set = placement.feasible_set()
-    if feasible_set.dimension == 2:
+    obs, sink = _obs_from_args(args)
+    try:
+        placement = _load_placement(args.graph, args.plan, args.nodes)
+        print(placement.describe())
+        with obs.phase("evaluate.volume_ratio"):
+            ratio = placement.volume_ratio()
+        print(f"feasible-set ratio to ideal: {ratio:.4f}")
+        print(f"inter-node arcs: {placement.inter_node_arcs()}")
         print()
-        print(render_feasible_set(feasible_set, title="feasible set"))
-    return 0
+        with obs.phase("evaluate.resilience"):
+            print(resilience_summary(placement))
+        feasible_set = placement.feasible_set()
+        if feasible_set.dimension == 2:
+            print()
+            print(render_feasible_set(feasible_set, title="feasible set"))
+        _emit_metrics(args, obs.registry)
+        return 0
+    finally:
+        if sink is not None:
+            sink.close()
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    placement = _load_placement(args.graph, args.plan, args.nodes)
-    rates = [float(r) for r in args.rates.split(",")]
-    result = Simulator(placement, step_seconds=args.step).run(
-        rates=rates, duration=args.duration
-    )
-    print(result.summary())
-    feasible = result.is_feasible(backlog_tolerance=args.step)
-    print(f"feasible at this rate point: {feasible}")
-    return 0 if feasible or not args.check else 1
+    obs, sink = _obs_from_args(args)
+    try:
+        placement = _load_placement(args.graph, args.plan, args.nodes)
+        rates = [float(r) for r in args.rates.split(",")]
+        simulator = Simulator(
+            placement,
+            step_seconds=args.step,
+            tracer=obs.tracer,
+            metrics=obs.registry,
+        )
+        result = simulator.run(rates=rates, duration=args.duration)
+        print(result.summary())
+        feasible = result.is_feasible(backlog_tolerance=args.step)
+        print(f"feasible at this rate point: {feasible}")
+        if sink is not None:
+            print(f"trace written to {args.trace_out}")
+        _emit_metrics(args, obs.registry)
+        return 0 if feasible or not args.check else 1
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the timeline renderer pulls in
+    # the workload layer, which no other subcommand needs.
+    from .obs.timeline import render_trace_report
+
+    events = read_trace(args.path)
+    if not events:
+        print(f"{args.path}: empty trace")
+        return 1
+    print(render_trace_report(events, width=args.width))
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -224,7 +299,26 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-rod",
         description="Resilient Operator Distribution (VLDB 2006) toolkit",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise repro.* log verbosity (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="lower repro.* log verbosity (errors only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace-out", metavar="FILE",
+            help="stream structured JSONL events to FILE "
+                 "(render with `repro-rod trace FILE`)",
+        )
+        command.add_argument(
+            "--emit-metrics", choices=("json", "prometheus"),
+            help="dump the metrics registry after the normal output",
+        )
 
     gen = sub.add_parser("generate", help="write a query-graph JSON file")
     gen.add_argument("--kind", default="random",
@@ -253,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--graph", required=True)
     ev.add_argument("--plan", required=True)
     ev.add_argument("--nodes", type=int, default=None)
+    add_obs_flags(ev)
     ev.set_defaults(func=cmd_evaluate)
 
     sim = sub.add_parser("simulate", help="replay a rate point")
@@ -265,7 +360,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--step", type=float, default=0.1)
     sim.add_argument("--check", action="store_true",
                      help="exit non-zero if the point is infeasible")
+    add_obs_flags(sim)
     sim.set_defaults(func=cmd_simulate)
+
+    tr = sub.add_parser(
+        "trace", help="render a JSONL event trace as text timelines"
+    )
+    tr.add_argument("path", help="trace file written by --trace-out")
+    tr.add_argument("--width", type=int, default=60,
+                    help="timeline width in characters")
+    tr.set_defaults(func=cmd_trace)
 
     chk = sub.add_parser(
         "check",
@@ -303,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure(verbosity=args.verbose - args.quiet)
     return args.func(args)
 
 

@@ -16,7 +16,7 @@ Everything the facade does is available piecemeal in ``repro.core`` /
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -25,8 +25,10 @@ from .core.analysis import resilience_summary
 from .core.clustering import communication_feasible_set, search_clusterings
 from .core.load_model import LoadModel, build_load_model
 from .core.plans import Placement
-from .core.rod import rod_extend, rod_place
+from .core.rod import RodStep, rod_extend, rod_place
 from .graphs.query_graph import QueryGraph
+from .obs import Observability
+from .obs.trace import JsonlSink, Tracer
 from .placement import (
     ConnectedPlacer,
     CorrelationPlacer,
@@ -35,6 +37,7 @@ from .placement import (
     OptimalPlacer,
     RandomPlacer,
 )
+from .placement.rod_placer import emit_rod_steps
 from .simulator.engine import Simulator
 from .simulator.feasibility import FeasibilityProbe
 from .simulator.metrics import SimulationResult
@@ -49,7 +52,12 @@ STRATEGIES = (
 )
 
 
-def _build_baseline(strategy: str, model: LoadModel, seed: Optional[int]):
+def _build_baseline(
+    strategy: str,
+    model: LoadModel,
+    seed: Optional[int],
+    tracer: Optional[Tracer] = None,
+):
     if strategy == "llf":
         return LLFPlacer()
     if strategy == "connected":
@@ -63,7 +71,7 @@ def _build_baseline(strategy: str, model: LoadModel, seed: Optional[int]):
     if strategy == "optimal":
         return OptimalPlacer()
     if strategy == "milp":
-        return MilpBalancePlacer()
+        return MilpBalancePlacer(tracer=tracer)
     raise ValueError(
         f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
     )
@@ -76,9 +84,14 @@ class Deployment:
         self,
         placement: Placement,
         transfer_costs: TransferCosts = 0.0,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.placement = placement
         self.transfer_costs = transfer_costs
+        #: Observability bundle (metrics registry + tracer) every phase
+        #: of this deployment records into; defaults to a fresh registry
+        #: with tracing disabled.
+        self.obs = obs if obs is not None else Observability()
 
     # ------------------------------------------------------------- planning
 
@@ -93,6 +106,7 @@ class Deployment:
         cluster: Optional[bool] = None,
         seed: Optional[int] = None,
         verify: bool = True,
+        obs: Optional[Observability] = None,
     ) -> "Deployment":
         """Plan a deployment of ``graph`` onto a cluster.
 
@@ -109,10 +123,19 @@ class Deployment:
         Error-severity diagnostics raise
         :class:`~repro.check.CheckError` instead of surfacing later as
         NumPy shape errors or silently-wrong volumes.
+
+        ``obs``, if given, profiles every planning phase (model build,
+        verification, placement search) into its metrics registry and —
+        when its tracer is enabled — streams per-assignment
+        ``placement.step`` events; the resulting deployment keeps the
+        bundle, so ``summary()`` reports where planning time went.
         """
-        model = build_load_model(graph)
+        obs = obs if obs is not None else Observability()
+        with obs.phase("plan.load_model"):
+            model = build_load_model(graph)
         if verify:
-            check_artifact(model).raise_if_errors()
+            with obs.phase("plan.verify_model"):
+                check_artifact(model).raise_if_errors()
         nonzero_transfer = (
             any(float(v) > 0 for v in transfer_costs.values())
             if isinstance(transfer_costs, Mapping)
@@ -132,38 +155,49 @@ class Deployment:
             )
         if strategy == "rod":
             if use_clustering:
-                result = search_clusterings(
-                    model,
-                    capacities,
-                    transfer_costs,
-                    lower_bound=lower_bound,
-                )
-                placement = result.placement
+                with obs.phase("plan.place.rod+clustering"):
+                    result = search_clusterings(
+                        model,
+                        capacities,
+                        transfer_costs,
+                        lower_bound=lower_bound,
+                    )
+                    placement = result.placement
             else:
-                placement = rod_place(
-                    model, capacities, lower_bound=lower_bound, seed=seed
-                )
+                tracing = obs.tracer.enabled
+                steps: Optional[List[RodStep]] = [] if tracing else None
+                with obs.phase("plan.place.rod"):
+                    placement = rod_place(
+                        model, capacities, lower_bound=lower_bound,
+                        seed=seed, steps=steps,
+                    )
+                if tracing and steps is not None:
+                    emit_rod_steps(obs.tracer, steps)
         else:
             if lower_bound is not None:
                 raise ValueError(
                     "lower bounds are only supported with the ROD strategy"
                 )
-            placement = _build_baseline(strategy, model, seed).place(
-                model, capacities
-            )
+            placer = _build_baseline(strategy, model, seed, obs.tracer)
+            with obs.phase(f"plan.place.{strategy}"):
+                placement = placer.place(model, capacities)
         if verify:
-            check_artifact(placement).raise_if_errors()
-        return cls(placement, transfer_costs=transfer_costs)
+            with obs.phase("plan.verify_plan"):
+                check_artifact(placement).raise_if_errors()
+        return cls(placement, transfer_costs=transfer_costs, obs=obs)
 
     def grow(self, new_graph: QueryGraph) -> "Deployment":
         """Add new operators without moving deployed ones (rod_extend)."""
-        new_model = build_load_model(new_graph)
-        extended = rod_extend(
-            self.placement,
-            new_model,
-            lower_bound=self.placement.lower_bound,
+        with self.obs.phase("plan.grow"):
+            new_model = build_load_model(new_graph)
+            extended = rod_extend(
+                self.placement,
+                new_model,
+                lower_bound=self.placement.lower_bound,
+            )
+        return Deployment(
+            extended, transfer_costs=self.transfer_costs, obs=self.obs
         )
-        return Deployment(extended, transfer_costs=self.transfer_costs)
 
     # -------------------------------------------------------------- metrics
 
@@ -173,15 +207,23 @@ class Deployment:
 
     def volume_ratio(self, samples: int = 4096) -> float:
         """Feasible-set size relative to the ideal, communication-aware
-        when transfer costs were declared."""
-        if self._has_transfer():
-            return communication_feasible_set(
-                self.placement, self.transfer_costs
-            ).volume_ratio(samples=samples)
-        return self.placement.volume_ratio(samples=samples)
+        when transfer costs were declared.
+
+        The QMC sampling is profiled as the ``feasible_set.volume_ratio``
+        phase (sample count attached to the trace event).
+        """
+        with self.obs.phase(
+            "feasible_set.volume_ratio", samples=samples
+        ):
+            if self._has_transfer():
+                return communication_feasible_set(
+                    self.placement, self.transfer_costs
+                ).volume_ratio(samples=samples)
+            return self.placement.volume_ratio(samples=samples)
 
     def summary(self) -> str:
-        """Placement, resilience analysis and headline metrics."""
+        """Placement, resilience analysis, headline metrics and — when
+        phases were profiled — where the wall-clock time went."""
         parts = [self.placement.describe(), ""]
         parts.append(resilience_summary(self.placement))
         parts.append("")
@@ -192,6 +234,11 @@ class Deployment:
             parts.append(
                 f"inter-node arcs: {self.placement.inter_node_arcs()}"
             )
+        profile = self.obs.phase_report()
+        if profile:
+            parts.append("")
+            parts.append("profile (wall-clock per phase):")
+            parts.append(profile)
         return "\n".join(parts)
 
     def _has_transfer(self) -> bool:
@@ -206,17 +253,46 @@ class Deployment:
         rate_series: Optional[np.ndarray] = None,
         rates: Optional[Sequence[float]] = None,
         duration: Optional[float] = None,
+        trace_out: Optional[str] = None,
         **simulator_kwargs,
     ) -> SimulationResult:
-        """Replay a workload through the discrete-event simulator."""
-        simulator = Simulator(
-            self.placement,
-            transfer_costs=self.transfer_costs,
-            **simulator_kwargs,
-        )
-        return simulator.run(
-            rate_series=rate_series, rates=rates, duration=duration
-        )
+        """Replay a workload through the discrete-event simulator.
+
+        ``trace_out`` names a JSONL file to stream the run's structured
+        events to (see :mod:`repro.obs.trace`); parse it back with
+        :func:`repro.obs.read_trace` and render it with
+        ``repro.obs.timeline`` or ``repro-rod trace``.  Without it, the
+        deployment's own tracer applies (disabled by default, so the
+        simulator hot path pays nothing).  Run counters land in
+        ``self.obs.registry`` either way.
+        """
+        tracer = simulator_kwargs.pop("tracer", None)
+        sink = None
+        if trace_out is not None:
+            if tracer is not None:
+                raise ValueError(
+                    "pass either trace_out or an explicit tracer, not both"
+                )
+            sink = JsonlSink(trace_out)
+            tracer = Tracer(sink)
+        if tracer is None:
+            tracer = self.obs.tracer
+        metrics = simulator_kwargs.pop("metrics", self.obs.registry)
+        try:
+            simulator = Simulator(
+                self.placement,
+                transfer_costs=self.transfer_costs,
+                tracer=tracer,
+                metrics=metrics,
+                **simulator_kwargs,
+            )
+            with self.obs.phase("simulator.run"):
+                return simulator.run(
+                    rate_series=rate_series, rates=rates, duration=duration
+                )
+        finally:
+            if sink is not None:
+                sink.close()
 
     def probe(
         self,
@@ -225,9 +301,12 @@ class Deployment:
     ) -> bool:
         """Borealis-style feasibility probe at a constant rate point."""
         probe = FeasibilityProbe(
-            duration=duration, transfer_costs=self.transfer_costs
+            duration=duration,
+            transfer_costs=self.transfer_costs,
+            tracer=self.obs.tracer,
         )
-        return probe.is_feasible(self.placement, input_rates)
+        with self.obs.phase("feasibility.probe"):
+            return probe.is_feasible(self.placement, input_rates)
 
     def __repr__(self) -> str:
         return (

@@ -24,9 +24,12 @@ from typing import Dict, List, Mapping, Optional
 import numpy as np
 
 from ..core.load_model import LoadModel
+from ..obs.log import get_logger
 from .state import MigrationCostModel
 
 __all__ = ["Migration", "MigrationController", "LoadBalancingController"]
+
+_LOG = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -151,6 +154,11 @@ class LoadBalancingController(MigrationController):
                 >= self.cooldown
             ]
             if not candidates:
+                _LOG.debug(
+                    "t=%.2fs gap %.3f over threshold but node %d has no "
+                    "movable operator (all cooling down)",
+                    now, gap, busiest,
+                )
                 break
             # Move the operator whose measured demand best matches half
             # the gap — the standard even-out move.  Never move more than
@@ -168,6 +176,11 @@ class LoadBalancingController(MigrationController):
             move = Migration(
                 operator=best, source=busiest, target=calmest,
                 pause_seconds=pause,
+            )
+            _LOG.debug(
+                "t=%.2fs migrate %s: node %d -> %d (gap %.3f, "
+                "transfer %.3f, pause %.3fs)",
+                now, best, busiest, calmest, gap, transfer, pause,
             )
             moves.append(move)
             self._last_moved[best] = now

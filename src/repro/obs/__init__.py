@@ -1,0 +1,104 @@
+"""Observability: metrics, structured tracing, profiling, logging.
+
+One consistent instrumentation API threaded through every runtime layer
+of the reproduction:
+
+``repro.obs.metrics``
+    Zero-dependency metrics registry (counters, gauges, histograms with
+    labels) with JSON and Prometheus-text exporters.
+``repro.obs.trace``
+    Typed structured events written as JSONL, behind a no-op null sink
+    so disabled tracing costs nothing on hot paths.
+``repro.obs.timer``
+    ``perf_counter`` phase timers feeding both the registry and the
+    trace stream.
+``repro.obs.log``
+    The package's configured logger (``repro.*`` namespace); library
+    code logs through it instead of ``print()`` (lint rule REPRO505).
+``repro.obs.timeline``
+    Per-node utilization timelines rendered from traces (imported
+    lazily by tooling; not re-exported here to keep this package free
+    of any dependency on the workload layer).
+
+:class:`Observability` bundles one registry and one tracer — the unit a
+:class:`~repro.deploy.Deployment` owns and threads through planning,
+analysis and simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .log import configure, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .timer import PHASE_METRIC, PhaseTimer, phase_report
+from .trace import (
+    EVENT_TYPES,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    NULL_SINK,
+    NULL_TRACER,
+    TraceEvent,
+    TraceSink,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_TYPES",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "NULL_TRACER",
+    "NullSink",
+    "Observability",
+    "PHASE_METRIC",
+    "PhaseTimer",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "configure",
+    "get_logger",
+    "phase_report",
+    "read_trace",
+]
+
+
+class Observability:
+    """A metrics registry plus a tracer, passed around as one handle."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def phase(self, name: str, **fields: object) -> PhaseTimer:
+        """Time a named phase into the registry and the trace stream."""
+        return PhaseTimer(
+            name, registry=self.registry, tracer=self.tracer, fields=fields
+        )
+
+    def phase_report(self) -> str:
+        """Accumulated phase-timing table (``""`` when nothing ran)."""
+        return phase_report(self.registry)
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability(metrics={len(self.registry)}, "
+            f"tracing={'on' if self.tracer.enabled else 'off'})"
+        )

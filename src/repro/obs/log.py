@@ -1,0 +1,81 @@
+"""Configured logging for the ``repro`` package.
+
+Library modules log through :func:`get_logger` (namespaced under
+``repro.``) instead of ``print()`` — the ``repro-lint`` rule REPRO505
+enforces this.  The CLI calls :func:`configure` once with the verbosity
+implied by ``--verbose`` / ``--quiet``; libraries never configure
+handlers themselves, so embedding ``repro`` in a larger application
+keeps that application in charge of log routing.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure", "level_for"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler :func:`configure` installs.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` namespace.
+
+    Pass ``__name__`` from package modules (already ``repro.*``); any
+    other name is nested under ``repro.`` so one ``configure`` call
+    controls everything.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def level_for(verbosity: int) -> int:
+    """Map a ``--verbose``/``--quiet`` count to a logging level.
+
+    ``0`` (default) shows warnings, each ``-v`` steps toward ``DEBUG``,
+    ``-q`` shows errors only.
+    """
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(
+    verbosity: int = 0, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Install (or update) the CLI's handler on the ``repro`` logger.
+
+    Idempotent: repeated calls adjust the level of the one handler this
+    module owns instead of stacking new ones.  Returns the root
+    ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    level = level_for(verbosity)
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, _HANDLER_FLAG, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

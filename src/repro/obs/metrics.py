@@ -1,0 +1,391 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+Every metric belongs to a :class:`MetricsRegistry` and is identified by a
+Prometheus-style name plus an optional set of label names.  Registering
+the same name twice returns the existing family (so modules can
+``registry.counter(...)`` idempotently); re-registering with a different
+type or label set is an error.
+
+Two exporters ship with the registry:
+
+* :meth:`MetricsRegistry.to_json` — a plain dict, stable key order,
+  suitable for ``json.dump``;
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` lines, cumulative
+  ``_bucket`` series for histograms).
+
+The registry is deliberately simple — no background threads, no global
+default instance — because its job here is to make simulator, placement
+and deployment internals observable, not to be a telemetry pipeline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: Default histogram buckets, tuned for seconds-scale phase timings.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self._value += float(amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Value that may go up and down."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= float(amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations.
+
+    Buckets are upper bounds; an implicit ``+inf`` bucket catches the
+    tail.  ``count`` and ``sum`` track all observations regardless of
+    bucketing.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_count", "_sum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +inf
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._counts[bisect.bisect_left(self._bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def mean(self) -> float:
+        """Average observation; 0.0 when nothing was observed."""
+        return self._sum / self._count if self._count else 0.0
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``inf`` last."""
+        result = []
+        cumulative = 0
+        for bound, count in zip(self._bounds, self._counts):
+            cumulative += count
+            result.append((bound, cumulative))
+        result.append((float("inf"), self._count))
+        return result
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one metric name, keyed by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if len(set(labelnames)) != len(labelnames):
+            raise ValueError(f"duplicate label names in {labelnames!r}")
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if buckets is not None and kind != "histogram":
+            raise ValueError("buckets only apply to histograms")
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._buckets or DEFAULT_BUCKETS)
+        return _KINDS[self.kind]()
+
+    def labels(self, **labelvalues: object):
+        """Child metric for the given label values (created on demand)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    # Unlabeled convenience: a family with no label names behaves as its
+    # single child, so ``registry.counter("x").inc()`` reads naturally.
+
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} has labels {self.labelnames}; "
+                "call .labels(...) first"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+    @property
+    def sum(self) -> float:
+        return self._solo().sum
+
+    def mean(self) -> float:
+        return self._solo().mean()
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        return self._solo().buckets()
+
+    def samples(self) -> List[Tuple[Dict[str, str], object]]:
+        """``(labels_dict, child)`` pairs in insertion order."""
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in self._children.items()
+        ]
+
+
+class MetricsRegistry:
+    """Namespace of metric families with JSON and Prometheus exporters."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -------------------------------------------------------- registration
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != tuple(
+                labelnames
+            ):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}{existing.labelnames}"
+                )
+            return existing
+        family = MetricFamily(name, kind, help_text, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._register(name, "counter", help_text, labelnames)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help_text, labelnames,
+                              buckets)
+
+    # ------------------------------------------------------------- queries
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> Iterable[MetricFamily]:
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # ----------------------------------------------------------- exporters
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-dict snapshot (name -> type/help/samples)."""
+        out: Dict[str, object] = {}
+        for family in self.families():
+            samples = []
+            for labels, child in family.samples():
+                if isinstance(child, Histogram):
+                    samples.append({
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": [
+                            {"le": le, "count": count}
+                            for le, count in child.buckets()
+                        ],
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help_text,
+                "samples": samples,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help_text:
+                lines.append(
+                    f"# HELP {family.name} "
+                    f"{_escape_help(family.help_text)}"
+                )
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.samples():
+                if isinstance(child, Histogram):
+                    for le, count in child.buckets():
+                        le_text = "+Inf" if le == float("inf") else _fmt(le)
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = le_text
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_label_text(bucket_labels)} {count}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_label_text(labels)} "
+                        f"{_fmt(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_label_text(labels)} "
+                        f"{child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_label_text(labels)} "
+                        f"{_fmt(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"

@@ -1,0 +1,214 @@
+"""Render per-node utilization timelines from simulation traces.
+
+Works entirely from a parsed JSONL trace (:func:`repro.obs.trace.read_trace`):
+the ``sim.start`` header event supplies the geometry (node count, step
+width, horizon, capacities), the ``batch.serviced`` / ``node.stall``
+events supply the CPU-seconds each node served, and
+:mod:`repro.workload.textplot` turns the binned series into terminal
+sparklines — the Figure-2-style view of where load actually went.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..workload.textplot import sparkline
+from .trace import TraceEvent
+
+__all__ = [
+    "WORK_EVENT_TYPES",
+    "trace_metadata",
+    "busy_totals",
+    "work_timeline",
+    "utilization_timeline",
+    "trace_summary",
+    "render_trace_report",
+]
+
+#: Event types that carry served CPU work in a ``work`` field.
+WORK_EVENT_TYPES = ("batch.serviced", "node.stall")
+
+
+def trace_metadata(events: Sequence[TraceEvent]) -> Dict[str, object]:
+    """Run geometry from the ``sim.start`` header, inferred if absent.
+
+    Returns ``nodes``, ``step_seconds``, ``horizon`` and ``capacities``;
+    traces written by this package always carry the header, but the
+    fallback lets hand-built event lists render too.
+    """
+    for event in events:
+        if event.type == "sim.start":
+            meta = dict(event.fields)
+            return {
+                "nodes": int(meta.get("nodes", 1)),
+                "step_seconds": float(meta.get("step_seconds", 0.1)),
+                "horizon": float(meta.get("horizon", 0.0)),
+                "capacities": [
+                    float(c) for c in meta.get("capacities", [1.0])
+                ],
+            }
+    nodes = 0
+    last_t = 0.0
+    for event in events:
+        node = event.fields.get("node")
+        if node is not None:
+            nodes = max(nodes, int(node) + 1)
+        if event.t is not None:
+            last_t = max(last_t, float(event.t))
+    nodes = max(nodes, 1)
+    return {
+        "nodes": nodes,
+        "step_seconds": 0.1,
+        "horizon": last_t,
+        "capacities": [1.0] * nodes,
+    }
+
+
+def busy_totals(
+    events: Sequence[TraceEvent], num_nodes: Optional[int] = None
+) -> np.ndarray:
+    """CPU-seconds served per node, summed over the work events.
+
+    Matches ``SimulationResult.node_busy`` exactly: the engine emits one
+    work-carrying event per completion, stalls included.
+    """
+    if num_nodes is None:
+        num_nodes = int(trace_metadata(events)["nodes"])
+    totals = np.zeros(num_nodes)
+    for event in events:
+        if event.type in WORK_EVENT_TYPES:
+            totals[int(event.fields["node"])] += float(
+                event.fields.get("work", 0.0)
+            )
+    return totals
+
+
+def work_timeline(
+    events: Sequence[TraceEvent],
+    step_seconds: Optional[float] = None,
+    num_nodes: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> np.ndarray:
+    """Served CPU-seconds per ``(time bin, node)``.
+
+    Bins are ``step_seconds`` wide over ``[0, horizon)``; work completed
+    after the horizon folds into the last bin (same convention as the
+    engine's ``work_timeline``).
+    """
+    meta = trace_metadata(events)
+    step = float(step_seconds or meta["step_seconds"])
+    n = int(num_nodes or meta["nodes"])
+    end = float(horizon or meta["horizon"])
+    if step <= 0:
+        raise ValueError("step_seconds must be > 0")
+    if end <= 0:
+        # No horizon known: span the events.
+        times = [
+            float(e.t) for e in events
+            if e.type in WORK_EVENT_TYPES and e.t is not None
+        ]
+        end = max(times) + step if times else step
+    steps = max(1, int(round(end / step)))
+    timeline = np.zeros((steps, n))
+    for event in events:
+        if event.type not in WORK_EVENT_TYPES or event.t is None:
+            continue
+        bin_index = min(int(float(event.t) / step), steps - 1)
+        timeline[bin_index, int(event.fields["node"])] += float(
+            event.fields.get("work", 0.0)
+        )
+    return timeline
+
+
+def utilization_timeline(
+    events: Sequence[TraceEvent],
+    step_seconds: Optional[float] = None,
+) -> np.ndarray:
+    """Per-bin utilization (served work / capacity / bin width)."""
+    meta = trace_metadata(events)
+    step = float(step_seconds or meta["step_seconds"])
+    capacities = np.asarray(meta["capacities"], dtype=float)
+    timeline = work_timeline(events, step_seconds=step)
+    return timeline / (capacities[None, :] * step)
+
+
+def trace_summary(
+    events: Sequence[TraceEvent],
+) -> Dict[str, object]:
+    """Event counts by type plus the simulated time span."""
+    by_type: Dict[str, int] = {}
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    for event in events:
+        by_type[event.type] = by_type.get(event.type, 0) + 1
+        if event.t is not None:
+            t = float(event.t)
+            t_min = t if t_min is None else min(t_min, t)
+            t_max = t if t_max is None else max(t_max, t)
+    return {
+        "events": len(events),
+        "by_type": dict(sorted(by_type.items())),
+        "span": (t_min, t_max),
+    }
+
+
+def _migration_lines(events: Sequence[TraceEvent]) -> List[str]:
+    lines = []
+    for event in events:
+        if event.type != "migration.applied":
+            continue
+        f = event.fields
+        lines.append(
+            f"  t={0.0 if event.t is None else float(event.t):g}s "
+            f"{f.get('operator', '?')}: node {f.get('source', '?')} -> "
+            f"{f.get('target', '?')} (pause {float(f.get('pause', 0.0)):g}s)"
+        )
+    return lines
+
+
+def render_trace_report(
+    events: Sequence[TraceEvent],
+    width: int = 60,
+) -> str:
+    """Human-readable report: counts, per-node timelines, migrations."""
+    if not events:
+        raise ValueError("cannot render an empty trace")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    meta = trace_metadata(events)
+    summary = trace_summary(events)
+    utilization = utilization_timeline(events)
+    totals = busy_totals(events, num_nodes=int(meta["nodes"]))
+    capacities = np.asarray(meta["capacities"], dtype=float)
+    horizon = float(meta["horizon"])
+    if horizon <= 0:
+        horizon = utilization.shape[0] * float(meta["step_seconds"])
+
+    parts = [
+        f"trace: {summary['events']} events over "
+        f"{horizon:g}s simulated ({meta['nodes']} nodes, "
+        f"step {meta['step_seconds']:g}s)",
+        "",
+        "events by type:",
+    ]
+    by_type: Dict[str, int] = summary["by_type"]  # type: ignore[assignment]
+    for name, count in by_type.items():
+        parts.append(f"  {name}: {count}")
+    parts.append("")
+    parts.append("per-node utilization (served work / capacity):")
+    for node in range(int(meta["nodes"])):
+        series = utilization[:, node]
+        mean_util = totals[node] / (capacities[node] * horizon)
+        line = sparkline(series, width=min(width, series.size))
+        parts.append(
+            f"  node {node} |{line}| "
+            f"mean={mean_util:.2f} peak={series.max():.2f}"
+        )
+    migrations = _migration_lines(events)
+    if migrations:
+        parts.append("")
+        parts.append(f"migrations applied ({len(migrations)}):")
+        parts.extend(migrations)
+    return "\n".join(parts)

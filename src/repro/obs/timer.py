@@ -1,0 +1,85 @@
+"""Profiling hooks: ``perf_counter`` phase timers.
+
+A :class:`PhaseTimer` context manager measures one named phase of work
+(a placement search, a verification pass, a simulator run) and records
+the duration twice:
+
+* into a ``repro_phase_seconds{phase=...}`` histogram on a
+  :class:`~repro.obs.metrics.MetricsRegistry`, so repeated phases
+  aggregate (count / total / mean);
+* as a ``phase`` trace event on a :class:`~repro.obs.trace.Tracer`, so
+  the timing lands in the same JSONL stream as the events it brackets.
+
+Both destinations are optional; with neither, the timer still exposes
+``.seconds`` for ad-hoc use.  :func:`phase_report` renders a registry's
+accumulated phase timings as the text block ``Deployment.summary()``
+appends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Optional
+
+from .metrics import Histogram, MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["PHASE_METRIC", "PhaseTimer", "phase_report"]
+
+#: Histogram (labelled by phase name) every timer records into.
+PHASE_METRIC = "repro_phase_seconds"
+
+
+class PhaseTimer:
+    """Context manager timing one phase with ``time.perf_counter``."""
+
+    def __init__(
+        self,
+        name: str,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        fields: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.registry = registry
+        self.tracer = tracer
+        self.fields = dict(fields or {})
+        self.seconds: Optional[float] = None
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - misuse guard
+            return
+        self.seconds = time.perf_counter() - self._start
+        if self.registry is not None:
+            self.registry.histogram(
+                PHASE_METRIC,
+                "wall-clock seconds spent per profiled phase",
+                ("phase",),
+            ).labels(phase=self.name).observe(self.seconds)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "phase", name=self.name, seconds=self.seconds, **self.fields
+            )
+
+
+def phase_report(registry: MetricsRegistry) -> str:
+    """Text table of accumulated phase timings; ``""`` when none."""
+    family = registry.get(PHASE_METRIC)
+    if family is None:
+        return ""
+    lines = []
+    for labels, child in family.samples():
+        if not isinstance(child, Histogram) or child.count == 0:
+            continue
+        name = labels.get("phase", "?")
+        lines.append(
+            f"  {name}: calls={child.count} "
+            f"total={child.sum * 1e3:.2f}ms "
+            f"mean={child.mean() * 1e3:.2f}ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,247 @@
+"""Structured event tracing: typed events, sinks, JSONL round-trip.
+
+A :class:`Tracer` turns instrumentation points into
+:class:`TraceEvent` records and hands them to a sink.  The default sink
+is :data:`NULL_SINK`, whose tracer reports ``enabled = False`` — hot
+paths guard on that flag, so with tracing off **no event object is ever
+allocated** (verified by the null-sink test).
+
+Events carry two clocks:
+
+* ``t`` — simulated seconds since the start of the run (``None`` for
+  events outside a simulation, e.g. placement-search iterations);
+* ``wall`` — wall-clock epoch seconds at emission.
+
+The JSONL wire format is one object per line with the reserved keys
+``type`` / ``t`` / ``wall`` plus the event's free-form fields, e.g.::
+
+    {"type": "batch.serviced", "t": 1.25, "wall": 1754..., "node": 0,
+     "operator": "agg1", "count": 12, "out": 3, "work": 0.006}
+
+``read_trace`` parses a file back into events; the schema is documented
+in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+__all__ = [
+    "EVENT_TYPES",
+    "TraceEvent",
+    "TraceSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "Tracer",
+    "NULL_SINK",
+    "NULL_TRACER",
+    "read_trace",
+    "parse_trace_line",
+]
+
+#: Event types the built-in instrumentation emits.  ``Tracer.emit``
+#: accepts any dotted name, so downstream code can add its own; these are
+#: the ones tooling (``repro-rod trace``) understands.
+EVENT_TYPES = frozenset({
+    "sim.start",            # run header: nodes, step, horizon, capacities
+    "sim.end",              # run footer: busy totals, tuple counts
+    "batch.enqueued",       # a batch joined a node's queue
+    "batch.serviced",       # a node finished processing a batch
+    "node.busy",            # idle -> busy transition
+    "node.idle",            # busy -> idle transition
+    "node.stall",           # migration pause served by a node
+    "migration.decided",    # controller returned a move
+    "migration.applied",    # engine applied a (non-stale) move
+    "placement.step",       # one greedy assignment (ROD)
+    "placement.iteration",  # one annealing search iteration sample
+    "placement.milp",       # one MILP solve
+    "feasibility.probe",    # one empirical feasibility verdict
+    "phase",                # a profiled phase finished (PhaseTimer)
+})
+
+_RESERVED_KEYS = frozenset({"type", "t", "wall"})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    type: str
+    t: Optional[float]
+    wall: float
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json_obj(self) -> Dict[str, object]:
+        obj: Dict[str, object] = {"type": self.type, "t": self.t,
+                                  "wall": self.wall}
+        obj.update(self.fields)
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, object]) -> "TraceEvent":
+        if "type" not in obj:
+            raise ValueError("trace record lacks a 'type' key")
+        data = dict(obj)
+        type_ = str(data.pop("type"))
+        t = data.pop("t", None)
+        wall = data.pop("wall", 0.0)
+        return cls(
+            type=type_,
+            t=None if t is None else float(t),
+            wall=float(wall),
+            fields=data,
+        )
+
+
+class TraceSink:
+    """Destination for trace events.  Subclasses override ``write``."""
+
+    #: Tracers wrapping this sink construct and forward events iff True.
+    enabled = True
+
+    def write(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discards everything; marks the wrapping tracer disabled."""
+
+    enabled = False
+
+    def write(self, event: TraceEvent) -> None:  # pragma: no cover
+        pass
+
+
+class MemorySink(TraceSink):
+    """Collects events in a list — the test/inspection sink."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(TraceSink):
+    """Writes events as JSON lines to a path or text handle."""
+
+    def __init__(self, target: Union[str, io.TextIOBase]) -> None:
+        if isinstance(target, str):
+            self.path: Optional[str] = target
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self.path = getattr(target, "name", None)
+            self._handle = target
+            self._owns_handle = False
+        self.events_written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        json.dump(event.to_json_obj(), self._handle,
+                  separators=(",", ":"), default=_jsonable)
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+        elif not self._handle.closed:
+            self._handle.flush()
+
+
+def _jsonable(value: object) -> object:
+    """Fallback serializer: numpy scalars/arrays -> python numbers/lists."""
+    # tolist before item: arrays only support the former, scalars both.
+    for attr in ("tolist", "item"):
+        convert = getattr(value, attr, None)
+        if callable(convert):
+            return convert()
+    raise TypeError(
+        f"trace field of type {type(value).__name__} is not JSON-seriali"
+        f"zable"
+    )
+
+
+NULL_SINK = NullSink()
+
+
+class Tracer:
+    """Front end the instrumented code talks to.
+
+    Hot paths should hoist ``tracer.enabled`` into a local and guard each
+    ``emit`` call on it; ``emit`` itself also guards, so a stray
+    unguarded call on a disabled tracer costs one attribute check and
+    allocates nothing.
+    """
+
+    __slots__ = ("sink", "enabled", "events_emitted")
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink = NULL_SINK if sink is None else sink
+        self.enabled = bool(getattr(self.sink, "enabled", True))
+        self.events_emitted = 0
+
+    def emit(
+        self, type_: str, t: Optional[float] = None, **fields: object
+    ) -> None:
+        """Record one event (no-op when the sink is disabled)."""
+        if not self.enabled:
+            return
+        bad = _RESERVED_KEYS.intersection(fields)
+        if bad:
+            raise ValueError(
+                f"trace fields {sorted(bad)} collide with reserved keys"
+            )
+        self.sink.write(
+            TraceEvent(type=type_, t=t, wall=time.time(), fields=fields)
+        )
+        self.events_emitted += 1
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+NULL_TRACER = Tracer()
+
+
+def parse_trace_line(line: str) -> TraceEvent:
+    """Parse one JSONL line into a :class:`TraceEvent`."""
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError("trace line is not a JSON object")
+    return TraceEvent.from_json_obj(obj)
+
+
+def read_trace(source: Union[str, Iterable[str]]) -> List[TraceEvent]:
+    """Read a JSONL trace file (or iterable of lines) into events.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    their line number.
+    """
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            return read_trace(list(handle))
+    events = []
+    for number, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(parse_trace_line(line))
+        except ValueError as exc:
+            raise ValueError(f"line {number}: {exc}") from exc
+    return events

@@ -24,6 +24,7 @@ from ..core.load_model import LoadModel
 from ..core.plans import Placement
 from ..core.rod import rod_place
 from ..core.volume import qmc
+from ..obs.trace import NULL_TRACER, Tracer
 from .base import Placer
 
 __all__ = ["AnnealingPlacer"]
@@ -42,9 +43,13 @@ class AnnealingPlacer(Placer):
         cooling: float = 0.999,
         start: str = "rod",
         seed: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        trace_every: int = 250,
     ) -> None:
         """``start`` is ``"rod"`` (polish the greedy plan) or
-        ``"random"`` (search from scratch)."""
+        ``"random"`` (search from scratch).  With a ``tracer``, a
+        ``placement.iteration`` event is emitted every ``trace_every``
+        iterations and whenever the search finds a new best plan."""
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         if samples < 1:
@@ -55,12 +60,16 @@ class AnnealingPlacer(Placer):
             raise ValueError("initial temperature must be >= 0")
         if start not in ("rod", "random"):
             raise ValueError(f"unknown start {start!r}")
+        if trace_every < 1:
+            raise ValueError("trace_every must be >= 1")
         self.iterations = iterations
         self.samples = samples
         self.initial_temperature = initial_temperature
         self.cooling = cooling
         self.start = start
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_every = trace_every
 
     def place(
         self, model: LoadModel, capacities: Sequence[float]
@@ -99,8 +108,21 @@ class AnnealingPlacer(Placer):
         best = current
         best_assignment = tuple(assignment)
         temperature = self.initial_temperature
+        tracer = self.tracer
+        tracing = tracer.enabled
 
-        for _ in range(self.iterations):
+        def emit_iteration(iteration: int, improved: bool) -> None:
+            tracer.emit(
+                "placement.iteration",
+                algorithm="annealing",
+                iteration=iteration,
+                current=current,
+                best=best,
+                temperature=temperature,
+                improved=improved,
+            )
+
+        for iteration in range(self.iterations):
             j = rng.randrange(m)
             source = assignment[j]
             target = rng.randrange(n - 1)
@@ -111,6 +133,7 @@ class AnnealingPlacer(Placer):
             node_coeffs[target] += row
             candidate = score(node_coeffs)
             delta = candidate - current
+            improved = False
             if delta >= 0 or (
                 temperature > 0
                 and rng.random() < math.exp(delta / temperature)
@@ -120,10 +143,13 @@ class AnnealingPlacer(Placer):
                 if current > best:
                     best = current
                     best_assignment = tuple(assignment)
+                    improved = True
             else:
                 node_coeffs[source] += row
                 node_coeffs[target] -= row
             temperature *= self.cooling
+            if tracing and (improved or iteration % self.trace_every == 0):
+                emit_iteration(iteration, improved)
 
         return Placement(
             model=model, capacities=caps, assignment=best_assignment

@@ -23,6 +23,7 @@ volume even when it loses on max-weight.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -30,6 +31,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..core.load_model import LoadModel
 from ..core.plans import Placement
+from ..obs.trace import NULL_TRACER, Tracer
 from .base import Placer
 
 __all__ = ["MilpBalancePlacer"]
@@ -47,9 +49,11 @@ class MilpBalancePlacer(Placer):
         self,
         time_limit: Optional[float] = 30.0,
         max_variables: int = MAX_VARIABLES,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.time_limit = time_limit
         self.max_variables = max_variables
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def place(
         self, model: LoadModel, capacities: Sequence[float]
@@ -103,6 +107,7 @@ class MilpBalancePlacer(Placer):
         options = {}
         if self.time_limit is not None:
             options["time_limit"] = self.time_limit
+        solve_start = time.perf_counter()
         result = milp(
             c=cost,
             constraints=[assignment_constraint, weight_constraint],
@@ -110,6 +115,17 @@ class MilpBalancePlacer(Placer):
             bounds=bounds,
             options=options,
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "placement.milp",
+                algorithm="milp_balance",
+                seconds=time.perf_counter() - solve_start,
+                status=int(result.status),
+                variables=num_vars,
+                objective=(
+                    None if result.x is None else float(result.x[-1])
+                ),
+            )
         if result.x is None:
             raise RuntimeError(
                 f"MILP solve failed: {result.message} "

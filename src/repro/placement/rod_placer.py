@@ -6,14 +6,30 @@ Section 7.2.  ROD needs neither a rate point nor a rate history.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import time
+from typing import List, Optional, Sequence
 
 from ..core.load_model import LoadModel
 from ..core.plans import Placement
-from ..core.rod import rod_place
+from ..core.rod import RodStep, rod_place
+from ..obs.trace import NULL_TRACER, Tracer
 from .base import Placer
 
-__all__ = ["RODPlacer"]
+__all__ = ["RODPlacer", "emit_rod_steps"]
+
+
+def emit_rod_steps(tracer: Tracer, steps: Sequence[RodStep]) -> None:
+    """Emit one ``placement.step`` trace event per greedy assignment."""
+    for index, step in enumerate(steps):
+        tracer.emit(
+            "placement.step",
+            algorithm="rod",
+            index=index,
+            operator=step.operator,
+            node=step.node,
+            class_one_size=len(step.class_one),
+            chosen_from_class_one=step.chosen_from_class_one,
+        )
 
 
 class RODPlacer(Placer):
@@ -26,19 +42,34 @@ class RODPlacer(Placer):
         lower_bound: Optional[Sequence[float]] = None,
         class_one_policy: str = "plane",
         seed: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.lower_bound = lower_bound
         self.class_one_policy = class_one_policy
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def place(
         self, model: LoadModel, capacities: Sequence[float]
     ) -> Placement:
         self._validated(model, capacities)
-        return rod_place(
+        tracing = self.tracer.enabled
+        steps: Optional[List[RodStep]] = [] if tracing else None
+        start = time.perf_counter()
+        placement = rod_place(
             model,
             capacities,
             lower_bound=self.lower_bound,
             class_one_policy=self.class_one_policy,
             seed=self.seed,
+            steps=steps,
         )
+        if tracing and steps is not None:
+            emit_rod_steps(self.tracer, steps)
+            self.tracer.emit(
+                "phase",
+                name="placement.rod",
+                seconds=time.perf_counter() - start,
+                operators=model.num_operators,
+            )
+        return placement

@@ -19,6 +19,13 @@ period with each node's recent utilization, and applies the migrations it
 returns — stalling both endpoint nodes for the state-dependent pause (as
 the paper's prototype measurements describe, Section 1) and moving the
 operator's queued batches to the destination.
+
+The engine is instrumented for :mod:`repro.obs`: pass a ``tracer`` to
+stream typed events (``sim.start``/``sim.end``, batch enqueue/service,
+node busy/idle transitions, migration decisions) and a ``metrics``
+registry to collect run counters and latency quantiles.  Both default to
+disabled, and every hot-path emit is guarded on ``tracer.enabled``, so
+an uninstrumented run allocates no event objects at all.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.plans import Placement
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..workload.arrivals import ArrivalProcess
 from .metrics import LatencyStats, OperatorStats, SimulationResult
 from .runtime import OperatorRuntime, make_runtime
@@ -91,10 +100,14 @@ class Simulator:
         seed: Optional[int] = None,
         controller: Optional[object] = None,
         scheduling: str = "fifo",
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """``controller``, if given, is a ``MigrationController`` polled
         every ``controller.period`` seconds to move operators at run
-        time; ``scheduling`` picks the per-node service discipline."""
+        time; ``scheduling`` picks the per-node service discipline.
+        ``tracer`` streams structured run events (disabled by default);
+        ``metrics`` collects run counters/gauges after the event loop."""
         if step_seconds <= 0:
             raise ValueError("step_seconds must be > 0")
         self.placement = placement
@@ -115,6 +128,8 @@ class Simulator:
         self.seed = seed
         self.controller = controller
         self.scheduling = scheduling
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         SchedulerQueue(scheduling)  # validate the policy eagerly
         # (consumer operator, port) pairs per stream, precomputed.
         self._routes: Dict[str, List[Tuple[str, int]]] = {}
@@ -147,6 +162,24 @@ class Simulator:
         horizon = steps * self.step_seconds
         n = self.placement.num_nodes
         capacities = self.placement.capacities
+
+        # Hoisted observability state: `tracing` is the single hot-path
+        # guard — when False, no trace call runs and no event object is
+        # ever allocated.
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.emit(
+                "sim.start",
+                t=0.0,
+                nodes=n,
+                operators=len(self.graph.operator_names),
+                step_seconds=self.step_seconds,
+                horizon=horizon,
+                capacities=[float(c) for c in capacities],
+                scheduling=self.scheduling,
+                arrival_kind=self.arrival_kind,
+            )
 
         runtimes: Dict[str, OperatorRuntime] = {
             op.name: make_runtime(op) for op in self.graph.operators()
@@ -231,7 +264,18 @@ class Simulator:
         def enqueue(batch: _Batch) -> None:
             node = assignment[batch.operator]
             queues[node].push(batch)
+            if tracing:
+                tracer.emit(
+                    "batch.enqueued",
+                    t=batch.arrival,
+                    node=node,
+                    operator=batch.operator,
+                    port=batch.port,
+                    count=batch.count,
+                )
             if not busy[node]:
+                if tracing:
+                    tracer.emit("node.busy", t=batch.arrival, node=node)
                 start_service(node, batch.arrival)
 
         # Control polls.
@@ -283,6 +327,15 @@ class Simulator:
                     time, recent, assignment, self.placement.model,
                     capacities, operator_loads=op_loads,
                 ):
+                    if tracing:
+                        tracer.emit(
+                            "migration.decided",
+                            t=time,
+                            operator=move.operator,
+                            source=move.source,
+                            target=move.target,
+                            pause=move.pause_seconds,
+                        )
                     if assignment.get(move.operator) != move.source:
                         continue  # stale decision; operator already moved
                     assignment[move.operator] = move.target
@@ -294,8 +347,21 @@ class Simulator:
                     for endpoint in (move.source, move.target):
                         queues[endpoint].push_stall(move.pause_seconds)
                         if not busy[endpoint]:
+                            if tracing:
+                                tracer.emit(
+                                    "node.busy", t=time, node=endpoint
+                                )
                             start_service(endpoint, time)
                     migrations.append(move)
+                    if tracing:
+                        tracer.emit(
+                            "migration.applied",
+                            t=time,
+                            operator=move.operator,
+                            source=move.source,
+                            target=move.target,
+                            pause=move.pause_seconds,
+                        )
                 continue
 
             if priority == _ARRIVAL:
@@ -309,6 +375,23 @@ class Simulator:
             bin_index = min(int(time / self.step_seconds), steps - 1)
             timeline[bin_index, node] += completion.work
             batch = completion.batch
+            if tracing:
+                if batch is None:
+                    tracer.emit(
+                        "node.stall", t=time, node=node,
+                        work=completion.work,
+                    )
+                else:
+                    tracer.emit(
+                        "batch.serviced",
+                        t=time,
+                        node=node,
+                        operator=batch.operator,
+                        port=batch.port,
+                        count=batch.count,
+                        out=completion.out_count,
+                        work=completion.work,
+                    )
             if batch is not None and completion.out_count > 0:
                 out_stream = self.graph.output_of(batch.operator).name
                 if completion.deliveries:
@@ -331,11 +414,28 @@ class Simulator:
             if queues[node].is_empty:
                 busy[node] = False
                 last_free[node] = time
+                if tracing:
+                    tracer.emit("node.idle", t=time, node=node)
             else:
                 start_service(node, time)
 
         utilization = node_work / (capacities * horizon)
         backlog = np.maximum(last_free - horizon, 0.0)
+        if tracing:
+            tracer.emit(
+                "sim.end",
+                t=horizon,
+                node_busy=[float(w) for w in node_work],
+                tuples_in=tuples_in,
+                tuples_out=tuples_out,
+                max_utilization=float(utilization.max()),
+                migrations=len(migrations),
+            )
+        if self.metrics is not None:
+            self._record_metrics(
+                self.metrics, utilization, latency, tuples_in, tuples_out,
+                len(migrations),
+            )
         return SimulationResult(
             duration=horizon,
             node_busy=node_work,
@@ -351,6 +451,49 @@ class Simulator:
         )
 
     # -------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _record_metrics(
+        registry: MetricsRegistry,
+        utilization: np.ndarray,
+        latency: LatencyStats,
+        tuples_in: int,
+        tuples_out: int,
+        migrations: int,
+    ) -> None:
+        """Fold one run's outcomes into the metrics registry.
+
+        Runs once after the event loop — never on the hot path — so an
+        attached registry costs nothing per event.
+        """
+        tuples = registry.counter(
+            "rod_sim_tuples_total",
+            "source tuples injected / sink tuples produced",
+            ("direction",),
+        )
+        tuples.labels(direction="in").inc(tuples_in)
+        tuples.labels(direction="out").inc(tuples_out)
+        registry.counter(
+            "rod_sim_migrations_total", "operator migrations applied"
+        ).inc(migrations)
+        registry.counter(
+            "rod_sim_runs_total", "simulation runs completed"
+        ).inc()
+        node_gauge = registry.gauge(
+            "rod_sim_node_utilization",
+            "per-node utilization of the latest run",
+            ("node",),
+        )
+        for node, value in enumerate(utilization):
+            node_gauge.labels(node=node).set(float(value))
+        quantiles = registry.gauge(
+            "rod_sim_latency_seconds",
+            "end-to-end latency quantiles of the latest run",
+            ("quantile",),
+        )
+        for name, value in latency.percentiles().items():
+            quantiles.labels(quantile=name).set(value)
+        quantiles.labels(quantile="mean").set(latency.mean())
 
     def _resolve_series(
         self,

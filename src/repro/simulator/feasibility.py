@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.plans import Placement
+from ..obs.trace import Tracer
 from .engine import Simulator, TransferCosts
 
 __all__ = ["FeasibilityProbe", "empirical_feasible_fraction"]
@@ -25,7 +26,13 @@ __all__ = ["FeasibilityProbe", "empirical_feasible_fraction"]
 
 @dataclass(frozen=True)
 class FeasibilityProbe:
-    """Configuration of the utilization probe."""
+    """Configuration of the utilization probe.
+
+    ``tracer``, if given, receives one ``feasibility.probe`` event per
+    verdict (rates, feasibility, peak utilization) — the probe itself
+    runs the simulator untraced, so sweeping many rate points does not
+    flood the event stream with per-batch records.
+    """
 
     duration: float = 20.0
     step_seconds: float = 0.1
@@ -33,6 +40,7 @@ class FeasibilityProbe:
     transfer_costs: TransferCosts = 0.0
     arrival_kind: str = "deterministic"
     seed: Optional[int] = None
+    tracer: Optional[Tracer] = None
 
     def is_feasible(
         self, placement: Placement, input_rates: Sequence[float]
@@ -46,12 +54,21 @@ class FeasibilityProbe:
             seed=self.seed,
         )
         result = simulator.run(rates=input_rates, duration=self.duration)
-        return result.is_feasible(
+        verdict = result.is_feasible(
             utilization_threshold=self.utilization_threshold,
             # A drained system may still carry up to one batch of residual
             # service time; tolerate a step's worth.
             backlog_tolerance=self.step_seconds,
         )
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "feasibility.probe",
+                rates=[float(r) for r in input_rates],
+                feasible=verdict,
+                max_utilization=result.max_utilization,
+                backlog_seconds=float(result.backlog_seconds.max()),
+            )
+        return verdict
 
 
 def empirical_feasible_fraction(

@@ -30,7 +30,15 @@ class OperatorStats:
 
 
 class LatencyStats:
-    """Weighted end-to-end latency samples (seconds)."""
+    """Weighted end-to-end latency samples (seconds).
+
+    **Empty-sample contract:** every aggregate (:meth:`mean`,
+    :meth:`percentile`, :meth:`percentiles`, :meth:`maximum`) returns
+    ``0.0`` when no sample was recorded — an unloaded system has no
+    latency, not an undefined one.  Callers that must distinguish "no
+    traffic" from "zero latency" check :attr:`is_empty` first; no
+    aggregate ever raises on emptiness.
+    """
 
     def __init__(self) -> None:
         self._values: List[float] = []
@@ -53,6 +61,7 @@ class LatencyStats:
         return not self._values
 
     def mean(self) -> float:
+        """Weighted mean latency; ``0.0`` on empty samples."""
         if self.is_empty:
             return 0.0
         values = np.asarray(self._values)
@@ -60,7 +69,7 @@ class LatencyStats:
         return float(np.average(values, weights=weights))
 
     def percentile(self, q: float) -> float:
-        """Weighted percentile, ``q`` in [0, 100]."""
+        """Weighted percentile, ``q`` in [0, 100]; ``0.0`` on empty."""
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if self.is_empty:
@@ -74,7 +83,19 @@ class LatencyStats:
         index = int(np.searchsorted(cumulative, threshold))
         return float(values[min(index, values.size - 1)])
 
+    def percentiles(self) -> Dict[str, float]:
+        """The headline quantiles ``{"p50", "p95", "p99"}``.
+
+        All ``0.0`` on empty samples, per the class contract.
+        """
+        return {
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
     def maximum(self) -> float:
+        """Largest recorded latency; ``0.0`` on empty samples."""
         return max(self._values) if self._values else 0.0
 
     def merge(self, other: "LatencyStats") -> None:
@@ -160,9 +181,12 @@ class SimulationResult:
         )
 
     def summary(self) -> str:
+        quantiles = self.latency.percentiles()
         return (
             f"duration={self.duration:g}s in={self.tuples_in} "
             f"out={self.tuples_out} max_util={self.max_utilization:.3f} "
             f"mean_latency={self.latency.mean() * 1e3:.2f}ms "
-            f"p95={self.latency.percentile(95) * 1e3:.2f}ms"
+            f"p50={quantiles['p50'] * 1e3:.2f}ms "
+            f"p95={quantiles['p95'] * 1e3:.2f}ms "
+            f"p99={quantiles['p99'] * 1e3:.2f}ms"
         )

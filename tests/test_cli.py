@@ -210,3 +210,102 @@ class TestReport:
         ids = [artifact_id for artifact_id, _, _ in ARTIFACTS]
         assert len(ids) == len(set(ids))
         assert len(ids) >= 18
+
+
+class TestObservabilityFlags:
+    def test_simulate_trace_out_and_prometheus(
+        self, tmp_path, graph_file, plan_file, capsys
+    ):
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "2",
+            "--trace-out", trace_path, "--emit-metrics", "prometheus",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace_path}" in out
+        assert "# TYPE rod_sim_runs_total counter" in out
+        assert "rod_sim_runs_total 1" in out
+
+        from repro.obs import read_trace
+
+        events = read_trace(trace_path)
+        assert events[0].type == "sim.start"
+        assert events[-1].type == "sim.end"
+
+    def test_simulate_emit_metrics_json(
+        self, graph_file, plan_file, capsys
+    ):
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "2",
+            "--emit-metrics", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["rod_sim_runs_total"]["type"] == "counter"
+
+    def test_evaluate_emit_metrics_profiles_phases(
+        self, graph_file, plan_file, capsys
+    ):
+        assert main([
+            "evaluate", "--graph", graph_file, "--plan", plan_file,
+            "--emit-metrics", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index('{\n'):])
+        phases = {
+            sample["labels"]["phase"]
+            for sample in doc["repro_phase_seconds"]["samples"]
+        }
+        assert "evaluate.volume_ratio" in phases
+
+
+class TestTraceSubcommand:
+    def test_renders_trace_report(
+        self, tmp_path, graph_file, plan_file, capsys
+    ):
+        trace_path = str(tmp_path / "run.jsonl")
+        main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "2",
+            "--trace-out", trace_path,
+        ])
+        capsys.readouterr()
+        assert main(["trace", trace_path, "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "events by type:" in out
+        assert "per-node utilization" in out
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", str(path)]) == 1
+        assert "empty trace" in capsys.readouterr().out
+
+
+class TestVerbosityFlags:
+    def test_verbose_flag_sets_debug_level(self, tmp_path):
+        import logging
+
+        path = str(tmp_path / "g.json")
+        assert main([
+            "-vv", "generate", "--kind", "monitoring", "--inputs", "2",
+            "--seed", "1", "-o", path,
+        ]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        main(["generate", "--kind", "monitoring", "--inputs", "2",
+              "--seed", "1", "-o", path])
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_quiet_flag_sets_error_level(self, tmp_path):
+        import logging
+
+        path = str(tmp_path / "g.json")
+        assert main([
+            "-q", "generate", "--kind", "monitoring", "--inputs", "2",
+            "--seed", "1", "-o", path,
+        ]) == 0
+        assert logging.getLogger("repro").level == logging.ERROR
+        main(["generate", "--kind", "monitoring", "--inputs", "2",
+              "--seed", "1", "-o", path])

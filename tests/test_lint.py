@@ -149,3 +149,45 @@ class TestMergedTreeIsClean:
             [REPO_ROOT / "examples", REPO_ROOT / "benchmarks"]
         )
         assert [d.format() for d in report] == []
+
+
+class TestPrintInLibrary:
+    LIB_PATH = Path("src/repro/simulator/engine.py")
+    # ``__all__`` keeps REPRO504 out of the way; these tests are about 505.
+    ALL = "__all__ = []\n"
+
+    def test_print_in_library_module_flagged(self):
+        assert codes(self.ALL + "print('hello')\n", self.LIB_PATH) == [
+            "REPRO505",
+        ]
+
+    def test_logger_call_ok(self):
+        source = (
+            self.ALL
+            + "from repro.obs.log import get_logger\n"
+            "_LOG = get_logger(__name__)\n"
+            "_LOG.info('hello')\n"
+        )
+        assert codes(source, self.LIB_PATH) == []
+
+    def test_cli_and_textplot_exempt(self):
+        assert codes(self.ALL + "print('x')\n", Path("src/repro/cli.py")) == []
+        assert codes(
+            self.ALL + "print('x')\n", Path("src/repro/workload/textplot.py")
+        ) == []
+
+    def test_tests_and_benchmarks_exempt(self):
+        assert codes("print('x')\n", Path("tests/test_example.py")) == []
+        assert codes("print('x')\n", Path("benchmarks/bench.py")) == []
+
+    def test_outside_repro_package_ok(self):
+        assert codes("print('x')\n", Path("scripts/tool.py")) == []
+
+    def test_noqa_suppresses(self):
+        assert codes(
+            self.ALL + "print('x')  # noqa: REPRO505\n", self.LIB_PATH
+        ) == []
+
+    def test_method_named_print_ok(self):
+        # Only the builtin counts; obj.print() is someone else's API.
+        assert codes(self.ALL + "writer.print('x')\n", self.LIB_PATH) == []

@@ -101,3 +101,39 @@ class TestSimulationResult:
         text = self.make(0.5, 0.0).summary()
         assert "max_util=0.500" in text
         assert "duration=10s" in text
+
+
+class TestPercentilesContract:
+    def test_percentiles_dict(self):
+        stats = LatencyStats()
+        stats.record(1.0, count=90)
+        stats.record(10.0, count=10)
+        quantiles = stats.percentiles()
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert quantiles["p50"] == 1.0
+        assert quantiles["p99"] == 10.0
+
+    def test_empty_contract_is_zero_never_raise(self):
+        # The documented empty-sample contract: every aggregate returns
+        # 0.0; callers distinguish "no data" via is_empty.
+        stats = LatencyStats()
+        assert stats.is_empty
+        assert stats.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert stats.mean() == 0.0
+        assert stats.maximum() == 0.0
+
+    def test_summary_exposes_quantiles(self):
+        latency = LatencyStats()
+        latency.record(0.002, count=90)
+        latency.record(0.050, count=10)
+        result = SimulationResult(
+            duration=10.0,
+            node_busy=np.array([5.0]),
+            node_utilization=np.array([0.5]),
+            backlog_seconds=np.array([0.0]),
+            latency=latency,
+        )
+        text = result.summary()
+        assert "p50=2.00ms" in text
+        assert "p95=50.00ms" in text
+        assert "p99=50.00ms" in text

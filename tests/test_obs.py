@@ -1,0 +1,356 @@
+"""Unit tests for repro.obs: metrics, tracing, timers, logging."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    Observability,
+    configure,
+    get_logger,
+    read_trace,
+)
+from repro.obs.log import level_for
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timer import PHASE_METRIC, PhaseTimer, phase_report
+from repro.obs.trace import (
+    EVENT_TYPES,
+    JsonlSink,
+    MemorySink,
+    NULL_TRACER,
+    NullSink,
+    TraceEvent,
+    Tracer,
+    parse_trace_line,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_unlabeled(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "total requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "total requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth", "queued batches")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+    def test_histogram_aggregates(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", "latency")
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.006)
+        assert histogram.mean() == pytest.approx(0.002)
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h", "h", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        buckets = histogram.buckets()
+        assert buckets[-1][0] == float("inf")
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 3
+
+
+class TestLabels:
+    def test_labeled_children_are_distinct(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "tuples_total", "tuples", labelnames=("direction",)
+        )
+        family.labels(direction="in").inc(10)
+        family.labels(direction="out").inc(3)
+        assert family.labels(direction="in").value == 10.0
+        assert family.labels(direction="out").value == 3.0
+
+    def test_unknown_label_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c", "c", labelnames=("direction",))
+        with pytest.raises(ValueError):
+            family.labels(node="0")
+
+    def test_missing_label_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "c", "c", labelnames=("direction", "node")
+        )
+        with pytest.raises(ValueError):
+            family.labels(direction="in")
+
+    def test_unlabeled_access_on_labeled_family_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c", "c", labelnames=("direction",))
+        with pytest.raises(ValueError):
+            family.inc()
+
+    def test_registration_idempotent_and_conflict_checked(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "c", labelnames=("x",))
+        again = registry.counter("c", "c", labelnames=("x",))
+        assert first is again
+        with pytest.raises(ValueError):
+            registry.gauge("c", "c")
+        with pytest.raises(ValueError):
+            registry.counter("c", "c", labelnames=("y",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "dashes not allowed")
+        with pytest.raises(ValueError):
+            registry.counter("c", "c", labelnames=("bad-label",))
+
+
+class TestExporters:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "tuples_total", "tuples moved", labelnames=("direction",)
+        ).labels(direction="in").inc(7)
+        registry.gauge("util", "utilization").set(0.5)
+        registry.histogram("lat", "latency", buckets=(1.0,)).observe(0.2)
+        return registry
+
+    def test_to_json_roundtrips_through_json(self):
+        doc = json.loads(json.dumps(self.make_registry().to_json()))
+        assert doc["tuples_total"]["type"] == "counter"
+        sample = doc["tuples_total"]["samples"][0]
+        assert sample["labels"] == {"direction": "in"}
+        assert sample["value"] == 7.0
+        assert doc["util"]["samples"][0]["value"] == 0.5
+        hist = doc["lat"]["samples"][0]
+        assert hist["count"] == 1
+
+    def test_prometheus_text_format(self):
+        text = self.make_registry().render_prometheus()
+        assert "# HELP tuples_total tuples moved" in text
+        assert "# TYPE tuples_total counter" in text
+        assert 'tuples_total{direction="in"} 7' in text
+        assert "util 0.5" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.2" in text
+        assert "lat_count 1" in text
+
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "c", labelnames=("path",)).labels(
+            path='a"b\\c\nd'
+        ).inc()
+        text = registry.render_prometheus()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+
+class TestTracer:
+    def test_memory_sink_captures_typed_events(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.emit("batch.serviced", t=1.5, node=0, count=12)
+        assert tracer.events_emitted == 1
+        event = sink.events[0]
+        assert event.type == "batch.serviced"
+        assert event.t == 1.5
+        assert event.wall > 0
+        assert event.fields == {"node": 0, "count": 12}
+
+    def test_reserved_keys_rejected(self):
+        tracer = Tracer(MemorySink())
+        with pytest.raises(ValueError):
+            tracer.emit("phase", wall=1.0)
+        with pytest.raises(ValueError):
+            tracer.emit("phase", type="x")
+
+    def test_known_event_types_registry(self):
+        assert "batch.serviced" in EVENT_TYPES
+        assert "placement.step" in EVENT_TYPES
+        assert "feasibility.probe" in EVENT_TYPES
+
+    def test_null_tracer_counts_nothing(self):
+        NULL_TRACER.emit("sim.start", t=0.0, nodes=2)
+        assert NULL_TRACER.events_emitted == 0
+        assert not NULL_TRACER.enabled
+
+    def test_null_sink_allocates_no_events(self, monkeypatch):
+        """The hot-path contract: disabled tracing never constructs a
+        TraceEvent.  A TraceEvent that explodes on construction proves
+        emit() returns before allocation."""
+        import repro.obs.trace as trace_module
+
+        class Bomb:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("TraceEvent allocated while disabled")
+
+        monkeypatch.setattr(trace_module, "TraceEvent", Bomb)
+        tracer = Tracer(NullSink())
+        tracer.emit("batch.serviced", t=1.0, node=0)
+        assert tracer.events_emitted == 0
+        with pytest.raises(AssertionError):
+            Tracer(MemorySink()).emit("batch.serviced", t=1.0, node=0)
+
+
+class TestJsonlRoundTrip:
+    def test_emit_write_parse_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        tracer = Tracer(sink)
+        tracer.emit("sim.start", t=0.0, nodes=2, step_seconds=0.1)
+        tracer.emit("batch.serviced", t=0.1, node=1, work=0.004)
+        tracer.emit("sim.end", t=1.0, migrations=0)
+        sink.close()
+        assert sink.events_written == 3
+
+        events = read_trace(path)
+        assert [e.type for e in events] == [
+            "sim.start", "batch.serviced", "sim.end",
+        ]
+        assert events[0].fields["nodes"] == 2
+        assert events[1].t == pytest.approx(0.1)
+        assert events[1].fields["work"] == pytest.approx(0.004)
+
+    def test_jsonl_sink_accepts_handle(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        Tracer(sink).emit("phase", name="x", seconds=0.5)
+        sink.close()  # flushes, does not close a borrowed handle
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 1
+        event = parse_trace_line(lines[0])
+        assert event.type == "phase"
+        assert event.fields == {"name": "x", "seconds": 0.5}
+
+    def test_numpy_fields_serialized(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = str(tmp_path / "np.jsonl")
+        with JsonlSink(path) as sink:
+            Tracer(sink).emit(
+                "sim.end", t=1.0,
+                node_busy=np.array([1.5, 2.5]),
+                count=np.int64(3),
+            )
+        event = read_trace(path)[0]
+        assert event.fields["node_busy"] == [1.5, 2.5]
+        assert event.fields["count"] == 3
+
+    def test_read_trace_skips_blanks_and_reports_line_numbers(self):
+        lines = [
+            '{"type": "phase", "t": null, "wall": 1.0}',
+            "",
+            "not json",
+        ]
+        with pytest.raises(ValueError, match="line 3"):
+            read_trace(lines)
+        assert len(read_trace(lines[:2])) == 1
+
+    def test_event_json_obj_roundtrip(self):
+        event = TraceEvent(
+            type="node.busy", t=2.0, wall=100.0, fields={"node": 1}
+        )
+        assert TraceEvent.from_json_obj(event.to_json_obj()) == event
+        with pytest.raises(ValueError):
+            TraceEvent.from_json_obj({"t": 1.0})
+
+
+class TestPhaseTimer:
+    def test_records_into_registry_and_trace(self):
+        registry = MetricsRegistry()
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with PhaseTimer("place.rod", registry=registry, tracer=tracer,
+                        fields={"operators": 12}) as timer:
+            pass
+        assert timer.seconds is not None and timer.seconds >= 0
+        family = registry.get(PHASE_METRIC)
+        assert family is not None
+        child = family.labels(phase="place.rod")
+        assert child.count == 1
+        event = sink.events[0]
+        assert event.type == "phase"
+        assert event.fields["name"] == "place.rod"
+        assert event.fields["operators"] == 12
+
+    def test_phase_report_aggregates_calls(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with PhaseTimer("verify", registry=registry):
+                pass
+        report = phase_report(registry)
+        assert "verify: calls=3" in report
+        assert "total=" in report and "mean=" in report
+
+    def test_phase_report_empty_registry(self):
+        assert phase_report(MetricsRegistry()) == ""
+
+    def test_standalone_timer(self):
+        with PhaseTimer("adhoc") as timer:
+            pass
+        assert timer.seconds is not None
+
+
+class TestObservabilityBundle:
+    def test_defaults_to_disabled_tracing(self):
+        obs = Observability()
+        assert not obs.tracer.enabled
+        with obs.phase("x"):
+            pass
+        assert "x: calls=1" in obs.phase_report()
+
+    def test_phase_streams_to_tracer(self):
+        sink = MemorySink()
+        obs = Observability(tracer=Tracer(sink))
+        with obs.phase("y", detail=1):
+            pass
+        assert sink.events[0].fields["detail"] == 1
+
+    def test_repr_mentions_tracing_state(self):
+        assert "tracing=off" in repr(Observability())
+
+
+class TestLogging:
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro.simulator").name == "repro.simulator"
+        assert get_logger("other").name == "repro.other"
+
+    def test_level_mapping(self):
+        assert level_for(-1) == logging.ERROR
+        assert level_for(0) == logging.WARNING
+        assert level_for(1) == logging.INFO
+        assert level_for(2) == logging.DEBUG
+        assert level_for(5) == logging.DEBUG
+
+    def test_configure_idempotent(self):
+        logger = configure(verbosity=0)
+        before = len(logger.handlers)
+        configure(verbosity=2)
+        assert len(logger.handlers) == before
+        assert logger.level == logging.DEBUG
+        configure(verbosity=0)
+
+    def test_configured_output_format(self):
+        stream = io.StringIO()
+        logger = configure(verbosity=1, stream=stream)
+        get_logger("repro.test_obs").info("hello %d", 7)
+        assert "INFO repro.test_obs: hello 7" in stream.getvalue()
+        configure(verbosity=0, stream=io.StringIO())
+        assert logger.level == logging.WARNING

@@ -1,0 +1,166 @@
+"""End-to-end observability: simulate -> JSONL -> parse -> render.
+
+Covers the PR's acceptance criterion: a traced ``Deployment.simulate``
+run on an ``examples/configs`` graph produces parseable JSONL whose
+per-node busy totals agree with ``SimulationResult`` utilization within
+1%.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.deploy import Deployment
+from repro.dynamics.controller import LoadBalancingController
+from repro.graphs.generator import monitoring_graph
+from repro.graphs.serialize import load_graph
+from repro.obs import MemorySink, Observability, Tracer, read_trace
+from repro.obs.timeline import (
+    busy_totals,
+    render_trace_report,
+    trace_metadata,
+    trace_summary,
+    utilization_timeline,
+)
+from repro.simulator.engine import Simulator
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples" / "configs"
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    graph = load_graph(str(EXAMPLES / "monitoring.graph.json"))
+    deployment = Deployment.plan(graph, [1.0, 1.0])
+    path = str(tmp_path_factory.mktemp("traces") / "run.jsonl")
+    result = deployment.simulate(
+        rates=[60.0, 60.0], duration=5.0, trace_out=path
+    )
+    return deployment, result, read_trace(path)
+
+
+class TestTraceAgreesWithResult:
+    def test_trace_is_parseable_and_framed(self, traced_run):
+        _, _, events = traced_run
+        assert events[0].type == "sim.start"
+        assert events[-1].type == "sim.end"
+        assert all(e.wall > 0 for e in events)
+
+    def test_busy_totals_match_utilization_within_1pct(self, traced_run):
+        deployment, result, events = traced_run
+        totals = busy_totals(events)
+        capacities = deployment.placement.capacities
+        traced_util = totals / (capacities * result.duration)
+        assert np.allclose(traced_util, result.node_utilization, rtol=0.01)
+
+    def test_metadata_header(self, traced_run):
+        deployment, result, events = traced_run
+        meta = trace_metadata(events)
+        assert meta["nodes"] == deployment.placement.num_nodes
+        assert meta["horizon"] == pytest.approx(result.duration)
+
+    def test_summary_counts_are_balanced(self, traced_run):
+        _, _, events = traced_run
+        by_type = trace_summary(events)["by_type"]
+        assert by_type["sim.start"] == 1
+        assert by_type["sim.end"] == 1
+        # Every enqueued batch is eventually serviced at these rates.
+        assert by_type["batch.serviced"] == by_type["batch.enqueued"]
+        assert by_type["node.busy"] == by_type["node.idle"]
+
+    def test_render_report(self, traced_run):
+        deployment, _, events = traced_run
+        report = render_trace_report(events, width=40)
+        assert "events by type:" in report
+        assert "per-node utilization" in report
+        for node in range(deployment.placement.num_nodes):
+            assert f"node {node} |" in report
+
+    def test_utilization_timeline_shape(self, traced_run):
+        deployment, result, events = traced_run
+        timeline = utilization_timeline(events)
+        assert timeline.shape[1] == deployment.placement.num_nodes
+        assert timeline.min() >= 0.0
+
+
+class TestMigrationEvents:
+    def test_migrations_traced_and_rendered(self):
+        graph = monitoring_graph(2, seed=3)
+        deployment = Deployment.plan(graph, [1.0, 1.0])
+        # Skew the load hard onto one input so the reactive balancer
+        # has something to chase.
+        controller = LoadBalancingController(
+            period=0.5, imbalance_threshold=0.05, cooldown=0.0
+        )
+        sink = MemorySink()
+        result = deployment.simulate(
+            rates=[900.0, 5.0],
+            duration=8.0,
+            controller=controller,
+            tracer=Tracer(sink),
+        )
+        applied = [
+            e for e in sink.events if e.type == "migration.applied"
+        ]
+        assert len(applied) == len(result.migrations)
+        if applied:
+            event = applied[0]
+            assert {"operator", "source", "target", "pause"} <= set(
+                event.fields
+            )
+            report = render_trace_report(sink.events)
+            assert "migrations applied" in report
+
+    def test_trace_out_and_tracer_are_mutually_exclusive(self, tmp_path):
+        deployment = Deployment.plan(monitoring_graph(2, seed=1), [1.0, 1.0])
+        with pytest.raises(ValueError, match="not both"):
+            deployment.simulate(
+                rates=[10.0, 10.0],
+                duration=1.0,
+                trace_out=str(tmp_path / "t.jsonl"),
+                tracer=Tracer(MemorySink()),
+            )
+
+
+class TestDisabledPathUnchanged:
+    def test_untraced_run_matches_traced_run(self):
+        graph = monitoring_graph(2, seed=1)
+        deployment = Deployment.plan(graph, [1.0, 1.0])
+        plain = Simulator(deployment.placement).run(
+            rates=[50.0, 50.0], duration=4.0
+        )
+        sink = MemorySink()
+        traced = Simulator(deployment.placement, tracer=Tracer(sink)).run(
+            rates=[50.0, 50.0], duration=4.0
+        )
+        assert np.allclose(plain.node_busy, traced.node_busy)
+        assert plain.tuples_in == traced.tuples_in
+        assert plain.tuples_out == traced.tuples_out
+        assert len(sink.events) > 0
+
+    def test_plan_with_tracing_emits_placement_steps(self):
+        sink = MemorySink()
+        obs = Observability(tracer=Tracer(sink))
+        deployment = Deployment.plan(
+            monitoring_graph(2, seed=1), [1.0, 1.0], obs=obs
+        )
+        steps = [e for e in sink.events if e.type == "placement.step"]
+        assert len(steps) == deployment.model.num_operators
+        assert [e.fields["index"] for e in steps] == list(range(len(steps)))
+        phases = {
+            e.fields["name"] for e in sink.events if e.type == "phase"
+        }
+        assert "plan.place.rod" in phases
+
+    def test_probe_emits_feasibility_event(self):
+        sink = MemorySink()
+        obs = Observability(tracer=Tracer(sink))
+        deployment = Deployment.plan(
+            monitoring_graph(2, seed=1), [1.0, 1.0], obs=obs
+        )
+        verdict = deployment.probe([20.0, 20.0], duration=2.0)
+        probes = [
+            e for e in sink.events if e.type == "feasibility.probe"
+        ]
+        assert len(probes) == 1
+        assert probes[0].fields["feasible"] == verdict
