@@ -1,0 +1,72 @@
+"""pytest-benchmark suite for the fast volume kernel.
+
+Covers the four hot paths the perf work targets: raw Halton generation,
+the memoized sample-point cache's hit path, the streaming feasibility
+estimate, and an annealing placement with incremental scoring.
+
+Run standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/benchmark_volume_kernel.py \
+        -q --benchmark-json=/tmp/bench_volume.json
+
+CI compares the fresh JSON against the committed baseline
+``benchmarks/BENCH_volume.json`` via ``check_volume_budget.py``; refresh
+the baseline with the command above (writing to the baseline path) after
+an intentional kernel change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.volume import cache, qmc
+from repro.experiments.common import make_model
+from repro.placement import AnnealingPlacer
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    cache.clear_cache()
+    yield
+    cache.clear_cache()
+
+
+def test_halton_generation(benchmark):
+    """Vectorized Halton points: 20k x 8 without a per-point loop."""
+    result = benchmark(qmc.halton, 20_000, 8)
+    assert result.shape == (20_000, 8)
+
+
+def test_cache_hit_path(benchmark):
+    """Serving memoized points must cost a lookup plus a slice."""
+    cache.simplex_points(8192, 5)  # warm
+
+    def hit():
+        return cache.simplex_points(4096, 5)
+
+    result = benchmark(hit)
+    assert result.shape == (4096, 5)
+    assert cache.cache_stats()["misses"] == 1
+
+
+def test_feasible_fraction(benchmark):
+    rng = np.random.default_rng(7)
+    weights = rng.uniform(0.5, 3.0, size=(10, 5))
+
+    def estimate():
+        return qmc.feasible_fraction(weights, samples=8192)
+
+    fraction = benchmark(estimate)
+    assert 0.0 <= fraction <= 1.0
+
+
+def test_annealing_place(benchmark):
+    """Incremental scoring: O(samples) per move, not a full rescore."""
+    model = make_model(5, 8, seed=3)
+    capacities = [1.0] * 10
+    placer = AnnealingPlacer(iterations=1000, samples=1024, seed=1)
+    placer.place(model, capacities)  # warm the sample cache
+
+    plan = benchmark(placer.place, model, capacities)
+    assert len(plan.assignment) == model.num_operators

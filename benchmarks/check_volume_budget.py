@@ -1,0 +1,78 @@
+"""Regression budget for the volume-kernel benchmarks.
+
+Compares a fresh ``--benchmark-json`` run against the committed baseline
+``benchmarks/BENCH_volume.json`` and fails if any benchmark's mean time
+exceeds ``baseline * budget``.  The budget is deliberately generous
+(default 3x): CI machines differ wildly in absolute speed, so the guard
+is meant to catch order-of-magnitude regressions — an accidentally
+de-vectorized loop, a cache that stopped hitting — not percent-level
+noise.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/benchmark_volume_kernel.py \
+        -q --benchmark-json=/tmp/bench_volume.json
+    python benchmarks/check_volume_budget.py \
+        --current /tmp/bench_volume.json --budget 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict
+
+DEFAULT_BASELINE = pathlib.Path(__file__).parent / "BENCH_volume.json"
+
+
+def load_means(path: pathlib.Path) -> Dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON."""
+    document = json.loads(path.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in document["benchmarks"]
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="fresh --benchmark-json output to check")
+    parser.add_argument("--budget", type=float, default=3.0,
+                        help="max allowed current/baseline mean ratio")
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+
+    failed = False
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"MISSING  {name}: benchmark absent from current run")
+            failed = True
+            continue
+        ratio = current[name] / baseline[name]
+        verdict = "ok" if ratio <= args.budget else "REGRESSED"
+        if ratio > args.budget:
+            failed = True
+        print(f"{verdict:9s}{name}: {current[name] * 1e3:8.3f} ms vs "
+              f"baseline {baseline[name] * 1e3:8.3f} ms "
+              f"({ratio:.2f}x, budget {args.budget:.1f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"NEW      {name}: {current[name] * 1e3:8.3f} ms "
+              "(no baseline; refresh BENCH_volume.json)")
+
+    if failed:
+        print("volume-kernel benchmark budget exceeded")
+        return 1
+    print("volume-kernel benchmarks within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

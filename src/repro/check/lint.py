@@ -19,6 +19,12 @@ ones that have bitten stream-processing reproductions before:
   renderer ``textplot.py`` are exempt, as are tests and benchmarks).
   Library code reports through ``repro.obs.log.get_logger(__name__)``
   so ``-v``/``-q`` and log capture work uniformly.
+* **REPRO506 scalar-loop-in-kernel** (warning) — no per-element Python
+  loops over array data in the volume kernel
+  (``src/repro/core/volume/``): a ``for`` over ``range(...)`` whose
+  body subscripts with the loop variable is almost always a vectorizable
+  hot loop there.  Intentional exceptions (digit-position recurrences,
+  sieve striding) carry a justified ``noqa``.
 
 Suppress a finding by appending ``# noqa`` or ``# noqa: REPRO502`` to
 the offending line, with a justification comment.
@@ -49,7 +55,13 @@ LINT_CODES = {
     "REPRO503": (Severity.ERROR, "mutable default argument"),
     "REPRO504": (Severity.WARNING, "public module lacks __all__"),
     "REPRO505": (Severity.ERROR, "print() in library code"),
+    "REPRO506": (Severity.WARNING, "per-element Python loop in volume kernel"),
 }
+
+#: directories (as ``path.parts`` suffixes) whose modules must not loop
+#: per-element over arrays — the QMC volume kernel is the repro's inner
+#: loop, so REPRO506 is scoped to it.
+_SCALAR_LOOP_SCOPE = ("core", "volume")
 
 #: module stems under ``repro`` allowed to print: the console entry
 #: point and the ASCII renderer whose whole job is terminal output.
@@ -97,10 +109,12 @@ def _noqa_codes(line: str) -> Optional[List[str]]:
 class _LintVisitor(ast.NodeVisitor):
     """Single-pass visitor collecting REPRO501-503 findings."""
 
-    def __init__(self, forbid_print: bool = False) -> None:
+    def __init__(self, forbid_print: bool = False,
+                 flag_scalar_loops: bool = False) -> None:
         self.findings: List[Dict[str, object]] = []
         self._assert_depth = 0
         self.forbid_print = forbid_print
+        self.flag_scalar_loops = flag_scalar_loops
 
     def _report(self, code: str, node: ast.AST, message: str,
                 fix_hint: str) -> None:
@@ -212,6 +226,38 @@ class _LintVisitor(ast.NodeVisitor):
         self._check_defaults(node, node.args)
         self.generic_visit(node)
 
+    # ----------------------------------------------------------- REPRO506
+
+    @staticmethod
+    def _body_subscripts_with(body: Sequence[ast.stmt], name: str) -> bool:
+        """Whether any statement indexes something with the given name."""
+        for statement in body:
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Subscript) and any(
+                    isinstance(ref, ast.Name) and ref.id == name
+                    for ref in ast.walk(node.slice)
+                ):
+                    return True
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        if (
+            self.flag_scalar_loops
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "range"
+            and self._body_subscripts_with(node.body, node.target.id)
+        ):
+            self._report(
+                "REPRO506", node,
+                "per-element Python loop over array data in the volume "
+                "kernel",
+                "vectorize with whole-array numpy operations, or add a "
+                "justified noqa if the loop is not per-point",
+            )
+        self.generic_visit(node)
+
 
 def _module_defines_all(tree: ast.Module) -> bool:
     for node in tree.body:
@@ -250,7 +296,14 @@ def lint_source(source: str, path: Path) -> List[Diagnostic]:
         and path.stem not in _PRINT_EXEMPT_STEMS
         and not _is_test_path(path)
     )
-    visitor = _LintVisitor(forbid_print=forbid_print)
+    parent_parts = path.parts[:-1]
+    flag_scalar_loops = (
+        parent_parts[-len(_SCALAR_LOOP_SCOPE):] == _SCALAR_LOOP_SCOPE
+        and not _is_test_path(path)
+    )
+    visitor = _LintVisitor(
+        forbid_print=forbid_print, flag_scalar_loops=flag_scalar_loops
+    )
     visitor.visit(tree)
 
     findings = visitor.findings

@@ -35,10 +35,11 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from . import experiments
+from . import experiments, parallel
 from .check import Severity, check_paths, check_plan_document
 from .core.load_model import LoadModel, build_load_model
 from .core.plans import Placement, placement_from_mapping
+from .core.volume import cache as volume_cache
 from .core.analysis import resilience_summary
 from .core.viz import render_feasible_set
 from .graphs.generator import (
@@ -75,8 +76,8 @@ EXPERIMENTS = {
     "fig9": lambda: experiments.fig9_plane_distance.binned(
         experiments.fig9_plane_distance.run()
     ),
-    "fig14": lambda: experiments.resiliency.run(),
-    "fig15": lambda: experiments.dimensions.run(),
+    "fig14": lambda jobs=1: experiments.resiliency.run(jobs=jobs),
+    "fig15": lambda jobs=1: experiments.dimensions.run(jobs=jobs),
     "optimal-gap": lambda: experiments.optimal_gap.run(),
     "latency": lambda: experiments.latency.run(),
     "lower-bound": lambda: experiments.lower_bound.run(),
@@ -93,6 +94,9 @@ EXPERIMENTS = {
     "linearization": lambda: experiments.linearization_value.run(),
     "search-gap": lambda: experiments.search_gap.run(),
 }
+
+#: Experiment ids whose runner accepts a ``jobs=`` keyword.
+JOBS_AWARE_EXPERIMENTS = frozenset({"fig14", "fig15"})
 
 
 def _build_placer(name: str, model: LoadModel, seed: Optional[int]):
@@ -208,8 +212,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     try:
         placement = _load_placement(args.graph, args.plan, args.nodes)
         print(placement.describe())
+        jobs = parallel.resolve_jobs(getattr(args, "jobs", 1))
         with obs.phase("evaluate.volume_ratio"):
-            ratio = placement.volume_ratio()
+            ratio = placement.volume_ratio(jobs=jobs)
         print(f"feasible-set ratio to ideal: {ratio:.4f}")
         print(f"inter-node arcs: {placement.inter_node_arcs()}")
         print()
@@ -219,6 +224,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         if feasible_set.dimension == 2:
             print()
             print(render_feasible_set(feasible_set, title="feasible set"))
+        volume_cache.publish_metrics(obs.registry)
+        parallel.publish_metrics(obs.registry)
         _emit_metrics(args, obs.registry)
         return 0
     finally:
@@ -289,7 +296,14 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             f"unknown experiment {args.id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         ) from None
-    rows = runner()
+    jobs = parallel.resolve_jobs(args.jobs)
+    if args.id in JOBS_AWARE_EXPERIMENTS:
+        rows = runner(jobs=jobs)
+    else:
+        if jobs > 1:
+            print(f"note: experiment {args.id!r} does not parallelize; "
+                  "--jobs ignored")
+        rows = runner()
     print(experiments.format_rows(rows))
     return 0
 
@@ -347,6 +361,11 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--graph", required=True)
     ev.add_argument("--plan", required=True)
     ev.add_argument("--nodes", type=int, default=None)
+    ev.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the QMC volume estimate "
+             "(0 = all cores); the result is identical for any value",
+    )
     add_obs_flags(ev)
     ev.set_defaults(func=cmd_evaluate)
 
@@ -391,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    exp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiments that parallelize "
+             "(0 = all cores); results are identical for any value",
+    )
     exp.set_defaults(func=cmd_experiment)
 
     rep = sub.add_parser(

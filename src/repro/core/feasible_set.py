@@ -181,8 +181,17 @@ class FeasibleSet:
         samples: int = 4096,
         method: str = "halton",
         seed: Optional[int] = None,
+        target_se: Optional[float] = None,
+        jobs: int = 1,
     ) -> float:
-        """QMC estimate of ``V(F) / V(F*)`` (in ``[0, 1]``)."""
+        """QMC estimate of ``V(F) / V(F*)`` (in ``[0, 1]``).
+
+        ``target_se`` enables early termination once the streaming
+        standard-error estimate reaches the target (``samples`` caps the
+        budget); ``jobs > 1`` splits the sample budget across worker
+        processes without changing the result (see
+        :func:`repro.core.volume.qmc.feasible_fraction`).
+        """
         bound = (
             None if self.lower_bound is None else self.normalized_lower_bound()
         )
@@ -192,6 +201,8 @@ class FeasibleSet:
             method=method,
             seed=seed,
             lower_bound=bound,
+            target_se=target_se,
+            jobs=jobs,
         )
 
     def volume(

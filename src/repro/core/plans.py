@@ -133,9 +133,22 @@ class Placement:
         """MMPD metric of this plan (larger is better)."""
         return self.feasible_set().plane_distance()
 
-    def volume_ratio(self, samples: int = 4096, seed: Optional[int] = None) -> float:
-        """QMC feasible-set size relative to the ideal set."""
-        return self.feasible_set().volume_ratio(samples=samples, seed=seed)
+    def volume_ratio(
+        self,
+        samples: int = 4096,
+        seed: Optional[int] = None,
+        target_se: Optional[float] = None,
+        jobs: int = 1,
+    ) -> float:
+        """QMC feasible-set size relative to the ideal set.
+
+        ``target_se`` and ``jobs`` pass through to
+        :meth:`FeasibleSet.volume_ratio` (early termination / parallel
+        sample evaluation; neither changes the converged result).
+        """
+        return self.feasible_set().volume_ratio(
+            samples=samples, seed=seed, target_se=target_se, jobs=jobs
+        )
 
     # -------------------------------------------------------- serialization
 

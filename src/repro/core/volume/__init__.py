@@ -1,11 +1,13 @@
 """Feasible-set volume computation: QMC estimates and exact polytopes."""
 
+from .cache import cache_stats, clear_cache, simplex_points
 from .qmc import (
     feasible_fraction,
     first_primes,
     halton,
     sample_unit_simplex,
     simplex_from_cube,
+    stream_feasible_fraction,
     van_der_corput,
 )
 from .polytope import (
@@ -16,6 +18,8 @@ from .polytope import (
 )
 
 __all__ = [
+    "cache_stats",
+    "clear_cache",
     "feasible_fraction",
     "feasible_volume",
     "first_primes",
@@ -24,6 +28,8 @@ __all__ = [
     "polytope_volume",
     "sample_unit_simplex",
     "simplex_from_cube",
+    "simplex_points",
     "simplex_volume",
+    "stream_feasible_fraction",
     "van_der_corput",
 ]

@@ -15,11 +15,28 @@ Uniform simplex sampling uses the classical spacings construction: the
 ordered coordinates of a point of ``[0,1]^d`` have spacings uniformly
 distributed over the simplex, which works equally for pseudo-random and
 low-discrepancy input points.
+
+Performance notes (this module is the repro's inner loop):
+
+* :func:`van_der_corput` is fully vectorized — one :func:`numpy.divmod`
+  per *digit position*, never a Python loop over points — and digit
+  contributions accumulate in the same least-significant-first order as
+  the scalar recurrence, so results are bit-identical to it.
+* :func:`sample_unit_simplex` serves points from the process-wide
+  memoized cache in :mod:`repro.core.volume.cache`; every consumer of a
+  ``(count, dimension, method, seed, skip)`` stream shares one
+  generation.  Returned arrays are **read-only** views.
+* Point ``skip + i`` of a stream equals point ``i`` of the same stream
+  generated with ``skip`` more points skipped — streams are resumable,
+  which is what lets :func:`feasible_fraction` split its sample budget
+  across batches (``target_se``) or worker processes (``jobs``) and
+  still return exactly the sequential answer.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,45 +47,67 @@ __all__ = [
     "simplex_from_cube",
     "sample_unit_simplex",
     "feasible_fraction",
+    "stream_feasible_fraction",
 ]
 
-# Enough primes for up to 32-dimensional rate spaces.
-_PRIMES = (
+# Seed prime table (enough for 32-dimensional rate spaces without
+# sieving); ``first_primes`` extends it on demand for higher dimensions.
+_PRIMES: List[int] = [
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
     59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131,
-)
+]
 
 
-def first_primes(count: int) -> tuple:
-    """The first ``count`` primes (Halton bases)."""
+def _sieve_limit(count: int) -> int:
+    """An upper bound on the ``count``-th prime (Rosser's theorem)."""
+    if count < 6:
+        return 13
+    n = float(count)
+    return int(n * (math.log(n) + math.log(math.log(n)))) + 1
+
+
+def _grow_primes(count: int) -> None:
+    """Extend the module prime table to at least ``count`` entries."""
+    limit = _sieve_limit(count)
+    mask = np.ones(limit + 1, dtype=bool)
+    mask[:2] = False
+    for p in range(2, math.isqrt(limit) + 1):  # noqa: REPRO506  # sieve striding: O(sqrt limit) iterations, not per-point
+        if mask[p]:
+            mask[p * p:: p] = False
+    primes = np.flatnonzero(mask)
+    _PRIMES[:] = [int(p) for p in primes[: max(count, len(_PRIMES))]]
+
+
+def first_primes(count: int) -> Tuple[int, ...]:
+    """The first ``count`` primes (Halton bases), sieved on demand."""
     if count < 0:
         raise ValueError("count must be >= 0")
     if count > len(_PRIMES):
-        raise ValueError(
-            f"only {len(_PRIMES)} Halton bases available, asked for {count}"
-        )
-    return _PRIMES[:count]
+        _grow_primes(count)
+    return tuple(_PRIMES[:count])
 
 
 def van_der_corput(count: int, base: int, skip: int = 0) -> np.ndarray:
     """The van der Corput low-discrepancy sequence in the given base.
 
     Returns elements ``skip+1 .. skip+count`` (the sequence's 0th element
-    is 0 and is conventionally skipped).
+    is 0 and is conventionally skipped).  Vectorized over points: the
+    loop below runs once per *digit position* (``O(log_base(skip +
+    count))`` iterations), peeling the least-significant digit of every
+    index at once — the same order the scalar recurrence accumulates in,
+    so the output is bit-identical to it.
     """
     if base < 2:
         raise ValueError(f"base must be >= 2, got {base}")
     if count < 0 or skip < 0:
         raise ValueError("count and skip must be >= 0")
-    out = np.empty(count)
-    for i in range(count):
-        n = skip + i + 1
-        value, denom = 0.0, 1.0
-        while n:
-            n, digit = divmod(n, base)
-            denom *= base
-            value += digit / denom
-        out[i] = value
+    indices = np.arange(skip + 1, skip + count + 1, dtype=np.int64)
+    out = np.zeros(count)
+    denom = 1.0
+    while indices.size and indices.any():
+        indices, digits = np.divmod(indices, base)
+        denom *= base
+        out += digits / denom
     return out
 
 
@@ -87,13 +126,42 @@ def simplex_from_cube(points: np.ndarray) -> np.ndarray:
 
     Uses sorted spacings: if ``u_(1) <= ... <= u_(d)`` are the ordered
     coordinates, the spacings ``(u_(1), u_(2)-u_(1), ...)`` are uniform on
-    the simplex when the input is uniform on the cube.
+    the simplex when the input is uniform on the cube.  Row-local, so any
+    slice of rows maps exactly as it would inside a larger batch.
     """
     pts = np.asarray(points, dtype=float)
     if pts.ndim != 2:
         raise ValueError(f"expected 2-D point array, got shape {pts.shape}")
     ordered = np.sort(pts, axis=1)
     return np.diff(ordered, axis=1, prepend=0.0)
+
+
+def generate_unit_simplex(
+    count: int,
+    dimension: int,
+    method: str = "halton",
+    seed: Optional[int] = None,
+    skip: int = 0,
+) -> np.ndarray:
+    """Generate simplex points without consulting the cache (always fresh).
+
+    The ``skip`` parameter resumes the stream for both methods: Halton
+    indices shift, and the pseudo-random stream is replayed from its seed
+    and sliced, so batch ``[skip, skip+count)`` always equals the same
+    rows of a one-shot generation.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if skip < 0:
+        raise ValueError("skip must be >= 0")
+    if method == "halton":
+        cube = halton(count, dimension, skip=skip)
+    elif method == "random":
+        rng = np.random.default_rng(seed)
+        cube = rng.random((skip + count, dimension))[skip:]
+    else:
+        raise ValueError(f"unknown sampling method: {method!r}")
+    return simplex_from_cube(cube)
 
 
 def sample_unit_simplex(
@@ -103,17 +171,111 @@ def sample_unit_simplex(
     seed: Optional[int] = None,
     skip: int = 0,
 ) -> np.ndarray:
-    """Uniform points in the unit simplex, QMC (default) or pseudo-random."""
-    if count < 0:
-        raise ValueError("count must be >= 0")
-    if method == "halton":
-        cube = halton(count, dimension, skip=skip)
-    elif method == "random":
-        rng = np.random.default_rng(seed)
-        cube = rng.random((count, dimension))
-    else:
-        raise ValueError(f"unknown sampling method: {method!r}")
-    return simplex_from_cube(cube)
+    """Uniform points in the unit simplex, QMC (default) or pseudo-random.
+
+    Served from the process-wide memoized cache
+    (:mod:`repro.core.volume.cache`): repeated requests for the same
+    stream — the annealing placer, :meth:`FeasibleSet.volume_ratio`,
+    every experiment harness — share a single generation.  The returned
+    array is **read-only**; callers that need to write must copy.
+    Unseeded pseudo-random requests bypass the cache (they are
+    non-reproducible by construction) but are read-only too.
+    """
+    # Imported here, not at module top: the cache generates through this
+    # module's functions, so a top-level import would be circular.
+    from . import cache as _cache
+
+    return _cache.simplex_points(
+        count, dimension, method=method, seed=seed, skip=skip
+    )
+
+
+def _prepare_weights(weights: np.ndarray) -> np.ndarray:
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 2:
+        raise ValueError(f"weight matrix must be 2-D, got shape {w.shape}")
+    return w
+
+
+def _prepare_bound(
+    lower_bound: Optional[Sequence[float]], dimension: int
+) -> Tuple[Optional[np.ndarray], float]:
+    """Validated ``(B̂, scale)``; ``scale <= 0`` means an empty region."""
+    if lower_bound is None:
+        return None, 1.0
+    b = np.asarray(lower_bound, dtype=float)
+    if b.shape != (dimension,):
+        raise ValueError(
+            f"lower bound shape {b.shape} does not match d={dimension}"
+        )
+    return b, 1.0 - float(b.sum())
+
+
+def _feasible_count(
+    w: np.ndarray,
+    points: np.ndarray,
+    bound: Optional[np.ndarray],
+    scale: float,
+) -> int:
+    """Number of (optionally bound-shifted) points with ``W x <= 1``."""
+    if bound is not None:
+        points = bound + scale * points
+    feasible = np.all(points @ w.T <= 1.0 + 1e-12, axis=1)
+    return int(np.count_nonzero(feasible))
+
+
+def _feasible_count_task(
+    task: Tuple[np.ndarray, int, int, str, Optional[int],
+                Optional[np.ndarray], float],
+) -> int:
+    """Process-pool task: feasibility count over one chunk of the stream."""
+    w, skip, count, method, seed, bound, scale = task
+    points = sample_unit_simplex(
+        count, w.shape[1], method=method, seed=seed, skip=skip
+    )
+    return _feasible_count(w, points, bound, scale)
+
+
+def stream_feasible_fraction(
+    weights: np.ndarray,
+    batch: int = 1024,
+    max_samples: int = 1 << 20,
+    method: str = "halton",
+    seed: Optional[int] = None,
+    lower_bound: Optional[Sequence[float]] = None,
+) -> Iterator[Tuple[int, float, float]]:
+    """Streaming ``V(F)/V(F*)`` estimate: yields ``(n, fraction, se)``.
+
+    Draws the point stream in ``batch``-size chunks (resumed via
+    ``skip``, so ``n`` samples seen streaming equal the first ``n`` of a
+    one-shot run) and yields the running sample count, feasible
+    fraction, and a binomial standard-error estimate after every chunk.
+    The SE uses a Laplace-smoothed ``p̂ = (c+1)/(n+2)`` so an all-(in)feasible
+    first batch does not report certainty; it is a heuristic — Halton
+    points are not i.i.d., and QMC error typically decays faster than
+    the binomial rate, making the estimate conservative.
+    """
+    w = _prepare_weights(weights)
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if max_samples < 1:
+        raise ValueError("need at least one sample")
+    bound, scale = _prepare_bound(lower_bound, w.shape[1])
+    if bound is not None and scale <= 0.0:
+        yield 0, 0.0, 0.0
+        return
+    seen = 0
+    count = 0
+    while seen < max_samples:
+        take = min(batch, max_samples - seen)
+        points = sample_unit_simplex(
+            take, w.shape[1], method=method, seed=seed, skip=seen
+        )
+        count += _feasible_count(w, points, bound, scale)
+        seen += take
+        smoothed = (count + 1.0) / (seen + 2.0)
+        se = math.sqrt(smoothed * (1.0 - smoothed) / seen)
+        yield seen, count / seen, se
 
 
 def feasible_fraction(
@@ -122,6 +284,9 @@ def feasible_fraction(
     method: str = "halton",
     seed: Optional[int] = None,
     lower_bound: Optional[Sequence[float]] = None,
+    target_se: Optional[float] = None,
+    batch: int = 1024,
+    jobs: int = 1,
 ) -> float:
     """Estimate ``V(F(A)) / V(F*)`` for a weight matrix ``W``.
 
@@ -131,23 +296,46 @@ def feasible_fraction(
     fraction is relative to that restricted ideal region (the workload-set
     restriction of Section 6.1).  Returns 0.0 when the lower bound itself
     lies on or outside the ideal hyperplane.
+
+    With ``target_se`` set, the estimate streams the points in
+    ``batch``-size chunks and stops early once the running standard
+    error (see :func:`stream_feasible_fraction`) drops to the target;
+    ``samples`` caps the budget.  With ``jobs > 1``, the sample budget
+    is split into per-worker chunks evaluated in parallel processes;
+    chunk feasibility counts are integers over the identical resumable
+    point stream, so the result is exactly the sequential one.
     """
-    w = np.asarray(weights, dtype=float)
-    if w.ndim != 2:
-        raise ValueError(f"weight matrix must be 2-D, got shape {w.shape}")
-    n, d = w.shape
+    w = _prepare_weights(weights)
     if samples < 1:
         raise ValueError("need at least one sample")
-    points = sample_unit_simplex(samples, d, method=method, seed=seed)
-    if lower_bound is not None:
-        b = np.asarray(lower_bound, dtype=float)
-        if b.shape != (d,):
-            raise ValueError(
-                f"lower bound shape {b.shape} does not match d={d}"
-            )
-        scale = 1.0 - float(b.sum())
-        if scale <= 0.0:
-            return 0.0
-        points = b + scale * points
-    feasible = np.all(points @ w.T <= 1.0 + 1e-12, axis=1)
-    return float(np.mean(feasible))
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    bound, scale = _prepare_bound(lower_bound, w.shape[1])
+    if bound is not None and scale <= 0.0:
+        return 0.0
+
+    if target_se is not None:
+        fraction = 0.0
+        for seen, fraction, se in stream_feasible_fraction(
+            w, batch=batch, max_samples=samples, method=method,
+            seed=seed, lower_bound=lower_bound,
+        ):
+            if se <= target_se:
+                break
+        return fraction
+
+    if jobs > 1 and samples > 1:
+        from ... import parallel as _parallel
+
+        chunk = -(-samples // jobs)  # ceil division
+        tasks = [
+            (w, skip, min(chunk, samples - skip), method, seed, bound, scale)
+            for skip in range(0, samples, chunk)
+        ]
+        counts = _parallel.parallel_map(
+            _feasible_count_task, tasks, jobs=jobs
+        )
+        return sum(counts) / samples
+
+    points = sample_unit_simplex(samples, w.shape[1], method=method, seed=seed)
+    return _feasible_count(w, points, bound, scale) / samples

@@ -15,7 +15,6 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import geometry
 from ..core.load_model import LoadModel
 from ..core.plans import Placement
 from ..core.volume import polytope, qmc
@@ -89,49 +88,87 @@ class OptimalPlacer(Placer):
                 "operators"
             )
         homogeneous = bool(np.all(caps == caps[0]))
-        totals = model.column_totals()
-        capacity_share = caps / caps.sum()
 
-        points = None
         if self.objective == "qmc":
-            points = qmc.sample_unit_simplex(
-                self.samples, model.num_variables, method="halton"
-            )
+            assignment = self._search_qmc(model, caps, homogeneous)
+        else:
+            assignment = self._search_exact(model, caps, homogeneous)
+        return Placement(
+            model=model, capacities=caps, assignment=assignment
+        )
 
+    def _search_exact(
+        self, model: LoadModel, caps: np.ndarray, homogeneous: bool
+    ) -> Tuple[int, ...]:
         best_assignment: Optional[Tuple[int, ...]] = None
         best_score = -np.inf
         for assignment in enumerate_assignments(
-            m, caps.shape[0], homogeneous
+            model.num_operators, caps.shape[0], homogeneous
         ):
             ln = np.zeros((caps.shape[0], model.num_variables))
             for j, node in enumerate(assignment):
                 ln[node] += model.coefficients[j]
-            score = self._score(ln, caps, totals, capacity_share, points)
-            if score > best_score:
-                best_score = score
-                best_assignment = assignment
-        assert best_assignment is not None
-        return Placement(
-            model=model, capacities=caps, assignment=best_assignment
-        )
-
-    def _score(
-        self,
-        node_coeffs: np.ndarray,
-        caps: np.ndarray,
-        totals: np.ndarray,
-        capacity_share: np.ndarray,
-        points: Optional[np.ndarray],
-    ) -> float:
-        if self.objective == "exact":
             try:
-                return polytope.polytope_volume(node_coeffs, caps)
+                score = polytope.polytope_volume(ln, caps)
             except ValueError:
                 # Unbounded: some variable unloaded on every node can only
                 # happen for models with zero-coefficient variables; treat
                 # as maximal (constraint-free direction).
-                return np.inf
-        weights = geometry.weight_matrix(node_coeffs, caps, totals)
-        assert points is not None
-        feasible = np.all(points @ weights.T <= 1.0 + 1e-12, axis=1)
-        return float(np.mean(feasible))
+                score = np.inf
+            if score > best_score:
+                best_score = score
+                best_assignment = assignment
+        assert best_assignment is not None
+        return best_assignment
+
+    def _search_qmc(
+        self, model: LoadModel, caps: np.ndarray, homogeneous: bool
+    ) -> Tuple[int, ...]:
+        """Enumerate plans scoring each by QMC volume, incrementally.
+
+        Same trick as the annealing placer: per-operator sample dots
+        ``x . (L^o_j / l)`` are assignment-independent, so they are
+        computed once (one matmul) and each candidate's per-node dot
+        columns are patched from the previous candidate's — consecutive
+        restricted-growth strings share a prefix, so the amortized patch
+        cost is a handful of ``O(samples)`` column updates instead of an
+        ``O(samples * n * d)`` rescoring matmul per plan.
+        """
+        m = model.num_operators
+        n = caps.shape[0]
+        totals = model.column_totals()
+        safe_totals = np.where(totals > 1e-12, totals, 1.0)
+        capacity_share = caps / caps.sum()
+        points = qmc.sample_unit_simplex(
+            self.samples, model.num_variables, method="halton"
+        )
+        op_share = model.coefficients / safe_totals
+        op_share[:, totals <= 1e-12] = 0.0
+        op_dots = np.asfortranarray(points @ op_share.T)
+        thresholds = (1.0 + 1e-12) * capacity_share
+
+        node_dots = np.zeros((self.samples, n), order="F")
+        previous: Optional[Tuple[int, ...]] = None
+        best_assignment: Optional[Tuple[int, ...]] = None
+        best_score = -np.inf
+        for assignment in enumerate_assignments(m, n, homogeneous):
+            if previous is None:
+                changed = 0
+            else:
+                changed = m
+                for j in range(m):
+                    if assignment[j] != previous[j]:
+                        changed = j
+                        break
+                for j in range(changed, m):
+                    node_dots[:, previous[j]] -= op_dots[:, j]
+            for j in range(changed, m):
+                node_dots[:, assignment[j]] += op_dots[:, j]
+            feasible = np.all(node_dots <= thresholds, axis=1)
+            score = float(np.count_nonzero(feasible)) / self.samples
+            if score > best_score:
+                best_score = score
+                best_assignment = assignment
+            previous = assignment
+        assert best_assignment is not None
+        return best_assignment

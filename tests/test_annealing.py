@@ -1,9 +1,78 @@
 """Unit tests for the annealing placer."""
 
+import math
+import random
+
+import numpy as np
 import pytest
 
 from repro.core.rod import rod_place
+from repro.core.volume import cache, qmc
 from repro.placement import AnnealingPlacer
+
+
+def _reference_place(placer, model, capacities):
+    """The pre-optimization scorer: full weight-matrix rescore per move.
+
+    Inlined here as the oracle for the incremental implementation — the
+    two must make bit-identical acceptance decisions for the same seed.
+    """
+    caps = np.asarray(capacities, dtype=float)
+    n = caps.shape[0]
+    m = model.num_operators
+    rng = random.Random(placer.seed)
+    totals = model.column_totals()
+    safe_totals = np.where(totals > 1e-12, totals, 1.0)
+    capacity_share = caps / caps.sum()
+    points = qmc.sample_unit_simplex(
+        placer.samples, model.num_variables, method="halton"
+    )
+
+    if placer.start == "rod":
+        assignment = list(rod_place(model, caps).assignment)
+    else:
+        assignment = [rng.randrange(n) for _ in range(m)]
+
+    node_coeffs = np.zeros((n, model.num_variables))
+    for j, node in enumerate(assignment):
+        node_coeffs[node] += model.coefficients[j]
+
+    def score(coeffs):
+        share = coeffs / safe_totals
+        share[:, totals <= 1e-12] = 0.0
+        weights = share / capacity_share[:, None]
+        feasible = np.all(points @ weights.T <= 1.0 + 1e-12, axis=1)
+        return float(np.mean(feasible))
+
+    current = score(node_coeffs)
+    best = current
+    best_assignment = tuple(assignment)
+    temperature = placer.initial_temperature
+    for _ in range(placer.iterations):
+        j = rng.randrange(m)
+        source = assignment[j]
+        target = rng.randrange(n - 1)
+        if target >= source:
+            target += 1
+        row = model.coefficients[j]
+        node_coeffs[source] -= row
+        node_coeffs[target] += row
+        candidate = score(node_coeffs)
+        delta = candidate - current
+        if delta >= 0 or (
+            temperature > 0
+            and rng.random() < math.exp(delta / temperature)
+        ):
+            assignment[j] = target
+            current = candidate
+            if current > best:
+                best = current
+                best_assignment = tuple(assignment)
+        else:
+            node_coeffs[source] += row
+            node_coeffs[target] -= row
+        temperature *= placer.cooling
+    return best_assignment
 
 
 class TestAnnealingPlacer:
@@ -64,3 +133,62 @@ class TestAnnealingPlacer:
             AnnealingPlacer(initial_temperature=-1.0)
         with pytest.raises(ValueError):
             AnnealingPlacer(start="lukewarm")
+
+
+class TestIncrementalScoring:
+    """The optimized scorer must replay the old one's decisions exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("start", ["rod", "random"])
+    def test_matches_full_rescoring_reference(self, small_tree_model,
+                                              four_nodes, seed, start):
+        placer = AnnealingPlacer(
+            iterations=400, samples=512, start=start, seed=seed
+        )
+        plan = placer.place(small_tree_model, four_nodes)
+        assert plan.assignment == _reference_place(
+            placer, small_tree_model, four_nodes
+        )
+
+    def test_matches_reference_with_heterogeneous_capacities(
+        self, small_tree_model
+    ):
+        capacities = [2.0, 1.0, 0.5, 1.5]
+        placer = AnnealingPlacer(
+            iterations=300, samples=512, start="random", seed=7
+        )
+        plan = placer.place(small_tree_model, capacities)
+        assert plan.assignment == _reference_place(
+            placer, small_tree_model, capacities
+        )
+
+
+class TestSharedSampleCache:
+    def test_repeat_placements_share_cached_points(self, small_tree_model,
+                                                   four_nodes):
+        # Identical configurations must produce identical plans, and the
+        # second run must reuse the first run's sample points instead of
+        # regenerating them.
+        cache.clear_cache()
+        kwargs = dict(iterations=100, samples=512, start="rod", seed=9)
+        first = AnnealingPlacer(**kwargs).place(small_tree_model, four_nodes)
+        misses_after_first = cache.cache_stats()["misses"]
+        second = AnnealingPlacer(**kwargs).place(small_tree_model, four_nodes)
+        stats = cache.cache_stats()
+        assert first.assignment == second.assignment
+        assert stats["misses"] == misses_after_first
+        assert stats["hits"] >= 1
+
+    def test_placer_and_evaluation_share_one_stream(self, small_tree_model,
+                                                    four_nodes):
+        # The placer's scoring points and a later volume_ratio() call
+        # draw from the same cached stream (same dimension/method/seed).
+        cache.clear_cache()
+        plan = AnnealingPlacer(
+            iterations=50, samples=512, seed=1
+        ).place(small_tree_model, four_nodes)
+        misses = cache.cache_stats()["misses"]
+        plan.volume_ratio(samples=512)
+        stats = cache.cache_stats()
+        assert stats["misses"] == misses
+        assert stats["hits"] >= 1

@@ -191,3 +191,61 @@ class TestPrintInLibrary:
     def test_method_named_print_ok(self):
         # Only the builtin counts; obj.print() is someone else's API.
         assert codes(self.ALL + "writer.print('x')\n", self.LIB_PATH) == []
+
+
+class TestScalarLoopInKernel:
+    KERNEL_PATH = Path("src/repro/core/volume/qmc.py")
+    ALL = "__all__ = []\n"
+    LOOP = (
+        "def f(points):\n"
+        "    total = 0.0\n"
+        "    for i in range(len(points)):\n"
+        "        total += points[i].sum()\n"
+        "    return total\n"
+    )
+
+    def test_range_subscript_loop_flagged_in_kernel(self):
+        assert codes(self.ALL + self.LOOP, self.KERNEL_PATH) == ["REPRO506"]
+
+    def test_severity_is_warning(self):
+        diagnostics = lint_source(self.ALL + self.LOOP, self.KERNEL_PATH)
+        assert diagnostics[0].severity is Severity.WARNING
+
+    def test_same_loop_ok_outside_kernel(self):
+        assert codes(
+            self.ALL + self.LOOP, Path("src/repro/simulator/engine.py")
+        ) == []
+        assert codes(self.LOOP, Path("tests/test_example.py")) == []
+
+    def test_loop_without_subscript_ok(self):
+        source = (
+            self.ALL
+            + "def f(chunks):\n"
+            "    for i in range(4):\n"
+            "        work(i)\n"
+        )
+        assert codes(source, self.KERNEL_PATH) == []
+
+    def test_iteration_over_sequence_ok(self):
+        # Direct iteration (no index arithmetic) is not the pattern
+        # REPRO506 targets.
+        source = (
+            self.ALL
+            + "def f(rows):\n"
+            "    return [row.sum() for row in rows]\n"
+        )
+        assert codes(source, self.KERNEL_PATH) == []
+
+    def test_noqa_with_justification_suppresses(self):
+        source = self.ALL + self.LOOP.replace(
+            "for i in range(len(points)):",
+            "for i in range(len(points)):  "
+            "# noqa: REPRO506  # O(log n) digit loop",
+        )
+        assert codes(source, self.KERNEL_PATH) == []
+
+    def test_kernel_modules_carry_justified_baseline(self):
+        # The shipped kernel lints clean: every intentional loop has a
+        # justified noqa, and nothing else loops per element.
+        report = lint_paths([REPO_ROOT / "src" / "repro" / "core" / "volume"])
+        assert [d.code for d in report] == []

@@ -52,16 +52,61 @@ class TestHalton:
         assert np.allclose(pts[:, 0], qmc.van_der_corput(8, 2))
         assert np.allclose(pts[:, 1], qmc.van_der_corput(8, 3))
 
-    def test_dimension_limit(self):
-        with pytest.raises(ValueError, match="Halton bases"):
-            qmc.halton(10, 100)
+    def test_high_dimensions_supported(self):
+        # The prime table grows on demand; there is no 32-dim cap.
+        pts = qmc.halton(10, 100)
+        assert pts.shape == (10, 100)
+        assert np.all((pts >= 0) & (pts < 1))
         with pytest.raises(ValueError):
             qmc.halton(10, 0)
+
+    def test_skip_continues_sequence(self):
+        full = qmc.halton(64, 5)
+        tail = qmc.halton(24, 5, skip=40)
+        np.testing.assert_array_equal(full[40:], tail)
 
     def test_first_primes(self):
         assert qmc.first_primes(5) == (2, 3, 5, 7, 11)
         with pytest.raises(ValueError):
             qmc.first_primes(-1)
+
+    def test_first_primes_beyond_legacy_cap(self):
+        primes = qmc.first_primes(100)
+        assert len(primes) == 100
+        assert primes[32] == 137  # 33rd prime, past the old 32-dim table
+        assert primes[99] == 541
+        # The table grows monotonically and stays prime.
+        assert all(b > a for a, b in zip(primes, primes[1:]))
+
+    def test_matches_scalar_reference(self):
+        def scalar_vdc(count, base, skip=0):
+            out = []
+            for index in range(skip + 1, skip + count + 1):
+                value, denom = 0.0, 1.0
+                while index:
+                    index, digit = divmod(index, base)
+                    denom *= base
+                    value += digit / denom
+                out.append(value)
+            return np.asarray(out)
+
+        for base in (2, 3, 5, 13):
+            for skip in (0, 7):
+                np.testing.assert_array_equal(
+                    qmc.van_der_corput(257, base, skip=skip),
+                    scalar_vdc(257, base, skip=skip),
+                )
+
+    def test_large_generation(self):
+        # Acceptance check: 100k x 8 generates vectorized and agrees
+        # with the per-column van der Corput definition.
+        pts = qmc.halton(100_000, 8)
+        assert pts.shape == (100_000, 8)
+        bases = qmc.first_primes(8)
+        for k in (0, 3, 7):
+            np.testing.assert_array_equal(
+                pts[:, k], qmc.van_der_corput(100_000, bases[k])
+            )
 
 
 class TestSimplexSampling:
@@ -141,3 +186,72 @@ class TestFeasibleFraction:
             qmc.feasible_fraction(
                 np.ones((1, 2)), lower_bound=np.array([0.1])
             )
+
+    def test_parallel_jobs_identical(self):
+        rng = np.random.default_rng(3)
+        w = rng.uniform(0.5, 3.0, size=(5, 4))
+        sequential = qmc.feasible_fraction(w, samples=4096, jobs=1)
+        split = qmc.feasible_fraction(w, samples=4096, jobs=4)
+        assert sequential == split  # exact, not approx
+
+    def test_parallel_jobs_identical_with_lower_bound(self):
+        w = np.array([[1.5, 1.0], [0.8, 2.0]])
+        bound = np.array([0.1, 0.05])
+        assert qmc.feasible_fraction(
+            w, samples=2048, lower_bound=bound, jobs=3
+        ) == qmc.feasible_fraction(
+            w, samples=2048, lower_bound=bound, jobs=1
+        )
+
+
+class TestStreamingFraction:
+    def test_converges_to_batch_estimate(self):
+        rng = np.random.default_rng(11)
+        w = rng.uniform(0.5, 2.5, size=(3, 3))
+        final = None
+        for n, frac, se in qmc.stream_feasible_fraction(
+            w, batch=512, max_samples=4096
+        ):
+            final = (n, frac, se)
+        assert final is not None
+        n, frac, se = final
+        assert n == 4096
+        assert frac == qmc.feasible_fraction(w, samples=4096)
+        assert se > 0
+
+    def test_standard_error_shrinks(self):
+        w = 1.5 * np.ones((2, 2))
+        ses = [
+            se
+            for _, _, se in qmc.stream_feasible_fraction(
+                w, batch=256, max_samples=4096
+            )
+        ]
+        assert ses[-1] < ses[0]
+
+    def test_target_se_terminates_early(self):
+        rng = np.random.default_rng(5)
+        w = rng.uniform(0.5, 2.5, size=(3, 3))
+        # A loose target stops well short of the full budget...
+        loose = qmc.feasible_fraction(
+            w, samples=1 << 16, target_se=0.05, batch=256
+        )
+        # ...and the early value matches a direct estimate at the
+        # point where the stream would have stopped.
+        stopped_at = None
+        for n, frac, se in qmc.stream_feasible_fraction(
+            w, batch=256, max_samples=1 << 16
+        ):
+            if se <= 0.05:
+                stopped_at = (n, frac)
+                break
+        assert stopped_at is not None
+        assert loose == stopped_at[1]
+
+    def test_target_se_caps_at_budget(self):
+        w = 1.5 * np.ones((2, 2))
+        # Unreachable target: runs to the sample cap, matching the
+        # plain estimate exactly.
+        assert qmc.feasible_fraction(
+            w, samples=2048, target_se=1e-9, batch=512
+        ) == qmc.feasible_fraction(w, samples=2048)
