@@ -7,9 +7,12 @@ The subcommands cover the deploy-time workflow end to end::
     repro-rod check    --paths examples/configs --fail-on error
     repro-rod evaluate --graph g.json --plan plan.json
     repro-rod simulate --graph g.json --plan plan.json --rates 50,80 \\
-                       --duration 20 --trace-out run.jsonl
-    repro-rod trace    run.jsonl
-    repro-rod experiment fig14
+                       --duration 20 --record
+    repro-rod trace    run.jsonl --type batch.serviced --node 0 --since 5
+    repro-rod runs     list
+    repro-rod compare  RUN_A RUN_B --threshold latency.p99=0.1
+    repro-rod report   RUN_B -o report.html
+    repro-rod experiment fig14 --record
 
 ``generate`` writes a query-graph JSON document (see
 :mod:`repro.graphs.serialize`); ``place`` runs any placement algorithm
@@ -26,14 +29,22 @@ regenerates any paper artifact by id.
 structured events and ``--emit-metrics {json,prometheus}`` to dump the
 run's metrics registry after the normal output.  The global ``-v`` /
 ``-q`` flags (before the subcommand) control ``repro.*`` log verbosity.
+
+``simulate``, ``evaluate`` and ``experiment`` accept ``--record
+[ROOT]`` to persist the invocation in the run registry
+(:mod:`repro.obs.runs`): ``runs`` lists and shows recorded runs,
+``compare`` diffs two of them with regression thresholds (non-zero exit
+on breach, so CI can gate on it), and ``report RUN`` renders a
+self-contained HTML report with inline-SVG utilization charts.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from . import experiments, parallel
 from .check import Severity, check_paths, check_plan_document
@@ -53,10 +64,14 @@ from .obs import (
     JsonlSink,
     MetricsRegistry,
     Observability,
+    RunWriter,
     Tracer,
     configure,
+    find_run,
+    list_runs,
     read_trace,
 )
+from .obs.runs import snapshot_from_result
 from .placement import (
     ConnectedPlacer,
     CorrelationPlacer,
@@ -147,18 +162,53 @@ def _print_plan_summary(placement: Placement) -> None:
     print(f"inter-node arcs: {placement.inter_node_arcs()}")
 
 
-def _obs_from_args(args: argparse.Namespace):
+def _obs_from_args(
+    args: argparse.Namespace, writer: Optional[RunWriter] = None
+):
     """Build the Observability bundle the --trace-out flag asks for.
 
     Returns ``(obs, sink)``; the caller must close ``sink`` (may be
     ``None``) when the command finishes so the JSONL file is flushed.
+    An explicit ``--trace-out`` wins the event stream; otherwise a run
+    recorder (``--record``) captures it into its ``trace.jsonl`` (that
+    sink is owned and closed by ``writer.finish``).
     """
     sink = None
     tracer = None
     if getattr(args, "trace_out", None):
         sink = JsonlSink(args.trace_out)
         tracer = Tracer(sink)
+    elif writer is not None:
+        tracer = Tracer(writer.trace_sink())
     return Observability(tracer=tracer), sink
+
+
+def _run_writer_from_args(
+    args: argparse.Namespace,
+    kind: str,
+    config: dict,
+    placement=None,
+    seed: Optional[int] = None,
+) -> Optional[RunWriter]:
+    """A RunWriter when ``--record [ROOT]`` was passed, else ``None``."""
+    root = getattr(args, "record", None)
+    if root is None:
+        return None
+    return RunWriter(
+        root=root,
+        kind=kind,
+        run_id=getattr(args, "run_id", None),
+        config=config,
+        seed=seed,
+        argv=getattr(args, "_argv", []),
+        placement=placement,
+    )
+
+
+def _seal_run(writer: Optional[RunWriter]) -> None:
+    """Seal a half-finished run directory after a failure."""
+    if writer is not None and not writer.finished:
+        writer.finish()
 
 
 def _emit_metrics(args: argparse.Namespace, registry: MetricsRegistry) -> None:
@@ -208,11 +258,17 @@ def cmd_place(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    obs, sink = _obs_from_args(args)
+    placement = _load_placement(args.graph, args.plan, args.nodes)
+    jobs = parallel.resolve_jobs(getattr(args, "jobs", 1))
+    writer = _run_writer_from_args(
+        args,
+        kind="evaluate",
+        config={"graph": args.graph, "plan": args.plan, "jobs": jobs},
+        placement=placement.to_document(),
+    )
+    obs, sink = _obs_from_args(args, writer)
     try:
-        placement = _load_placement(args.graph, args.plan, args.nodes)
         print(placement.describe())
-        jobs = parallel.resolve_jobs(getattr(args, "jobs", 1))
         with obs.phase("evaluate.volume_ratio"):
             ratio = placement.volume_ratio(jobs=jobs)
         print(f"feasible-set ratio to ideal: {ratio:.4f}")
@@ -227,17 +283,41 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         volume_cache.publish_metrics(obs.registry)
         parallel.publish_metrics(obs.registry)
         _emit_metrics(args, obs.registry)
+        if writer is not None:
+            writer.finish(
+                snapshot={
+                    "kind": "evaluate",
+                    "volume_ratio": ratio,
+                    "inter_node_arcs": placement.inter_node_arcs(),
+                    "plane_distance": placement.plane_distance(),
+                },
+                registry=obs.registry,
+            )
+            print(f"run recorded to {writer.path}")
         return 0
     finally:
         if sink is not None:
             sink.close()
+        _seal_run(writer)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    obs, sink = _obs_from_args(args)
+    placement = _load_placement(args.graph, args.plan, args.nodes)
+    rates = [float(r) for r in args.rates.split(",")]
+    writer = _run_writer_from_args(
+        args,
+        kind="simulate",
+        config={
+            "graph": args.graph,
+            "plan": args.plan,
+            "rates": rates,
+            "duration": args.duration,
+            "step_seconds": args.step,
+        },
+        placement=placement.to_document(),
+    )
+    obs, sink = _obs_from_args(args, writer)
     try:
-        placement = _load_placement(args.graph, args.plan, args.nodes)
-        rates = [float(r) for r in args.rates.split(",")]
         simulator = Simulator(
             placement,
             step_seconds=args.step,
@@ -251,26 +331,175 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if sink is not None:
             print(f"trace written to {args.trace_out}")
         _emit_metrics(args, obs.registry)
+        if writer is not None:
+            writer.finish(
+                snapshot=snapshot_from_result(result),
+                registry=obs.registry,
+                sim_seconds=result.duration,
+            )
+            print(f"run recorded to {writer.path}")
         return 0 if feasible or not args.check else 1
     finally:
         if sink is not None:
             sink.close()
+        _seal_run(writer)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     # Imported here, not at module top: the timeline renderer pulls in
     # the workload layer, which no other subcommand needs.
-    from .obs.timeline import render_trace_report
+    from .obs.timeline import filter_events, render_trace_report, trace_metadata
 
     events = read_trace(args.path)
     if not events:
         print(f"{args.path}: empty trace")
         return 1
-    print(render_trace_report(events, width=args.width))
+    # Geometry comes from the unfiltered trace, so a filtered view still
+    # renders with the run's true node count / capacities / horizon.
+    meta = trace_metadata(events)
+    types: List[str] = [
+        name
+        for spec in (args.types or [])
+        for name in spec.split(",")
+        if name
+    ]
+    selected = filter_events(
+        events,
+        types=types or None,
+        nodes=args.nodes,
+        since=args.since,
+    )
+    if not selected:
+        print(f"{args.path}: no events match the filters")
+        return 1
+    print(render_trace_report(selected, width=args.width, metadata=meta))
     return 0
 
 
+def cmd_runs(args: argparse.Namespace) -> int:
+    if args.runs_command == "list":
+        runs = list_runs(args.root)
+        if not runs:
+            print(f"no runs under {args.root}")
+            return 0
+        rows = [("run id", "kind", "created", "config", "headline")]
+        for run in runs:
+            manifest = run.manifest
+            created = _format_wall(manifest.created_wall)
+            rows.append((
+                manifest.run_id, manifest.kind, created,
+                manifest.config_digest or "-", _headline(run.result),
+            ))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+        for index, row in enumerate(rows):
+            print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+            if index == 0:
+                print("  ".join("-" * w for w in widths).rstrip())
+        return 0
+    # show
+    try:
+        run = find_run(args.run, args.root)
+    except FileNotFoundError as exc:
+        print(exc)
+        return 1
+    manifest = run.manifest
+    print(f"run {manifest.run_id} ({manifest.kind})")
+    print(f"  path: {run.path}")
+    print(f"  created: {_format_wall(manifest.created_wall)}")
+    print(f"  version: {manifest.version or '?'}  "
+          f"config digest: {manifest.config_digest or '?'}")
+    print(f"  seed: {manifest.seed}")
+    if manifest.argv:
+        print(f"  argv: {' '.join(manifest.argv)}")
+    for key, value in sorted(manifest.labels.items()):
+        print(f"  label {key}: {value}")
+    if manifest.wall_seconds is not None:
+        print(f"  wall seconds: {manifest.wall_seconds:.3f}")
+    if manifest.sim_seconds is not None:
+        print(f"  simulated seconds: {manifest.sim_seconds:g}")
+    if run.has_trace:
+        print(f"  trace: {len(run.events())} events")
+    else:
+        print("  trace: none")
+    if run.result:
+        from .obs.diff import flatten_metrics
+
+        flat = flatten_metrics(run.result)
+        print(f"  result.json: {len(flat)} metrics — {_headline(run.result)}")
+    else:
+        print("  result.json: none")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .obs.diff import compare_runs, parse_thresholds
+
+    try:
+        run_a = find_run(args.run_a, args.root)
+        run_b = find_run(args.run_b, args.root)
+    except FileNotFoundError as exc:
+        print(exc)
+        return 1
+    try:
+        thresholds = parse_thresholds(args.threshold or [])
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    diff = compare_runs(
+        run_a, run_b,
+        thresholds=thresholds,
+        default_threshold=args.default_threshold,
+    )
+    print(f"comparing {run_a.run_id} (baseline) -> {run_b.run_id}")
+    print(diff.format(show_unchanged=args.all))
+    return 1 if diff.breaches else 0
+
+
+def _format_wall(epoch: float) -> str:
+    import time as _time
+
+    return _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(epoch))
+
+
+def _headline(result: dict) -> str:
+    """One-cell summary of a run snapshot for the list view."""
+    if not result:
+        return "-"
+    kind = result.get("kind")
+    if kind == "simulate":
+        latency = result.get("latency", {})
+        p95 = latency.get("p95", 0.0) if isinstance(latency, dict) else 0.0
+        return (
+            f"util={result.get('max_utilization', 0):.3g} "
+            f"out={result.get('tuples_out', '?')} "
+            f"p95={float(p95) * 1e3:.2f}ms"
+        )
+    if kind == "evaluate":
+        return f"volume_ratio={result.get('volume_ratio', 0):.4g}"
+    if kind == "experiment":
+        rows = result.get("rows")
+        count = len(rows) if isinstance(rows, list) else 0
+        return f"{count} row(s)"
+    return "-"
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.run:
+        from .obs.report_html import write_html_report
+
+        try:
+            run = find_run(args.run, args.root)
+        except FileNotFoundError as exc:
+            print(exc)
+            return 1
+        output = args.output or os.path.join(run.path, "report.html")
+        write_html_report(run, output)
+        print(f"run report written to {output}")
+        return 0
+    if not args.output:
+        raise SystemExit(
+            "report: pass a RUN to render a run report, or -o/--output "
+            "for the experiment markdown report"
+        )
     from .experiments import report
 
     report.write_report(args.output, scale=args.scale, only=args.only)
@@ -305,6 +534,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                   "--jobs ignored")
         rows = runner()
     print(experiments.format_rows(rows))
+    if getattr(args, "record", None) is not None:
+        manifest = experiments.common.record_experiment_run(
+            root=args.record,
+            experiment_id=args.id,
+            rows=rows,
+            run_id=getattr(args, "run_id", None),
+            argv=getattr(args, "_argv", []),
+            config={"jobs": jobs},
+        )
+        print(f"run recorded to {os.path.join(args.record, manifest.run_id)}")
     return 0
 
 
@@ -332,6 +571,20 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--emit-metrics", choices=("json", "prometheus"),
             help="dump the metrics registry after the normal output",
+        )
+
+    def add_record_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--record", nargs="?", const="runs", default=None,
+            metavar="ROOT",
+            help="record this invocation as a run directory under ROOT "
+                 "(default ./runs); browse with `repro-rod runs`, diff "
+                 "with `repro-rod compare`, render with "
+                 "`repro-rod report`",
+        )
+        command.add_argument(
+            "--run-id", default=None,
+            help="explicit run id (default: timestamp + config digest)",
         )
 
     gen = sub.add_parser("generate", help="write a query-graph JSON file")
@@ -367,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(0 = all cores); the result is identical for any value",
     )
     add_obs_flags(ev)
+    add_record_flags(ev)
     ev.set_defaults(func=cmd_evaluate)
 
     sim = sub.add_parser("simulate", help="replay a rate point")
@@ -380,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--check", action="store_true",
                      help="exit non-zero if the point is infeasible")
     add_obs_flags(sim)
+    add_record_flags(sim)
     sim.set_defaults(func=cmd_simulate)
 
     tr = sub.add_parser(
@@ -388,7 +643,60 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("path", help="trace file written by --trace-out")
     tr.add_argument("--width", type=int, default=60,
                     help="timeline width in characters")
+    tr.add_argument(
+        "--type", dest="types", action="append", metavar="TYPE",
+        help="keep only these event types (repeatable; accepts "
+             "comma-separated lists, e.g. --type batch.serviced,node.stall)",
+    )
+    tr.add_argument(
+        "--node", dest="nodes", action="append", type=int, metavar="N",
+        help="keep only events on node N (repeatable)",
+    )
+    tr.add_argument(
+        "--since", type=float, default=None, metavar="T",
+        help="keep only events at simulated time >= T seconds "
+             "(events with no sim clock are kept)",
+    )
     tr.set_defaults(func=cmd_trace)
+
+    runs_parser = sub.add_parser(
+        "runs", help="browse the run registry (see `--record`)"
+    )
+    runs_sub = runs_parser.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="tabulate recorded runs")
+    runs_list.add_argument("--root", default="runs",
+                           help="run registry root (default ./runs)")
+    runs_list.set_defaults(func=cmd_runs)
+    runs_show = runs_sub.add_parser("show", help="describe one run")
+    runs_show.add_argument("run", help="run id or run directory path")
+    runs_show.add_argument("--root", default="runs",
+                           help="run registry root (default ./runs)")
+    runs_show.set_defaults(func=cmd_runs)
+
+    cmp_parser = sub.add_parser(
+        "compare",
+        help="diff two recorded runs; non-zero exit on threshold breach",
+    )
+    cmp_parser.add_argument("run_a", help="baseline run id or directory")
+    cmp_parser.add_argument("run_b", help="candidate run id or directory")
+    cmp_parser.add_argument("--root", default="runs",
+                            help="run registry root (default ./runs)")
+    cmp_parser.add_argument(
+        "--threshold", action="append", metavar="NAME=REL",
+        help="per-metric relative regression threshold (repeatable; "
+             "NAME matches a flattened key or prefix, e.g. "
+             "latency.p99=0.1)",
+    )
+    cmp_parser.add_argument(
+        "--default-threshold", type=float, default=0.02, metavar="REL",
+        help="relative threshold for metrics without an explicit one "
+             "(default 0.02 = ±2%%)",
+    )
+    cmp_parser.add_argument(
+        "--all", action="store_true",
+        help="show unchanged metrics too, not just deltas",
+    )
+    cmp_parser.set_defaults(func=cmd_compare)
 
     chk = sub.add_parser(
         "check",
@@ -415,12 +723,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for experiments that parallelize "
              "(0 = all cores); results are identical for any value",
     )
+    add_record_flags(exp)
     exp.set_defaults(func=cmd_experiment)
 
     rep = sub.add_parser(
-        "report", help="run every experiment into one markdown report"
+        "report",
+        help="render a recorded run as HTML, or (with -o only) run "
+             "every experiment into one markdown report",
     )
-    rep.add_argument("-o", "--output", required=True)
+    rep.add_argument(
+        "run", nargs="?", default=None,
+        help="run id or directory to render as a self-contained HTML "
+             "report (omit for the experiment markdown report)",
+    )
+    rep.add_argument(
+        "-o", "--output",
+        help="output file (run mode default: <run>/report.html)",
+    )
+    rep.add_argument("--root", default="runs",
+                     help="run registry root (default ./runs)")
     rep.add_argument("--scale", default="quick", choices=("quick", "full"))
     rep.add_argument("--only", nargs="*", default=(),
                      help="restrict to specific artifact ids")
@@ -431,6 +752,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Recorded run manifests carry the invocation for provenance.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     configure(verbosity=args.verbose - args.quiet)
     return args.func(args)
 

@@ -28,6 +28,7 @@ from .core.plans import Placement
 from .core.rod import RodStep, rod_extend, rod_place
 from .graphs.query_graph import QueryGraph
 from .obs import Observability
+from .obs.runs import RunWriter, config_digest, snapshot_from_result
 from .obs.trace import JsonlSink, Tracer
 from .placement import (
     ConnectedPlacer,
@@ -50,6 +51,11 @@ TransferCosts = Union[float, Mapping[str, float]]
 STRATEGIES = (
     "rod", "llf", "connected", "correlation", "random", "optimal", "milp",
 )
+
+
+def _digest_array(array: np.ndarray) -> str:
+    """Short content hash of a rate series for run manifests."""
+    return config_digest(array.tolist())
 
 
 def _build_baseline(
@@ -254,6 +260,9 @@ class Deployment:
         rates: Optional[Sequence[float]] = None,
         duration: Optional[float] = None,
         trace_out: Optional[str] = None,
+        runs_root: Optional[str] = None,
+        run_id: Optional[str] = None,
+        run_labels: Optional[Mapping[str, str]] = None,
         **simulator_kwargs,
     ) -> SimulationResult:
         """Replay a workload through the discrete-event simulator.
@@ -265,6 +274,16 @@ class Deployment:
         deployment's own tracer applies (disabled by default, so the
         simulator hot path pays nothing).  Run counters land in
         ``self.obs.registry`` either way.
+
+        ``runs_root`` records the whole invocation as a run directory in
+        the run registry (:mod:`repro.obs.runs`): a provenance manifest,
+        the JSONL trace (written there automatically unless
+        ``trace_out`` or an explicit ``tracer`` claimed the stream), the
+        ``result.json`` metrics snapshot and the registry dump.  Browse
+        with ``repro-rod runs list``, diff with ``repro-rod compare``,
+        render with ``repro-rod report``.  ``run_id`` overrides the
+        generated timestamp-digest id; ``run_labels`` attaches free-form
+        provenance labels.
         """
         tracer = simulator_kwargs.pop("tracer", None)
         sink = None
@@ -275,6 +294,34 @@ class Deployment:
                 )
             sink = JsonlSink(trace_out)
             tracer = Tracer(sink)
+        writer: Optional[RunWriter] = None
+        if runs_root is not None:
+            config: dict = {
+                "graph": self.model.graph.name,
+                "step_seconds": simulator_kwargs.get("step_seconds", 0.1),
+                "scheduling": simulator_kwargs.get("scheduling", "fifo"),
+                "arrival_kind": simulator_kwargs.get(
+                    "arrival_kind", "deterministic"
+                ),
+            }
+            if rates is not None:
+                config["rates"] = [float(r) for r in rates]
+                config["duration"] = duration
+            elif rate_series is not None:
+                series = np.asarray(rate_series, dtype=float)
+                config["rate_series_shape"] = list(series.shape)
+                config["rate_series_digest"] = _digest_array(series)
+            writer = RunWriter(
+                root=runs_root,
+                kind="simulate",
+                run_id=run_id,
+                config=config,
+                seed=simulator_kwargs.get("seed"),
+                placement=self.placement.to_document(),
+                labels=run_labels,
+            )
+            if tracer is None:
+                tracer = Tracer(writer.trace_sink())
         if tracer is None:
             tracer = self.obs.tracer
         metrics = simulator_kwargs.pop("metrics", self.obs.registry)
@@ -287,12 +334,25 @@ class Deployment:
                 **simulator_kwargs,
             )
             with self.obs.phase("simulator.run"):
-                return simulator.run(
+                result = simulator.run(
                     rate_series=rate_series, rates=rates, duration=duration
                 )
+            if writer is not None:
+                writer.finish(
+                    snapshot=snapshot_from_result(result),
+                    registry=metrics,
+                    sim_seconds=result.duration,
+                )
+                writer = None
+            return result
         finally:
             if sink is not None:
                 sink.close()
+            if writer is not None:
+                # The simulator raised before the run completed; seal the
+                # directory with what exists so the registry never holds
+                # an unreadable half-run.
+                writer.finish()
 
     def probe(
         self,

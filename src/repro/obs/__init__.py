@@ -19,6 +19,17 @@ of the reproduction:
     Per-node utilization timelines rendered from traces (imported
     lazily by tooling; not re-exported here to keep this package free
     of any dependency on the workload layer).
+``repro.obs.runs``
+    The run registry: persistent ``runs/<run_id>/`` directories holding
+    a provenance manifest, the JSONL trace, a metrics snapshot and the
+    flat ``result.json`` the diff engine compares.
+``repro.obs.analyze`` / ``repro.obs.diff`` / ``repro.obs.report_html``
+    Trace analytics (per-node/per-operator breakdowns, exact latency
+    reconstruction), regression diffing between run snapshots, and the
+    self-contained HTML run report.  Like ``timeline``, these are
+    imported on demand by tooling rather than re-exported here — they
+    pull in layers (simulator metrics) this package core must not
+    depend on.
 
 :class:`Observability` bundles one registry and one tracer — the unit a
 :class:`~repro.deploy.Deployment` owns and threads through planning,
@@ -36,6 +47,15 @@ from .metrics import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+)
+from .runs import (
+    Run,
+    RunManifest,
+    RunWriter,
+    config_digest,
+    find_run,
+    list_runs,
+    load_run,
 )
 from .timer import PHASE_METRIC, PhaseTimer, phase_report
 from .trace import (
@@ -66,11 +86,18 @@ __all__ = [
     "Observability",
     "PHASE_METRIC",
     "PhaseTimer",
+    "Run",
+    "RunManifest",
+    "RunWriter",
     "TraceEvent",
     "TraceSink",
     "Tracer",
+    "config_digest",
     "configure",
+    "find_run",
     "get_logger",
+    "list_runs",
+    "load_run",
     "phase_report",
     "read_trace",
 ]

@@ -1,0 +1,255 @@
+"""Trace analytics: structured breakdowns computed from JSONL traces.
+
+Where :mod:`repro.obs.timeline` renders traces for a terminal,
+``analyze`` turns them into numbers tooling can diff and report on:
+
+* per-node breakdowns — busy/stall CPU-seconds, batches served, peak
+  outstanding queue depth, mean/peak utilization;
+* per-operator breakdowns — tuples in/out, work seconds, the nodes the
+  operator ran on (more than one after a migration);
+* the migration timeline (applied moves in simulated-time order);
+* end-to-end latency percentiles rebuilt from the ``latency`` field the
+  engine attaches to sink ``batch.serviced`` events.
+
+The analyzer is **exact**, not approximate: ``busy_seconds`` per node
+reproduces ``SimulationResult.node_busy`` bit for bit (the same
+invariant ``timeline.busy_totals`` asserts), and the rebuilt
+:class:`~repro.simulator.metrics.LatencyStats` records the same samples
+in the same order as the engine did, so every aggregate —
+mean/p50/p95/p99/max — matches the in-process result exactly
+(``tests/test_analyze.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..simulator.metrics import LatencyStats
+from .trace import TraceEvent
+from .timeline import trace_metadata
+
+__all__ = [
+    "NodeBreakdown",
+    "OperatorBreakdown",
+    "MigrationRecord",
+    "TraceAnalysis",
+    "analyze_trace",
+]
+
+
+@dataclass
+class NodeBreakdown:
+    """What one node did over the run, summed from its trace events."""
+
+    busy_seconds: float = 0.0       # all served CPU work, stalls included
+    stall_seconds: float = 0.0      # the migration-pause share of busy
+    batches_serviced: int = 0
+    batches_enqueued: int = 0
+    tuples_processed: int = 0
+    peak_outstanding: int = 0       # max simultaneously queued/served batches
+    idle_transitions: int = 0
+    _outstanding: int = field(default=0, repr=False)
+
+    @property
+    def service_seconds(self) -> float:
+        """Busy time net of migration stalls."""
+        return self.busy_seconds - self.stall_seconds
+
+
+@dataclass
+class OperatorBreakdown:
+    """One operator's activity, possibly spread over several nodes."""
+
+    tuples_in: int = 0
+    tuples_out: int = 0
+    work_seconds: float = 0.0
+    batches: int = 0
+    nodes: List[int] = field(default_factory=list)
+
+    def _saw_node(self, node: int) -> None:
+        if node not in self.nodes:
+            self.nodes.append(node)
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One applied operator move."""
+
+    t: float
+    operator: str
+    source: int
+    target: int
+    pause: float
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything :func:`analyze_trace` derives from one trace."""
+
+    meta: Dict[str, object]
+    nodes: List[NodeBreakdown]
+    operators: Dict[str, OperatorBreakdown]
+    migrations: List[MigrationRecord]
+    latency: LatencyStats
+    sink_latency: Dict[str, LatencyStats]
+    tuples_out: int
+    events_by_type: Dict[str, int]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def busy_totals(self) -> np.ndarray:
+        """CPU-seconds served per node — equals ``SimulationResult.node_busy``."""
+        return np.asarray([n.busy_seconds for n in self.nodes])
+
+    def utilization(self) -> np.ndarray:
+        """Mean utilization per node over the run horizon."""
+        capacities = np.asarray(self.meta["capacities"], dtype=float)
+        horizon = float(self.meta["horizon"])
+        if horizon <= 0:
+            return np.zeros(self.num_nodes)
+        return self.busy_totals() / (capacities * horizon)
+
+    def to_json_obj(self) -> Dict[str, object]:
+        """Flat, diffable JSON view (used by run snapshots and reports)."""
+        util = self.utilization()
+        return {
+            "meta": dict(self.meta),
+            "events_by_type": dict(sorted(self.events_by_type.items())),
+            "nodes": [
+                {
+                    "busy_seconds": n.busy_seconds,
+                    "stall_seconds": n.stall_seconds,
+                    "service_seconds": n.service_seconds,
+                    "batches_serviced": n.batches_serviced,
+                    "batches_enqueued": n.batches_enqueued,
+                    "tuples_processed": n.tuples_processed,
+                    "peak_outstanding": n.peak_outstanding,
+                    "idle_transitions": n.idle_transitions,
+                    "utilization": float(util[i]),
+                }
+                for i, n in enumerate(self.nodes)
+            ],
+            "operators": {
+                name: {
+                    "tuples_in": op.tuples_in,
+                    "tuples_out": op.tuples_out,
+                    "work_seconds": op.work_seconds,
+                    "batches": op.batches,
+                    "nodes": list(op.nodes),
+                }
+                for name, op in sorted(self.operators.items())
+            },
+            "migrations": [
+                {
+                    "t": m.t,
+                    "operator": m.operator,
+                    "source": m.source,
+                    "target": m.target,
+                    "pause": m.pause,
+                }
+                for m in self.migrations
+            ],
+            "latency": {
+                "mean": self.latency.mean(),
+                "max": self.latency.maximum(),
+                "tuples": self.latency.total_tuples,
+                **self.latency.percentiles(),
+            },
+            "sink_latency": {
+                sink: {"mean": stats.mean(), **stats.percentiles()}
+                for sink, stats in sorted(self.sink_latency.items())
+            },
+            "tuples_out": self.tuples_out,
+        }
+
+
+def analyze_trace(
+    events: Sequence[TraceEvent],
+    num_nodes: Optional[int] = None,
+) -> TraceAnalysis:
+    """Compute a :class:`TraceAnalysis` from parsed trace events.
+
+    Works on any event list (filters applied, hand-built traces); the
+    run geometry comes from the ``sim.start`` header via
+    :func:`repro.obs.timeline.trace_metadata`, inferred when absent.
+    """
+    meta = trace_metadata(events)
+    n = int(num_nodes if num_nodes is not None else meta["nodes"])
+    nodes = [NodeBreakdown() for _ in range(n)]
+    operators: Dict[str, OperatorBreakdown] = {}
+    migrations: List[MigrationRecord] = []
+    latency = LatencyStats()
+    sink_latency: Dict[str, LatencyStats] = {}
+    tuples_out = 0
+    events_by_type: Dict[str, int] = {}
+
+    for event in events:
+        events_by_type[event.type] = events_by_type.get(event.type, 0) + 1
+        f = event.fields
+        if event.type == "batch.enqueued":
+            node = nodes[int(f["node"])]
+            node.batches_enqueued += 1
+            node._outstanding += 1
+            node.peak_outstanding = max(
+                node.peak_outstanding, node._outstanding
+            )
+        elif event.type == "batch.serviced":
+            node_index = int(f["node"])
+            node = nodes[node_index]
+            work = float(f.get("work", 0.0))
+            count = int(f.get("count", 0))
+            node.busy_seconds += work
+            node.batches_serviced += 1
+            node.tuples_processed += count
+            node._outstanding = max(0, node._outstanding - 1)
+            name = str(f.get("operator", "?"))
+            op = operators.get(name)
+            if op is None:
+                op = operators[name] = OperatorBreakdown()
+            op.tuples_in += count
+            op.tuples_out += int(f.get("out", 0))
+            op.work_seconds += work
+            op.batches += 1
+            op._saw_node(node_index)
+            sink = f.get("sink")
+            if sink is not None:
+                out = int(f.get("out", 0))
+                sample = float(f.get("latency", 0.0))
+                tuples_out += out
+                # Same (value, weight) pairs in the same order as the
+                # engine recorded them — aggregates match exactly.
+                latency.record(sample, out)
+                sink_latency.setdefault(
+                    str(sink), LatencyStats()
+                ).record(sample, out)
+        elif event.type == "node.stall":
+            node = nodes[int(f["node"])]
+            work = float(f.get("work", 0.0))
+            node.busy_seconds += work
+            node.stall_seconds += work
+        elif event.type == "node.idle":
+            nodes[int(f["node"])].idle_transitions += 1
+        elif event.type == "migration.applied":
+            migrations.append(MigrationRecord(
+                t=0.0 if event.t is None else float(event.t),
+                operator=str(f.get("operator", "?")),
+                source=int(f.get("source", -1)),
+                target=int(f.get("target", -1)),
+                pause=float(f.get("pause", 0.0)),
+            ))
+
+    return TraceAnalysis(
+        meta=meta,
+        nodes=nodes,
+        operators=operators,
+        migrations=migrations,
+        latency=latency,
+        sink_latency=sink_latency,
+        tuples_out=tuples_out,
+        events_by_type=events_by_type,
+    )

@@ -133,6 +133,46 @@ class Histogram:
         result.append((float("inf"), self._count))
         return result
 
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile, ``q`` in [0, 100].
+
+        Linear interpolation inside the bucket the rank falls in — the
+        same estimate Prometheus's ``histogram_quantile`` computes.  The
+        first bucket's lower edge is taken as ``min(0, first bound)``;
+        ranks landing in the ``+inf`` bucket return the largest finite
+        bound (the tail has no upper edge to interpolate towards).
+        Returns ``0.0`` when nothing was observed, matching the
+        empty-sample contract of
+        :meth:`repro.simulator.metrics.LatencyStats.percentile`.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self._count == 0:
+            return 0.0
+        target = q / 100.0 * self._count
+        cumulative = 0
+        lower = min(0.0, self._bounds[0])
+        for bound, count in zip(self._bounds, self._counts):
+            if count > 0 and cumulative + count >= target:
+                fraction = (target - cumulative) / count
+                return lower + (bound - lower) * fraction
+            cumulative += count
+            lower = bound
+        return self._bounds[-1]
+
+    def percentiles(self) -> Dict[str, float]:
+        """Headline quantiles ``{"p50", "p95", "p99"}``, interpolated.
+
+        Mirrors :meth:`repro.simulator.metrics.LatencyStats.percentiles`
+        so histogram-backed and sample-backed latency views expose the
+        same keys.
+        """
+        return {
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
@@ -225,6 +265,12 @@ class MetricFamily:
 
     def buckets(self) -> List[Tuple[float, int]]:
         return self._solo().buckets()
+
+    def percentile(self, q: float) -> float:
+        return self._solo().percentile(q)
+
+    def percentiles(self) -> Dict[str, float]:
+        return self._solo().percentiles()
 
     def samples(self) -> List[Tuple[Dict[str, str], object]]:
         """``(labels_dict, child)`` pairs in insertion order."""
@@ -319,6 +365,7 @@ class MetricsRegistry:
                             {"le": le, "count": count}
                             for le, count in child.buckets()
                         ],
+                        "percentiles": child.percentiles(),
                     })
                 else:
                     samples.append({"labels": labels, "value": child.value})

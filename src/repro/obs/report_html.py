@@ -1,0 +1,407 @@
+"""Self-contained static HTML reports for recorded runs.
+
+``render_html_report`` turns one :class:`~repro.obs.runs.Run` into a
+single HTML document with **zero external dependencies** — no script
+tags, no CSS/font/image URLs, nothing fetched from the network.  Charts
+are inline SVG generated here: per-node utilization sparklines, a
+time × node utilization heatmap, and migration markers.  The file can be
+archived as a CI artifact or mailed around and will render identically
+anywhere.
+
+The terminal view (``repro-rod trace`` / ``repro.obs.timeline``) stays
+the quick-look tool; this module is the durable, shareable sibling
+behind ``repro-rod report RUN``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import time
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .analyze import TraceAnalysis, analyze_trace
+from .runs import Run
+from .timeline import utilization_timeline
+
+__all__ = ["render_html_report", "write_html_report"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e;
+       line-height: 1.45; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #2563eb;
+     padding-bottom: .3rem; }
+h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: .6rem 0; }
+th, td { border: 1px solid #d4d4e0; padding: .25rem .6rem;
+         font-size: .85rem; text-align: left; }
+th { background: #eef1f8; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+code { background: #f2f3f7; padding: .05rem .3rem; border-radius: 3px;
+       font-size: .85em; }
+.meta { color: #555; font-size: .85rem; }
+svg { display: block; }
+.legend { font-size: .75rem; color: #555; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float, digits: int = 4) -> str:
+    return f"{value:.{digits}g}"
+
+
+def _utilization_color(value: float) -> str:
+    """Blue ramp for [0, 1], switching to red past saturation."""
+    v = max(0.0, float(value))
+    if v > 1.0:
+        over = min(1.0, v - 1.0)
+        red = 220
+        green = int(80 - 60 * over)
+        blue = int(80 - 60 * over)
+        return f"rgb({red},{max(green, 20)},{max(blue, 20)})"
+    light = 245 - int(190 * v)
+    return f"rgb({light},{light + 5},250)"
+
+
+def _svg_sparkline(
+    values: Sequence[float],
+    width: int = 260,
+    height: int = 32,
+    ceiling: Optional[float] = None,
+) -> str:
+    """Inline SVG polyline of a series, with a dashed 1.0 reference."""
+    series = [max(0.0, float(v)) for v in values] or [0.0]
+    top = max(ceiling if ceiling is not None else 0.0, max(series), 1e-9)
+    n = len(series)
+    points = []
+    for i, v in enumerate(series):
+        x = (i / max(n - 1, 1)) * (width - 2) + 1
+        y = height - 1 - (min(v, top) / top) * (height - 2)
+        points.append(f"{x:.1f},{y:.1f}")
+    ref = ""
+    if top >= 1.0:
+        ref_y = height - 1 - (1.0 / top) * (height - 2)
+        ref = (
+            f'<line x1="1" y1="{ref_y:.1f}" x2="{width - 1}" '
+            f'y2="{ref_y:.1f}" stroke="#c33" stroke-width="1" '
+            'stroke-dasharray="3,3"/>'
+        )
+    return (
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} '
+        f'{height}" role="img">'
+        f'<rect width="{width}" height="{height}" fill="#f7f8fc"/>'
+        f"{ref}"
+        f'<polyline fill="none" stroke="#2563eb" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/>'
+        "</svg>"
+    )
+
+
+def _svg_heatmap(
+    matrix: np.ndarray,
+    migrations: Sequence[object] = (),
+    horizon: float = 0.0,
+    cell_width_total: int = 640,
+    row_height: int = 18,
+) -> str:
+    """Time × node utilization heatmap with migration markers."""
+    steps, nodes = matrix.shape
+    if steps == 0 or nodes == 0:
+        return "<p class='meta'>no timeline data</p>"
+    label_pad = 52
+    width = cell_width_total + label_pad
+    height = nodes * row_height + 18
+    cell = cell_width_total / steps
+    parts = [
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} '
+        f'{height}" role="img">'
+    ]
+    for node in range(nodes):
+        y = node * row_height
+        parts.append(
+            f'<text x="0" y="{y + row_height - 5}" font-size="11" '
+            f'fill="#333">node {node}</text>'
+        )
+        for step in range(steps):
+            color = _utilization_color(float(matrix[step, node]))
+            x = label_pad + step * cell
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{cell + 0.5:.2f}" '
+                f'height="{row_height - 2}" fill="{color}"/>'
+            )
+    if horizon > 0:
+        for m in migrations:
+            x = label_pad + (float(m.t) / horizon) * cell_width_total
+            parts.append(
+                f'<line x1="{x:.2f}" y1="0" x2="{x:.2f}" '
+                f'y2="{nodes * row_height - 2}" stroke="#111" '
+                'stroke-width="1.5" stroke-dasharray="2,2"/>'
+            )
+    parts.append(
+        f'<text x="{label_pad}" y="{height - 4}" font-size="10" '
+        'fill="#777">t = 0</text>'
+    )
+    parts.append(
+        f'<text x="{width - 40}" y="{height - 4}" font-size="10" '
+        f'fill="#777">{_fmt(horizon)}s</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _kv_table(pairs: Sequence[tuple]) -> str:
+    rows = "".join(
+        f"<tr><th>{_esc(k)}</th><td>{_esc(v)}</td></tr>" for k, v in pairs
+    )
+    return f"<table>{rows}</table>"
+
+
+def _manifest_section(run: Run) -> str:
+    m = run.manifest
+    created = time.strftime(
+        "%Y-%m-%d %H:%M:%S", time.localtime(m.created_wall)
+    )
+    pairs = [
+        ("run id", m.run_id),
+        ("kind", m.kind),
+        ("created", created),
+        ("package version", m.version or "?"),
+        ("config digest", m.config_digest or "?"),
+        ("seed", "none" if m.seed is None else m.seed),
+        ("wall seconds", "?" if m.wall_seconds is None
+         else _fmt(m.wall_seconds)),
+        ("simulated seconds", "?" if m.sim_seconds is None
+         else _fmt(m.sim_seconds)),
+    ]
+    if m.argv:
+        pairs.append(("argv", " ".join(m.argv)))
+    for key, value in sorted(m.labels.items()):
+        pairs.append((f"label:{key}", value))
+    parts = ["<h2>Provenance</h2>", _kv_table(pairs)]
+    if m.config:
+        parts.append(
+            "<details><summary class='meta'>configuration</summary>"
+            f"<pre><code>{_esc(json.dumps(m.config, indent=2, sort_keys=True, default=str))}"
+            "</code></pre></details>"
+        )
+    return "".join(parts)
+
+
+def _headline_section(result: Mapping[str, object]) -> str:
+    keys = (
+        "duration", "tuples_in", "tuples_out", "max_utilization",
+        "migrations", "volume_ratio",
+    )
+    pairs = [(k, result[k]) for k in keys if k in result]
+    latency = result.get("latency")
+    if isinstance(latency, Mapping):
+        for name in ("mean", "p50", "p95", "p99", "max"):
+            if name in latency:
+                value = float(latency[name])  # type: ignore[arg-type]
+                pairs.append((f"latency {name}", f"{value * 1e3:.2f} ms"))
+    if not pairs:
+        return ""
+    return "<h2>Headline metrics</h2>" + _kv_table(pairs)
+
+
+def _nodes_section(analysis: TraceAnalysis,
+                   utilization: np.ndarray) -> str:
+    util_means = analysis.utilization()
+    rows = []
+    for index, node in enumerate(analysis.nodes):
+        series = (
+            utilization[:, index] if utilization.size else np.zeros(1)
+        )
+        rows.append(
+            "<tr>"
+            f"<td>node {index}</td>"
+            f"<td class='num'>{_fmt(node.busy_seconds)}</td>"
+            f"<td class='num'>{_fmt(node.stall_seconds)}</td>"
+            f"<td class='num'>{node.batches_serviced}</td>"
+            f"<td class='num'>{node.peak_outstanding}</td>"
+            f"<td class='num'>{_fmt(float(util_means[index]), 3)}</td>"
+            f"<td class='num'>{_fmt(float(series.max()), 3)}</td>"
+            f"<td>{_svg_sparkline(series, ceiling=1.0)}</td>"
+            "</tr>"
+        )
+    return (
+        "<h2>Per-node utilization</h2>"
+        "<table><tr><th>node</th><th>busy s</th><th>stall s</th>"
+        "<th>batches</th><th>peak queue</th><th>mean util</th>"
+        "<th>peak util</th><th>timeline</th></tr>"
+        + "".join(rows) + "</table>"
+        "<p class='legend'>sparkline ceiling at utilization 1.0 "
+        "(dashed red line = saturation)</p>"
+    )
+
+
+def _operators_section(analysis: TraceAnalysis) -> str:
+    if not analysis.operators:
+        return ""
+    rows = []
+    for name, op in sorted(analysis.operators.items()):
+        nodes = ", ".join(str(n) for n in op.nodes)
+        rows.append(
+            "<tr>"
+            f"<td><code>{_esc(name)}</code></td>"
+            f"<td class='num'>{op.tuples_in}</td>"
+            f"<td class='num'>{op.tuples_out}</td>"
+            f"<td class='num'>{_fmt(op.work_seconds)}</td>"
+            f"<td class='num'>{op.batches}</td>"
+            f"<td>{_esc(nodes)}</td>"
+            "</tr>"
+        )
+    return (
+        "<h2>Per-operator activity</h2>"
+        "<table><tr><th>operator</th><th>tuples in</th><th>tuples out</th>"
+        "<th>work s</th><th>batches</th><th>nodes</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def _migrations_section(analysis: TraceAnalysis) -> str:
+    if not analysis.migrations:
+        return ""
+    rows = "".join(
+        "<tr>"
+        f"<td class='num'>{_fmt(m.t)}</td>"
+        f"<td><code>{_esc(m.operator)}</code></td>"
+        f"<td class='num'>{m.source}</td>"
+        f"<td class='num'>{m.target}</td>"
+        f"<td class='num'>{_fmt(m.pause)}</td>"
+        "</tr>"
+        for m in analysis.migrations
+    )
+    return (
+        f"<h2>Migrations ({len(analysis.migrations)})</h2>"
+        "<table><tr><th>t (s)</th><th>operator</th><th>from</th>"
+        "<th>to</th><th>pause (s)</th></tr>" + rows + "</table>"
+    )
+
+
+def _events_section(analysis: TraceAnalysis) -> str:
+    if not analysis.events_by_type:
+        return ""
+    rows = "".join(
+        f"<tr><td><code>{_esc(name)}</code></td>"
+        f"<td class='num'>{count}</td></tr>"
+        for name, count in sorted(analysis.events_by_type.items())
+    )
+    return (
+        "<h2>Events by type</h2>"
+        "<table><tr><th>type</th><th>count</th></tr>" + rows + "</table>"
+    )
+
+
+def _rows_section(result: Mapping[str, object]) -> str:
+    rows = result.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        if isinstance(row, Mapping):
+            for key in row:
+                if key not in columns:
+                    columns.append(str(key))
+    header = "".join(f"<th>{_esc(c)}</th>" for c in columns)
+    body = []
+    for row in rows:
+        if not isinstance(row, Mapping):
+            continue
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"<td class='num'>{_fmt(value)}</td>")
+            else:
+                cells.append(f"<td>{_esc(value)}</td>")
+        body.append("<tr>" + "".join(cells) + "</tr>")
+    return (
+        "<h2>Experiment rows</h2>"
+        f"<table><tr>{header}</tr>" + "".join(body) + "</table>"
+    )
+
+
+def _phase_section(metrics: Mapping[str, object]) -> str:
+    family = metrics.get("repro_phase_seconds")
+    if not isinstance(family, Mapping):
+        return ""
+    samples = family.get("samples")
+    if not isinstance(samples, list) or not samples:
+        return ""
+    rows = []
+    for sample in samples:
+        if not isinstance(sample, Mapping):
+            continue
+        labels = sample.get("labels", {})
+        phase = labels.get("phase", "?") if isinstance(labels, Mapping) \
+            else "?"
+        count = int(sample.get("count", 0))  # type: ignore[arg-type]
+        total = float(sample.get("sum", 0.0))  # type: ignore[arg-type]
+        mean = total / count if count else 0.0
+        rows.append(
+            f"<tr><td><code>{_esc(phase)}</code></td>"
+            f"<td class='num'>{count}</td>"
+            f"<td class='num'>{total * 1e3:.2f}</td>"
+            f"<td class='num'>{mean * 1e3:.2f}</td></tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        "<h2>Profiled phases</h2>"
+        "<table><tr><th>phase</th><th>calls</th><th>total ms</th>"
+        "<th>mean ms</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
+def render_html_report(run: Run) -> str:
+    """Render one recorded run as a self-contained HTML document."""
+    sections: List[str] = [_manifest_section(run), _headline_section(
+        run.result
+    )]
+    events = run.events()
+    if events:
+        analysis = analyze_trace(events)
+        utilization = utilization_timeline(events, metadata=analysis.meta)
+        horizon = float(analysis.meta["horizon"])
+        sections.append("<h2>Utilization heatmap</h2>")
+        sections.append(_svg_heatmap(
+            utilization, migrations=analysis.migrations, horizon=horizon,
+        ))
+        sections.append(
+            "<p class='legend'>rows are nodes, columns are "
+            f"{_fmt(float(analysis.meta['step_seconds']))}s bins; blue "
+            "depth is utilization, red marks &gt; 1.0, dashed lines are "
+            "applied migrations</p>"
+        )
+        sections.append(_nodes_section(analysis, utilization))
+        sections.append(_operators_section(analysis))
+        sections.append(_migrations_section(analysis))
+        sections.append(_events_section(analysis))
+    sections.append(_rows_section(run.result))
+    sections.append(_phase_section(run.metrics))
+    title = f"run {run.manifest.run_id} ({run.manifest.kind})"
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n"
+        "</head><body>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        + "\n".join(s for s in sections if s)
+        + "\n</body></html>\n"
+    )
+
+
+def write_html_report(run: Run, path: str) -> str:
+    """Write :func:`render_html_report` output to ``path``; returns it."""
+    document = render_html_report(run)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path

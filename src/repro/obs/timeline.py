@@ -19,6 +19,7 @@ from .trace import TraceEvent
 
 __all__ = [
     "WORK_EVENT_TYPES",
+    "filter_events",
     "trace_metadata",
     "busy_totals",
     "work_timeline",
@@ -41,13 +42,14 @@ def trace_metadata(events: Sequence[TraceEvent]) -> Dict[str, object]:
     for event in events:
         if event.type == "sim.start":
             meta = dict(event.fields)
+            nodes = int(meta.get("nodes", 1))
             return {
-                "nodes": int(meta.get("nodes", 1)),
+                "nodes": nodes,
                 "step_seconds": float(meta.get("step_seconds", 0.1)),
                 "horizon": float(meta.get("horizon", 0.0)),
-                "capacities": [
-                    float(c) for c in meta.get("capacities", [1.0])
-                ],
+                "capacities": _pad_capacities(
+                    meta.get("capacities", ()), nodes
+                ),
             }
     nodes = 0
     last_t = 0.0
@@ -64,6 +66,51 @@ def trace_metadata(events: Sequence[TraceEvent]) -> Dict[str, object]:
         "horizon": last_t,
         "capacities": [1.0] * nodes,
     }
+
+
+def _pad_capacities(raw: object, nodes: int) -> List[float]:
+    """Capacity list padded with 1.0 to ``nodes`` entries.
+
+    A header without (or with a short) ``capacities`` list used to
+    default to a single entry regardless of the node count, silently
+    mis-scaling utilization for every node past the first.
+    """
+    capacities = [float(c) for c in raw]  # type: ignore[union-attr]
+    if len(capacities) < nodes:
+        capacities.extend([1.0] * (nodes - len(capacities)))
+    return capacities
+
+
+def filter_events(
+    events: Sequence[TraceEvent],
+    types: Optional[Sequence[str]] = None,
+    nodes: Optional[Sequence[int]] = None,
+    since: Optional[float] = None,
+) -> List[TraceEvent]:
+    """Subset of ``events`` matching every given filter.
+
+    ``types`` keeps only the listed event types; ``nodes`` keeps only
+    events carrying a ``node`` field with one of the listed indices
+    (events without a node field — migrations, phases, headers — are
+    dropped when a node filter is active); ``since`` keeps events whose
+    simulated time is ``>= since`` (events with no sim clock, ``t is
+    None``, are kept — they have no position in the window).
+    """
+    type_set = None if types is None else frozenset(types)
+    node_set = None if nodes is None else frozenset(int(n) for n in nodes)
+    kept = []
+    for event in events:
+        if type_set is not None and event.type not in type_set:
+            continue
+        if node_set is not None:
+            node = event.fields.get("node")
+            if node is None or int(node) not in node_set:
+                continue
+        if (since is not None and event.t is not None
+                and float(event.t) < since):
+            continue
+        kept.append(event)
+    return kept
 
 
 def busy_totals(
@@ -90,14 +137,17 @@ def work_timeline(
     step_seconds: Optional[float] = None,
     num_nodes: Optional[int] = None,
     horizon: Optional[float] = None,
+    metadata: Optional[Dict[str, object]] = None,
 ) -> np.ndarray:
     """Served CPU-seconds per ``(time bin, node)``.
 
     Bins are ``step_seconds`` wide over ``[0, horizon)``; work completed
     after the horizon folds into the last bin (same convention as the
-    engine's ``work_timeline``).
+    engine's ``work_timeline``).  ``metadata`` overrides the header
+    lookup — pass the full trace's :func:`trace_metadata` when rendering
+    a filtered subset that may no longer contain ``sim.start``.
     """
-    meta = trace_metadata(events)
+    meta = metadata if metadata is not None else trace_metadata(events)
     step = float(step_seconds or meta["step_seconds"])
     n = int(num_nodes or meta["nodes"])
     end = float(horizon or meta["horizon"])
@@ -125,12 +175,13 @@ def work_timeline(
 def utilization_timeline(
     events: Sequence[TraceEvent],
     step_seconds: Optional[float] = None,
+    metadata: Optional[Dict[str, object]] = None,
 ) -> np.ndarray:
     """Per-bin utilization (served work / capacity / bin width)."""
-    meta = trace_metadata(events)
+    meta = metadata if metadata is not None else trace_metadata(events)
     step = float(step_seconds or meta["step_seconds"])
     capacities = np.asarray(meta["capacities"], dtype=float)
-    timeline = work_timeline(events, step_seconds=step)
+    timeline = work_timeline(events, step_seconds=step, metadata=meta)
     return timeline / (capacities[None, :] * step)
 
 
@@ -171,15 +222,16 @@ def _migration_lines(events: Sequence[TraceEvent]) -> List[str]:
 def render_trace_report(
     events: Sequence[TraceEvent],
     width: int = 60,
+    metadata: Optional[Dict[str, object]] = None,
 ) -> str:
     """Human-readable report: counts, per-node timelines, migrations."""
     if not events:
         raise ValueError("cannot render an empty trace")
     if width < 1:
         raise ValueError("width must be >= 1")
-    meta = trace_metadata(events)
+    meta = metadata if metadata is not None else trace_metadata(events)
     summary = trace_summary(events)
-    utilization = utilization_timeline(events)
+    utilization = utilization_timeline(events, metadata=meta)
     totals = busy_totals(events, num_nodes=int(meta["nodes"]))
     capacities = np.asarray(meta["capacities"], dtype=float)
     horizon = float(meta["horizon"])

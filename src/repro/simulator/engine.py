@@ -375,6 +375,14 @@ class Simulator:
             bin_index = min(int(time / self.step_seconds), steps - 1)
             timeline[bin_index, node] += completion.work
             batch = completion.batch
+            # A completion with output and no onward deliveries produced
+            # sink tuples: their end-to-end latency is known here, and the
+            # trace carries it on the serviced event so analyzers can
+            # rebuild LatencyStats exactly (repro.obs.analyze).
+            sink_stream: Optional[str] = None
+            if (batch is not None and completion.out_count > 0
+                    and not completion.deliveries):
+                sink_stream = self.graph.output_of(batch.operator).name
             if tracing:
                 if batch is None:
                     tracer.emit(
@@ -382,6 +390,11 @@ class Simulator:
                         work=completion.work,
                     )
                 else:
+                    extra = (
+                        {} if sink_stream is None
+                        else {"sink": sink_stream,
+                              "latency": time - batch.birth}
+                    )
                     tracer.emit(
                         "batch.serviced",
                         t=time,
@@ -391,9 +404,9 @@ class Simulator:
                         count=batch.count,
                         out=completion.out_count,
                         work=completion.work,
+                        **extra,
                     )
             if batch is not None and completion.out_count > 0:
-                out_stream = self.graph.output_of(batch.operator).name
                 if completion.deliveries:
                     for consumer, port, recv in completion.deliveries:
                         push_event(
@@ -404,12 +417,12 @@ class Simulator:
                                    count=completion.out_count,
                                    extra_work=recv),
                         )
-                else:
+                elif sink_stream is not None:
                     tuples_out += completion.out_count
                     sample = time - batch.birth
                     latency.record(sample, completion.out_count)
                     sink_latency.setdefault(
-                        out_stream, LatencyStats()
+                        sink_stream, LatencyStats()
                     ).record(sample, completion.out_count)
             if queues[node].is_empty:
                 busy[node] = False

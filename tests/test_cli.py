@@ -309,3 +309,172 @@ class TestVerbosityFlags:
         assert logging.getLogger("repro").level == logging.ERROR
         main(["generate", "--kind", "monitoring", "--inputs", "2",
               "--seed", "1", "-o", path])
+
+
+class TestTraceFilters:
+    @pytest.fixture
+    def trace_path(self, tmp_path, graph_file, plan_file):
+        path = str(tmp_path / "run.jsonl")
+        main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "2",
+            "--trace-out", path,
+        ])
+        return path
+
+    def test_type_filter(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "trace", trace_path, "--type", "batch.serviced",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch.serviced" in out
+        assert "batch.enqueued" not in out
+
+    def test_comma_separated_types(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "trace", trace_path, "--type", "node.busy,node.idle",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "node.busy" in out and "node.idle" in out
+        assert "batch.serviced" not in out
+
+    def test_node_and_since_filters(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "trace", trace_path, "--node", "0", "--since", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Geometry still comes from the unfiltered trace header.
+        assert "2 nodes" in out
+
+    def test_filters_that_empty_the_trace_fail(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "trace", trace_path, "--type", "no.such.event",
+        ]) == 1
+        assert "no events" in capsys.readouterr().out
+
+
+class TestRunRegistryCli:
+    @pytest.fixture
+    def recorded(self, tmp_path, graph_file, plan_file, capsys):
+        root = str(tmp_path / "runs")
+        for run_id in ("base", "same"):
+            assert main([
+                "simulate", "--graph", graph_file, "--plan", plan_file,
+                "--rates", "20,20", "--duration", "2",
+                "--record", root, "--run-id", run_id,
+            ]) == 0
+        capsys.readouterr()
+        return root
+
+    def test_record_announces_run_dir(
+        self, tmp_path, graph_file, plan_file, capsys
+    ):
+        root = str(tmp_path / "r")
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "2",
+            "--record", root, "--run-id", "x",
+        ]) == 0
+        assert "run recorded to" in capsys.readouterr().out
+        from repro.obs import load_run
+        import os
+
+        run = load_run(os.path.join(root, "x"))
+        assert run.has_trace
+        assert run.manifest.argv[0] == "simulate"
+
+    def test_runs_list_and_show(self, recorded, capsys):
+        assert main(["runs", "list", "--root", recorded]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "same" in out and "simulate" in out
+        assert main(["runs", "show", "base", "--root", recorded]) == 0
+        out = capsys.readouterr().out
+        assert "config digest" in out and "trace:" in out
+
+    def test_runs_show_missing_run_fails(self, tmp_path, capsys):
+        assert main([
+            "runs", "show", "ghost", "--root", str(tmp_path),
+        ]) == 1
+        assert "ghost" in capsys.readouterr().out
+
+    def test_compare_identical_runs_exits_zero(self, recorded, capsys):
+        assert main([
+            "compare", "base", "same", "--root", recorded,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no metric deltas" in out
+        assert "0 breach(es)" in out
+
+    def test_compare_regression_exits_nonzero(
+        self, recorded, graph_file, plan_file, capsys
+    ):
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "60,60", "--duration", "2",
+            "--record", recorded, "--run-id", "hot",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare", "base", "hot", "--root", recorded,
+        ]) == 1
+        assert "breach" in capsys.readouterr().out
+
+    def test_compare_threshold_flags(self, recorded, capsys):
+        assert main([
+            "compare", "base", "same", "--root", recorded,
+            "--threshold", "latency.p95=0.5",
+            "--default-threshold", "0.1",
+        ]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="NAME=REL"):
+            main([
+                "compare", "base", "same", "--root", recorded,
+                "--threshold", "garbage",
+            ])
+
+    def test_report_writes_self_contained_html(self, recorded, capsys):
+        import os
+
+        assert main(["report", "base", "--root", recorded]) == 0
+        capsys.readouterr()
+        path = os.path.join(recorded, "base", "report.html")
+        html = open(path).read()
+        assert html.startswith("<!DOCTYPE html>")
+        for banned in ("http://", "https://", "<script"):
+            assert banned not in html
+
+    def test_report_custom_output_path(self, recorded, tmp_path, capsys):
+        out = str(tmp_path / "custom.html")
+        assert main(["report", "base", "--root", recorded, "-o", out]) == 0
+        assert open(out).read().startswith("<!DOCTYPE html>")
+
+    def test_legacy_markdown_report_still_requires_output(self):
+        with pytest.raises(SystemExit, match="-o/--output"):
+            main(["report"])
+
+    def test_evaluate_record(self, tmp_path, graph_file, plan_file, capsys):
+        root = str(tmp_path / "runs")
+        assert main([
+            "evaluate", "--graph", graph_file, "--plan", plan_file,
+            "--record", root, "--run-id", "ev",
+        ]) == 0
+        from repro.obs import find_run
+
+        run = find_run("ev", root=root)
+        assert run.manifest.kind == "evaluate"
+        assert "volume_ratio" in run.result
+
+    def test_experiment_record(self, tmp_path, capsys):
+        root = str(tmp_path / "runs")
+        assert main([
+            "experiment", "fig2", "--record", root, "--run-id", "exp",
+        ]) == 0
+        from repro.obs import find_run
+
+        run = find_run("exp", root=root)
+        assert run.manifest.kind == "experiment"
+        assert run.result["rows"]

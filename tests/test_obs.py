@@ -73,6 +73,72 @@ class TestCountersAndGauges:
         assert counts[-1] == 3
 
 
+class TestHistogramPercentiles:
+    def make(self, buckets=(0.1, 0.5, 1.0)):
+        return MetricsRegistry().histogram("h", "h", buckets=buckets)
+
+    def test_empty_returns_zero(self):
+        assert self.make().percentile(50) == 0.0
+
+    def test_out_of_range_rejected(self):
+        histogram = self.make()
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_interpolates_within_bucket(self):
+        histogram = self.make(buckets=(1.0,))
+        for _ in range(4):
+            histogram.observe(0.5)
+        # All mass in [0, 1): the median interpolates to the midpoint.
+        assert histogram.percentile(50) == pytest.approx(0.5)
+        assert histogram.percentile(25) == pytest.approx(0.25)
+
+    def test_rank_in_inf_bucket_returns_last_finite_bound(self):
+        histogram = self.make(buckets=(0.1, 1.0))
+        histogram.observe(50.0)
+        assert histogram.percentile(99) == pytest.approx(1.0)
+
+    def test_tracks_true_quantiles_with_fine_buckets(self):
+        import numpy as np
+
+        edges = tuple(np.linspace(0.01, 1.0, 100))
+        histogram = self.make(buckets=edges)
+        rng = np.random.default_rng(7)
+        samples = rng.uniform(0.0, 1.0, 2000)
+        for value in samples:
+            histogram.observe(float(value))
+        for q in (50, 95, 99):
+            assert histogram.percentile(q) == pytest.approx(
+                float(np.percentile(samples, q)), abs=0.02
+            )
+
+    def test_percentiles_keys_match_latency_stats(self):
+        from repro.simulator.metrics import LatencyStats
+
+        histogram = self.make()
+        histogram.observe(0.2)
+        stats = LatencyStats()
+        stats.record(0.2)
+        assert set(histogram.percentiles()) == set(stats.percentiles())
+
+    def test_json_export_includes_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", "l", buckets=(1.0,))
+        histogram.observe(0.5)
+        sample = registry.to_json()["lat"]["samples"][0]
+        assert set(sample["percentiles"]) == {"p50", "p95", "p99"}
+        assert sample["percentiles"]["p50"] == pytest.approx(0.5)
+
+    def test_family_passthrough(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("h", "h", buckets=(1.0,))
+        family.observe(0.5)
+        assert family.percentile(50) == pytest.approx(0.5)
+        assert family.percentiles()["p50"] == pytest.approx(0.5)
+
+
 class TestLabels:
     def test_labeled_children_are_distinct(self):
         registry = MetricsRegistry()
@@ -269,6 +335,61 @@ class TestJsonlRoundTrip:
         assert TraceEvent.from_json_obj(event.to_json_obj()) == event
         with pytest.raises(ValueError):
             TraceEvent.from_json_obj({"t": 1.0})
+
+
+class TestTraceEventEdgeCases:
+    """Round-trips for awkward field payloads: non-finite floats, numpy
+    scalars, and nested sequences must survive the JSONL boundary."""
+
+    def roundtrip(self, **fields):
+        buffer = io.StringIO()
+        with JsonlSink(buffer) as sink:
+            Tracer(sink).emit("phase", t=1.0, **fields)
+        return parse_trace_line(buffer.getvalue().splitlines()[0])
+
+    def test_non_finite_floats_roundtrip(self):
+        import math
+
+        event = self.roundtrip(
+            burst=float("inf"), drain=float("-inf"), gap=float("nan")
+        )
+        assert event.fields["burst"] == float("inf")
+        assert event.fields["drain"] == float("-inf")
+        assert math.isnan(event.fields["gap"])
+
+    def test_numpy_scalars_become_python_numbers(self):
+        np = pytest.importorskip("numpy")
+        event = self.roundtrip(
+            count=np.int32(7), ratio=np.float64(0.5), flag=np.bool_(True)
+        )
+        assert event.fields["count"] == 7
+        assert type(event.fields["count"]) is int
+        assert event.fields["ratio"] == 0.5
+        assert type(event.fields["ratio"]) is float
+        assert event.fields["flag"] is True
+
+    def test_nested_sequences_roundtrip(self):
+        np = pytest.importorskip("numpy")
+        event = self.roundtrip(
+            matrix=np.arange(4.0).reshape(2, 2),
+            mixed=[1, [2.5, "x"], {"k": (3, 4)}],
+        )
+        assert event.fields["matrix"] == [[0.0, 1.0], [2.0, 3.0]]
+        # JSON has no tuples: they come back as lists, values intact.
+        assert event.fields["mixed"] == [1, [2.5, "x"], {"k": [3, 4]}]
+
+    def test_non_finite_sim_clock_roundtrips(self):
+        import math
+
+        buffer = io.StringIO()
+        with JsonlSink(buffer) as sink:
+            Tracer(sink).emit("phase", t=float("nan"))
+        event = parse_trace_line(buffer.getvalue().splitlines()[0])
+        assert math.isnan(event.t)
+
+    def test_unserializable_field_raises_type_error(self):
+        with pytest.raises(TypeError, match="not JSON-serializable"):
+            self.roundtrip(bad=object())
 
 
 class TestPhaseTimer:

@@ -164,3 +164,89 @@ class TestDisabledPathUnchanged:
         ]
         assert len(probes) == 1
         assert probes[0].fields["feasible"] == verdict
+
+
+def _event(type_, t=None, **fields):
+    from repro.obs import TraceEvent
+
+    return TraceEvent(type=type_, t=t, wall=1.0, fields=fields)
+
+
+class TestMetadataCapacityPadding:
+    """A short (or missing) capacities list in the header must be padded
+    to the node count — a single default entry used to silently
+    mis-scale utilization for every node past the first."""
+
+    def test_header_without_capacities_pads_to_node_count(self):
+        meta = trace_metadata([_event("sim.start", t=0.0, nodes=3)])
+        assert meta["capacities"] == [1.0, 1.0, 1.0]
+
+    def test_header_with_short_capacities_pads(self):
+        meta = trace_metadata([
+            _event("sim.start", t=0.0, nodes=3, capacities=[2.0]),
+        ])
+        assert meta["capacities"] == [2.0, 1.0, 1.0]
+
+    def test_full_capacities_preserved(self):
+        meta = trace_metadata([
+            _event("sim.start", t=0.0, nodes=2, capacities=[2.0, 0.5]),
+        ])
+        assert meta["capacities"] == [2.0, 0.5]
+
+    def test_headerless_fallback_pads_too(self):
+        meta = trace_metadata([
+            _event("batch.serviced", t=1.0, node=2, work=0.1),
+        ])
+        assert meta["nodes"] == 3
+        assert meta["capacities"] == [1.0, 1.0, 1.0]
+
+    def test_padded_capacities_scale_utilization_per_node(self):
+        events = [
+            _event("sim.start", t=0.0, nodes=2, step_seconds=1.0,
+                   horizon=1.0, capacities=[2.0]),
+            _event("batch.serviced", t=0.5, node=0, work=1.0),
+            _event("batch.serviced", t=0.5, node=1, work=1.0),
+        ]
+        timeline = utilization_timeline(events)
+        # Node 0 has capacity 2 -> util 0.5; padded node 1 gets 1.0.
+        assert timeline[0, 0] == pytest.approx(0.5)
+        assert timeline[0, 1] == pytest.approx(1.0)
+
+
+class TestFilterEvents:
+    def setup_method(self):
+        self.events = [
+            _event("sim.start", t=0.0, nodes=2),
+            _event("batch.serviced", t=1.0, node=0, work=0.1),
+            _event("batch.serviced", t=2.0, node=1, work=0.1),
+            _event("migration.applied", t=2.5, operator="op1"),
+            _event("phase", name="plan"),  # no sim clock
+        ]
+
+    def filter(self, **kwargs):
+        from repro.obs.timeline import filter_events
+
+        return filter_events(self.events, **kwargs)
+
+    def test_type_filter(self):
+        kept = self.filter(types=["batch.serviced"])
+        assert [e.type for e in kept] == ["batch.serviced"] * 2
+
+    def test_node_filter_drops_nodeless_events(self):
+        kept = self.filter(nodes=[1])
+        assert len(kept) == 1
+        assert kept[0].fields["node"] == 1
+
+    def test_since_keeps_unclocked_events(self):
+        kept = self.filter(since=2.0)
+        assert [e.type for e in kept] == [
+            "batch.serviced", "migration.applied", "phase",
+        ]
+
+    def test_filters_compose(self):
+        kept = self.filter(types=["batch.serviced"], nodes=[0], since=0.0)
+        assert len(kept) == 1
+        assert kept[0].fields["node"] == 0
+
+    def test_no_filters_is_identity(self):
+        assert self.filter() == self.events
