@@ -59,6 +59,8 @@ from .graphs.generator import (
     monitoring_graph,
     random_tree_graph,
 )
+from .dynamics import FAILOVER_POLICIES, FailoverController
+from .faults import chaos_schedule, load_fault_schedule
 from .graphs.serialize import dump_graph, load_graph
 from .obs import (
     JsonlSink,
@@ -100,6 +102,7 @@ EXPERIMENTS = {
     "clustering": lambda: experiments.clustering_experiment.run(),
     "fidelity": lambda: experiments.fidelity.run(),
     "dynamic": lambda: experiments.dynamic_migration.run(),
+    "fault-tolerance": lambda: experiments.fault_tolerance.run(),
     "heterogeneous": lambda: experiments.heterogeneous.run(),
     "partitioning": lambda: experiments.partitioning.run(),
     "balance-bound": lambda: experiments.balance_bound.run(),
@@ -301,19 +304,53 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         _seal_run(writer)
 
 
+def _faults_from_args(
+    args: argparse.Namespace, placement: Placement, duration: float
+):
+    """The fault schedule ``--faults`` / ``--chaos-seed`` ask for."""
+    if args.faults and args.chaos_seed is not None:
+        raise SystemExit("--faults and --chaos-seed are mutually "
+                         "exclusive: pick a file or a generated schedule")
+    if args.faults:
+        return load_fault_schedule(args.faults)
+    if args.chaos_seed is not None:
+        return chaos_schedule(
+            placement.num_nodes,
+            horizon=duration,
+            seed=args.chaos_seed,
+            operator_names=placement.model.graph.operator_names,
+            intensity=args.chaos_intensity,
+        )
+    return None
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     placement = _load_placement(args.graph, args.plan, args.nodes)
     rates = [float(r) for r in args.rates.split(",")]
+    faults = _faults_from_args(args, placement, args.duration)
+    controller = None
+    if args.failover:
+        controller = FailoverController(policy=args.failover)
+    config = {
+        "graph": args.graph,
+        "plan": args.plan,
+        "rates": rates,
+        "duration": args.duration,
+        "step_seconds": args.step,
+    }
+    # Conditional keys: fault-free invocations keep their pre-faults
+    # config digest, so existing recorded baselines still match.
+    if faults is not None:
+        config["faults"] = [f.to_json_obj() for f in faults.events]
+        if args.chaos_seed is not None:
+            config["chaos_seed"] = args.chaos_seed
+            config["chaos_intensity"] = args.chaos_intensity
+    if args.failover:
+        config["failover"] = args.failover
     writer = _run_writer_from_args(
         args,
         kind="simulate",
-        config={
-            "graph": args.graph,
-            "plan": args.plan,
-            "rates": rates,
-            "duration": args.duration,
-            "step_seconds": args.step,
-        },
+        config=config,
         placement=placement.to_document(),
     )
     obs, sink = _obs_from_args(args, writer)
@@ -323,6 +360,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             step_seconds=args.step,
             tracer=obs.tracer,
             metrics=obs.registry,
+            faults=faults,
+            controller=controller,
         )
         result = simulator.run(rates=rates, duration=args.duration)
         print(result.summary())
@@ -633,6 +672,26 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--step", type=float, default=0.1)
     sim.add_argument("--check", action="store_true",
                      help="exit non-zero if the point is infeasible")
+    sim.add_argument(
+        "--faults", metavar="FILE", default=None,
+        help="inject the fault schedule in FILE (JSON; see "
+             "docs/robustness.md for the schema)",
+    )
+    sim.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="generate a seeded random fault schedule instead of "
+             "loading one (same seed = same faults, bit for bit)",
+    )
+    sim.add_argument(
+        "--chaos-intensity", type=float, default=1.0, metavar="X",
+        help="scale the number of generated chaos faults (default 1.0)",
+    )
+    sim.add_argument(
+        "--failover", choices=FAILOVER_POLICIES, default=None,
+        help="react to node crashes by reassigning their operators "
+             "('volume' keeps the residual feasible set largest, "
+             "'least_loaded' is the classic baseline)",
+    )
     add_obs_flags(sim)
     add_record_flags(sim)
     sim.set_defaults(func=cmd_simulate)

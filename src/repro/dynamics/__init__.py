@@ -1,7 +1,14 @@
 """Dynamic operator migration — the alternative the paper argues against
-for short-term load variations (Section 1)."""
+for short-term load variations (Section 1) — and fault-driven failover
+(:mod:`repro.dynamics.failover`), which even a static-resilient
+deployment needs when a node crashes outright."""
 
 from .controller import LoadBalancingController, Migration, MigrationController
+from .failover import (
+    FAILOVER_POLICIES,
+    FailoverController,
+    residual_volume_ratio,
+)
 from .state import (
     MigrationCostModel,
     graph_state_tuples,
@@ -9,10 +16,13 @@ from .state import (
 )
 
 __all__ = [
+    "FAILOVER_POLICIES",
+    "FailoverController",
     "LoadBalancingController",
     "Migration",
     "MigrationController",
     "MigrationCostModel",
     "graph_state_tuples",
     "operator_state_tuples",
+    "residual_volume_ratio",
 ]

@@ -134,10 +134,13 @@ class LoadBalancingController(MigrationController):
         working = dict(assignment)
 
         def load_of(name: str) -> float:
-            if self._smoothed_loads:
-                return self._smoothed_loads.get(name, 0.0)
-            # Monitoring fallback: apportion node demand by coefficient
-            # mass when per-operator statistics are unavailable.
+            measured = self._smoothed_loads.get(name)
+            if measured is not None:
+                return measured
+            # Monitoring fallback, per operator: apportion demand by
+            # coefficient mass when this operator has no measured
+            # statistics yet (other operators having some must not make
+            # an unmeasured one look idle and unmovable).
             return float(model.coefficients[model.operator_index(name)].sum())
 
         for _ in range(self.max_moves_per_period):
@@ -162,14 +165,32 @@ class LoadBalancingController(MigrationController):
                 break
             # Move the operator whose measured demand best matches half
             # the gap — the standard even-out move.  Never move more than
-            # the whole gap (that would just flip the imbalance).
+            # the whole gap (that would just flip the imbalance), and
+            # never a zero-demand operator (nothing to even out) — such
+            # candidates are skipped, not allowed to abandon the period.
             target = gap / 2.0 * capacities[busiest]
-            best = min(
-                candidates, key=lambda name: abs(load_of(name) - target)
-            )
-            transfer = load_of(best) / capacities[busiest]
-            if transfer > gap or transfer <= 0.0:
+            movable = [
+                (name, load_of(name) / capacities[busiest])
+                for name in candidates
+            ]
+            movable = [
+                (name, transfer)
+                for name, transfer in movable
+                if 0.0 < transfer <= gap
+            ]
+            if not movable:
+                _LOG.debug(
+                    "t=%.2fs gap %.3f over threshold but every candidate "
+                    "transfer on node %d is zero or exceeds the gap",
+                    now, gap, busiest,
+                )
                 break
+            best, transfer = min(
+                movable,
+                key=lambda item: abs(
+                    item[1] * capacities[busiest] - target
+                ),
+            )
             pause = self.cost_model.pause_seconds(
                 self.state_tuples.get(best, 0.0)
             )

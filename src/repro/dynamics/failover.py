@@ -1,0 +1,273 @@
+"""Failover: reassigning operators off crashed nodes.
+
+Where :class:`~repro.dynamics.controller.LoadBalancingController` chases
+load, a :class:`FailoverController` reacts to *faults*: the engine calls
+``on_node_failed`` the instant a ``node.crash`` fault fires, before any
+new work lands, and the controller returns migrations that move the dead
+node's operators to survivors.  Crashed state is lost, so each move pays
+only the base migration overhead (re-install from scratch) and stalls
+only the destination node.
+
+Two target policies:
+
+* ``"volume"`` — the ROD-aware policy.  A crash deletes the failed
+  node's hyperplane row from the feasible set; each displaced operator
+  goes to the surviving node that maximizes the *residual* feasible-set
+  volume ratio (QMC, deterministic), i.e. the reassignment that keeps
+  the degraded cluster resilient to the most workloads.
+* ``"least_loaded"`` — the classic baseline: each displaced operator
+  goes to the survivor with the smallest coefficient-mass load per unit
+  capacity.
+
+With ``failback=True`` the controller also moves displaced operators
+back to their original node on ``node.recover`` (paying a full
+state-dependent pause this time — the operator is live and has state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.feasible_set import FeasibleSet
+from ..core.load_model import LoadModel
+from ..obs.log import get_logger
+from .controller import Migration, MigrationController
+from .state import MigrationCostModel
+
+__all__ = ["FAILOVER_POLICIES", "FailoverController", "residual_volume_ratio"]
+
+FAILOVER_POLICIES = ("volume", "least_loaded")
+
+_LOG = get_logger(__name__)
+
+
+def residual_volume_ratio(
+    model: LoadModel,
+    capacities: Sequence[float],
+    assignment: Mapping[str, int],
+    failed_nodes: Sequence[int] = (),
+    samples: int = 512,
+    ignore_stranded: bool = False,
+) -> float:
+    """Feasible-set/ideal volume ratio of the surviving sub-cluster.
+
+    Dropping a node deletes its hyperplane row *and* its capacity from
+    the feasible set.  An operator still assigned to a failed node is
+    *stranded*: no input-rate point that routes work through it can be
+    served, so any stranded operator with nonzero coefficient mass
+    collapses the ratio to ``0.0`` — which is exactly why an
+    un-failed-over plan scores so poorly here.  ``ignore_stranded=True``
+    instead drops stranded operators from the constraint rows (the
+    controller's incremental target search rescues them one at a time
+    and must not see the not-yet-rescued ones as fatal).  The ideal set
+    (the denominator) keeps the full column totals: the ratio is
+    measured against what the intact cluster could have served.
+    """
+    failed = set(int(node) for node in failed_nodes)
+    capacities = np.asarray(capacities, dtype=float)
+    alive = [n for n in range(capacities.shape[0]) if n not in failed]
+    if not alive:
+        return 0.0
+    rows = np.zeros((len(alive), model.num_variables))
+    index_of = {node: i for i, node in enumerate(alive)}
+    for name, node in assignment.items():
+        if node in failed:
+            if not ignore_stranded and float(
+                model.coefficients[model.operator_index(name)].sum()
+            ) > 0.0:
+                return 0.0
+            continue
+        rows[index_of[node]] += model.coefficients[
+            model.operator_index(name)
+        ]
+    feasible = FeasibleSet(
+        node_coefficients=rows,
+        capacities=capacities[alive],
+        column_totals=model.column_totals(),
+    )
+    return float(feasible.volume_ratio(samples=samples))
+
+
+class FailoverController(MigrationController):
+    """Reassigns operators off failed nodes; no-op between faults."""
+
+    def __init__(
+        self,
+        period: float = 1.0,
+        policy: str = "volume",
+        samples: int = 512,
+        cost_model: Optional[MigrationCostModel] = None,
+        state_tuples: Optional[Mapping[str, float]] = None,
+        failback: bool = False,
+    ) -> None:
+        """``samples`` sizes the QMC residual-volume estimate per
+        candidate target (the ``"volume"`` policy tries every surviving
+        node for every displaced operator)."""
+        super().__init__(period)
+        if policy not in FAILOVER_POLICIES:
+            raise ValueError(
+                f"unknown failover policy {policy!r}; "
+                f"expected one of {FAILOVER_POLICIES}"
+            )
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        self.policy = policy
+        self.samples = samples
+        self.cost_model = cost_model or MigrationCostModel()
+        self.state_tuples: Dict[str, float] = dict(state_tuples or {})
+        self.failback = failback
+        #: Every migration this controller issued, in time order.
+        self.history: List[Migration] = []
+        #: Pre-fault home node per operator (captured on first callback).
+        self._home: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------- polling
+
+    def decide(
+        self,
+        now: float,
+        utilizations: np.ndarray,
+        assignment: Mapping[str, int],
+        model: LoadModel,
+        capacities: np.ndarray,
+        operator_loads: Optional[Mapping[str, float]] = None,
+    ) -> List[Migration]:
+        """Failover is event-driven; periodic polls never move anything."""
+        self._capture_home(assignment)
+        return []
+
+    # ------------------------------------------------------- fault hooks
+
+    def on_node_failed(
+        self,
+        now: float,
+        node: int,
+        assignment: Mapping[str, int],
+        model: LoadModel,
+        capacities: np.ndarray,
+        failed_nodes: Sequence[int],
+    ) -> List[Migration]:
+        """Migrations evacuating ``node``; called before new work lands.
+
+        ``assignment`` is the routing table at the instant of the crash
+        (the evacuated operators are still mapped to ``node``);
+        ``failed_nodes`` includes ``node`` itself.
+        """
+        self._capture_home(assignment)
+        failed = set(int(n) for n in failed_nodes) | {int(node)}
+        alive = [
+            n for n in range(len(capacities)) if n not in failed
+        ]
+        if not alive:
+            _LOG.debug(
+                "t=%.2fs node %d failed but no survivors remain", now, node
+            )
+            return []
+        displaced = sorted(
+            (name for name, host in assignment.items() if host == node),
+            key=lambda name: (
+                -float(model.coefficients[model.operator_index(name)].sum()),
+                name,
+            ),
+        )
+        working = dict(assignment)
+        moves: List[Migration] = []
+        for name in displaced:
+            if self.policy == "volume":
+                target = self._best_volume_target(
+                    name, working, model, capacities, failed, alive
+                )
+            else:
+                target = self._least_loaded_target(
+                    working, model, capacities, failed, alive
+                )
+            # Crashed state is lost: pay only the base overhead, and only
+            # the destination stalls (nothing to serialize on a dead node).
+            pause = self.cost_model.pause_seconds(0.0)
+            move = Migration(
+                operator=name, source=node, target=target,
+                pause_seconds=pause,
+            )
+            _LOG.debug(
+                "t=%.2fs failover %s: node %d -> %d (%s policy)",
+                now, name, node, target, self.policy,
+            )
+            moves.append(move)
+            working[name] = target
+        self.history.extend(moves)
+        return moves
+
+    def on_node_recovered(
+        self,
+        now: float,
+        node: int,
+        assignment: Mapping[str, int],
+        model: LoadModel,
+        capacities: np.ndarray,
+        failed_nodes: Sequence[int],
+    ) -> List[Migration]:
+        """Optional failback: return displaced operators to ``node``."""
+        if not self.failback or self._home is None:
+            return []
+        moves: List[Migration] = []
+        for name, host in assignment.items():
+            if self._home.get(name) == node and host != node:
+                pause = self.cost_model.pause_seconds(
+                    self.state_tuples.get(name, 0.0)
+                )
+                moves.append(
+                    Migration(
+                        operator=name, source=host, target=node,
+                        pause_seconds=pause,
+                    )
+                )
+        self.history.extend(moves)
+        return moves
+
+    # ------------------------------------------------------------ internals
+
+    def _capture_home(self, assignment: Mapping[str, int]) -> None:
+        if self._home is None:
+            self._home = dict(assignment)
+
+    def _best_volume_target(
+        self,
+        name: str,
+        working: Dict[str, int],
+        model: LoadModel,
+        capacities: np.ndarray,
+        failed: set,
+        alive: List[int],
+    ) -> int:
+        best_node = alive[0]
+        best_ratio = -1.0
+        for candidate in alive:
+            trial = dict(working)
+            trial[name] = candidate
+            ratio = residual_volume_ratio(
+                model, capacities, trial,
+                failed_nodes=tuple(failed), samples=self.samples,
+                ignore_stranded=True,
+            )
+            if ratio > best_ratio + 1e-12:
+                best_ratio = ratio
+                best_node = candidate
+        return best_node
+
+    @staticmethod
+    def _least_loaded_target(
+        working: Mapping[str, int],
+        model: LoadModel,
+        capacities: np.ndarray,
+        failed: set,
+        alive: List[int],
+    ) -> int:
+        load = {n: 0.0 for n in alive}
+        for op_name, host in working.items():
+            if host in load:
+                load[host] += float(
+                    model.coefficients[model.operator_index(op_name)].sum()
+                )
+        return min(alive, key=lambda n: (load[n] / float(capacities[n]), n))

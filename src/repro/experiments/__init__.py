@@ -13,6 +13,7 @@ lower_bound       §6.1 extension (reconstructed)
 nonlinear         §6.2 join workloads (reconstructed)
 clustering_experiment  §6.3 clustering (reconstructed)
 dynamic_migration  §1 static-resilient vs reactive migration (reconstructed)
+fault_tolerance   node-crash failover vs static placements (reconstructed)
 fidelity          simulator-vs-analytic cross-check
 ablations         design-choice ablations (DESIGN.md §6)
 ================  ==============================================
@@ -24,6 +25,7 @@ from . import (
     clustering_experiment,
     dimensions,
     dynamic_migration,
+    fault_tolerance,
     fidelity,
     fig2_traces,
     fig9_plane_distance,
@@ -49,6 +51,7 @@ __all__ = [
     "clustering_experiment",
     "dimensions",
     "dynamic_migration",
+    "fault_tolerance",
     "fidelity",
     "fig2_traces",
     "fig9_plane_distance",

@@ -1,0 +1,183 @@
+"""Fault tolerance: what a node crash costs each placement strategy.
+
+ROD's pitch is resilience to *load* variations, but the same feasible-
+set geometry says something about *node* loss: when a node crashes, its
+hyperplane row disappears and the surviving cluster's feasible set is
+what is left.  This experiment crashes the busiest node of each static
+placement mid-run and measures three things:
+
+* **throughput ratio** — sink tuples produced relative to the same
+  placement's fault-free run.  Without failover the crashed node's
+  operators strand their queues and the ratio collapses; with a
+  :class:`~repro.dynamics.FailoverController` the displaced operators
+  are reassigned the instant the crash fires.
+* **residual volume ratio** — the surviving sub-cluster's feasible-set
+  volume against the intact ideal, measured on the post-run assignment
+  (:func:`~repro.dynamics.residual_volume_ratio`).  The ``volume``
+  failover policy maximizes exactly this quantity.
+* **recovery latency** — simulated seconds from the crash to the first
+  batch a displaced operator serves on its new node, read from the
+  structured trace.  ``None`` when the work never resumes (no failover).
+
+One row per ``(algorithm, variant)``: algorithms are ROD, expected-rate
+LLF, and correlation balancing; variants are ``no_fault``, ``crash``
+(no controller), and ``crash_failover`` per failover policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.load_model import LoadModel
+from ..core.plans import Placement
+from ..core.rod import rod_place
+from ..dynamics import FailoverController, residual_volume_ratio
+from ..faults import FaultEvent, FaultSchedule
+from ..obs import MemorySink, Tracer
+from ..placement.correlation import CorrelationPlacer
+from ..placement.llf import LLFPlacer
+from ..simulator.engine import Simulator
+from ..workload.rates import rate_series, scale_point_to_utilization
+from .common import make_model
+
+__all__ = ["run"]
+
+
+def _busiest_node(plan: Placement) -> int:
+    """The node carrying the most coefficient mass — the worst crash."""
+    model = plan.model
+    load = [0.0] * plan.num_nodes
+    for j, node in enumerate(plan.assignment):
+        load[node] += float(model.coefficients[j].sum())
+    return max(range(plan.num_nodes), key=lambda n: (load[n], -n))
+
+
+def _final_assignment(
+    plan: Placement, migrations: Sequence[object]
+) -> Dict[str, int]:
+    assignment = {
+        name: int(node)
+        for name, node in zip(plan.model.operator_names, plan.assignment)
+    }
+    for move in migrations:
+        assignment[move.operator] = int(move.target)
+    return assignment
+
+
+def _recovery_latency(
+    events: Sequence[object], displaced: Sequence[str]
+) -> Optional[float]:
+    """Seconds from the crash to a displaced operator's next batch."""
+    crash_t: Optional[float] = None
+    targets = set(displaced)
+    for event in events:
+        if (
+            event.type == "fault.injected"
+            and event.fields.get("kind") == "node.crash"
+        ):
+            crash_t = float(event.t)
+        elif (
+            crash_t is not None
+            and event.type == "batch.serviced"
+            and event.fields.get("operator") in targets
+            and float(event.t) >= crash_t
+        ):
+            return float(event.t) - crash_t
+    return None
+
+
+def _simulate(
+    plan: Placement,
+    rates: Sequence[float],
+    duration: float,
+    step_seconds: float,
+    faults: Optional[FaultSchedule],
+    controller: Optional[FailoverController],
+):
+    sink = MemorySink()
+    result = Simulator(
+        plan,
+        step_seconds=step_seconds,
+        faults=faults,
+        controller=controller,
+        tracer=Tracer(sink),
+    ).run(rates=list(rates), duration=duration)
+    return result, sink.events
+
+
+def run(
+    num_inputs: int = 2,
+    operators_per_tree: int = 10,
+    num_nodes: int = 3,
+    duration: float = 30.0,
+    step_seconds: float = 0.1,
+    utilization: float = 0.6,
+    crash_fraction: float = 0.3,
+    samples: int = 512,
+    seed: int = 23,
+) -> List[Dict[str, object]]:
+    """One row per (placement algorithm, fault variant)."""
+    model = make_model(num_inputs, operators_per_tree, seed=seed)
+    capacities = [1.0] * num_nodes
+    rates = scale_point_to_utilization(
+        model, capacities, [1.0] * num_inputs, utilization
+    )
+    series = rate_series(model.num_variables, 128, seed=seed)
+    plans = (
+        ("rod", rod_place(model, capacities)),
+        ("llf", LLFPlacer(rates=rates).place(model, capacities)),
+        ("correlation", CorrelationPlacer(series).place(model, capacities)),
+    )
+
+    rows: List[Dict[str, object]] = []
+    for algorithm, plan in plans:
+        victim = _busiest_node(plan)
+        displaced = [
+            name
+            for name, node in zip(model.operator_names, plan.assignment)
+            if node == victim
+        ]
+        crash = FaultSchedule([
+            FaultEvent(time=crash_fraction * duration, kind="node.crash",
+                       node=victim)
+        ])
+        variants = (
+            ("no_fault", None, None),
+            ("crash", crash, None),
+            ("crash_failover_volume", crash,
+             FailoverController(policy="volume", samples=samples)),
+            ("crash_failover_least_loaded", crash,
+             FailoverController(policy="least_loaded")),
+        )
+        baseline_out: Optional[int] = None
+        for variant, faults, controller in variants:
+            result, events = _simulate(
+                plan, rates, duration, step_seconds, faults, controller
+            )
+            if variant == "no_fault":
+                baseline_out = result.tuples_out
+            assignment = _final_assignment(plan, result.migrations)
+            failed = () if faults is None else (victim,)
+            volume = residual_volume_ratio(
+                model, capacities, assignment,
+                failed_nodes=failed, samples=samples,
+            )
+            recovery = (
+                None if faults is None
+                else _recovery_latency(events, displaced)
+            )
+            rows.append({
+                "algorithm": algorithm,
+                "variant": variant,
+                "crashed_node": victim if faults is not None else None,
+                "tuples_out": result.tuples_out,
+                "throughput_ratio": (
+                    result.tuples_out / baseline_out
+                    if baseline_out else 0.0
+                ),
+                "stranded_tuples": result.stranded_tuples,
+                "residual_volume_ratio": volume,
+                "recovery_latency_s": recovery,
+                "failover_moves": result.migration_count,
+            })
+    return rows

@@ -69,6 +69,7 @@ from .trace import (
     TraceSink,
     Tracer,
     read_trace,
+    trace_digest,
 )
 
 __all__ = [
@@ -100,6 +101,7 @@ __all__ = [
     "load_run",
     "phase_report",
     "read_trace",
+    "trace_digest",
 ]
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "NodeBreakdown",
     "OperatorBreakdown",
     "MigrationRecord",
+    "FaultRecord",
     "TraceAnalysis",
     "analyze_trace",
 ]
@@ -85,6 +86,19 @@ class MigrationRecord:
     pause: float
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected (or reverted) fault event."""
+
+    t: float
+    kind: str
+    node: Optional[int] = None
+    operator: Optional[str] = None
+    factor: Optional[float] = None
+    duration: Optional[float] = None
+    reverted: bool = False
+
+
 @dataclass
 class TraceAnalysis:
     """Everything :func:`analyze_trace` derives from one trace."""
@@ -97,6 +111,7 @@ class TraceAnalysis:
     sink_latency: Dict[str, LatencyStats]
     tuples_out: int
     events_by_type: Dict[str, int]
+    faults: List[FaultRecord] = field(default_factory=list)
 
     @property
     def num_nodes(self) -> int:
@@ -154,6 +169,18 @@ class TraceAnalysis:
                 }
                 for m in self.migrations
             ],
+            "faults": [
+                {
+                    "t": f.t,
+                    "kind": f.kind,
+                    "node": f.node,
+                    "operator": f.operator,
+                    "factor": f.factor,
+                    "duration": f.duration,
+                    "reverted": f.reverted,
+                }
+                for f in self.faults
+            ],
             "latency": {
                 "mean": self.latency.mean(),
                 "max": self.latency.maximum(),
@@ -183,6 +210,7 @@ def analyze_trace(
     nodes = [NodeBreakdown() for _ in range(n)]
     operators: Dict[str, OperatorBreakdown] = {}
     migrations: List[MigrationRecord] = []
+    faults: List[FaultRecord] = []
     latency = LatencyStats()
     sink_latency: Dict[str, LatencyStats] = {}
     tuples_out = 0
@@ -242,6 +270,27 @@ def analyze_trace(
                 target=int(f.get("target", -1)),
                 pause=float(f.get("pause", 0.0)),
             ))
+        elif event.type in ("fault.injected", "fault.reverted"):
+            node_value = f.get("node")
+            factor_value = f.get("factor")
+            duration_value = f.get("duration")
+            faults.append(FaultRecord(
+                t=0.0 if event.t is None else float(event.t),
+                kind=str(f.get("kind", "?")),
+                node=None if node_value is None else int(node_value),
+                operator=(
+                    None if f.get("operator") is None
+                    else str(f["operator"])
+                ),
+                factor=(
+                    None if factor_value is None else float(factor_value)
+                ),
+                duration=(
+                    None if duration_value is None
+                    else float(duration_value)
+                ),
+                reverted=event.type == "fault.reverted",
+            ))
 
     return TraceAnalysis(
         meta=meta,
@@ -252,4 +301,5 @@ def analyze_trace(
         sink_latency=sink_latency,
         tuples_out=tuples_out,
         events_by_type=events_by_type,
+        faults=faults,
     )

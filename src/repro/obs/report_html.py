@@ -109,8 +109,9 @@ def _svg_heatmap(
     horizon: float = 0.0,
     cell_width_total: int = 640,
     row_height: int = 18,
+    faults: Sequence[object] = (),
 ) -> str:
-    """Time × node utilization heatmap with migration markers."""
+    """Time × node utilization heatmap with migration/fault markers."""
     steps, nodes = matrix.shape
     if steps == 0 or nodes == 0:
         return "<p class='meta'>no timeline data</p>"
@@ -142,6 +143,21 @@ def _svg_heatmap(
                 f'<line x1="{x:.2f}" y1="0" x2="{x:.2f}" '
                 f'y2="{nodes * row_height - 2}" stroke="#111" '
                 'stroke-width="1.5" stroke-dasharray="2,2"/>'
+            )
+        for fault in faults:
+            if getattr(fault, "reverted", False):
+                continue
+            x = label_pad + (
+                float(fault.t) / horizon
+            ) * cell_width_total
+            parts.append(
+                f'<line x1="{x:.2f}" y1="0" x2="{x:.2f}" '
+                f'y2="{nodes * row_height - 2}" stroke="#c0392b" '
+                'stroke-width="1.5"/>'
+            )
+            parts.append(
+                f'<text x="{x + 2:.2f}" y="10" font-size="9" '
+                f'fill="#c0392b">{_esc(fault.kind)}</text>'
             )
     parts.append(
         f'<text x="{label_pad}" y="{height - 4}" font-size="10" '
@@ -285,6 +301,31 @@ def _migrations_section(analysis: TraceAnalysis) -> str:
     )
 
 
+def _faults_section(analysis: TraceAnalysis) -> str:
+    injected = [f for f in analysis.faults if not f.reverted]
+    if not injected:
+        return ""
+    rows = "".join(
+        "<tr>"
+        f"<td class='num'>{_fmt(f.t)}</td>"
+        f"<td><code>{_esc(f.kind)}</code></td>"
+        f"<td class='num'>{'' if f.node is None else f.node}</td>"
+        f"<td>{_esc(f.operator or '')}</td>"
+        f"<td class='num'>{'' if f.factor is None else _fmt(f.factor)}"
+        "</td>"
+        f"<td class='num'>"
+        f"{'' if f.duration is None else _fmt(f.duration)}</td>"
+        "</tr>"
+        for f in injected
+    )
+    return (
+        f"<h2>Injected faults ({len(injected)})</h2>"
+        "<table><tr><th>t (s)</th><th>kind</th><th>node</th>"
+        "<th>operator</th><th>factor</th><th>duration (s)</th></tr>"
+        + rows + "</table>"
+    )
+
+
 def _events_section(analysis: TraceAnalysis) -> str:
     if not analysis.events_by_type:
         return ""
@@ -373,16 +414,18 @@ def render_html_report(run: Run) -> str:
         sections.append("<h2>Utilization heatmap</h2>")
         sections.append(_svg_heatmap(
             utilization, migrations=analysis.migrations, horizon=horizon,
+            faults=analysis.faults,
         ))
         sections.append(
             "<p class='legend'>rows are nodes, columns are "
             f"{_fmt(float(analysis.meta['step_seconds']))}s bins; blue "
             "depth is utilization, red marks &gt; 1.0, dashed lines are "
-            "applied migrations</p>"
+            "applied migrations, solid red lines are injected faults</p>"
         )
         sections.append(_nodes_section(analysis, utilization))
         sections.append(_operators_section(analysis))
         sections.append(_migrations_section(analysis))
+        sections.append(_faults_section(analysis))
         sections.append(_events_section(analysis))
     sections.append(_rows_section(run.result))
     sections.append(_phase_section(run.metrics))

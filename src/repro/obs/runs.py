@@ -212,6 +212,28 @@ def snapshot_from_result(result: object) -> Dict[str, object]:
             )
         },
     }
+    # Fault fields are conditional so fault-free snapshots stay byte-
+    # compatible with baselines committed before fault injection existed.
+    faults = list(getattr(result, "faults", ()) or ())
+    if faults:
+        snapshot["faults"] = [
+            {
+                "time": float(f.time),
+                "kind": str(f.kind),
+                "node": None if f.node is None else int(f.node),
+                "operator": f.operator,
+                "factor": (
+                    None if f.factor is None else float(f.factor)
+                ),
+                "duration": (
+                    None if f.duration is None else float(f.duration)
+                ),
+            }
+            for f in faults
+        ]
+        snapshot["stranded_tuples"] = int(
+            getattr(result, "stranded_tuples", 0)
+        )
     return snapshot
 
 

@@ -24,6 +24,7 @@ in ``docs/observability.md``.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import time
@@ -42,6 +43,7 @@ __all__ = [
     "NULL_TRACER",
     "read_trace",
     "parse_trace_line",
+    "trace_digest",
 ]
 
 #: Event types the built-in instrumentation emits.  ``Tracer.emit``
@@ -57,6 +59,8 @@ EVENT_TYPES = frozenset({
     "node.stall",           # migration pause served by a node
     "migration.decided",    # controller returned a move
     "migration.applied",    # engine applied a (non-stale) move
+    "fault.injected",       # a scheduled fault event fired
+    "fault.reverted",       # a windowed fault's effect expired
     "placement.step",       # one greedy assignment (ROD)
     "placement.iteration",  # one annealing search iteration sample
     "placement.milp",       # one MILP solve
@@ -224,6 +228,31 @@ def parse_trace_line(line: str) -> TraceEvent:
     if not isinstance(obj, dict):
         raise ValueError("trace line is not a JSON object")
     return TraceEvent.from_json_obj(obj)
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """Content digest of a trace, ignoring wall-clock timestamps.
+
+    Two runs of the same seeded simulation must hash identically even
+    though their ``wall`` fields differ — this is the determinism gate
+    the fault-injection CI job diffs.  The digest covers each event's
+    type, simulated time, and fields (keys sorted), in emission order.
+    """
+    hasher = hashlib.sha256()
+    for event in events:
+        record = {
+            "type": event.type,
+            "t": event.t,
+            "fields": dict(sorted(event.fields.items())),
+        }
+        hasher.update(
+            json.dumps(
+                record, separators=(",", ":"), sort_keys=True,
+                default=_jsonable,
+            ).encode("utf-8")
+        )
+        hasher.update(b"\n")
+    return hasher.hexdigest()
 
 
 def read_trace(source: Union[str, Iterable[str]]) -> List[TraceEvent]:

@@ -3,20 +3,28 @@
 The experiments repeat one embarrassingly-parallel shape over and over:
 map a pure task function across a list of seeded work items and collect
 the results *in order*.  This module is the one implementation of that
-shape, with the two properties every caller needs:
+shape, with the properties every caller needs:
 
 * **Determinism** — results are identical for any ``jobs`` value.
   ``jobs=1`` runs the tasks inline (no pool, no pickling) and is the
   reference; ``jobs>1`` fans the same task tuples out to a
-  :class:`~concurrent.futures.ProcessPoolExecutor` whose ``map``
-  preserves input order.  Task functions must be pure functions of their
-  arguments (derive any randomness from seeds in the task tuple —
+  :class:`~concurrent.futures.ProcessPoolExecutor`, and results are
+  reassembled in input order.  Task functions must be pure functions of
+  their arguments (derive any randomness from seeds in the task tuple —
   :func:`derive_seed` builds per-task seeds that are stable across runs
   and across ``jobs`` values).
-* **Observability** — every call counts its tasks; :func:`publish_metrics`
-  exports ``repro_parallel_tasks`` (labelled by execution mode) into a
-  metrics registry, and callers may pass their own ``registry`` to
-  :func:`parallel_map` to record per-run counts.
+* **Resilience** — tasks are submitted individually, so results that
+  completed before a worker crash survive it.  A
+  :class:`~concurrent.futures.process.BrokenProcessPool` triggers up to
+  ``pool_retries`` fresh pools for the unfinished tasks (optionally
+  re-parameterized through ``reseed`` with a :func:`derive_seed`-derived
+  seed); if the pool keeps breaking, the survivors run inline as a last
+  resort.  A per-task ``timeout`` bounds how long one result may take.
+* **Observability** — every call counts its tasks, failures, timeouts,
+  and pool retries; the counters are recorded *even when a task raises*.
+  :func:`publish_metrics` exports them into a metrics registry, and
+  callers may pass their own ``registry`` to :func:`parallel_map` to
+  record per-run counts.
 
 Workers are separate processes: task functions and arguments must be
 picklable (module-level functions, plain data / NumPy arrays).
@@ -26,8 +34,18 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from .obs.metrics import MetricsRegistry
 
@@ -44,7 +62,15 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 _LOCK = threading.Lock()
-_STATS = {"inline": 0, "process": 0, "pools": 0}
+_STATS = {
+    "inline": 0,
+    "process": 0,
+    "pools": 0,
+    "failures_inline": 0,
+    "failures_process": 0,
+    "pool_retries": 0,
+    "timeouts": 0,
+}
 
 #: Mixing constant for seed derivation (splitmix64's golden-ratio step).
 _SEED_MIX = 0x9E3779B97F4A7C15
@@ -86,6 +112,9 @@ def parallel_map(
     jobs: int = 1,
     chunksize: int = 1,
     registry: Optional[MetricsRegistry] = None,
+    timeout: Optional[float] = None,
+    pool_retries: int = 1,
+    reseed: Optional[Callable[[T, int], T]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``tasks``, results in input order.
 
@@ -93,33 +122,206 @@ def parallel_map(
     most ``min(jobs, len(tasks))`` workers.  The output list is identical
     for every ``jobs`` value as long as ``fn`` is a pure function of its
     task.
+
+    ``timeout`` bounds, in seconds, how long any single result may take
+    past the point it is awaited (process mode only); exceeding it kills
+    the pool and raises :class:`TimeoutError`.  When a worker process
+    dies (:class:`BrokenProcessPool`), already-completed results are
+    kept and the unfinished tasks are retried in up to ``pool_retries``
+    fresh pools; ``reseed(task, seed)``, when given, builds the retry
+    variant of each unfinished task from a :func:`derive_seed`-derived
+    seed (stable in attempt number and task index).  If every pool
+    breaks, the survivors run inline so one bad worker cannot lose the
+    whole batch.  ``chunksize`` is retained for API compatibility; tasks
+    are submitted individually so partial results can be salvaged.
+
+    Task, failure, timeout, and retry counters are recorded in the
+    module statistics (and ``registry`` when given) even when this call
+    raises.
     """
     jobs = resolve_jobs(jobs)
     if chunksize < 1:
         raise ValueError("chunksize must be >= 1")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be > 0")
+    if pool_retries < 0:
+        raise ValueError("pool_retries must be >= 0")
     tasks = list(tasks)
+    counts = dict.fromkeys(_STATS, 0)
     mode = "inline" if jobs == 1 or len(tasks) <= 1 else "process"
-    if mode == "inline":
-        results = [fn(task) for task in tasks]
-    else:
-        workers = min(jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(fn, tasks, chunksize=chunksize))
-    with _LOCK:
-        _STATS[mode] += len(tasks)
-        if mode == "process":
-            _STATS["pools"] += 1
-    if registry is not None:
-        registry.counter(
-            "repro_parallel_tasks",
-            "tasks executed through repro.parallel",
-            labelnames=("mode",),
-        ).labels(mode=mode).inc(len(tasks))
+    try:
+        if mode == "inline":
+            results = _run_inline(fn, list(enumerate(tasks)), counts)
+        else:
+            results = _run_pool(
+                fn, tasks, min(jobs, len(tasks)), timeout,
+                pool_retries, reseed, counts,
+            )
+    finally:
+        _record(counts, registry)
+    return [results[index] for index in range(len(tasks))]
+
+
+def _run_inline(
+    fn: Callable[[T], R],
+    indexed_tasks: Sequence[Tuple[int, T]],
+    counts: Dict[str, int],
+) -> Dict[int, R]:
+    results: Dict[int, R] = {}
+    for index, task in indexed_tasks:
+        counts["inline"] += 1
+        try:
+            results[index] = fn(task)
+        except BaseException:
+            counts["failures_inline"] += 1
+            raise
     return results
 
 
+def _run_pool(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    workers: int,
+    timeout: Optional[float],
+    pool_retries: int,
+    reseed: Optional[Callable[[T, int], T]],
+    counts: Dict[str, int],
+) -> Dict[int, R]:
+    results: Dict[int, R] = {}
+    pending: List[Tuple[int, T]] = list(enumerate(tasks))
+    for attempt in range(pool_retries + 1):
+        got, pending = _run_one_pool(fn, pending, workers, timeout, counts)
+        results.update(got)
+        if not pending:
+            return results
+        if attempt < pool_retries:
+            counts["pool_retries"] += 1
+            if reseed is not None:
+                pending = [
+                    (index, reseed(task, derive_seed(attempt + 1, index)))
+                    for index, task in pending
+                ]
+    # Every pool broke: run the survivors inline as the last resort.
+    results.update(_run_inline(fn, pending, counts))
+    return results
+
+
+def _run_one_pool(
+    fn: Callable[[T], R],
+    pending: Sequence[Tuple[int, T]],
+    workers: int,
+    timeout: Optional[float],
+    counts: Dict[str, int],
+) -> Tuple[Dict[int, R], List[Tuple[int, T]]]:
+    """One pool attempt: ``(results by index, tasks left unfinished)``."""
+    pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+        max_workers=min(workers, len(pending))
+    )
+    counts["pools"] += 1
+    futures = [
+        (index, task, pool.submit(fn, task)) for index, task in pending
+    ]
+    results: Dict[int, R] = {}
+    try:
+        for index, _task, future in futures:
+            try:
+                results[index] = future.result(timeout=timeout)
+                counts["process"] += 1
+            except BrokenProcessPool:
+                return results, _harvest(futures, results, counts)
+            except _FuturesTimeout:
+                counts["timeouts"] += 1
+                counts["failures_process"] += 1
+                _abort_pool(pool, futures)
+                pool = None
+                raise TimeoutError(
+                    f"parallel task {index} did not finish "
+                    f"within {timeout}s"
+                ) from None
+            except BaseException:
+                counts["process"] += 1
+                counts["failures_process"] += 1
+                _abort_pool(pool, futures)
+                pool = None
+                raise
+        return results, []
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def _harvest(
+    futures: Sequence[Tuple[int, T, "Future[R]"]],
+    results: Dict[int, R],
+    counts: Dict[str, int],
+) -> List[Tuple[int, T]]:
+    """Salvage futures that finished cleanly before the pool broke."""
+    unfinished: List[Tuple[int, T]] = []
+    for index, task, future in futures:
+        if index in results:
+            continue
+        if (
+            future.done()
+            and not future.cancelled()
+            and future.exception() is None
+        ):
+            results[index] = future.result()
+            counts["process"] += 1
+        else:
+            unfinished.append((index, task))
+    return unfinished
+
+
+def _abort_pool(
+    pool: ProcessPoolExecutor,
+    futures: Sequence[Tuple[int, T, "Future[R]"]],
+) -> None:
+    """Tear the pool down without waiting for in-flight work.
+
+    ``shutdown(wait=True)`` would block on a stuck or long task — the
+    exact situation a timeout exists to escape — so queued futures are
+    cancelled and live workers killed before the non-blocking shutdown.
+    """
+    for _index, _task, future in futures:
+        future.cancel()
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - teardown is best-effort
+            pass
+    pool.shutdown(wait=False)
+
+
+def _record(
+    counts: Dict[str, int], registry: Optional[MetricsRegistry]
+) -> None:
+    with _LOCK:
+        for key, value in counts.items():
+            _STATS[key] += value
+    if registry is None:
+        return
+    tasks_family = registry.counter(
+        "repro_parallel_tasks",
+        "tasks executed through repro.parallel",
+        labelnames=("mode",),
+    )
+    failures_family = registry.counter(
+        "repro_parallel_failures",
+        "tasks that raised or timed out in repro.parallel",
+        labelnames=("mode",),
+    )
+    for mode in ("inline", "process"):
+        if counts[mode]:
+            tasks_family.labels(mode=mode).inc(counts[mode])
+        if counts[f"failures_{mode}"]:
+            failures_family.labels(mode=mode).inc(
+                counts[f"failures_{mode}"]
+            )
+
+
 def parallel_stats() -> dict:
-    """Process-wide task counters (tasks by mode, pools spun up)."""
+    """Process-wide counters (tasks by mode, pools, failures, retries)."""
     with _LOCK:
         return dict(_STATS)
 
@@ -127,14 +329,24 @@ def parallel_stats() -> dict:
 def publish_metrics(registry: MetricsRegistry) -> None:
     """Export the process-wide counters into ``registry`` (snapshot)."""
     stats = parallel_stats()
-    family = registry.counter(
+    tasks_family = registry.counter(
         "repro_parallel_tasks",
         "tasks executed through repro.parallel",
         labelnames=("mode",),
     )
+    failures_family = registry.counter(
+        "repro_parallel_failures",
+        "tasks that raised or timed out in repro.parallel",
+        labelnames=("mode",),
+    )
     for mode in ("inline", "process"):
-        family.labels(mode=mode).inc(stats[mode])
+        tasks_family.labels(mode=mode).inc(stats[mode])
+        failures_family.labels(mode=mode).inc(stats[f"failures_{mode}"])
     registry.counter(
         "repro_parallel_pools",
         "process pools spun up by repro.parallel",
     ).inc(stats["pools"])
+    registry.counter(
+        "repro_parallel_pool_retries",
+        "fresh pools spun up after a BrokenProcessPool",
+    ).inc(stats["pool_retries"])

@@ -20,6 +20,18 @@ returns — stalling both endpoint nodes for the state-dependent pause (as
 the paper's prototype measurements describe, Section 1) and moving the
 operator's queued batches to the destination.
 
+An optional :class:`~repro.faults.FaultSchedule` injects timed system
+faults — node crashes/recoveries, capacity brownouts, per-operator
+slowdowns, input-rate spikes — at event-queue priority ahead of control
+polls at the same timestamp.  A crashed node finishes its in-flight
+batch (fail-stop at batch granularity) and then serves nothing until it
+recovers; its queued work strands unless the attached controller
+implements the failover hooks (``on_node_failed`` /
+``on_node_recovered``, see :class:`repro.dynamics.FailoverController`),
+in which case displaced operators and their queued batches move to
+surviving nodes immediately.  Fault application is deterministic: the
+same schedule and seed always produce bit-identical traces and results.
+
 The engine is instrumented for :mod:`repro.obs`: pass a ``tracer`` to
 stream typed events (``sim.start``/``sim.end``, batch enqueue/service,
 node busy/idle transitions, migration decisions) and a ``metrics``
@@ -39,6 +51,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.plans import Placement
+from ..faults.schedule import FaultEvent, FaultSchedule
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..workload.arrivals import ArrivalProcess
@@ -50,9 +63,10 @@ __all__ = ["Simulator"]
 
 TransferCosts = Union[float, Mapping[str, float]]
 
-# Event priorities at equal timestamps: controls first (migrations take
-# effect before new work lands), then completions, then arrivals.
-_CONTROL, _COMPLETION, _ARRIVAL = 0, 1, 2
+# Event priorities at equal timestamps: faults first (the system changes
+# before anything reacts to it), then controls (migrations take effect
+# before new work lands), then completions, then arrivals.
+_FAULT, _CONTROL, _COMPLETION, _ARRIVAL = 0, 1, 2, 3
 
 
 def _transfer_cost(costs: TransferCosts, stream: str) -> float:
@@ -88,6 +102,13 @@ class _Completion:
     work: float = 0.0
 
 
+@dataclass(frozen=True)
+class _FaultRevert:
+    """A windowed fault (degrade/slowdown) expiring."""
+
+    event: FaultEvent
+
+
 class Simulator:
     """Simulate a placed query graph under a rate workload."""
 
@@ -102,12 +123,16 @@ class Simulator:
         scheduling: str = "fifo",
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         """``controller``, if given, is a ``MigrationController`` polled
         every ``controller.period`` seconds to move operators at run
         time; ``scheduling`` picks the per-node service discipline.
         ``tracer`` streams structured run events (disabled by default);
-        ``metrics`` collects run counters/gauges after the event loop."""
+        ``metrics`` collects run counters/gauges after the event loop.
+        ``faults`` is a :class:`~repro.faults.FaultSchedule` of timed
+        system faults to inject (validated eagerly against the cluster
+        and graph shape)."""
         if step_seconds <= 0:
             raise ValueError("step_seconds must be > 0")
         self.placement = placement
@@ -130,6 +155,11 @@ class Simulator:
         self.scheduling = scheduling
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.faults = faults
+        if faults is not None:
+            faults.validate(
+                placement.num_nodes, self.graph.operator_names
+            )
         SchedulerQueue(scheduling)  # validate the policy eagerly
         # (consumer operator, port) pairs per stream, precomputed.
         self._routes: Dict[str, List[Tuple[str, int]]] = {}
@@ -158,10 +188,17 @@ class Simulator:
         backlogged tuples is fully observed.
         """
         series = self._resolve_series(rate_series, rates, duration)
+        if self.faults is not None:
+            series = self.faults.apply_rate_events(
+                series, self.step_seconds
+            )
         steps = series.shape[0]
         horizon = steps * self.step_seconds
         n = self.placement.num_nodes
-        capacities = self.placement.capacities
+        # ``capacities`` is the live vector (brownout faults rewrite it
+        # mid-run); ``nominal`` reports end-of-run utilization.
+        nominal = self.placement.capacities
+        capacities = nominal.copy()
 
         # Hoisted observability state: `tracing` is the single hot-path
         # guard — when False, no trace call runs and no event object is
@@ -199,6 +236,12 @@ class Simulator:
         tuples_out = 0
         migrations: List[object] = []
 
+        # Fault state: crashed nodes serve nothing; ``slow`` multiplies
+        # per-batch operator cost during slowdown windows.
+        failed = [False] * n
+        slow: Dict[str, float] = {}
+        applied_faults: List[FaultEvent] = []
+
         # Mutable routing table: starts at the static placement; a
         # controller may rewrite it mid-run.
         assignment: Dict[str, int] = {
@@ -229,6 +272,9 @@ class Simulator:
             work, out_count = runtime.process(
                 batch.arrival, batch.port, batch.count
             )
+            slow_factor = slow.get(batch.operator)
+            if slow_factor is not None:
+                work *= slow_factor
             stats = operator_stats[batch.operator]
             stats.tuples_in += batch.count
             stats.tuples_out += out_count
@@ -273,7 +319,7 @@ class Simulator:
                     port=batch.port,
                     count=batch.count,
                 )
-            if not busy[node]:
+            if not busy[node] and not failed[node]:
                 if tracing:
                     tracer.emit("node.busy", t=batch.arrival, node=node)
                 start_service(node, batch.arrival)
@@ -289,6 +335,59 @@ class Simulator:
             while t < horizon + period:
                 push_event(t, _CONTROL, None)
                 t += period
+
+        # Fault events, plus revert markers for windowed faults.
+        if self.faults is not None:
+            for fault in self.faults:
+                push_event(fault.time, _FAULT, fault)
+                if fault.duration is not None and fault.kind in (
+                    "node.degrade", "operator.slowdown"
+                ):
+                    push_event(
+                        fault.time + fault.duration,
+                        _FAULT,
+                        _FaultRevert(fault),
+                    )
+
+        def apply_move(move, now: float, failover: bool) -> bool:
+            """Apply one controller/failover migration; False if stale.
+
+            Regular migrations stall both endpoints; failover moves
+            stall only the destination (the source is dead — there is
+            no state to serialize and nothing to schedule on it).
+            """
+            if assignment.get(move.operator) != move.source:
+                return False  # stale decision; operator already moved
+            if not failover and (
+                failed[move.source] or failed[move.target]
+            ):
+                return False  # blind reactive move involving a dead node
+            assignment[move.operator] = move.target
+            # Queued work follows the operator.
+            for batch in queues[move.source].take_operator(move.operator):
+                queues[move.target].push(batch)
+            endpoints = (
+                (move.target,) if failover
+                else (move.source, move.target)
+            )
+            for endpoint in endpoints:
+                queues[endpoint].push_stall(move.pause_seconds)
+                if not busy[endpoint] and not failed[endpoint]:
+                    if tracing:
+                        tracer.emit("node.busy", t=now, node=endpoint)
+                    start_service(endpoint, now)
+            migrations.append(move)
+            if tracing:
+                tracer.emit(
+                    "migration.applied",
+                    t=now,
+                    operator=move.operator,
+                    source=move.source,
+                    target=move.target,
+                    pause=move.pause_seconds,
+                    reason="failover" if failover else "balance",
+                )
+            return True
 
         # Source arrivals.
         for k, input_name in enumerate(self.graph.input_names):
@@ -309,9 +408,83 @@ class Simulator:
                                operator=consumer, port=port, count=count),
                     )
 
+        def apply_fault(fault: FaultEvent, now: float) -> None:
+            applied_faults.append(fault)
+            if tracing:
+                tracer.emit(
+                    "fault.injected",
+                    t=now,
+                    kind=fault.kind,
+                    **{
+                        key: value
+                        for key, value in (
+                            ("node", fault.node),
+                            ("operator", fault.operator),
+                            ("factor", fault.factor),
+                            ("duration", fault.duration),
+                        )
+                        if value is not None
+                    },
+                )
+            if fault.kind == "node.crash":
+                failed[fault.node] = True
+                hook = getattr(self.controller, "on_node_failed", None)
+                if hook is not None:
+                    down = [i for i, f in enumerate(failed) if f]
+                    for move in hook(
+                        now, fault.node, assignment,
+                        self.placement.model, capacities, down,
+                    ):
+                        apply_move(move, now, failover=True)
+            elif fault.kind == "node.recover":
+                failed[fault.node] = False
+                hook = getattr(self.controller, "on_node_recovered", None)
+                if hook is not None:
+                    down = [i for i, f in enumerate(failed) if f]
+                    for move in hook(
+                        now, fault.node, assignment,
+                        self.placement.model, capacities, down,
+                    ):
+                        apply_move(move, now, failover=False)
+                # Resume whatever queued up while the node was down.
+                if not busy[fault.node] and not queues[fault.node].is_empty:
+                    if tracing:
+                        tracer.emit("node.busy", t=now, node=fault.node)
+                    start_service(fault.node, now)
+            elif fault.kind == "node.degrade":
+                capacities[fault.node] = nominal[fault.node] * fault.factor
+            elif fault.kind == "operator.slowdown":
+                slow[fault.operator] = fault.factor
+            # rate.spike was folded into the series before arrivals were
+            # generated; its fault.injected event above is informational.
+
+        def revert_fault(fault: FaultEvent, now: float) -> None:
+            if tracing:
+                tracer.emit(
+                    "fault.reverted",
+                    t=now,
+                    kind=fault.kind,
+                    **(
+                        {"node": fault.node}
+                        if fault.node is not None
+                        else {"operator": fault.operator}
+                    ),
+                )
+            if fault.kind == "node.degrade":
+                capacities[fault.node] = nominal[fault.node]
+            elif fault.kind == "operator.slowdown":
+                slow.pop(fault.operator, None)
+
         # Event loop.
         while events:
             time, priority, _, payload = heapq.heappop(events)
+
+            if priority == _FAULT:
+                if isinstance(payload, _FaultRevert):
+                    revert_fault(payload.event, time)
+                else:
+                    apply_fault(payload, time)
+                continue
 
             if priority == _CONTROL:
                 period = float(self.controller.period)
@@ -336,32 +509,7 @@ class Simulator:
                             target=move.target,
                             pause=move.pause_seconds,
                         )
-                    if assignment.get(move.operator) != move.source:
-                        continue  # stale decision; operator already moved
-                    assignment[move.operator] = move.target
-                    # Queued work follows the operator.
-                    for batch in queues[move.source].take_operator(
-                        move.operator
-                    ):
-                        queues[move.target].push(batch)
-                    for endpoint in (move.source, move.target):
-                        queues[endpoint].push_stall(move.pause_seconds)
-                        if not busy[endpoint]:
-                            if tracing:
-                                tracer.emit(
-                                    "node.busy", t=time, node=endpoint
-                                )
-                            start_service(endpoint, time)
-                    migrations.append(move)
-                    if tracing:
-                        tracer.emit(
-                            "migration.applied",
-                            t=time,
-                            operator=move.operator,
-                            source=move.source,
-                            target=move.target,
-                            pause=move.pause_seconds,
-                        )
+                    apply_move(move, time, failover=False)
                 continue
 
             if priority == _ARRIVAL:
@@ -424,7 +572,9 @@ class Simulator:
                     sink_latency.setdefault(
                         sink_stream, LatencyStats()
                     ).record(sample, completion.out_count)
-            if queues[node].is_empty:
+            if queues[node].is_empty or failed[node]:
+                # A crashed node goes quiet after its in-flight batch
+                # even if work is still queued (it resumes on recovery).
                 busy[node] = False
                 last_free[node] = time
                 if tracing:
@@ -432,9 +582,21 @@ class Simulator:
             else:
                 start_service(node, time)
 
-        utilization = node_work / (capacities * horizon)
+        utilization = node_work / (nominal * horizon)
         backlog = np.maximum(last_free - horizon, 0.0)
+        # Tuples still queued when the event loop drained: work stranded
+        # on nodes that were down (or degraded past the horizon) with no
+        # failover to rescue it.
+        stranded = sum(queues[node].queued_tuples() for node in range(n))
         if tracing:
+            extra_end = (
+                {}
+                if self.faults is None
+                else {
+                    "faults": len(applied_faults),
+                    "stranded_tuples": stranded,
+                }
+            )
             tracer.emit(
                 "sim.end",
                 t=horizon,
@@ -443,11 +605,12 @@ class Simulator:
                 tuples_out=tuples_out,
                 max_utilization=float(utilization.max()),
                 migrations=len(migrations),
+                **extra_end,
             )
         if self.metrics is not None:
             self._record_metrics(
                 self.metrics, utilization, latency, tuples_in, tuples_out,
-                len(migrations),
+                len(migrations), applied_faults,
             )
         return SimulationResult(
             duration=horizon,
@@ -461,6 +624,8 @@ class Simulator:
             tuples_out=tuples_out,
             migrations=migrations,
             work_timeline=timeline,
+            faults=applied_faults,
+            stranded_tuples=stranded,
         )
 
     # -------------------------------------------------------------- helpers
@@ -473,6 +638,7 @@ class Simulator:
         tuples_in: int,
         tuples_out: int,
         migrations: int,
+        faults: Sequence[FaultEvent] = (),
     ) -> None:
         """Fold one run's outcomes into the metrics registry.
 
@@ -489,6 +655,14 @@ class Simulator:
         registry.counter(
             "rod_sim_migrations_total", "operator migrations applied"
         ).inc(migrations)
+        if faults:
+            fault_counter = registry.counter(
+                "rod_sim_faults_total",
+                "fault events injected into simulation runs",
+                ("kind",),
+            )
+            for fault in faults:
+                fault_counter.labels(kind=fault.kind).inc()
         registry.counter(
             "rod_sim_runs_total", "simulation runs completed"
         ).inc()

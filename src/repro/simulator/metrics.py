@@ -138,6 +138,12 @@ class SimulationResult:
     tuples_out: int = 0
     #: Operator moves applied by a migration controller, in time order.
     migrations: List[object] = field(default_factory=list)
+    #: Fault events applied by a :class:`repro.faults.FaultSchedule`,
+    #: in time order (empty for fault-free runs).
+    faults: List[object] = field(default_factory=list)
+    #: Tuples still queued when the run drained — work stranded on
+    #: crashed nodes that no failover controller rescued.
+    stranded_tuples: int = 0
     #: CPU-seconds served per (time bin, node); bins are ``step_seconds``
     #: wide and cover the arrival horizon (later work folds into the last
     #: bin).  Empty array when the engine was asked not to record it.
@@ -166,6 +172,10 @@ class SimulationResult:
         )
 
     @property
+    def fault_count(self) -> int:
+        return len(self.faults)
+
+    @property
     def max_utilization(self) -> float:
         return float(self.node_utilization.max())
 
@@ -182,7 +192,7 @@ class SimulationResult:
 
     def summary(self) -> str:
         quantiles = self.latency.percentiles()
-        return (
+        text = (
             f"duration={self.duration:g}s in={self.tuples_in} "
             f"out={self.tuples_out} max_util={self.max_utilization:.3f} "
             f"mean_latency={self.latency.mean() * 1e3:.2f}ms "
@@ -190,3 +200,9 @@ class SimulationResult:
             f"p95={quantiles['p95'] * 1e3:.2f}ms "
             f"p99={quantiles['p99'] * 1e3:.2f}ms"
         )
+        if self.faults:
+            text += (
+                f" faults={self.fault_count} "
+                f"stranded={self.stranded_tuples}"
+            )
+        return text

@@ -96,6 +96,63 @@ class TestSimulate:
         ]) == 1
 
 
+class TestSimulateFaults:
+    def test_fault_schedule_file(self, tmp_path, graph_file, plan_file,
+                                 capsys):
+        faults = str(tmp_path / "faults.json")
+        with open(faults, "w") as handle:
+            json.dump([
+                {"time": 1.0, "kind": "node.crash", "node": 1},
+                {"time": 2.0, "kind": "node.recover", "node": 1},
+            ], handle)
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "3", "--faults", faults,
+        ]) == 0
+        assert "faults=2" in capsys.readouterr().out
+
+    def test_chaos_seed_with_failover(self, graph_file, plan_file,
+                                      capsys):
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "4",
+            "--chaos-seed", "3", "--failover", "volume",
+        ]) == 0
+        assert "faults=" in capsys.readouterr().out
+
+    def test_faults_and_chaos_are_exclusive(self, tmp_path, graph_file,
+                                            plan_file):
+        faults = str(tmp_path / "faults.json")
+        with open(faults, "w") as handle:
+            json.dump([], handle)
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([
+                "simulate", "--graph", graph_file, "--plan", plan_file,
+                "--rates", "20,20", "--duration", "3",
+                "--faults", faults, "--chaos-seed", "1",
+            ])
+
+    def test_chaos_runs_record_identically(self, tmp_path, graph_file,
+                                           plan_file):
+        """Two recorded runs of the same chaos seed produce identical
+        result.json snapshots — the flow the CI determinism job diffs."""
+        root = str(tmp_path / "runs")
+        argv = [
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "4",
+            "--chaos-seed", "7", "--failover", "volume",
+            "--record", root,
+        ]
+        assert main(argv + ["--run-id", "first"]) == 0
+        assert main(argv + ["--run-id", "second"]) == 0
+        with open(f"{root}/first/result.json") as handle:
+            first = json.load(handle)
+        with open(f"{root}/second/result.json") as handle:
+            second = json.load(handle)
+        assert first == second
+        assert first.get("faults")
+
+
 class TestCheck:
     def test_clean_artifacts_exit_zero(self, graph_file, plan_file, capsys):
         assert main([
@@ -167,9 +224,9 @@ class TestExperiment:
         assert set(EXPERIMENTS) == {
             "fig2", "fig9", "fig14", "fig15", "optimal-gap", "latency",
             "lower-bound", "nonlinear", "clustering", "fidelity", "dynamic",
-            "heterogeneous", "partitioning", "balance-bound",
-            "qmc-convergence", "scheduling", "protocol", "linearization",
-            "search-gap",
+            "fault-tolerance", "heterogeneous", "partitioning",
+            "balance-bound", "qmc-convergence", "scheduling", "protocol",
+            "linearization", "search-gap",
         }
 
     def test_runs_fig2(self, capsys):

@@ -129,6 +129,90 @@ class TestControllerDecisions:
         )
         assert moves == []
 
+    def test_second_best_migrates_when_best_fit_is_immovable(self):
+        """Regression: a zero-demand tie must not abandon the period.
+
+        ``a_zero`` (measured load 0) ties ``b_heavy`` (load 0.8) on
+        distance to the gap/2 target; the old code picked the tie winner
+        first, saw an invalid transfer, and ``break``-ed without moving
+        anything.  Candidates must be filtered for validity *before*
+        choosing, so the movable second-best operator migrates.
+        """
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Delay("a_zero", cost=0.0, selectivity=1.0), [i])
+        g.add_operator(Delay("b_heavy", cost=0.8, selectivity=1.0), [i])
+        model = build_load_model(g)
+        controller = LoadBalancingController(period=1.0)
+        moves = controller.decide(
+            1.0,
+            np.array([0.8, 0.0]),
+            {"a_zero": 0, "b_heavy": 0},
+            model,
+            np.ones(2),
+            operator_loads={"a_zero": 0.0, "b_heavy": 0.8},
+        )
+        assert len(moves) == 1
+        assert moves[0].operator == "b_heavy"
+        assert moves[0].source == 0 and moves[0].target == 1
+
+    def test_load_fallback_is_per_operator(self):
+        """Regression: an operator missing from the measured statistics
+        must fall through to its model estimate, not report 0.0 just
+        because *some other* operator has measurements."""
+        model = self.make_model(loads=(0.05, 0.4))
+        controller = LoadBalancingController(period=1.0)
+        # Only d0 is measured; d1's demand (0.4 by coefficient mass) is
+        # the perfect gap/2 match and must win.  With the old
+        # all-or-nothing fallback d1 looked idle (0.0) and d0 moved.
+        moves = controller.decide(
+            1.0,
+            np.array([0.8, 0.0]),
+            {"d0": 0, "d1": 0},
+            model,
+            np.ones(2),
+            operator_loads={"d0": 0.05},
+        )
+        assert len(moves) == 1
+        assert moves[0].operator == "d1"
+
+    def test_smoothing_resets_on_node_count_change(self):
+        """EWMA state from a 2-node cluster must not leak into a 3-node
+        one: on shape change the smoother restarts from the fresh raw."""
+        model = self.make_model(loads=(1.0, 1.0))
+        controller = LoadBalancingController(period=1.0)
+        for t in (1.0, 2.0, 3.0):
+            controller.decide(
+                t, np.array([1.0, 0.0]), {"d0": 0, "d1": 1},
+                model, np.ones(2),
+                operator_loads={"d0": 1.0, "d1": 0.0},
+            )
+        raw = np.array([0.5, 0.5, 0.5])
+        moves = controller.decide(
+            4.0, raw, {"d0": 0, "d1": 1}, model, np.ones(3),
+            operator_loads={"d0": 0.5, "d1": 0.5},
+        )
+        assert moves == []
+        assert np.allclose(controller._smoothed, raw)
+
+    def test_max_moves_per_period_exhaustion(self):
+        """The per-period cap bounds the migration storm, not the gap."""
+        model = self.make_model(loads=(0.2, 0.2, 0.2, 0.2))
+        assignment = {"d0": 0, "d1": 0, "d2": 0, "d3": 0}
+        loads = {"d0": 0.2, "d1": 0.2, "d2": 0.2, "d3": 0.2}
+        capped = LoadBalancingController(period=1.0, max_moves_per_period=2)
+        moves = capped.decide(
+            1.0, np.array([0.8, 0.0, 0.0]), dict(assignment),
+            model, np.ones(3), operator_loads=loads,
+        )
+        assert len(moves) == 2
+        roomy = LoadBalancingController(period=1.0, max_moves_per_period=4)
+        more = roomy.decide(
+            1.0, np.array([0.8, 0.0, 0.0]), dict(assignment),
+            model, np.ones(3), operator_loads=loads,
+        )
+        assert len(more) > 2
+
     def test_validation(self):
         with pytest.raises(ValueError):
             LoadBalancingController(period=0.0)

@@ -1,6 +1,9 @@
 """Tests for the deterministic experiment fan-out (``repro.parallel``)."""
 
 import math
+import multiprocessing
+import os
+import time
 
 import numpy as np
 import pytest
@@ -8,6 +11,32 @@ import pytest
 from repro import parallel
 from repro.experiments.common import make_model, volume_ratio_runs
 from repro.obs.metrics import MetricsRegistry
+
+
+def _boom(task):
+    raise ValueError(f"task {task} failed")
+
+
+def _die_if_negative(task):
+    if task < 0:
+        os._exit(1)
+    return task * 2
+
+
+def _reseed_abs(task, seed):
+    assert isinstance(seed, int)
+    return abs(task)
+
+
+def _die_in_worker(task):
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return task + 1
+
+
+def _sleep_for(task):
+    time.sleep(task)
+    return task
 
 
 class TestResolveJobs:
@@ -74,12 +103,79 @@ class TestParallelMap:
     def test_validation(self):
         with pytest.raises(ValueError):
             parallel.parallel_map(str, [1], chunksize=0)
+        with pytest.raises(ValueError):
+            parallel.parallel_map(str, [1], timeout=0.0)
+        with pytest.raises(ValueError):
+            parallel.parallel_map(str, [1], pool_retries=-1)
 
     def test_registry_records_tasks(self):
         registry = MetricsRegistry()
         parallel.parallel_map(str, range(5), jobs=1, registry=registry)
         rendered = registry.render_prometheus()
         assert 'repro_parallel_tasks{mode="inline"} 5' in rendered
+
+
+class TestFailureHandling:
+    def test_inline_raise_propagates_and_records(self):
+        """Regression: a raising task must not skip the bookkeeping."""
+        before = parallel.parallel_stats()
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="task 2 failed"):
+            parallel.parallel_map(
+                _boom, [2], jobs=1, registry=registry
+            )
+        after = parallel.parallel_stats()
+        assert after["failures_inline"] == before["failures_inline"] + 1
+        assert after["inline"] == before["inline"] + 1
+        rendered = registry.render_prometheus()
+        assert 'repro_parallel_failures{mode="inline"} 1' in rendered
+
+    def test_process_raise_propagates_and_records(self):
+        before = parallel.parallel_stats()
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="failed"):
+            parallel.parallel_map(
+                _boom, [1, 2, 3], jobs=2, registry=registry
+            )
+        after = parallel.parallel_stats()
+        assert (
+            after["failures_process"] == before["failures_process"] + 1
+        )
+        assert 'repro_parallel_failures{mode="process"} 1' in (
+            registry.render_prometheus()
+        )
+
+    def test_broken_pool_keeps_completed_results_and_retries(self):
+        """A dying worker loses neither the finished results nor the
+        batch: unfinished tasks retry in a fresh pool, optionally
+        re-parameterized through ``reseed``."""
+        before = parallel.parallel_stats()
+        results = parallel.parallel_map(
+            _die_if_negative, [1, 2, -3, 4], jobs=2,
+            pool_retries=2, reseed=_reseed_abs,
+        )
+        assert results == [2, 4, 6, 8]
+        after = parallel.parallel_stats()
+        assert after["pool_retries"] > before["pool_retries"]
+
+    def test_inline_fallback_when_pool_keeps_breaking(self):
+        """If every pool attempt dies, survivors run inline rather than
+        losing the batch."""
+        results = parallel.parallel_map(
+            _die_in_worker, [10, 20, 30], jobs=2, pool_retries=1,
+        )
+        assert results == [11, 21, 31]
+
+    def test_per_task_timeout(self):
+        before = parallel.parallel_stats()
+        start = time.monotonic()
+        with pytest.raises(TimeoutError, match="did not finish"):
+            parallel.parallel_map(
+                _sleep_for, [0.01, 30.0], jobs=2, timeout=0.5,
+            )
+        assert time.monotonic() - start < 10.0
+        after = parallel.parallel_stats()
+        assert after["timeouts"] == before["timeouts"] + 1
 
 
 class TestExperimentEquivalence:
