@@ -16,7 +16,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 from ..core.load_model import LoadModel, build_load_model
 from ..graphs.serialize import graph_from_dict
 from .diagnostics import CheckReport, Diagnostic, Severity
-from .lint import lint_file
+from .lint import lint_paths
 from .verify_config import check_experiment_config
 from .verify_graph import check_graph
 from .verify_model import check_model
@@ -135,24 +135,34 @@ def _collect_files(paths: Iterable[Path]) -> List[Path]:
     return files
 
 
-def check_paths(paths: Iterable[object], lint: bool = True) -> CheckReport:
+def check_paths(
+    paths: Iterable[object],
+    lint: bool = True,
+    flow: bool = False,
+    jobs: int = 1,
+) -> CheckReport:
     """Check every artifact under ``paths`` (files or directories).
 
     JSON artifacts are classified and verified; plans and experiment
     configs are cross-checked against graph documents discovered in the
     same batch, matched by graph name.  With ``lint=True`` every ``.py``
-    file also runs through ``repro-lint``.
+    file also runs through ``repro-lint``; ``flow=True`` adds the
+    REPRO6xx dataflow rules, and ``jobs`` fans per-file analysis out
+    over worker processes.
     """
     files = _collect_files(Path(str(p)) for p in paths)
     report = CheckReport()
+
+    if lint:
+        py_files = [p for p in files if p.suffix == ".py"]
+        if py_files:
+            report.merge(lint_paths(py_files, flow=flow, jobs=jobs))
 
     # First pass: parse JSON files, verify graphs, index models by name.
     models: Dict[str, LoadModel] = {}
     pending: List[Tuple[Path, Mapping[str, Any], str]] = []
     for path in files:
         if path.suffix == ".py":
-            if lint:
-                report.extend(lint_file(path))
             continue
         doc, parse_report = _load_json(path)
         report.merge(parse_report)

@@ -1,0 +1,44 @@
+"""Dataflow-based determinism and concurrency analysis (``REPRO6xx``).
+
+A small intra-procedural engine — per-function control-flow graphs
+(:mod:`~repro.check.flow.cfg`), reaching definitions and labeled taint
+(:mod:`~repro.check.flow.dataflow`) — carrying the rule pack in
+:mod:`~repro.check.flow.rules`:
+
+======== ======== ==========================================================
+code     severity finding
+======== ======== ==========================================================
+REPRO600 error    set iteration order reaches a return value / trace
+                  event / score computation without ``sorted()``
+REPRO601 warning  wall-clock reading flows into simulator/placement logic
+REPRO602 error    worker function mutates module-level state
+REPRO603 error    RNG object shared across worker-submitted closures
+REPRO604 warning  order-dependent float accumulation over an unordered
+                  collection
+REPRO610 error    ``tracer.emit`` site violates the event schema registry
+REPRO611 error    metric registration violates the metric schema registry
+======== ======== ==========================================================
+
+Run it with ``repro-rod check --flow`` or ``repro-lint --flow`` (both
+share the ``noqa`` baseline); the runtime twin of REPRO610/611 is
+``Tracer(sink, validate=True)`` / ``repro.obs.validate_metric``, and
+the end-to-end twin of the whole pack is the double-run determinism
+harness in :mod:`repro.check.determinism`.
+"""
+
+from __future__ import annotations
+
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .dataflow import Definition, FunctionFlow, iter_functions
+from .rules import FLOW_CODES, analyze_module
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Definition",
+    "FLOW_CODES",
+    "FunctionFlow",
+    "analyze_module",
+    "build_cfg",
+    "iter_functions",
+]

@@ -1,0 +1,267 @@
+"""Per-function control-flow graphs over Python ASTs.
+
+The flow rules (:mod:`repro.check.flow.rules`) need to know *where
+values go*, not just which tokens appear — so each function body is
+lowered to a :class:`ControlFlowGraph` of basic blocks whose statement
+lists the reaching-definitions solver walks in order.
+
+The lowering is deliberately coarse where coarseness is conservative:
+
+* ``if``/``while`` tests become pseudo-statements (an ``ast.Expr``
+  wrapping the test) so their *uses* are visible to def-use chains;
+* ``for`` headers stay in the graph as the loop's defining statement
+  (they bind the loop target from the iterable);
+* ``try`` bodies edge into every handler from the block that precedes
+  the ``try`` *and* from the body's end — any prefix of the body may
+  have run when a handler is entered;
+* nested function/class definitions are single statements that bind a
+  name; their bodies are analyzed separately.
+
+``break``/``continue``/``return``/``raise`` terminate their block with
+the appropriate edge, so definitions never "flow around" a loop exit
+they could not actually survive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Union
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg", "FunctionNode"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class BasicBlock:
+    """A straight-line run of statements with CFG edges."""
+
+    __slots__ = ("index", "statements", "successors", "predecessors")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.statements: List[ast.stmt] = []
+        self.successors: List["BasicBlock"] = []
+        self.predecessors: List["BasicBlock"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<block {self.index}: {len(self.statements)} stmt(s) "
+            f"-> {[b.index for b in self.successors]}>"
+        )
+
+
+class ControlFlowGraph:
+    """All basic blocks of one function, entry first."""
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    @staticmethod
+    def add_edge(source: BasicBlock, target: BasicBlock) -> None:
+        if target not in source.successors:
+            source.successors.append(target)
+            target.predecessors.append(source)
+
+    def statements(self) -> List[ast.stmt]:
+        """Every statement in the graph, in block order."""
+        return [s for block in self.blocks for s in block.statements]
+
+
+class _LoopContext:
+    __slots__ = ("header", "after")
+
+    def __init__(self, header: BasicBlock, after: BasicBlock) -> None:
+        self.header = header
+        self.after = after
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = ControlFlowGraph()
+        self._loops: List[_LoopContext] = []
+
+    # ------------------------------------------------------------- helpers
+
+    def _test_stmt(self, test: ast.expr) -> ast.stmt:
+        """Wrap a condition expression as a visible pseudo-statement."""
+        stmt = ast.Expr(value=test)
+        ast.copy_location(stmt, test)
+        return stmt
+
+    # ------------------------------------------------------------ building
+
+    def build(self, body: Sequence[ast.stmt]) -> ControlFlowGraph:
+        cursor: Optional[BasicBlock] = self.cfg.entry
+        cursor = self.visit_body(body, cursor)
+        if cursor is not None:
+            self.cfg.add_edge(cursor, self.cfg.exit)
+        return self.cfg
+
+    def visit_body(
+        self, body: Sequence[ast.stmt], cursor: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        for stmt in body:
+            if cursor is None:
+                # Unreachable code after return/raise/break; still give
+                # it a block so its findings are not silently dropped.
+                cursor = self.cfg.new_block()
+            cursor = self.visit_stmt(stmt, cursor)
+        return cursor
+
+    def visit_stmt(
+        self, stmt: ast.stmt, cursor: BasicBlock
+    ) -> Optional[BasicBlock]:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, cursor)
+        if isinstance(stmt, ast.While):
+            return self._visit_while(stmt, cursor)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._visit_for(stmt, cursor)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, cursor)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cursor.statements.append(stmt)
+            return self.visit_body(stmt.body, cursor)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cursor.statements.append(stmt)
+            self.cfg.add_edge(cursor, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            cursor.statements.append(stmt)
+            if self._loops:
+                self.cfg.add_edge(cursor, self._loops[-1].after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            cursor.statements.append(stmt)
+            if self._loops:
+                self.cfg.add_edge(cursor, self._loops[-1].header)
+            return None
+        # Simple statements — including nested FunctionDef/ClassDef,
+        # which bind a name here and are analyzed separately.
+        cursor.statements.append(stmt)
+        return cursor
+
+    def _visit_if(
+        self, stmt: ast.If, cursor: BasicBlock
+    ) -> Optional[BasicBlock]:
+        cursor.statements.append(self._test_stmt(stmt.test))
+        then_entry = self.cfg.new_block()
+        self.cfg.add_edge(cursor, then_entry)
+        then_exit = self.visit_body(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            self.cfg.add_edge(cursor, else_entry)
+            else_exit = self.visit_body(stmt.orelse, else_entry)
+        else:
+            else_exit = cursor
+        if then_exit is None and else_exit is None:
+            return None
+        join = self.cfg.new_block()
+        if then_exit is not None:
+            self.cfg.add_edge(then_exit, join)
+        if else_exit is not None:
+            self.cfg.add_edge(else_exit, join)
+        return join
+
+    def _visit_while(
+        self, stmt: ast.While, cursor: BasicBlock
+    ) -> Optional[BasicBlock]:
+        header = self.cfg.new_block()
+        self.cfg.add_edge(cursor, header)
+        header.statements.append(self._test_stmt(stmt.test))
+        after = self.cfg.new_block()
+        self.cfg.add_edge(header, after)
+        body_entry = self.cfg.new_block()
+        self.cfg.add_edge(header, body_entry)
+        self._loops.append(_LoopContext(header, after))
+        body_exit = self.visit_body(stmt.body, body_entry)
+        self._loops.pop()
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit, header)
+        if stmt.orelse:
+            return self.visit_body(stmt.orelse, after)
+        return after
+
+    def _visit_for(
+        self, stmt: Union[ast.For, ast.AsyncFor], cursor: BasicBlock
+    ) -> Optional[BasicBlock]:
+        header = self.cfg.new_block()
+        self.cfg.add_edge(cursor, header)
+        # The For node itself is the header statement: it *uses* the
+        # iterable and *defines* the loop target.
+        header.statements.append(stmt)
+        after = self.cfg.new_block()
+        self.cfg.add_edge(header, after)
+        body_entry = self.cfg.new_block()
+        self.cfg.add_edge(header, body_entry)
+        self._loops.append(_LoopContext(header, after))
+        body_exit = self.visit_body(stmt.body, body_entry)
+        self._loops.pop()
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit, header)
+        if stmt.orelse:
+            return self.visit_body(stmt.orelse, after)
+        return after
+
+    def _visit_try(
+        self, stmt: ast.Try, cursor: BasicBlock
+    ) -> Optional[BasicBlock]:
+        body_entry = self.cfg.new_block()
+        self.cfg.add_edge(cursor, body_entry)
+        body_exit = self.visit_body(stmt.body, body_entry)
+        join = self.cfg.new_block()
+        exits: List[BasicBlock] = []
+        if body_exit is not None:
+            if stmt.orelse:
+                else_exit = self.visit_body(stmt.orelse, body_exit)
+                if else_exit is not None:
+                    exits.append(else_exit)
+            else:
+                exits.append(body_exit)
+        for handler in stmt.handlers:
+            handler_entry = self.cfg.new_block()
+            # Any prefix of the body may have run: the handler is
+            # reachable both from before the try and from its end.
+            self.cfg.add_edge(cursor, handler_entry)
+            if body_exit is not None:
+                self.cfg.add_edge(body_exit, handler_entry)
+            if handler.name:
+                # ``except E as name`` binds name; surface it as a def.
+                bind = ast.Assign(
+                    targets=[ast.Name(id=handler.name, ctx=ast.Store())],
+                    value=ast.Constant(value=None),
+                )
+                ast.copy_location(bind, handler)
+                ast.fix_missing_locations(bind)
+                handler_entry.statements.append(bind)
+            handler_exit = self.visit_body(handler.body, handler_entry)
+            if handler_exit is not None:
+                exits.append(handler_exit)
+        if not exits:
+            if stmt.finalbody:
+                final_entry = self.cfg.new_block()
+                self.cfg.add_edge(cursor, final_entry)
+                return self.visit_body(stmt.finalbody, final_entry)
+            return None
+        for block in exits:
+            self.cfg.add_edge(block, join)
+        if stmt.finalbody:
+            return self.visit_body(stmt.finalbody, join)
+        return join
+
+
+def build_cfg(node: Union[FunctionNode, ast.Lambda]) -> ControlFlowGraph:
+    """The control-flow graph of one function's body."""
+    if isinstance(node, ast.Lambda):
+        stmt = ast.Return(value=node.body)
+        ast.copy_location(stmt, node.body)
+        ast.fix_missing_locations(stmt)
+        return _Builder().build([stmt])
+    return _Builder().build(node.body)

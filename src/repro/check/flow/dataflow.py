@@ -1,0 +1,485 @@
+"""Reaching definitions and taint propagation over function CFGs.
+
+:class:`FunctionFlow` solves classic intra-procedural reaching
+definitions with a worklist over the basic blocks of a
+:class:`~repro.check.flow.cfg.ControlFlowGraph`, then exposes the
+def-use facts the rules need:
+
+* ``reach_in(stmt)`` — which :class:`Definition` of each name can reach
+  a statement;
+* :meth:`FunctionFlow.taint` — a labeled forward taint pass: the caller
+  seeds definitions (each with a hashable *label*, typically the AST
+  node that originated the hazard), names sanitizer call names
+  (``sorted`` et al.), and gets back ``Definition -> {labels}``.
+
+Taint deliberately over-approximates in two places.  Mutating a tainted
+value into a container (``acc.append(x)``; ``acc[k] = x``) taints every
+definition of the container that reaches the mutation — flow-insensitive
+for the container, which only ever *adds* findings.  And a name with
+several reaching definitions is tainted if *any* of them is.  Both err
+toward reporting, which is the right polarity for a determinism linter:
+the suppression syntax (``# noqa: REPRO6xx`` + justification) is the
+escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .cfg import ControlFlowGraph, FunctionNode, build_cfg
+
+__all__ = [
+    "Definition",
+    "FunctionFlow",
+    "ORDER_SANITIZERS",
+    "assigned_names",
+    "call_name",
+    "iter_functions",
+    "sorted_in_place_names",
+]
+
+#: Call names whose result does not depend on the iteration order of
+#: their argument: sorting imposes an order, the others collapse the
+#: collection to an order-free scalar or back to an unordered type.
+#: (``sum`` over *floats* is order-dependent numerically — that is rule
+#: REPRO604's domain, not REPRO600's element-order domain.)
+ORDER_SANITIZERS = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set",
+    "frozenset", "fsum",
+})
+
+#: Method names that mutate their receiver with their arguments.
+_MUTATORS = frozenset({
+    "append", "add", "extend", "insert", "update", "setdefault",
+    "appendleft", "push",
+})
+
+
+class Definition:
+    """One binding of a name: a parameter or a defining statement."""
+
+    __slots__ = ("name", "stmt", "kind")
+
+    def __init__(self, name: str, stmt: Optional[ast.AST],
+                 kind: str) -> None:
+        self.name = name
+        self.stmt = stmt
+        self.kind = kind  # "param" | "assign" | "for" | "with" | ...
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lineno = getattr(self.stmt, "lineno", "?")
+        return f"<def {self.name}@{lineno} ({self.kind})>"
+
+
+def call_name(node: ast.expr) -> Optional[str]:
+    """The trailing identifier of a call target, or ``None``.
+
+    ``sorted(...)`` -> ``"sorted"``; ``math.fsum(...)`` -> ``"fsum"``;
+    anything fancier (subscripts, calls-of-calls) -> ``None``.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def assigned_names(target: ast.expr) -> List[Tuple[str, str]]:
+    """``(name, kind)`` pairs bound by an assignment target.
+
+    ``kind`` is ``"whole"`` for a plain name, ``"unpack"`` inside
+    tuple/list/starred targets (each element sees one item of the
+    value, which matters for taint through unpacking — it propagates
+    either way), and ``"mutate"`` for subscript/attribute stores, which
+    mutate an existing object rather than rebinding a name.
+    """
+    out: List[Tuple[str, str]] = []
+
+    def walk(node: ast.expr, kind: str) -> None:
+        if isinstance(node, ast.Name):
+            out.append((node.id, kind))
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                walk(element, "unpack")
+        elif isinstance(node, ast.Starred):
+            walk(node.value, "unpack")
+        elif isinstance(node, (ast.Subscript, ast.Attribute)):
+            base = node.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name):
+                out.append((base.id, "mutate"))
+
+    walk(target, "whole")
+    return out
+
+
+def _stmt_defs(stmt: ast.stmt) -> List[Tuple[str, str]]:
+    """Names (re)bound by one statement, with their binding kind."""
+    defs: List[Tuple[str, str]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            defs.extend(assigned_names(target))
+    elif isinstance(stmt, ast.AugAssign):
+        for name, kind in assigned_names(stmt.target):
+            defs.append((name, "aug" if kind == "whole" else kind))
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            defs.extend(assigned_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name, _kind in assigned_names(stmt.target):
+            defs.append((name, "for"))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name, _kind in assigned_names(item.optional_vars):
+                    defs.append((name, "with"))
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        defs.append((stmt.name, "def"))
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            defs.append((bound, "import"))
+    # Walrus targets anywhere in the statement's expressions.
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(
+            node.target, ast.Name
+        ):
+            defs.append((node.target.id, "walrus"))
+    return defs
+
+
+def iter_functions(tree: ast.AST) -> Iterable[FunctionNode]:
+    """Every function/method definition in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class FunctionFlow:
+    """Reaching-definitions facts plus taint propagation for one function."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.cfg: ControlFlowGraph = build_cfg(func)
+        self._param_defs: List[Definition] = [
+            Definition(arg.arg, arg, "param")
+            for arg in self._all_args(func.args)
+        ]
+        #: stmt (by identity) -> its Definition objects
+        self._defs_of: Dict[int, List[Definition]] = {}
+        for stmt in self.cfg.statements():
+            self._defs_of[id(stmt)] = [
+                Definition(name, stmt, kind)
+                for name, kind in _stmt_defs(stmt)
+                if kind != "mutate"  # mutation is not a rebinding
+            ]
+        #: stmt (by identity) -> name -> reaching Definitions
+        self._reach_in: Dict[int, Dict[str, Set[Definition]]] = {}
+        self._solve()
+
+    # ------------------------------------------------------------ solving
+
+    @staticmethod
+    def _all_args(args: ast.arguments) -> List[ast.arg]:
+        every = list(getattr(args, "posonlyargs", []) or [])
+        every += list(args.args)
+        if args.vararg:
+            every.append(args.vararg)
+        every += list(args.kwonlyargs)
+        if args.kwarg:
+            every.append(args.kwarg)
+        return every
+
+    def _solve(self) -> None:
+        entry_state: Dict[str, Set[Definition]] = {}
+        for definition in self._param_defs:
+            entry_state.setdefault(definition.name, set()).add(definition)
+
+        in_states: Dict[int, Dict[str, Set[Definition]]] = {
+            block.index: {} for block in self.cfg.blocks
+        }
+        in_states[self.cfg.entry.index] = entry_state
+        out_states: Dict[int, Dict[str, Set[Definition]]] = {}
+
+        worklist = list(self.cfg.blocks)
+        while worklist:
+            block = worklist.pop(0)
+            state = {
+                name: set(defs)
+                for name, defs in in_states[block.index].items()
+            }
+            for stmt in block.statements:
+                self._reach_in[id(stmt)] = {
+                    name: set(defs) for name, defs in state.items()
+                }
+                new_defs = self._defs_of[id(stmt)]
+                for definition in new_defs:
+                    # Strong update: a rebinding kills prior defs of the
+                    # name.  AugAssign both uses and rebinds; callers
+                    # see the old defs via reach_in of the statement.
+                    state[definition.name] = {definition}
+            if out_states.get(block.index) == state:
+                continue
+            out_states[block.index] = state
+            for succ in block.successors:
+                merged = in_states[succ.index]
+                changed = False
+                for name, defs in state.items():
+                    have = merged.setdefault(name, set())
+                    if not defs.issubset(have):
+                        have.update(defs)
+                        changed = True
+                if changed and succ not in worklist:
+                    worklist.append(succ)
+
+    # ------------------------------------------------------------ queries
+
+    def statements(self) -> List[ast.stmt]:
+        return self.cfg.statements()
+
+    def reach_in(self, stmt: ast.stmt) -> Dict[str, Set[Definition]]:
+        return self._reach_in.get(id(stmt), {})
+
+    def defs_of(self, stmt: ast.stmt) -> List[Definition]:
+        return self._defs_of.get(id(stmt), [])
+
+    # -------------------------------------------------------------- taint
+
+    def taint(
+        self,
+        seed: Callable[[ast.expr, Dict[str, Set[Definition]]],
+                       FrozenSet[object]],
+        sanitizers: FrozenSet[str] = ORDER_SANITIZERS,
+    ) -> Dict[Definition, Set[object]]:
+        """Labeled forward taint: which definitions carry which hazards.
+
+        ``seed(expr, reach)`` is consulted for every defining
+        right-hand side and iterable; it returns the labels that
+        expression *originates* (empty frozenset for "nothing").
+        Labels then propagate through assignments, unpacking,
+        aug-assignments, loop targets, and container mutation, and are
+        stopped by calls to ``sanitizers``.
+        """
+        tainted: Dict[Definition, Set[object]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for stmt in self.cfg.statements():
+                reach = self.reach_in(stmt)
+                labels = self._stmt_value_labels(
+                    stmt, reach, tainted, seed, sanitizers
+                )
+                if labels:
+                    for definition in self.defs_of(stmt):
+                        have = tainted.setdefault(definition, set())
+                        if not labels.issubset(have):
+                            have.update(labels)
+                            changed = True
+                # Container mutation: x.append(tainted) / x[k] = tainted
+                changed |= self._propagate_mutations(
+                    stmt, reach, tainted, seed, sanitizers
+                )
+        return tainted
+
+    def expr_labels(
+        self,
+        expr: ast.expr,
+        reach: Dict[str, Set[Definition]],
+        tainted: Dict[Definition, Set[object]],
+        seed: Callable[[ast.expr, Dict[str, Set[Definition]]],
+                       FrozenSet[object]],
+        sanitizers: FrozenSet[str],
+    ) -> Set[object]:
+        """Labels carried by one expression under the current taint map."""
+        labels: Set[object] = set(seed(expr, reach))
+        membership = _membership_containers(expr)
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                if node in membership or self._sanitized(
+                    expr, node, sanitizers
+                ):
+                    continue
+                for definition in reach.get(node.id, ()):
+                    labels.update(tainted.get(definition, ()))
+            elif node is not expr:
+                inner = seed(node, reach)  # type: ignore[arg-type]
+                if inner and not self._sanitized(expr, node, sanitizers):
+                    labels.update(inner)
+        return labels
+
+    # ----------------------------------------------------------- internal
+
+    def _stmt_value_labels(
+        self,
+        stmt: ast.stmt,
+        reach: Dict[str, Set[Definition]],
+        tainted: Dict[Definition, Set[object]],
+        seed: Callable[[ast.expr, Dict[str, Set[Definition]]],
+                       FrozenSet[object]],
+        sanitizers: FrozenSet[str],
+    ) -> Set[object]:
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            value = stmt.value
+        elif isinstance(stmt, ast.AugAssign):
+            value = stmt.value
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            value = stmt.iter
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            labels: Set[object] = set()
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    labels |= self.expr_labels(
+                        item.context_expr, reach, tainted, seed,
+                        sanitizers,
+                    )
+            return labels
+        if value is None:
+            return set()
+        labels = self.expr_labels(value, reach, tainted, seed, sanitizers)
+        if isinstance(stmt, ast.AugAssign):
+            # x += e keeps whatever taint x already carried.
+            for name, kind in assigned_names(stmt.target):
+                if kind in ("whole", "aug"):
+                    for definition in reach.get(name, ()):
+                        labels |= tainted.get(definition, set())
+        return labels
+
+    def _propagate_mutations(
+        self,
+        stmt: ast.stmt,
+        reach: Dict[str, Set[Definition]],
+        tainted: Dict[Definition, Set[object]],
+        seed: Callable[[ast.expr, Dict[str, Set[Definition]]],
+                       FrozenSet[object]],
+        sanitizers: FrozenSet[str],
+    ) -> bool:
+        changed = False
+
+        def taint_receiver(name: str, labels: Set[object]) -> None:
+            nonlocal changed
+            for definition in reach.get(name, ()):
+                have = tainted.setdefault(definition, set())
+                if not labels.issubset(have):
+                    have.update(labels)
+                    changed = True
+
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+                and isinstance(node.func.value, ast.Name)
+            ):
+                labels: Set[object] = set()
+                for arg in node.args:
+                    labels |= self.expr_labels(
+                        arg, reach, tainted, seed, sanitizers
+                    )
+                if labels:
+                    taint_receiver(node.func.value.id, labels)
+        # Subscript/attribute stores: base object mutated in place.
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        for target in targets:
+            for name, kind in assigned_names(target):
+                if kind != "mutate":
+                    continue
+                value = (
+                    stmt.value
+                    if isinstance(stmt, (ast.Assign, ast.AugAssign))
+                    else None
+                )
+                if value is None:
+                    continue
+                labels = self.expr_labels(
+                    value, reach, tainted, seed, sanitizers
+                )
+                if labels:
+                    taint_receiver(name, labels)
+        return changed
+
+    @staticmethod
+    def _sanitized(
+        root: ast.expr, leaf: ast.AST, sanitizers: FrozenSet[str]
+    ) -> bool:
+        """True when ``leaf`` sits inside a sanitizer call within ``root``."""
+        path = _path_to(root, leaf)
+        if path is None:
+            return False
+        for ancestor in path[:-1]:
+            name = call_name(ancestor) if isinstance(
+                ancestor, ast.Call
+            ) else None
+            if name in sanitizers:
+                return True
+        return False
+
+
+def _membership_containers(expr: ast.expr) -> Set[ast.AST]:
+    """Container operands of ``in``/``not in`` tests within ``expr``.
+
+    Membership is order-insensitive, so using a set as the right side
+    of ``x in s`` must not propagate order taint to the result.
+    """
+    containers: Set[ast.AST] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)):
+                    containers.add(comparator)
+                    containers.update(ast.walk(comparator))
+    return containers
+
+
+def sorted_in_place_names(func: ast.AST) -> Set[str]:
+    """Names that receive an in-place ``.sort()`` in this function.
+
+    Approximation: one ``xs.sort()`` anywhere makes every def of ``xs``
+    order-safe.  A sort *before* a tainting append would be missed, but
+    that shape does not survive review anyway — and the alternative
+    (ignoring ``.sort()``) flags every build-then-sort pipeline.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sort"
+            and isinstance(node.func.value, ast.Name)
+        ):
+            names.add(node.func.value.id)
+    return names
+
+
+def _path_to(root: ast.AST, leaf: ast.AST) -> Optional[List[ast.AST]]:
+    """Ancestor chain from ``root`` down to ``leaf`` (both inclusive)."""
+    if root is leaf:
+        return [root]
+    for child in ast.iter_child_nodes(root):
+        sub = _path_to(child, leaf)
+        if sub is not None:
+            return [root] + sub
+    return None

@@ -1,0 +1,1077 @@
+"""The REPRO6xx determinism/concurrency rules and REPRO61x schema rules.
+
+All rules run over one parsed module at a time and return raw findings
+(``{"code", "lineno", "message", "fix_hint"}`` dicts, same shape the
+REPRO5xx lint visitor produces) — suppression and severity mapping
+happen in :mod:`repro.check.lint`, which shares the ``noqa`` baseline
+between both rule packs.
+
+Dataflow rules (on :class:`~repro.check.flow.dataflow.FunctionFlow`):
+
+* **REPRO600** — iteration order of a ``set``/``frozenset`` reaches a
+  return value, an emitted trace event, or a score/cost computation
+  without an intervening ``sorted()``.  Scoped to set-typed sources
+  because dicts preserve insertion order since Python 3.7 — but a dict
+  or list *built from* a set inherits the taint, so laundering the set
+  through ``list()`` does not silence the rule.  Purely numeric
+  accumulators (``total += x`` over an int-initialized name) collapse
+  element order and are excluded; their float variant is REPRO604.
+* **REPRO601** — a wall-clock reading (``time.time``,
+  ``perf_counter``, ``datetime.now``, ...) flows into simulation,
+  placement, or volume logic.  Readings whose uses all feed
+  observability calls (``.emit(...)``, metric ``.set/.inc/.observe``,
+  loggers) are exempt: profiling is what wall clocks are *for*.
+* **REPRO604** — float accumulation (``acc += x`` with a float-typed
+  init, or ``sum(...)``) over an unordered collection: IEEE addition
+  is not associative, so the result depends on hash order.
+
+Structural concurrency rules:
+
+* **REPRO602** — a function submitted to ``parallel_map`` /
+  ``executor.submit`` / a pool ``map`` mutates module-level state.
+  Each worker process mutates its own copy; the parent never sees it.
+* **REPRO603** — an RNG object (``random.Random``, ``default_rng``)
+  is shared across worker-submitted closures or task payloads instead
+  of deriving per-task seeds with ``repro.parallel.derive_seed``.
+
+Schema-conformance rules (against :mod:`repro.obs.schema`):
+
+* **REPRO610** — every ``tracer.emit("type", ...)`` with a literal
+  event type must name a registered event and pass its declared
+  fields (missing required / undeclared extras).  Sites that splat
+  dynamic ``**fields`` skip the required-field check but still have
+  their literal keys checked.
+* **REPRO611** — every ``registry.counter/gauge/histogram(name, ...)``
+  with a resolvable name must match the registered metric's kind and
+  label tuple.  Names are resolved through module-level string
+  constants (``PHASE_METRIC``), so aliasing does not evade the check.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..diagnostics import Severity
+from .dataflow import (
+    Definition,
+    FunctionFlow,
+    assigned_names,
+    call_name,
+    iter_functions,
+    sorted_in_place_names,
+)
+
+__all__ = ["FLOW_CODES", "active_flow_codes", "analyze_module"]
+
+#: code -> (severity, one-line summary), the flow-rule registry.
+FLOW_CODES = {
+    "REPRO600": (Severity.ERROR,
+                 "unordered iteration order reaches an output"),
+    "REPRO601": (Severity.WARNING,
+                 "wall-clock reading in deterministic path"),
+    "REPRO602": (Severity.ERROR,
+                 "module-level state mutated in worker function"),
+    "REPRO603": (Severity.ERROR,
+                 "RNG object shared across worker tasks"),
+    "REPRO604": (Severity.WARNING,
+                 "order-dependent float accumulation over unordered "
+                 "collection"),
+    "REPRO610": (Severity.ERROR,
+                 "trace emission violates the event schema registry"),
+    "REPRO611": (Severity.ERROR,
+                 "metric registration violates the metric schema "
+                 "registry"),
+}
+
+#: ``repro`` sub-packages whose logic must be wall-clock-free: the
+#: simulated clock and seeds are the only legitimate time sources
+#: there.  ``repro.obs`` (whose job is wall-clock profiling),
+#: experiments that measure solver wall time on purpose, and tooling
+#: (``cli``, ``check``) are out of scope.
+_WALL_CLOCK_SCOPE = frozenset({
+    "simulator", "placement", "core", "dynamics", "faults", "workload",
+    "graphs", "deploy",
+})
+
+_WALL_CLOCK_TIME_ATTRS = frozenset({
+    "time", "monotonic", "perf_counter", "process_time", "time_ns",
+    "monotonic_ns", "perf_counter_ns", "process_time_ns",
+})
+
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: Attribute-call names that consume wall-clock values legitimately:
+#: observability emission and logging.  A reading whose only uses sit
+#: inside these calls is profiling, not logic.
+_OBS_CALL_ATTRS = frozenset({
+    "emit", "observe", "set", "inc", "dec", "labels", "debug", "info",
+    "warning", "error", "exception", "log",
+})
+
+_SET_METHODS = frozenset({
+    "intersection", "union", "difference", "symmetric_difference",
+})
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+_MUTATING_METHODS = frozenset({
+    "append", "add", "extend", "insert", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "appendleft",
+})
+
+#: Callee names that are order-sensitive sinks besides return/yield:
+#: trace emission feeds ``trace_digest``; score/cost helpers feed
+#: placement decisions.
+_SINK_CALL_ATTRS = frozenset({"emit"})
+_SINK_NAME_FRAGMENTS = ("score", "cost", "objective")
+
+
+def _is_test_path(path: Path) -> bool:
+    parts = set(path.parts)
+    return (
+        "tests" in parts
+        or "benchmarks" in parts
+        or path.stem.startswith("test_")
+        or path.stem == "conftest"
+    )
+
+
+def _finding(code: str, lineno: int, message: str,
+             fix_hint: str) -> Dict[str, object]:
+    return {"code": code, "lineno": lineno, "message": message,
+            "fix_hint": fix_hint}
+
+
+# --------------------------------------------------------------------------
+# Shared small predicates
+# --------------------------------------------------------------------------
+
+def _is_set_expr(expr: ast.expr) -> bool:
+    """Syntactically set-valued: literal, comprehension, constructor."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        if isinstance(expr.func, ast.Name) and name in ("set", "frozenset"):
+            return True
+        if isinstance(expr.func, ast.Attribute) and name in _SET_METHODS:
+            return True
+    return False
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` -> ``"a.b.c"``; None for anything non-dotted."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_wall_clock_call(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call) or not isinstance(
+        expr.func, ast.Attribute
+    ):
+        return False
+    dotted = _dotted(expr.func)
+    if dotted is None:
+        return False
+    head, _, attr = dotted.rpartition(".")
+    if attr in _WALL_CLOCK_TIME_ATTRS and head.split(".")[-1] == "time":
+        return True
+    if attr in _WALL_CLOCK_DATETIME_ATTRS and (
+        head.split(".")[-1] in ("datetime", "date")
+    ):
+        return True
+    return False
+
+
+def _is_rng_constructor(expr: ast.expr) -> bool:
+    name = call_name(expr)
+    return name in ("Random", "default_rng", "RandomState", "Generator")
+
+
+def _enclosing_exempt_call(
+    root: ast.AST, leaf: ast.AST, exempt: FrozenSet[str]
+) -> bool:
+    """True when ``leaf`` is inside an exempt call's arguments."""
+    found = [False]
+
+    def walk(node: ast.AST, inside: bool) -> bool:
+        if node is leaf:
+            found[0] = inside
+            return True
+        node_inside = inside
+        if isinstance(node, ast.Call):
+            attr = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id if isinstance(node.func, ast.Name)
+                else None
+            )
+            if attr in exempt:
+                node_inside = True
+        for child in ast.iter_child_nodes(node):
+            if walk(child, node_inside):
+                return True
+        return False
+
+    walk(root, False)
+    return found[0]
+
+
+def _numeric_accumulator_names(func: ast.AST) -> Set[str]:
+    """Names initialized to a numeric constant and ``+=``-accumulated.
+
+    ``total = 0`` / ``total = 0.0`` followed by ``total += x`` collapses
+    element *order* (the REPRO600 concern); the float-precision order
+    dependence of the ``0.0`` variant is REPRO604's separate report.
+    """
+    numeric_inits: Set[str] = set()
+    augmented: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            is_numeric = (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, (int, float))
+                and not isinstance(value.value, bool)
+            ) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("int", "float")
+            )
+            if is_numeric:
+                for target in node.targets:
+                    for name, kind in assigned_names(target):
+                        if kind == "whole":
+                            numeric_inits.add(name)
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            augmented.add(node.target.id)
+    return numeric_inits & augmented
+
+
+# --------------------------------------------------------------------------
+# REPRO600 / REPRO604 — unordered iteration and float accumulation
+# --------------------------------------------------------------------------
+
+class _UnorderedResolver:
+    """Decides whether an expression holds an unordered collection.
+
+    Resolution is *syntactic through definition chains*: set literals
+    and constructors are unordered; a name is unordered when a reaching
+    definition's right-hand side resolves unordered; a call to an
+    unknown function is unordered when any argument is (conservative
+    interprocedural guess — ``helper(my_set)`` usually filters or maps
+    it).  Crucially, element reads (``loads[j]``) and container
+    mutations do **not** spread the property: holding a set and being
+    derived *from a set's iteration order* are different facts, and
+    conflating them (a value-taint formulation) flags every list a
+    set-driven loop ever writes into.
+    """
+
+    def __init__(self, flow: FunctionFlow, sorted_names: Set[str]) -> None:
+        self.flow = flow
+        self.sorted_names = sorted_names
+
+    def unordered(
+        self,
+        expr: ast.expr,
+        reach: Dict[str, Set[Definition]],
+        _visiting: Optional[Set[int]] = None,
+    ) -> bool:
+        if _visiting is None:
+            _visiting = set()
+        if _is_set_expr(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            if expr.id in self.sorted_names:
+                return False
+            for definition in reach.get(expr.id, ()):
+                if id(definition) in _visiting:
+                    continue
+                _visiting.add(id(definition))
+                stmt = definition.stmt
+                value: Optional[ast.expr] = None
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    value = stmt.value
+                if value is not None and self.unordered(
+                    value, self.flow.reach_in(stmt), _visiting  # type: ignore[arg-type]
+                ):
+                    return True
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, _SET_BINOPS
+        ):
+            return self.unordered(expr.left, reach, _visiting) or \
+                self.unordered(expr.right, reach, _visiting)
+        if isinstance(expr, ast.IfExp):
+            return self.unordered(expr.body, reach, _visiting) or \
+                self.unordered(expr.orelse, reach, _visiting)
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in _ORDER_SANITIZER_NAMES and name not in (
+                "set", "frozenset"
+            ):
+                return False
+            return any(
+                self.unordered(arg, reach, _visiting)
+                for arg in expr.args
+            )
+        return False
+
+    def comp_unordered(
+        self, expr: ast.expr, reach: Dict[str, Set[Definition]]
+    ) -> bool:
+        """A comprehension/genexp whose outermost iterable is unordered."""
+        if isinstance(
+            expr,
+            (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+        ):
+            return self.unordered(expr.generators[0].iter, reach)
+        return False
+
+
+#: Builtins that expose an iterable's element order as sequence order.
+_ORDER_EXPOSING_CALLS = frozenset({
+    "list", "tuple", "enumerate", "reversed", "iter", "next", "zip",
+})
+
+_ORDER_SANITIZER_NAMES = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "fsum",
+    "set", "frozenset",
+})
+
+
+def _check_unordered_order(
+    func: ast.AST, flow: FunctionFlow, findings: List[Dict[str, object]]
+) -> None:
+    sorted_names = sorted_in_place_names(func)
+    resolver = _UnorderedResolver(flow, sorted_names)
+    blocked = _numeric_accumulator_names(func) | sorted_names
+
+    # Loops whose iterable is set-typed: their targets' order is the
+    # hazard being tracked.
+    hazard_loops: List[ast.stmt] = []
+    for stmt in flow.statements():
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            reach = flow.reach_in(stmt)
+            if resolver.unordered(stmt.iter, reach):
+                hazard_loops.append(stmt)
+
+    def order_seed(
+        expr: ast.expr, reach: Dict[str, Set[Definition]]
+    ) -> FrozenSet[object]:
+        labels: Set[object] = set()
+        # Comprehensions over unordered iterables originate order taint
+        # (SetComp folds back to an unordered type, so it does not).
+        if isinstance(
+            expr, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
+        ) and resolver.comp_unordered(expr, reach):
+            labels.add(expr)
+        # Conversions freeze the nondeterministic order into a sequence:
+        # list(s), tuple(s), next(iter(s)), sep.join(s), s-subscripts.
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            exposing = name in _ORDER_EXPOSING_CALLS or (
+                name == "join"
+                and isinstance(expr.func, ast.Attribute)
+            )
+            if exposing and any(
+                resolver.unordered(arg, reach) for arg in expr.args
+            ):
+                labels.add(expr)
+        elif isinstance(expr, ast.Subscript) and resolver.unordered(
+            expr.value, reach
+        ):
+            labels.add(expr)
+        for stmt in hazard_loops:
+            if expr is stmt.iter:
+                labels.add(stmt)
+        return frozenset(labels)
+
+    order_taint = flow.taint(
+        order_seed, sanitizers=_ORDER_SANITIZER_NAMES
+    )
+    for definition in order_taint:
+        if definition.name in blocked:
+            order_taint[definition] = set()
+
+    # Sinks: return/yield values, .emit arguments, score/cost calls.
+    reported: Set[int] = set()
+
+    def report(origins: Set[object], sink_line: int, sink_kind: str
+               ) -> None:
+        for origin in origins:
+            lineno = getattr(origin, "lineno", sink_line)
+            if lineno in reported:
+                continue
+            reported.add(lineno)
+            findings.append(_finding(
+                "REPRO600", lineno,
+                f"iteration order of an unordered collection reaches "
+                f"{sink_kind} (line {sink_line}); set iteration order "
+                f"varies with PYTHONHASHSEED",
+                "iterate over sorted(...) or sort before the value "
+                "escapes",
+            ))
+
+    def expr_origins(
+        expr: ast.expr, reach: Dict[str, Set[Definition]]
+    ) -> Set[object]:
+        return flow.expr_labels(
+            expr, reach, order_taint, order_seed,
+            _ORDER_SANITIZER_NAMES,
+        )
+
+    for stmt in flow.statements():
+        reach = flow.reach_in(stmt)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            origins = expr_origins(stmt.value, reach)
+            if origins:
+                report(origins, stmt.lineno, "a return value")
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Expr) and isinstance(
+                node.value, (ast.Yield, ast.YieldFrom)
+            ):
+                value = node.value.value
+                if value is not None:
+                    origins = expr_origins(value, reach)
+                    if origins:
+                        report(origins, node.lineno, "a yielded value")
+            if isinstance(node, ast.Call):
+                attr = call_name(node)
+                is_sink = attr in _SINK_CALL_ATTRS or (
+                    attr is not None
+                    and any(frag in attr.lower()
+                            for frag in _SINK_NAME_FRAGMENTS)
+                )
+                if not is_sink:
+                    continue
+                origins = set()
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    origins |= expr_origins(arg, reach)
+                if origins:
+                    kind = (
+                        "an emitted trace event" if attr == "emit"
+                        else f"a {attr}() computation"
+                    )
+                    report(origins, node.lineno, kind)
+
+
+def _check_float_accumulation(
+    func: ast.AST, flow: FunctionFlow, findings: List[Dict[str, object]]
+) -> None:
+    resolver = _UnorderedResolver(flow, sorted_in_place_names(func))
+
+    # Float-initialized names: total = 0.0 / total = float(...)
+    float_inits: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            is_float = (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, float)
+            ) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "float"
+            )
+            if is_float:
+                for target in node.targets:
+                    for name, kind in assigned_names(target):
+                        if kind == "whole":
+                            float_inits.add(name)
+
+    for stmt in flow.statements():
+        reach = flow.reach_in(stmt)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)) and \
+                resolver.unordered(stmt.iter, reach):
+            for inner in ast.walk(stmt):
+                if (
+                    isinstance(inner, ast.AugAssign)
+                    and isinstance(inner.op, (ast.Add, ast.Sub))
+                    and isinstance(inner.target, ast.Name)
+                    and inner.target.id in float_inits
+                ):
+                    findings.append(_finding(
+                        "REPRO604", inner.lineno,
+                        f"float accumulator '{inner.target.id}' summed "
+                        f"over an unordered collection (loop at line "
+                        f"{stmt.lineno}); float addition is not "
+                        f"associative",
+                        "iterate over sorted(...) or use math.fsum",
+                    ))
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+            ):
+                arg = node.args[0]
+                if resolver.unordered(arg, reach) or \
+                        resolver.comp_unordered(arg, reach):
+                    findings.append(_finding(
+                        "REPRO604", node.lineno,
+                        "sum() over an unordered collection is "
+                        "order-dependent for floats",
+                        "sum over sorted(...), or use math.fsum; for "
+                        "provably-int sums add a justified noqa",
+                    ))
+
+
+# --------------------------------------------------------------------------
+# REPRO601 — wall-clock readings in deterministic paths
+# --------------------------------------------------------------------------
+
+def _check_wall_clock(
+    flow: FunctionFlow, findings: List[Dict[str, object]]
+) -> None:
+    def seed(expr: ast.expr, _reach: Dict[str, Set[Definition]]
+             ) -> FrozenSet[object]:
+        if _is_wall_clock_call(expr):
+            return frozenset([expr])
+        return frozenset()
+
+    taint = flow.taint(seed, sanitizers=frozenset())
+    reported: Set[int] = set()
+
+    def report(origins: Set[object]) -> None:
+        for origin in origins:
+            key = id(origin)
+            if key in reported:
+                continue
+            reported.add(key)
+            findings.append(_finding(
+                "REPRO601", getattr(origin, "lineno", 1),
+                "wall-clock reading flows into deterministic logic; "
+                "simulated time and seeds are the only clocks allowed "
+                "here",
+                "take time from the simulation clock, or confine the "
+                "reading to obs emission (tracer.emit / metrics / "
+                "logging)",
+            ))
+
+    for stmt in flow.statements():
+        # Assignments only *propagate*; a reading becomes a finding
+        # when it (or a value derived from it) is consumed outside an
+        # observability call.
+        if isinstance(
+            stmt,
+            (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.For,
+             ast.AsyncFor, ast.With, ast.AsyncWith),
+        ):
+            continue
+        reach = flow.reach_in(stmt)
+        for node in ast.walk(stmt):
+            origins: Set[object] = set()
+            if _is_wall_clock_call(node):
+                origins.add(node)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                for definition in reach.get(node.id, ()):
+                    origins.update(taint.get(definition, ()))
+            if origins and not _enclosing_exempt_call(
+                stmt, node, _OBS_CALL_ATTRS
+            ):
+                report(origins)
+
+
+# --------------------------------------------------------------------------
+# REPRO602 / REPRO603 — cross-process state and RNG sharing
+# --------------------------------------------------------------------------
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name, kind in assigned_names(target):
+                    if kind == "whole":
+                        names.add(name)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _submitted_callables(
+    tree: ast.Module,
+) -> List[Tuple[ast.Call, ast.expr]]:
+    """``(submission call, callable expr)`` for every worker handoff."""
+    sites: List[Tuple[ast.Call, ast.expr]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        name = call_name(node)
+        if name == "parallel_map" or name == "submit":
+            sites.append((node, node.args[0]))
+        elif name == "map" and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            receiver_name = (
+                receiver.id if isinstance(receiver, ast.Name) else ""
+            )
+            if any(
+                frag in receiver_name.lower()
+                for frag in ("pool", "executor")
+            ):
+                sites.append((node, node.args[0]))
+    # functools.partial(fn, ...) wrapping: unwrap to fn.
+    unwrapped: List[Tuple[ast.Call, ast.expr]] = []
+    for site, target in sites:
+        if (
+            isinstance(target, ast.Call)
+            and call_name(target) == "partial"
+            and target.args
+        ):
+            target = target.args[0]
+        unwrapped.append((site, target))
+    return unwrapped
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    """Names bound inside a function (params and assignments)."""
+    names: Set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        for arg in (
+            list(getattr(args, "posonlyargs", []) or [])
+            + list(args.args) + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            names.add(arg.arg)
+    elif isinstance(func, ast.Lambda):
+        args = func.args
+        for arg in list(args.args) + list(args.kwonlyargs):
+            names.add(arg.arg)
+        body_nodes = ast.walk(func.body)
+        for node in body_nodes:
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+        return names
+    declared_global: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name, kind in assigned_names(target):
+                    if kind != "mutate":
+                        names.add(name)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name, _kind in assigned_names(node.target):
+                names.add(name)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for name, _k in assigned_names(item.optional_vars):
+                        names.add(name)
+        elif isinstance(node, ast.NamedExpr) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+    return names - declared_global
+
+
+def _check_worker_global_mutation(
+    tree: ast.Module, findings: List[Dict[str, object]]
+) -> None:
+    module_names = _module_level_names(tree)
+    if not module_names:
+        return
+    module_funcs = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    checked: Set[str] = set()
+    for _site, target in _submitted_callables(tree):
+        func: Optional[ast.AST] = None
+        if isinstance(target, ast.Name):
+            func = module_funcs.get(target.id)
+            if target.id in checked:
+                continue
+            checked.add(target.id)
+        elif isinstance(target, ast.Lambda):
+            func = target
+        if func is None:
+            continue
+        func_label = getattr(func, "name", "<lambda>")
+        locals_ = _local_names(func)
+        globals_declared: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                globals_declared.update(node.names)
+
+        def flag(name: str, node: ast.AST, how: str) -> None:
+            findings.append(_finding(
+                "REPRO602", getattr(node, "lineno", 1),
+                f"worker function '{func_label}' {how} module-level "
+                f"'{name}'; each worker process mutates its own copy, "
+                f"silently diverging from the parent",
+                "return the data from the task and merge in the "
+                "parent, or pass state through task arguments",
+            ))
+
+        body = func.body if not isinstance(func, ast.Lambda) \
+            else [ast.Expr(value=func.body)]
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        for name, kind in assigned_names(tgt):
+                            owns = name in module_names and (
+                                name not in locals_
+                                or name in globals_declared
+                            )
+                            if not owns:
+                                continue
+                            if kind == "mutate":
+                                flag(name, node, "writes into")
+                            elif name in globals_declared:
+                                flag(name, node, "rebinds global")
+                elif isinstance(node, ast.AugAssign):
+                    for name, kind in assigned_names(node.target):
+                        owns = name in module_names and (
+                            name not in locals_
+                            or name in globals_declared
+                        )
+                        if owns:
+                            flag(name, node, "augments")
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    name = node.func.value.id
+                    if name in module_names and name not in locals_:
+                        flag(name, node,
+                             f"calls .{node.func.attr}() on")
+                elif isinstance(node, ast.Delete):
+                    for tgt in node.targets:
+                        for name, kind in assigned_names(tgt):
+                            if (
+                                kind == "mutate"
+                                and name in module_names
+                                and name not in locals_
+                            ):
+                                flag(name, node, "deletes from")
+
+
+def _rng_bound_names(scope: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    body = scope.body if isinstance(scope, ast.Module) else [scope]
+    for root in body:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Assign) and _is_rng_constructor(
+                node.value
+            ):
+                for target in node.targets:
+                    for name, kind in assigned_names(target):
+                        if kind == "whole":
+                            names.add(name)
+    return names
+
+
+def _check_shared_rng(
+    tree: ast.Module, findings: List[Dict[str, object]]
+) -> None:
+    module_rngs = _rng_bound_names(tree)
+    module_funcs = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    # Map each submission site to its enclosing function (for local
+    # RNG names visible to closures).
+    enclosing: Dict[int, ast.AST] = {}
+    for func in iter_functions(tree):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                enclosing.setdefault(id(node), func)
+
+    hint = (
+        "pass (seed, index) in each task and build the RNG inside the "
+        "worker with repro.parallel.derive_seed"
+    )
+    for site, target in _submitted_callables(tree):
+        outer = enclosing.get(id(site))
+        visible_rngs = set(module_rngs)
+        if outer is not None:
+            visible_rngs |= _rng_bound_names(outer)
+        if isinstance(target, ast.Lambda):
+            free = {
+                node.id
+                for node in ast.walk(target.body)
+                if isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+            } - _local_names(target)
+            shared = sorted(free & visible_rngs)
+            if shared:
+                findings.append(_finding(
+                    "REPRO603", target.lineno,
+                    f"closure submitted to workers captures RNG "
+                    f"object(s) {shared}; each process reseeds its own "
+                    f"copy, so streams collide or diverge",
+                    hint,
+                ))
+        elif isinstance(target, ast.Name):
+            func = module_funcs.get(target.id)
+            if func is not None:
+                locals_ = _local_names(func)
+                used = {
+                    node.id
+                    for node in ast.walk(func)
+                    if isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                } - locals_
+                shared = sorted(used & module_rngs)
+                if shared:
+                    findings.append(_finding(
+                        "REPRO603", site.lineno,
+                        f"worker function '{target.id}' reads "
+                        f"module-level RNG object(s) {shared}; every "
+                        f"process gets an identical (or unpicklable) "
+                        f"stream",
+                        hint,
+                    ))
+        # RNG objects riding in the task payload defeat per-task
+        # seeding the same way.
+        if len(site.args) >= 2:
+            payload_rngs = sorted({
+                node.id
+                for node in ast.walk(site.args[1])
+                if isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in visible_rngs
+            })
+            if payload_rngs:
+                findings.append(_finding(
+                    "REPRO603", site.args[1].lineno,
+                    f"task payload carries RNG object(s) "
+                    f"{payload_rngs} into workers",
+                    hint,
+                ))
+
+
+# --------------------------------------------------------------------------
+# REPRO610 / REPRO611 — observability schema conformance
+# --------------------------------------------------------------------------
+
+def _module_str_consts(tree: ast.Module) -> Dict[str, str]:
+    consts: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Constant
+        ) and isinstance(node.value.value, str):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    consts[target.id] = node.value.value
+    return consts
+
+
+def _literal_keys(call: ast.Call) -> Tuple[Set[str], bool]:
+    """Literal field names of an emit call and whether extras are dynamic."""
+    keys: Set[str] = set()
+    dynamic = False
+    for kw in call.keywords:
+        if kw.arg is not None:
+            if kw.arg != "t":
+                keys.add(kw.arg)
+        elif isinstance(kw.value, ast.Dict) and all(
+            isinstance(k, ast.Constant) and isinstance(k.value, str)
+            for k in kw.value.keys
+        ):
+            keys.update(k.value for k in kw.value.keys)  # type: ignore
+        else:
+            dynamic = True
+    return keys, dynamic
+
+
+def _check_event_schemas(
+    tree: ast.Module, findings: List[Dict[str, object]]
+) -> None:
+    from repro.obs import schema as obs_schema
+
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            continue
+        if len(node.args) > 2:
+            continue  # not the Tracer.emit signature
+        type_ = node.args[0].value
+        declared = obs_schema.EVENT_SCHEMAS.get(type_)
+        if declared is None:
+            findings.append(_finding(
+                "REPRO610", node.lineno,
+                f"trace event type '{type_}' is not declared in "
+                f"repro.obs.schema.EVENT_SCHEMAS",
+                "declare the event (type, required/optional fields) in "
+                "the schema registry before emitting it",
+            ))
+            continue
+        keys, dynamic = _literal_keys(node)
+        if not declared.extra_allowed:
+            extras = sorted(keys - declared.fields)
+            if extras:
+                findings.append(_finding(
+                    "REPRO610", node.lineno,
+                    f"trace event '{type_}' emitted with undeclared "
+                    f"field(s) {extras}",
+                    "declare the fields in repro.obs.schema or drop "
+                    "them",
+                ))
+        if not dynamic:
+            missing = sorted(declared.required - keys)
+            if missing:
+                findings.append(_finding(
+                    "REPRO610", node.lineno,
+                    f"trace event '{type_}' emitted without required "
+                    f"field(s) {missing}",
+                    "pass every required field declared in "
+                    "repro.obs.schema",
+                ))
+
+
+def _static_labels(call: ast.Call) -> Tuple[Optional[Tuple[str, ...]], bool]:
+    """``(labels, resolvable)`` from a registration call's arguments."""
+    label_expr: Optional[ast.expr] = None
+    if len(call.args) >= 3:
+        label_expr = call.args[2]
+    for kw in call.keywords:
+        if kw.arg == "labelnames":
+            label_expr = kw.value
+    if label_expr is None:
+        return (), True
+    if isinstance(label_expr, (ast.Tuple, ast.List)):
+        if all(
+            isinstance(el, ast.Constant) and isinstance(el.value, str)
+            for el in label_expr.elts
+        ):
+            return tuple(
+                el.value for el in label_expr.elts  # type: ignore
+            ), True
+    return None, False
+
+
+def _check_metric_schemas(
+    tree: ast.Module, findings: List[Dict[str, object]]
+) -> None:
+    from repro.obs import schema as obs_schema
+
+    consts = _module_str_consts(tree)
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("counter", "gauge", "histogram")
+            and node.args
+        ):
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(
+            first.value, str
+        ):
+            name = first.value
+        elif isinstance(first, ast.Name) and first.id in consts:
+            name = consts[first.id]
+        else:
+            continue  # dynamically computed name: runtime twin catches it
+        kind = node.func.attr
+        declared = obs_schema.METRIC_SCHEMAS.get(name)
+        if declared is None:
+            findings.append(_finding(
+                "REPRO611", node.lineno,
+                f"metric '{name}' is not declared in "
+                f"repro.obs.schema.METRIC_SCHEMAS",
+                "declare the metric (name, kind, labels) in the schema "
+                "registry before registering it",
+            ))
+            continue
+        if declared.kind != kind:
+            findings.append(_finding(
+                "REPRO611", node.lineno,
+                f"metric '{name}' is declared as a {declared.kind} but "
+                f"registered as a {kind}",
+                "match the declared kind or fix the declaration",
+            ))
+        labels, resolvable = _static_labels(node)
+        if resolvable and labels != declared.labels:
+            findings.append(_finding(
+                "REPRO611", node.lineno,
+                f"metric '{name}' declares labels "
+                f"{list(declared.labels)} but is registered with "
+                f"{list(labels or ())}",
+                "match the declared label tuple exactly",
+            ))
+
+
+# --------------------------------------------------------------------------
+# Module entry point
+# --------------------------------------------------------------------------
+
+def _in_wall_clock_scope(path: Path) -> bool:
+    return (
+        "repro" in path.parts
+        and "obs" not in path.parts
+        and "experiments" not in path.parts
+        and "check" not in path.parts
+        and any(layer in path.parts for layer in _WALL_CLOCK_SCOPE)
+        and not _is_test_path(path)
+    )
+
+
+def active_flow_codes(path: Path) -> Set[str]:
+    """The flow codes that actually run over this file.
+
+    Stale-suppression detection (``REPRO507``) must only judge a
+    ``noqa`` against rules that had a chance to fire there.
+    """
+    codes = {
+        "REPRO600", "REPRO602", "REPRO603", "REPRO604", "REPRO610",
+        "REPRO611",
+    }
+    if _in_wall_clock_scope(path):
+        codes.add("REPRO601")
+    return codes
+
+
+def analyze_module(
+    tree: ast.Module, path: Path
+) -> List[Dict[str, object]]:
+    """All raw flow findings for one parsed module."""
+    findings: List[Dict[str, object]] = []
+    wall_clock_scope = _in_wall_clock_scope(path)
+    for func in iter_functions(tree):
+        flow = FunctionFlow(func)
+        _check_unordered_order(func, flow, findings)
+        _check_float_accumulation(func, flow, findings)
+        if wall_clock_scope:
+            _check_wall_clock(flow, findings)
+    _check_worker_global_mutation(tree, findings)
+    _check_shared_rng(tree, findings)
+    _check_event_schemas(tree, findings)
+    _check_metric_schemas(tree, findings)
+    return findings

@@ -25,9 +25,21 @@ ones that have bitten stream-processing reproductions before:
   body subscripts with the loop variable is almost always a vectorizable
   hot loop there.  Intentional exceptions (digit-position recurrences,
   sieve striding) carry a justified ``noqa``.
+* **REPRO507 unused-suppression** (warning) — a ``noqa`` entry that no
+  longer suppresses any finding of a rule that ran.  Stale baselines
+  hide future regressions; ``repro-lint --prune-baseline`` rewrites
+  them away.
+
+With ``--flow`` (the default) the dataflow rule pack
+(:mod:`repro.check.flow`, ``REPRO600``-``REPRO611``) runs over the
+same files and shares the same ``noqa`` baseline; ``--jobs N`` fans
+file analysis out over worker processes via :mod:`repro.parallel`.
 
 Suppress a finding by appending ``# noqa`` or ``# noqa: REPRO502`` to
 the offending line, with a justification comment.
+
+Exit codes: **0** clean, **1** findings at or above ``--fail-on``,
+**2** parse or internal errors (the offending file is printed).
 """
 
 from __future__ import annotations
@@ -36,15 +48,24 @@ import argparse
 import ast
 import sys
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .diagnostics import CheckReport, Diagnostic, Severity
+from .flow import FLOW_CODES, analyze_module
+from .flow.rules import active_flow_codes
+from .suppress import (
+    apply_suppressions,
+    find_markers,
+    prune_markers,
+    stale_codes,
+)
 
 __all__ = [
     "LINT_CODES",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "prune_baseline_paths",
     "main",
 ]
 
@@ -56,7 +77,11 @@ LINT_CODES = {
     "REPRO504": (Severity.WARNING, "public module lacks __all__"),
     "REPRO505": (Severity.ERROR, "print() in library code"),
     "REPRO506": (Severity.WARNING, "per-element Python loop in volume kernel"),
+    "REPRO507": (Severity.WARNING, "unused noqa suppression"),
 }
+
+#: Severity lookup across both rule packs.
+_ALL_CODES = {**LINT_CODES, **FLOW_CODES}
 
 #: directories (as ``path.parts`` suffixes) whose modules must not loop
 #: per-element over arrays — the QMC volume kernel is the repro's inner
@@ -91,19 +116,6 @@ def _is_test_path(path: Path) -> bool:
         or path.stem.startswith("test_")
         or path.stem == "conftest"
     )
-
-
-def _noqa_codes(line: str) -> Optional[List[str]]:
-    """Codes suppressed on this line, ``[]`` meaning "all" (bare noqa)."""
-    marker = "# noqa"
-    index = line.find(marker)
-    if index < 0:
-        return None
-    rest = line[index + len(marker):]
-    if rest.startswith(":"):
-        codes = rest[1:].split("#")[0]
-        return [c.strip().upper() for c in codes.split(",") if c.strip()]
-    return []
 
 
 class _LintVisitor(ast.NodeVisitor):
@@ -278,19 +290,10 @@ def _module_defines_all(tree: ast.Module) -> bool:
     return False
 
 
-def lint_source(source: str, path: Path) -> List[Diagnostic]:
-    """Lint one module's source text; returns its diagnostics."""
-    location = str(path)
-    try:
-        tree = ast.parse(source, filename=location)
-    except SyntaxError as exc:
-        return [Diagnostic(
-            code="REPRO500",
-            severity=Severity.ERROR,
-            message=f"cannot parse module: {exc.msg}",
-            location=f"{location}:{exc.lineno or 1}",
-        )]
-
+def _raw_findings(
+    tree: ast.Module, path: Path, flow: bool
+) -> Tuple[List[Dict[str, object]], Set[str]]:
+    """Unsuppressed findings plus the codes that actually ran."""
     forbid_print = (
         "repro" in path.parts
         and path.stem not in _PRINT_EXEMPT_STEMS
@@ -305,14 +308,14 @@ def lint_source(source: str, path: Path) -> List[Diagnostic]:
         forbid_print=forbid_print, flag_scalar_loops=flag_scalar_loops
     )
     visitor.visit(tree)
-
     findings = visitor.findings
-    if (
+
+    check_all = (
         "src" in path.parts
         and not path.stem.startswith("_")
         and not _is_test_path(path)
-        and not _module_defines_all(tree)
-    ):
+    )
+    if check_all and not _module_defines_all(tree):
         findings.append({
             "code": "REPRO504",
             "lineno": 1,
@@ -320,27 +323,84 @@ def lint_source(source: str, path: Path) -> List[Diagnostic]:
             "fix_hint": "declare __all__ with the module's public names",
         })
 
-    lines = source.splitlines()
-    diagnostics = []
-    for finding in sorted(findings, key=lambda f: (f["lineno"], f["code"])):
+    active = {"REPRO501", "REPRO502", "REPRO503"}
+    if check_all:
+        active.add("REPRO504")
+    if forbid_print:
+        active.add("REPRO505")
+    if flag_scalar_loops:
+        active.add("REPRO506")
+
+    # Flow rules run over library code only: test modules iterate sets
+    # in assertions and build throwaway fixtures all the time, and the
+    # determinism contract they would enforce belongs to src/.
+    run_flow = flow and not _is_test_path(path)
+    if run_flow:
+        findings.extend(analyze_module(tree, path))
+        active |= active_flow_codes(path)
+    return findings, active
+
+
+def lint_source(
+    source: str, path: Path, flow: bool = False
+) -> List[Diagnostic]:
+    """Lint one module's source text; returns its diagnostics.
+
+    With ``flow=True`` the REPRO6xx dataflow pack runs too (on
+    non-test files).  Suppressions (``# noqa``) are shared between both
+    packs, and markers that suppressed nothing surface as ``REPRO507``.
+    """
+    location = str(path)
+    try:
+        tree = ast.parse(source, filename=location)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            code="REPRO500",
+            severity=Severity.ERROR,
+            message=f"cannot parse module: {exc.msg}",
+            location=f"{location}:{exc.lineno or 1}",
+        )]
+
+    findings, active = _raw_findings(tree, path, flow)
+    findings.sort(key=lambda f: (f["lineno"], f["code"]))
+    markers = find_markers(source)
+    keep = apply_suppressions(
+        [(str(f["code"]), int(f["lineno"])) for f in findings],  # type: ignore[arg-type]
+        markers,
+    )
+
+    entries: List[Tuple[int, str, Diagnostic]] = []
+    for finding, kept in zip(findings, keep):
+        if not kept:
+            continue
         code = str(finding["code"])
         lineno = int(finding["lineno"])  # type: ignore[arg-type]
-        line = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
-        suppressed = _noqa_codes(line)
-        if suppressed is not None and (not suppressed or code in suppressed):
-            continue
-        severity, _ = LINT_CODES.get(code, (Severity.ERROR, ""))
-        diagnostics.append(Diagnostic(
+        severity, _ = _ALL_CODES.get(code, (Severity.ERROR, ""))
+        entries.append((lineno, code, Diagnostic(
             code=code,
             severity=severity,
             message=str(finding["message"]),
             location=f"{location}:{lineno}",
             fix_hint=str(finding["fix_hint"]) if finding.get("fix_hint") else None,
-        ))
-    return diagnostics
+        )))
+    for lineno in sorted(markers):
+        stale = stale_codes(markers[lineno], active)
+        if not stale:
+            continue
+        label = ", ".join(stale)
+        entries.append((lineno, "REPRO507", Diagnostic(
+            code="REPRO507",
+            severity=Severity.WARNING,
+            message=f"suppression '{label}' no longer matches any finding",
+            location=f"{location}:{lineno}",
+            fix_hint="remove the stale entry, or run "
+                     "repro-lint --prune-baseline",
+        )))
+    entries.sort(key=lambda e: (e[0], e[1]))
+    return [diagnostic for _, _, diagnostic in entries]
 
 
-def lint_file(path: Path) -> List[Diagnostic]:
+def lint_file(path: Path, flow: bool = False) -> List[Diagnostic]:
     """Lint one ``.py`` file from disk."""
     try:
         source = path.read_text(encoding="utf-8")
@@ -351,7 +411,7 @@ def lint_file(path: Path) -> List[Diagnostic]:
             message=f"cannot read file: {exc}",
             location=str(path),
         )]
-    return lint_source(source, path)
+    return lint_source(source, path, flow=flow)
 
 
 def iter_python_files(paths: Iterable[Path]) -> List[Path]:
@@ -367,36 +427,107 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
     return result
 
 
-def lint_paths(paths: Sequence[object]) -> CheckReport:
+def _lint_task(task: Tuple[str, bool]) -> List[Diagnostic]:
+    """Picklable per-file unit for ``--jobs`` fan-out."""
+    path_str, flow = task
+    return lint_file(Path(path_str), flow=flow)
+
+
+def lint_paths(
+    paths: Sequence[object], flow: bool = False, jobs: int = 1
+) -> CheckReport:
     """Lint every ``.py`` file under the given files/directories."""
+    files = iter_python_files(Path(str(p)) for p in paths)
     report = CheckReport()
-    for path in iter_python_files(Path(str(p)) for p in paths):
-        report.extend(lint_file(path))
+    if jobs > 1 and len(files) > 1:
+        from ..parallel import parallel_map
+
+        tasks = [(str(path), flow) for path in files]
+        for diagnostics in parallel_map(_lint_task, tasks, jobs=jobs):
+            report.extend(diagnostics)
+    else:
+        for path in files:
+            report.extend(lint_file(path, flow=flow))
     return report
+
+
+def prune_baseline_paths(
+    paths: Sequence[object], flow: bool = False
+) -> List[Tuple[Path, int]]:
+    """Remove stale ``noqa`` entries in place; ``(path, pruned)`` list.
+
+    Re-runs the same analysis as :func:`lint_paths` to learn which
+    markers still suppress something, then rewrites each file whose
+    baseline has dead entries.  Unparseable files are left alone.
+    """
+    changed: List[Tuple[Path, int]] = []
+    for path in iter_python_files(Path(str(p)) for p in paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError):
+            continue
+        findings, active = _raw_findings(tree, path, flow)
+        markers = find_markers(source)
+        apply_suppressions(
+            [(str(f["code"]), int(f["lineno"])) for f in findings],  # type: ignore[arg-type]
+            markers,
+        )
+        new_source, pruned = prune_markers(source, markers, active)
+        if pruned:
+            path.write_text(new_source, encoding="utf-8")
+            changed.append((path, pruned))
+    return changed
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """``repro-lint [paths...] [--fail-on SEVERITY]`` console entry point."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="AST lint for repo-specific invariants (REPRO5xx)",
+        description="AST lint for repo-specific invariants "
+                    "(REPRO5xx + REPRO6xx dataflow rules)",
     )
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to lint")
     parser.add_argument("--fail-on", default="warning",
                         choices=("info", "warning", "error"),
                         help="lowest severity that fails the run")
+    parser.add_argument("--flow", dest="flow", action="store_true",
+                        default=True,
+                        help="run the REPRO6xx dataflow rules (default)")
+    parser.add_argument("--no-flow", dest="flow", action="store_false",
+                        help="skip the dataflow rules")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for per-file analysis")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite files to drop stale noqa entries, "
+                             "then lint what remains")
     args = parser.parse_args(argv)
 
-    report = lint_paths(args.paths)
+    # This *is* the console entry point; stdout is its interface.
+    try:
+        if args.prune_baseline:
+            for path, pruned in prune_baseline_paths(
+                args.paths, flow=args.flow
+            ):
+                print(f"pruned {pruned} stale suppression(s) in {path}")  # noqa: REPRO505
+        report = lint_paths(args.paths, flow=args.flow, jobs=args.jobs)
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"repro-lint: internal error: {exc}", file=sys.stderr)  # noqa: REPRO505
+        return 2
     threshold = Severity.parse(args.fail_on)
     failing = report.at_least(threshold)
     for diagnostic in report:
-        # This *is* the console entry point; stdout is its interface.
         print(diagnostic.format())  # noqa: REPRO505
     errors, warnings, infos = report.counts()
     print(f"repro-lint: {errors} error(s), {warnings} warning(s), "  # noqa: REPRO505
           f"{infos} info(s)")
+    parse_failures = [d for d in report if d.code == "REPRO500"]
+    if parse_failures:
+        for diagnostic in parse_failures:
+            print(f"repro-lint: cannot analyze {diagnostic.location}",  # noqa: REPRO505
+                  file=sys.stderr)
+        return 2
     return 1 if failing else 0
 
 

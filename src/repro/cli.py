@@ -102,7 +102,9 @@ EXPERIMENTS = {
     "clustering": lambda: experiments.clustering_experiment.run(),
     "fidelity": lambda: experiments.fidelity.run(),
     "dynamic": lambda: experiments.dynamic_migration.run(),
-    "fault-tolerance": lambda: experiments.fault_tolerance.run(),
+    "fault-tolerance": lambda jobs=1: experiments.fault_tolerance.run(
+        jobs=jobs
+    ),
     "heterogeneous": lambda: experiments.heterogeneous.run(),
     "partitioning": lambda: experiments.partitioning.run(),
     "balance-bound": lambda: experiments.balance_bound.run(),
@@ -114,7 +116,7 @@ EXPERIMENTS = {
 }
 
 #: Experiment ids whose runner accepts a ``jobs=`` keyword.
-JOBS_AWARE_EXPERIMENTS = frozenset({"fig14", "fig15"})
+JOBS_AWARE_EXPERIMENTS = frozenset({"fig14", "fig15", "fault-tolerance"})
 
 
 def _build_placer(name: str, model: LoadModel, seed: Optional[int]):
@@ -547,12 +549,27 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    report = check_paths(args.paths, lint=not args.no_lint)
+    try:
+        report = check_paths(
+            args.paths,
+            lint=not args.no_lint,
+            flow=args.flow,
+            jobs=parallel.resolve_jobs(args.jobs),
+        )
+    except Exception as exc:
+        print(f"check: internal error: {exc}", file=sys.stderr)
+        return 2
     threshold = Severity.parse(args.fail_on)
     for diagnostic in report:
         print(diagnostic.format())
     errors, warnings, infos = report.counts()
     print(f"check: {errors} error(s), {warnings} warning(s), {infos} info(s)")
+    parse_failures = [d for d in report if d.code == "REPRO500"]
+    if parse_failures:
+        for diagnostic in parse_failures:
+            print(f"check: cannot analyze {diagnostic.location}",
+                  file=sys.stderr)
+        return 2
     return 1 if report.at_least(threshold) else 0
 
 
@@ -772,6 +789,20 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument(
         "--no-lint", action="store_true",
         help="skip the repro-lint pass over .py files",
+    )
+    chk.add_argument(
+        "--flow", dest="flow", action="store_true", default=False,
+        help="run the REPRO6xx dataflow determinism/concurrency rules "
+             "over .py files (implies the lint pass)",
+    )
+    chk.add_argument(
+        "--no-flow", dest="flow", action="store_false",
+        help="skip the dataflow rules (the default for check)",
+    )
+    chk.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for per-file lint/flow analysis "
+             "(0 = all cores)",
     )
     chk.set_defaults(func=cmd_check)
 

@@ -26,7 +26,7 @@ LLF, and correlation balancing; variants are ``no_fault``, ``crash``
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.load_model import LoadModel
 from ..core.plans import Placement
@@ -34,6 +34,7 @@ from ..core.rod import rod_place
 from ..dynamics import FailoverController, residual_volume_ratio
 from ..faults import FaultEvent, FaultSchedule
 from ..obs import MemorySink, Tracer
+from ..parallel import parallel_map
 from ..placement.correlation import CorrelationPlacer
 from ..placement.llf import LLFPlacer
 from ..simulator.engine import Simulator
@@ -41,6 +42,14 @@ from ..workload.rates import rate_series, scale_point_to_utilization
 from .common import make_model
 
 __all__ = ["run"]
+
+_ALGORITHMS = ("rod", "llf", "correlation")
+_VARIANTS = (
+    "no_fault",
+    "crash",
+    "crash_failover_volume",
+    "crash_failover_least_loaded",
+)
 
 
 def _busiest_node(plan: Placement) -> int:
@@ -105,6 +114,91 @@ def _simulate(
     return result, sink.events
 
 
+def _build_plan(
+    algorithm: str, params: Dict[str, object]
+) -> Tuple[LoadModel, List[float], List[float], Placement]:
+    """Rebuild (model, capacities, rates, plan) from scalar parameters.
+
+    Pure in ``params`` so every worker process reconstructs the exact
+    same placement — the rebuild is what keeps the per-variant tasks
+    picklable without shipping model/plan objects across processes.
+    """
+    seed = int(params["seed"])  # type: ignore[arg-type]
+    num_inputs = int(params["num_inputs"])  # type: ignore[arg-type]
+    model = make_model(
+        num_inputs, int(params["operators_per_tree"]), seed=seed,  # type: ignore[arg-type]
+    )
+    capacities = [1.0] * int(params["num_nodes"])  # type: ignore[arg-type]
+    rates = scale_point_to_utilization(
+        model, capacities, [1.0] * num_inputs, float(params["utilization"]),  # type: ignore[arg-type]
+    )
+    if algorithm == "rod":
+        plan = rod_place(model, capacities)
+    elif algorithm == "llf":
+        plan = LLFPlacer(rates=rates).place(model, capacities)
+    elif algorithm == "correlation":
+        series = rate_series(model.num_variables, 128, seed=seed)
+        plan = CorrelationPlacer(series).place(model, capacities)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return model, capacities, list(rates), plan
+
+
+def _variant_task(task: Tuple[str, str, Dict[str, object]]) -> Dict[str, object]:
+    """Run one (algorithm, variant) cell from scratch; picklable unit."""
+    algorithm, variant, params = task
+    model, capacities, rates, plan = _build_plan(algorithm, params)
+    duration = float(params["duration"])  # type: ignore[arg-type]
+    samples = int(params["samples"])  # type: ignore[arg-type]
+    victim = _busiest_node(plan)
+    displaced = [
+        name
+        for name, node in zip(model.operator_names, plan.assignment)
+        if node == victim
+    ]
+    if variant == "no_fault":
+        faults = None
+    else:
+        faults = FaultSchedule([
+            FaultEvent(
+                time=float(params["crash_fraction"]) * duration,  # type: ignore[arg-type]
+                kind="node.crash",
+                node=victim,
+            )
+        ])
+    if variant == "crash_failover_volume":
+        controller: Optional[FailoverController] = FailoverController(
+            policy="volume", samples=samples
+        )
+    elif variant == "crash_failover_least_loaded":
+        controller = FailoverController(policy="least_loaded")
+    else:
+        controller = None
+    result, events = _simulate(
+        plan, rates, duration, float(params["step_seconds"]),  # type: ignore[arg-type]
+        faults, controller,
+    )
+    assignment = _final_assignment(plan, result.migrations)
+    failed = () if faults is None else (victim,)
+    volume = residual_volume_ratio(
+        model, capacities, assignment,
+        failed_nodes=failed, samples=samples,
+    )
+    recovery = (
+        None if faults is None else _recovery_latency(events, displaced)
+    )
+    return {
+        "algorithm": algorithm,
+        "variant": variant,
+        "crashed_node": victim if faults is not None else None,
+        "tuples_out": result.tuples_out,
+        "stranded_tuples": result.stranded_tuples,
+        "residual_volume_ratio": volume,
+        "recovery_latency_s": recovery,
+        "failover_moves": result.migration_count,
+    }
+
+
 def run(
     num_inputs: int = 2,
     operators_per_tree: int = 10,
@@ -115,69 +209,52 @@ def run(
     crash_fraction: float = 0.3,
     samples: int = 512,
     seed: int = 23,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
-    """One row per (placement algorithm, fault variant)."""
-    model = make_model(num_inputs, operators_per_tree, seed=seed)
-    capacities = [1.0] * num_nodes
-    rates = scale_point_to_utilization(
-        model, capacities, [1.0] * num_inputs, utilization
-    )
-    series = rate_series(model.num_variables, 128, seed=seed)
-    plans = (
-        ("rod", rod_place(model, capacities)),
-        ("llf", LLFPlacer(rates=rates).place(model, capacities)),
-        ("correlation", CorrelationPlacer(series).place(model, capacities)),
-    )
+    """One row per (placement algorithm, fault variant).
 
+    ``jobs > 1`` fans the (algorithm, variant) cells out over worker
+    processes via :func:`repro.parallel.parallel_map`; every cell is a
+    pure function of the scalar parameters, so the rows are identical
+    for any ``jobs`` value.
+    """
+    params: Dict[str, object] = {
+        "num_inputs": num_inputs,
+        "operators_per_tree": operators_per_tree,
+        "num_nodes": num_nodes,
+        "duration": duration,
+        "step_seconds": step_seconds,
+        "utilization": utilization,
+        "crash_fraction": crash_fraction,
+        "samples": samples,
+        "seed": seed,
+    }
+    tasks = [
+        (algorithm, variant, params)
+        for algorithm in _ALGORITHMS
+        for variant in _VARIANTS
+    ]
+    raw = parallel_map(_variant_task, tasks, jobs=jobs)
+    baselines: Dict[str, int] = {
+        str(cell["algorithm"]): int(cell["tuples_out"])  # type: ignore[arg-type]
+        for cell in raw
+        if cell["variant"] == "no_fault"
+    }
     rows: List[Dict[str, object]] = []
-    for algorithm, plan in plans:
-        victim = _busiest_node(plan)
-        displaced = [
-            name
-            for name, node in zip(model.operator_names, plan.assignment)
-            if node == victim
-        ]
-        crash = FaultSchedule([
-            FaultEvent(time=crash_fraction * duration, kind="node.crash",
-                       node=victim)
-        ])
-        variants = (
-            ("no_fault", None, None),
-            ("crash", crash, None),
-            ("crash_failover_volume", crash,
-             FailoverController(policy="volume", samples=samples)),
-            ("crash_failover_least_loaded", crash,
-             FailoverController(policy="least_loaded")),
-        )
-        baseline_out: Optional[int] = None
-        for variant, faults, controller in variants:
-            result, events = _simulate(
-                plan, rates, duration, step_seconds, faults, controller
-            )
-            if variant == "no_fault":
-                baseline_out = result.tuples_out
-            assignment = _final_assignment(plan, result.migrations)
-            failed = () if faults is None else (victim,)
-            volume = residual_volume_ratio(
-                model, capacities, assignment,
-                failed_nodes=failed, samples=samples,
-            )
-            recovery = (
-                None if faults is None
-                else _recovery_latency(events, displaced)
-            )
-            rows.append({
-                "algorithm": algorithm,
-                "variant": variant,
-                "crashed_node": victim if faults is not None else None,
-                "tuples_out": result.tuples_out,
-                "throughput_ratio": (
-                    result.tuples_out / baseline_out
-                    if baseline_out else 0.0
-                ),
-                "stranded_tuples": result.stranded_tuples,
-                "residual_volume_ratio": volume,
-                "recovery_latency_s": recovery,
-                "failover_moves": result.migration_count,
-            })
+    for cell in raw:
+        baseline_out = baselines.get(str(cell["algorithm"]), 0)
+        rows.append({
+            "algorithm": cell["algorithm"],
+            "variant": cell["variant"],
+            "crashed_node": cell["crashed_node"],
+            "tuples_out": cell["tuples_out"],
+            "throughput_ratio": (
+                int(cell["tuples_out"]) / baseline_out  # type: ignore[arg-type]
+                if baseline_out else 0.0
+            ),
+            "stranded_tuples": cell["stranded_tuples"],
+            "residual_volume_ratio": cell["residual_volume_ratio"],
+            "recovery_latency_s": cell["recovery_latency_s"],
+            "failover_moves": cell["failover_moves"],
+        })
     return rows

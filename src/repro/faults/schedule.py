@@ -300,9 +300,14 @@ def chaos_schedule(
     faults land in the horizon (1.0 ≈ one crash/recovery cycle plus a
     brownout, a slowdown and a rate spike over a 20 s run).
 
-    At most ``num_nodes - 1`` nodes are ever down at once, and every
-    crash recovers within the horizon, so the cluster always has a
-    survivor and chaos runs drain.
+    Crash/recovery cycles are staggered into disjoint downtime windows,
+    so at most one node is down at any instant: no matter how high
+    ``intensity`` pushes the cycle count — even when every node of a
+    2-node cluster is scheduled to crash — the cluster keeps a survivor
+    and chaos runs drain.  A 1-node cluster gets no crashes at all (its
+    only node *is* the survivor).  All times are quantized to 1 ms, and
+    durations are clamped to at least 1 ms so arbitrarily small
+    horizons still produce valid events.
     """
     if num_nodes < 1:
         raise ValueError("need at least one node")
@@ -313,73 +318,77 @@ def chaos_schedule(
     rng = np.random.default_rng(seed)
     events: List[FaultEvent] = []
 
-    def window(lo_frac: float = 0.05, hi_frac: float = 0.8) -> float:
-        return float(
-            np.round(rng.uniform(lo_frac, hi_frac) * horizon, 3)
-        )
+    def _ms(seconds: float) -> int:
+        return int(round(seconds * 1000.0))
 
-    # Crash/recovery cycles — never on all nodes, always recovered.
-    crashes = 0
+    def window(lo_frac: float = 0.05, hi_frac: float = 0.8) -> float:
+        return _ms(rng.uniform(lo_frac, hi_frac) * horizon) / 1000.0
+
+    def span(lo_frac: float, hi_frac: float) -> float:
+        """A duration drawn as a horizon fraction, never rounding to 0."""
+        return max(1, _ms(rng.uniform(lo_frac, hi_frac) * horizon)) / 1000.0
+
+    count = max(1, int(round(intensity)))
+
+    # Crash/recovery cycles.  Each cycle gets a disjoint slot of the
+    # [5%, 90%] band of the horizon and its downtime stays inside the
+    # slot, so downtime windows never overlap and a survivor always
+    # exists.  Integer-millisecond scheduling keeps crash < recover <
+    # next crash strict even when rounding would otherwise collide;
+    # sub-millisecond slots saturate past the band, which only pushes
+    # late cycles beyond the horizon (they simply never fire).
     if num_nodes > 1:
-        crashes = max(1, int(round(intensity)))
-        crashes = min(crashes, num_nodes - 1)
-        victims = rng.choice(num_nodes, size=crashes, replace=False)
-        for victim in victims:
-            start = window(0.1, 0.6)
-            downtime = float(
-                np.round(rng.uniform(0.1, 0.3) * horizon, 3)
-            )
-            events.append(
-                FaultEvent(time=start, kind="node.crash", node=int(victim))
-            )
-            events.append(
-                FaultEvent(
-                    time=min(start + downtime, horizon * 0.95),
-                    kind="node.recover",
-                    node=int(victim),
-                )
-            )
+        band_lo, band_hi = _ms(0.05 * horizon), _ms(0.90 * horizon)
+        slot = max((band_hi - band_lo) // count, 2)
+        cursor = band_lo
+        for _ in range(count):
+            victim = int(rng.integers(num_nodes))
+            start = cursor + _ms(rng.uniform(0.0, 0.4) * slot / 1000.0)
+            start = max(start, cursor)
+            downtime = max(1, _ms(rng.uniform(0.2, 0.5) * slot / 1000.0))
+            recover = start + downtime
+            events.append(FaultEvent(
+                time=start / 1000.0, kind="node.crash", node=victim,
+            ))
+            events.append(FaultEvent(
+                time=recover / 1000.0, kind="node.recover", node=victim,
+            ))
+            cursor = max(cursor + slot, recover + 1)
 
     # Brownouts.
-    for _ in range(max(1, int(round(intensity)))):
+    for _ in range(count):
         events.append(
             FaultEvent(
                 time=window(),
                 kind="node.degrade",
                 node=int(rng.integers(num_nodes)),
                 factor=float(np.round(rng.uniform(0.3, 0.8), 3)),
-                duration=float(
-                    np.round(rng.uniform(0.05, 0.2) * horizon, 3)
-                ),
+                duration=span(0.05, 0.2),
             )
         )
 
     # Operator slowdowns.
     names = list(operator_names)
     if names:
-        for _ in range(max(1, int(round(intensity)))):
+        for _ in range(count):
             events.append(
                 FaultEvent(
                     time=window(),
                     kind="operator.slowdown",
                     operator=names[int(rng.integers(len(names)))],
                     factor=float(np.round(rng.uniform(1.5, 4.0), 3)),
-                    duration=float(
-                        np.round(rng.uniform(0.05, 0.2) * horizon, 3)
-                    ),
+                    duration=span(0.05, 0.2),
                 )
             )
 
     # Input-rate spikes.
-    for _ in range(max(1, int(round(intensity)))):
+    for _ in range(count):
         events.append(
             FaultEvent(
                 time=window(),
                 kind="rate.spike",
                 factor=float(np.round(rng.uniform(1.2, 2.5), 3)),
-                duration=float(
-                    np.round(rng.uniform(0.05, 0.15) * horizon, 3)
-                ),
+                duration=span(0.05, 0.15),
             )
         )
 

@@ -57,6 +57,14 @@ from .runs import (
     list_runs,
     load_run,
 )
+from .schema import (
+    EVENT_SCHEMAS,
+    METRIC_SCHEMAS,
+    EventSchema,
+    MetricSchema,
+    validate_event,
+    validate_metric,
+)
 from .timer import PHASE_METRIC, PhaseTimer, phase_report
 from .trace import (
     EVENT_TYPES,
@@ -74,12 +82,16 @@ from .trace import (
 
 __all__ = [
     "Counter",
+    "EVENT_SCHEMAS",
     "EVENT_TYPES",
+    "EventSchema",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "METRIC_SCHEMAS",
     "MemorySink",
     "MetricFamily",
+    "MetricSchema",
     "MetricsRegistry",
     "NULL_SINK",
     "NULL_TRACER",
@@ -102,6 +114,8 @@ __all__ = [
     "phase_report",
     "read_trace",
     "trace_digest",
+    "validate_event",
+    "validate_metric",
 ]
 
 

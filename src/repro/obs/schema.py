@@ -1,0 +1,282 @@
+"""The observability schema registry: declared events and metrics.
+
+Until now the event types the simulator emits, the fields
+``repro.obs.analyze`` reads back, and the columns the HTML report
+renders agreed only by convention — a renamed field broke the analyzer
+silently.  This module is the single declaration both sides import:
+
+* :data:`EVENT_SCHEMAS` — every trace-event type with its required and
+  optional field names.  ``repro.obs.trace.EVENT_TYPES`` is derived
+  from it, and the static checker (``repro-rod check --flow``) verifies
+  every ``tracer.emit("type", ...)`` site in the source tree against it
+  (diagnostic ``REPRO610``).
+* :data:`METRIC_SCHEMAS` — every metric family name with its kind and
+  label names.  Registration sites (``registry.counter(...)`` etc.) are
+  checked statically too (``REPRO611``).
+
+Runtime twins of the static checks: :func:`validate_event` and
+:func:`validate_metric` raise ``ValueError`` on undeclared names or
+fields, and ``Tracer(sink, validate=True)`` validates every emission.
+Adding an event or metric therefore means declaring it here first —
+which is exactly the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+__all__ = [
+    "EventSchema",
+    "MetricSchema",
+    "EVENT_SCHEMAS",
+    "METRIC_SCHEMAS",
+    "event_types",
+    "validate_event",
+    "validate_metric",
+]
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """Declared shape of one trace-event type.
+
+    ``required`` fields must appear on every emission; ``optional``
+    fields may.  ``extra_allowed`` opts an event out of the
+    unknown-field check — only ``phase`` uses it, because
+    :class:`~repro.obs.timer.PhaseTimer` forwards caller-supplied
+    context fields verbatim.
+    """
+
+    type: str
+    help: str
+    required: FrozenSet[str] = frozenset()
+    optional: FrozenSet[str] = frozenset()
+    extra_allowed: bool = False
+
+    @property
+    def fields(self) -> FrozenSet[str]:
+        return self.required | self.optional
+
+
+@dataclass(frozen=True)
+class MetricSchema:
+    """Declared shape of one metric family."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    labels: Tuple[str, ...] = ()
+
+
+def _event(
+    type_: str,
+    help_: str,
+    required: Iterable[str] = (),
+    optional: Iterable[str] = (),
+    extra_allowed: bool = False,
+) -> EventSchema:
+    return EventSchema(
+        type=type_,
+        help=help_,
+        required=frozenset(required),
+        optional=frozenset(optional),
+        extra_allowed=extra_allowed,
+    )
+
+
+#: type -> schema for every event the built-in instrumentation emits.
+EVENT_SCHEMAS: Dict[str, EventSchema] = {
+    schema.type: schema
+    for schema in (
+        _event(
+            "sim.start",
+            "run header: cluster geometry and simulation parameters",
+            required=("nodes", "operators", "step_seconds", "horizon",
+                      "capacities", "scheduling", "arrival_kind"),
+        ),
+        _event(
+            "sim.end",
+            "run footer: busy totals, tuple counts, migrations",
+            required=("node_busy", "tuples_in", "tuples_out",
+                      "max_utilization", "migrations"),
+            optional=("faults", "stranded_tuples"),
+        ),
+        _event(
+            "batch.enqueued",
+            "a batch joined a node's queue",
+            required=("node", "operator", "port", "count"),
+        ),
+        _event(
+            "batch.serviced",
+            "a node finished processing a batch",
+            required=("node", "operator", "port", "count", "out", "work"),
+            optional=("sink", "latency"),
+        ),
+        _event("node.busy", "idle -> busy transition", required=("node",)),
+        _event("node.idle", "busy -> idle transition", required=("node",)),
+        _event(
+            "node.stall",
+            "migration pause served by a node",
+            required=("node", "work"),
+        ),
+        _event(
+            "migration.decided",
+            "controller returned a move",
+            required=("operator", "source", "target", "pause"),
+        ),
+        _event(
+            "migration.applied",
+            "engine applied a (non-stale) move",
+            required=("operator", "source", "target", "pause", "reason"),
+        ),
+        _event(
+            "fault.injected",
+            "a scheduled fault event fired",
+            required=("kind",),
+            optional=("node", "operator", "factor", "duration"),
+        ),
+        _event(
+            "fault.reverted",
+            "a windowed fault's effect expired",
+            required=("kind",),
+            optional=("node", "operator"),
+        ),
+        _event(
+            "placement.step",
+            "one greedy assignment (ROD)",
+            required=("algorithm", "index", "operator", "node",
+                      "class_one_size", "chosen_from_class_one"),
+        ),
+        _event(
+            "placement.iteration",
+            "one annealing search iteration sample",
+            required=("algorithm", "iteration", "current", "best",
+                      "temperature", "improved"),
+        ),
+        _event(
+            "placement.milp",
+            "one MILP solve",
+            required=("algorithm", "seconds", "status", "variables",
+                      "objective"),
+        ),
+        _event(
+            "feasibility.probe",
+            "one empirical feasibility verdict",
+            required=("rates", "feasible", "max_utilization",
+                      "backlog_seconds"),
+        ),
+        _event(
+            "phase",
+            "a profiled phase finished (PhaseTimer)",
+            required=("name", "seconds"),
+            extra_allowed=True,
+        ),
+    )
+}
+
+
+def _metric(
+    name: str, kind: str, help_: str, labels: Sequence[str] = ()
+) -> MetricSchema:
+    return MetricSchema(name=name, kind=kind, help=help_,
+                        labels=tuple(labels))
+
+
+#: name -> schema for every metric family the library registers.
+METRIC_SCHEMAS: Dict[str, MetricSchema] = {
+    schema.name: schema
+    for schema in (
+        _metric("rod_sim_tuples_total", "counter",
+                "source tuples injected / sink tuples produced",
+                ("direction",)),
+        _metric("rod_sim_migrations_total", "counter",
+                "operator migrations applied"),
+        _metric("rod_sim_faults_total", "counter",
+                "fault events injected into simulation runs", ("kind",)),
+        _metric("rod_sim_runs_total", "counter",
+                "simulation runs completed"),
+        _metric("rod_sim_node_utilization", "gauge",
+                "per-node utilization of the latest run", ("node",)),
+        _metric("rod_sim_latency_seconds", "gauge",
+                "end-to-end latency quantiles of the latest run",
+                ("quantile",)),
+        _metric("repro_phase_seconds", "histogram",
+                "wall-clock seconds spent per profiled phase", ("phase",)),
+        _metric("repro_parallel_tasks", "counter",
+                "tasks executed through repro.parallel", ("mode",)),
+        _metric("repro_parallel_failures", "counter",
+                "tasks that raised or timed out in repro.parallel",
+                ("mode",)),
+        _metric("repro_parallel_pools", "counter",
+                "process pools spun up by repro.parallel"),
+        _metric("repro_parallel_pool_retries", "counter",
+                "fresh pools spun up after a BrokenProcessPool"),
+        _metric("repro_volume_cache_hits", "counter",
+                "QMC sample-point cache hits"),
+        _metric("repro_volume_cache_misses", "counter",
+                "QMC sample-point cache misses (generations)"),
+        _metric("repro_volume_cache_evictions", "counter",
+                "QMC sample-point cache LRU evictions"),
+        _metric("repro_volume_cache_points", "gauge",
+                "QMC sample points currently resident in the cache"),
+    )
+}
+
+
+def event_types() -> FrozenSet[str]:
+    """The registered event type names (backs ``trace.EVENT_TYPES``)."""
+    return frozenset(EVENT_SCHEMAS)
+
+
+def validate_event(type_: str, fields: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` unless the emission matches its schema.
+
+    Unknown event types, missing required fields, and undeclared fields
+    (unless the schema allows extras) are all rejected — the runtime
+    twin of static rule ``REPRO610``.
+    """
+    schema = EVENT_SCHEMAS.get(type_)
+    if schema is None:
+        raise ValueError(
+            f"trace event type {type_!r} is not declared in "
+            f"repro.obs.schema.EVENT_SCHEMAS"
+        )
+    names = set(fields)
+    missing = sorted(schema.required - names)
+    if missing:
+        raise ValueError(
+            f"trace event {type_!r} lacks required field(s) {missing}"
+        )
+    if not schema.extra_allowed:
+        unknown = sorted(names - schema.fields)
+        if unknown:
+            raise ValueError(
+                f"trace event {type_!r} carries undeclared field(s) "
+                f"{unknown}; declare them in repro.obs.schema"
+            )
+
+
+def validate_metric(
+    name: str, kind: str, labels: Sequence[str] = ()
+) -> None:
+    """Raise ``ValueError`` unless the registration matches its schema.
+
+    The runtime twin of static rule ``REPRO611``.
+    """
+    schema = METRIC_SCHEMAS.get(name)
+    if schema is None:
+        raise ValueError(
+            f"metric {name!r} is not declared in "
+            f"repro.obs.schema.METRIC_SCHEMAS"
+        )
+    if schema.kind != kind:
+        raise ValueError(
+            f"metric {name!r} is declared as a {schema.kind}, "
+            f"registered as a {kind}"
+        )
+    if tuple(labels) != schema.labels:
+        raise ValueError(
+            f"metric {name!r} declares labels {schema.labels}, "
+            f"registered with {tuple(labels)}"
+        )

@@ -31,6 +31,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
+from . import schema
+
 __all__ = [
     "EVENT_TYPES",
     "TraceEvent",
@@ -46,27 +48,12 @@ __all__ = [
     "trace_digest",
 ]
 
-#: Event types the built-in instrumentation emits.  ``Tracer.emit``
-#: accepts any dotted name, so downstream code can add its own; these are
-#: the ones tooling (``repro-rod trace``) understands.
-EVENT_TYPES = frozenset({
-    "sim.start",            # run header: nodes, step, horizon, capacities
-    "sim.end",              # run footer: busy totals, tuple counts
-    "batch.enqueued",       # a batch joined a node's queue
-    "batch.serviced",       # a node finished processing a batch
-    "node.busy",            # idle -> busy transition
-    "node.idle",            # busy -> idle transition
-    "node.stall",           # migration pause served by a node
-    "migration.decided",    # controller returned a move
-    "migration.applied",    # engine applied a (non-stale) move
-    "fault.injected",       # a scheduled fault event fired
-    "fault.reverted",       # a windowed fault's effect expired
-    "placement.step",       # one greedy assignment (ROD)
-    "placement.iteration",  # one annealing search iteration sample
-    "placement.milp",       # one MILP solve
-    "feasibility.probe",    # one empirical feasibility verdict
-    "phase",                # a profiled phase finished (PhaseTimer)
-})
+#: Event types the built-in instrumentation emits, derived from the
+#: observability schema registry (:mod:`repro.obs.schema`) — one source
+#: of truth shared by the emitters, the analyzers, and the static
+#: conformance check (``REPRO610``).  ``Tracer.emit`` accepts any dotted
+#: name unless constructed with ``validate=True``.
+EVENT_TYPES = schema.event_types()
 
 _RESERVED_KEYS = frozenset({"type", "t", "wall"})
 
@@ -192,11 +179,14 @@ class Tracer:
     allocates nothing.
     """
 
-    __slots__ = ("sink", "enabled", "events_emitted")
+    __slots__ = ("sink", "enabled", "validate", "events_emitted")
 
-    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+    def __init__(
+        self, sink: Optional[TraceSink] = None, validate: bool = False
+    ) -> None:
         self.sink = NULL_SINK if sink is None else sink
         self.enabled = bool(getattr(self.sink, "enabled", True))
+        self.validate = validate
         self.events_emitted = 0
 
     def emit(
@@ -210,6 +200,8 @@ class Tracer:
             raise ValueError(
                 f"trace fields {sorted(bad)} collide with reserved keys"
             )
+        if self.validate:
+            schema.validate_event(type_, fields)
         self.sink.write(
             TraceEvent(type=type_, t=t, wall=time.time(), fields=fields)
         )

@@ -180,6 +180,66 @@ class TestChaosSchedule:
         with pytest.raises(ValueError):
             chaos_schedule(2, horizon=10.0, seed=1, intensity=0.0)
 
+    @staticmethod
+    def _max_simultaneous_down(schedule):
+        """Walk crash/recover events in time order; peak downed count."""
+        down = set()
+        peak = 0
+        for event in sorted(schedule, key=lambda e: e.time):
+            if event.kind == "node.crash":
+                down.add(event.node)
+            elif event.kind == "node.recover":
+                down.discard(event.node)
+            peak = max(peak, len(down))
+        return peak
+
+    def test_high_intensity_two_node_cluster_keeps_a_survivor(self):
+        """Regression: staggered crash cycles never take down both
+        nodes of a two-node cluster at once, even at intensity far
+        above the node count."""
+        for seed in range(12):
+            schedule = chaos_schedule(
+                2, horizon=30.0, seed=seed, intensity=8.0
+            )
+            assert self._max_simultaneous_down(schedule) <= 1
+            crashes = [e for e in schedule if e.kind == "node.crash"]
+            assert len(crashes) == 8
+
+    def test_high_intensity_eventually_exercises_every_node(self):
+        victims = set()
+        for seed in range(8):
+            schedule = chaos_schedule(
+                2, horizon=30.0, seed=seed, intensity=8.0
+            )
+            victims |= {
+                e.node for e in schedule if e.kind == "node.crash"
+            }
+        assert victims == {0, 1}
+
+    def test_single_node_no_crash_even_at_extreme_intensity(self):
+        schedule = chaos_schedule(
+            1, horizon=20.0, seed=3, intensity=50.0
+        )
+        assert all(e.kind != "node.crash" for e in schedule)
+
+    def test_tiny_horizon_durations_stay_positive(self):
+        """Regression: sub-5ms horizons used to round fault durations
+        to zero and fail schedule validation."""
+        for seed in range(6):
+            schedule = chaos_schedule(
+                3, horizon=0.004, seed=seed, intensity=4.0
+            )
+            for event in schedule:
+                if event.duration is not None:
+                    assert event.duration > 0.0
+                assert event.time >= 0.0
+
+    def test_crash_and_recover_counts_match(self):
+        schedule = chaos_schedule(4, horizon=25.0, seed=7, intensity=5.0)
+        crashes = sum(1 for e in schedule if e.kind == "node.crash")
+        recovers = sum(1 for e in schedule if e.kind == "node.recover")
+        assert crashes == recovers == 5
+
 
 class TestEngineFaultInjection:
     RATES = [100.0]

@@ -1,0 +1,677 @@
+"""Tests for repro.check.flow — the CFG/dataflow engine and REPRO6xx rules."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.check import lint_paths, lint_source
+from repro.check.flow import (
+    FLOW_CODES,
+    FunctionFlow,
+    analyze_module,
+    build_cfg,
+    iter_functions,
+)
+from repro.check.flow.rules import active_flow_codes
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: In the REPRO601 wall-clock scope (simulator path under repro).
+SIM_PATH = Path("src/repro/simulator/engine.py")
+#: Flow rules run, but wall-clock scope does not apply.
+LIB_PATH = Path("src/repro/experiments/demo.py")
+
+
+def flow_codes(source, path=LIB_PATH):
+    tree = ast.parse(textwrap.dedent(source))
+    return [f["code"] for f in analyze_module(tree, path)]
+
+
+def flow_findings(source, path=LIB_PATH):
+    tree = ast.parse(textwrap.dedent(source))
+    return analyze_module(tree, path)
+
+
+# ---------------------------------------------------------------- CFG layer
+
+
+class TestControlFlowGraph:
+    def build(self, source):
+        tree = ast.parse(textwrap.dedent(source))
+        return tree.body[0], build_cfg(tree.body[0])
+
+    def test_straight_line_statements_covered(self):
+        func, cfg = self.build(
+            """
+            def f(x):
+                a = x + 1
+                b = a * 2
+                return b
+            """
+        )
+        covered = list(cfg.statements())
+        assert len(covered) == 3
+
+    def test_if_else_creates_branches_that_rejoin(self):
+        func, cfg = self.build(
+            """
+            def f(c):
+                if c:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        # The return statement is reachable from both branch blocks.
+        ret_blocks = [
+            block for block in cfg.blocks
+            if any(isinstance(s, ast.Return) for s in block.statements)
+        ]
+        assert len(ret_blocks) == 1
+        assert len(ret_blocks[0].predecessors) == 2
+
+    def test_while_loop_has_back_edge(self):
+        func, cfg = self.build(
+            """
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+            """
+        )
+        has_back_edge = any(
+            successor.index <= block.index
+            for block in cfg.blocks
+            for successor in block.successors
+        )
+        assert has_back_edge
+
+    def test_try_handler_is_reachable(self):
+        func, cfg = self.build(
+            """
+            def f(x):
+                try:
+                    y = x()
+                except ValueError:
+                    y = 0
+                return y
+            """
+        )
+        handler_blocks = [
+            block for block in cfg.blocks
+            if any(
+                isinstance(s, ast.Assign)
+                and isinstance(s.value, ast.Constant)
+                and s.value.value == 0
+                for s in block.statements
+            )
+        ]
+        assert handler_blocks and handler_blocks[0].predecessors
+
+
+class TestReachingDefinitions:
+    def flow_of(self, source):
+        tree = ast.parse(textwrap.dedent(source))
+        func = tree.body[0]
+        return func, FunctionFlow(func)
+
+    def test_rebinding_kills_the_parameter_definition(self):
+        func, flow = self.flow_of(
+            """
+            def f(x):
+                x = 1
+                return x
+            """
+        )
+        ret = func.body[-1]
+        kinds = {d.kind for d in flow.reach_in(ret).get("x", set())}
+        assert kinds == {"whole"}
+
+    def test_branches_merge_both_definitions(self):
+        func, flow = self.flow_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        ret = func.body[-1]
+        assert len(flow.reach_in(ret).get("x", set())) == 2
+
+    def test_parameters_reach_the_entry(self):
+        func, flow = self.flow_of(
+            """
+            def f(a, b):
+                return a + b
+            """
+        )
+        ret = func.body[-1]
+        reach = flow.reach_in(ret)
+        assert {d.kind for d in reach["a"]} == {"param"}
+
+    def test_iter_functions_finds_nested_defs(self):
+        tree = ast.parse(textwrap.dedent(
+            """
+            def outer():
+                def inner():
+                    pass
+                return inner
+            """
+        ))
+        assert len(list(iter_functions(tree))) == 2
+
+
+# -------------------------------------------------------- REPRO600 fixtures
+
+
+class TestUnorderedIterationOrder:
+    def test_set_loop_order_reaching_return_flagged(self):
+        assert flow_codes(
+            """
+            def pick(xs):
+                s = set(xs)
+                out = []
+                for v in s:
+                    out.append(v)
+                return out
+            """
+        ) == ["REPRO600"]
+
+    def test_sorted_iteration_ok(self):
+        assert flow_codes(
+            """
+            def pick(xs):
+                out = []
+                for v in sorted(set(xs)):
+                    out.append(v)
+                return out
+            """
+        ) == []
+
+    def test_numeric_accumulator_collapses_order(self):
+        # total += v over a set is order-insensitive for ints; the
+        # float variant is REPRO604's business, not REPRO600's.
+        assert flow_codes(
+            """
+            def total(xs):
+                s = set(xs)
+                t = 0
+                for v in s:
+                    t += v
+                return t
+            """
+        ) == []
+
+    def test_list_of_set_subscript_flagged(self):
+        assert flow_codes(
+            """
+            def first(xs):
+                return list(set(xs))[0]
+            """
+        ) == ["REPRO600"]
+
+    def test_join_over_set_into_emit_flagged(self):
+        findings = flow_findings(
+            """
+            def emit_members(tracer, members):
+                s = set(members)
+                tracer.emit("phase", name=",".join(s), seconds=0.0)
+            """
+        )
+        assert [f["code"] for f in findings] == ["REPRO600"]
+        assert "trace event" in str(findings[0]["message"])
+
+    def test_sort_in_place_before_return_ok(self):
+        assert flow_codes(
+            """
+            def pick(xs):
+                out = []
+                for v in set(xs):
+                    out.append(v)
+                out.sort()
+                return out
+            """
+        ) == []
+
+    def test_returning_the_set_itself_ok(self):
+        # A set value is order-free; only *iteration order* escaping is
+        # the hazard.
+        assert flow_codes(
+            """
+            def dedupe(xs):
+                return set(xs)
+            """
+        ) == []
+
+    def test_membership_test_against_set_ok(self):
+        assert flow_codes(
+            """
+            def keep(xs, allowed):
+                allow = set(allowed)
+                out = [x for x in xs if x in allow]
+                return out
+            """
+        ) == []
+
+    def test_score_call_is_a_sink(self):
+        assert flow_codes(
+            """
+            def best(candidates, score_plan):
+                order = list(set(candidates))
+                return score_plan(order)
+            """
+        ) == ["REPRO600"]
+
+    def test_finding_is_anchored_at_the_origin_line(self):
+        findings = flow_findings(
+            """
+            def pick(xs):
+                s = set(xs)
+                out = []
+                for v in s:
+                    out.append(v)
+                return out
+            """
+        )
+        # Line 5 is the ``for`` header — where the noqa belongs.
+        assert findings[0]["lineno"] == 5
+
+
+# -------------------------------------------------------- REPRO604 fixtures
+
+
+class TestFloatAccumulation:
+    def test_float_accumulator_over_set_flagged(self):
+        assert flow_codes(
+            """
+            def total(xs):
+                s = set(xs)
+                t = 0.0
+                for v in s:
+                    t += v
+                return t
+            """
+        ) == ["REPRO604"]
+
+    def test_sum_over_set_flagged(self):
+        assert flow_codes(
+            """
+            def total(xs):
+                return sum(set(xs))
+            """
+        ) == ["REPRO604"]
+
+    def test_fsum_ok(self):
+        assert flow_codes(
+            """
+            import math
+
+            def total(xs):
+                return math.fsum(set(xs))
+            """
+        ) == []
+
+    def test_sorted_accumulation_ok(self):
+        assert flow_codes(
+            """
+            def total(xs):
+                t = 0.0
+                for v in sorted(set(xs)):
+                    t += v
+                return t
+            """
+        ) == []
+
+
+# -------------------------------------------------------- REPRO601 fixtures
+
+
+class TestWallClock:
+    def test_wall_clock_in_simulator_path_flagged(self):
+        assert flow_codes(
+            """
+            import time
+
+            def step(state):
+                start = time.time()
+                return state + start
+            """,
+            path=SIM_PATH,
+        ) == ["REPRO601"]
+
+    def test_obs_consumption_is_exempt(self):
+        assert flow_codes(
+            """
+            import time
+
+            def profile(metrics):
+                metrics.observe(time.perf_counter())
+            """,
+            path=SIM_PATH,
+        ) == []
+
+    def test_out_of_scope_path_not_checked(self):
+        assert flow_codes(
+            """
+            import time
+
+            def step(state):
+                return state + time.time()
+            """,
+            path=LIB_PATH,
+        ) == []
+
+    def test_datetime_now_flagged(self):
+        assert flow_codes(
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            path=SIM_PATH,
+        ) == ["REPRO601"]
+
+    def test_scope_drives_active_codes(self):
+        assert "REPRO601" in active_flow_codes(SIM_PATH)
+        assert "REPRO601" not in active_flow_codes(LIB_PATH)
+
+
+# -------------------------------------------- REPRO602 / REPRO603 fixtures
+
+
+class TestWorkerGlobalMutation:
+    def test_worker_writing_module_dict_flagged(self):
+        assert flow_codes(
+            """
+            from repro.parallel import parallel_map
+
+            CACHE = {}
+
+            def worker(task):
+                CACHE[task] = True
+                return task
+
+            def run(tasks):
+                return parallel_map(worker, tasks)
+            """
+        ) == ["REPRO602"]
+
+    def test_local_shadow_ok(self):
+        assert flow_codes(
+            """
+            from repro.parallel import parallel_map
+
+            CACHE = {}
+
+            def worker(task):
+                CACHE = {}
+                CACHE[task] = True
+                return CACHE
+
+            def run(tasks):
+                return parallel_map(worker, tasks)
+            """
+        ) == []
+
+    def test_unsubmitted_function_not_checked(self):
+        # Mutating module state is only a cross-process hazard for
+        # functions that actually cross a process boundary.
+        assert flow_codes(
+            """
+            CACHE = {}
+
+            def warm(key, value):
+                CACHE[key] = value
+            """
+        ) == []
+
+    def test_executor_submit_and_mutating_method_flagged(self):
+        assert flow_codes(
+            """
+            RESULTS = []
+
+            def worker(task):
+                RESULTS.append(task)
+                return task
+
+            def run(executor, tasks):
+                return [executor.submit(worker, t) for t in tasks]
+            """
+        ) == ["REPRO602"]
+
+
+class TestSharedRng:
+    def test_lambda_capturing_module_rng_flagged(self):
+        assert flow_codes(
+            """
+            import random
+            from repro.parallel import parallel_map
+
+            RNG = random.Random(7)
+
+            def run(tasks):
+                return parallel_map(lambda t: t + RNG.random(), tasks)
+            """
+        ) == ["REPRO603"]
+
+    def test_worker_reading_module_rng_flagged(self):
+        assert flow_codes(
+            """
+            import random
+            from repro.parallel import parallel_map
+
+            RNG = random.Random(7)
+
+            def worker(t):
+                return RNG.random() + t
+
+            def run(tasks):
+                return parallel_map(worker, tasks)
+            """
+        ) == ["REPRO603"]
+
+    def test_rng_in_task_payload_flagged(self):
+        assert flow_codes(
+            """
+            import random
+            from repro.parallel import parallel_map
+
+            def worker(task):
+                rng, value = task
+                return rng.random() + value
+
+            def run(tasks):
+                rng = random.Random(3)
+                return parallel_map(worker, [(rng, t) for t in tasks])
+            """
+        ) == ["REPRO603"]
+
+    def test_derive_seed_pattern_ok(self):
+        assert flow_codes(
+            """
+            import random
+            from repro.parallel import derive_seed, parallel_map
+
+            def worker(task):
+                seed, value = task
+                rng = random.Random(seed)
+                return rng.random() + value
+
+            def run(tasks, base):
+                payload = [
+                    (derive_seed(base, i), t)
+                    for i, t in enumerate(tasks)
+                ]
+                return parallel_map(worker, payload)
+            """
+        ) == []
+
+
+# -------------------------------------------- REPRO610 / REPRO611 fixtures
+
+
+class TestEventSchemaConformance:
+    def test_unknown_event_type_flagged(self):
+        assert flow_codes(
+            """
+            def f(tracer):
+                tracer.emit("no.such.event", t=1.0)
+            """
+        ) == ["REPRO610"]
+
+    def test_missing_required_field_flagged(self):
+        assert flow_codes(
+            """
+            def f(tracer):
+                tracer.emit("node.busy", t=1.0)
+            """
+        ) == ["REPRO610"]
+
+    def test_undeclared_extra_field_flagged(self):
+        assert flow_codes(
+            """
+            def f(tracer):
+                tracer.emit("node.busy", node=1, color="red")
+            """
+        ) == ["REPRO610"]
+
+    def test_conformant_emission_ok(self):
+        assert flow_codes(
+            """
+            def f(tracer):
+                tracer.emit("node.busy", t=2.0, node=1)
+            """
+        ) == []
+
+    def test_dynamic_splat_skips_required_check(self):
+        assert flow_codes(
+            """
+            def f(tracer, fields):
+                tracer.emit("node.busy", **fields)
+            """
+        ) == []
+
+    def test_extra_allowed_event_accepts_context_fields(self):
+        assert flow_codes(
+            """
+            def f(tracer):
+                tracer.emit("phase", name="x", seconds=0.5, anything=1)
+            """
+        ) == []
+
+
+class TestMetricSchemaConformance:
+    def test_unknown_metric_flagged(self):
+        assert flow_codes(
+            """
+            def f(registry):
+                return registry.counter("nope_total")
+            """
+        ) == ["REPRO611"]
+
+    def test_kind_mismatch_flagged(self):
+        assert flow_codes(
+            """
+            def f(registry):
+                return registry.gauge("rod_sim_runs_total")
+            """
+        ) == ["REPRO611"]
+
+    def test_label_mismatch_flagged(self):
+        assert flow_codes(
+            """
+            def f(registry):
+                return registry.counter("rod_sim_faults_total")
+            """
+        ) == ["REPRO611"]
+
+    def test_conformant_registration_ok(self):
+        assert flow_codes(
+            """
+            def f(registry):
+                return registry.counter(
+                    "rod_sim_faults_total", "faults", ("kind",)
+                )
+            """
+        ) == []
+
+    def test_name_resolved_through_module_constant(self):
+        assert flow_codes(
+            """
+            RUNS_METRIC = "rod_sim_runs_total"
+
+            def f(registry):
+                return registry.counter(RUNS_METRIC, "runs completed")
+            """
+        ) == []
+
+    def test_dynamic_name_skipped(self):
+        assert flow_codes(
+            """
+            def f(registry, name):
+                return registry.counter(name)
+            """
+        ) == []
+
+
+# ------------------------------------------------------- lint integration
+
+
+class TestLintIntegration:
+    TRIGGER = (
+        "def pick(xs):\n"
+        "    out = []\n"
+        "    for v in set(xs):\n"
+        "        out.append(v)\n"
+        "    return out\n"
+    )
+
+    def test_flow_codes_surface_through_lint_source(self):
+        codes = [
+            d.code
+            for d in lint_source(
+                "__all__ = []\n" + self.TRIGGER, LIB_PATH, flow=True
+            )
+        ]
+        assert codes == ["REPRO600"]
+
+    def test_flow_off_by_default_in_lint_source(self):
+        codes = [
+            d.code
+            for d in lint_source("__all__ = []\n" + self.TRIGGER, LIB_PATH)
+        ]
+        assert codes == []
+
+    def test_test_paths_skip_flow_rules(self):
+        codes = [
+            d.code
+            for d in lint_source(
+                self.TRIGGER, Path("tests/test_example.py"), flow=True
+            )
+        ]
+        assert codes == []
+
+    def test_noqa_suppresses_flow_finding_on_the_origin_line(self):
+        source = "__all__ = []\n" + self.TRIGGER.replace(
+            "    for v in set(xs):",
+            "    for v in set(xs):  # noqa: REPRO600  # order irrelevant",
+        )
+        assert [
+            d.code for d in lint_source(source, LIB_PATH, flow=True)
+        ] == []
+
+    def test_every_flow_code_is_registered(self):
+        assert set(active_flow_codes(SIM_PATH)) <= set(FLOW_CODES)
+
+
+class TestShippedTreeIsFlowClean:
+    def test_src_runs_flow_clean(self):
+        """Acceptance criterion: check --flow over src/ finds nothing."""
+        report = lint_paths([REPO_ROOT / "src"], flow=True)
+        assert [d.format() for d in report] == []

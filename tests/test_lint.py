@@ -104,9 +104,57 @@ class TestSuppression:
         assert codes("x = random.random()  # noqa: REPRO501\n") == []
 
     def test_wrong_code_does_not_suppress(self):
+        # The finding survives, and the mismatched suppression itself
+        # is reported as unused (REPRO507).
         assert codes("x = random.random()  # noqa: REPRO502\n") == [
             "REPRO501",
+            "REPRO507",
         ]
+
+    def test_bare_noqa_that_suppresses_nothing_is_stale(self):
+        assert codes("x = 1  # noqa\n") == ["REPRO507"]
+
+    def test_coded_noqa_that_suppresses_nothing_is_stale(self):
+        assert codes("x = 1  # noqa: REPRO501\n") == ["REPRO507"]
+
+    def test_foreign_tool_codes_are_not_judged(self):
+        # Codes outside the REPRO namespace belong to other linters.
+        assert codes("x = 1  # noqa: E501\n") == []
+
+
+class TestPruneBaseline:
+    def test_prunes_stale_and_keeps_live_markers(self, tmp_path):
+        from repro.check import prune_baseline_paths
+
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import random\n"
+            "x = random.random()  # noqa: REPRO501\n"
+            "y = 1  # noqa: REPRO501\n"
+        )
+        pruned = dict(prune_baseline_paths([tmp_path]))
+        assert pruned == {target: 1}
+        text = target.read_text()
+        assert text.count("noqa") == 1
+        assert "x = random.random()  # noqa: REPRO501" in text
+        assert "y = 1\n" in text
+
+    def test_clean_tree_prunes_nothing(self, tmp_path):
+        from repro.check import prune_baseline_paths
+
+        target = tmp_path / "mod.py"
+        source = "import random\nx = random.random()  # noqa: REPRO501\n"
+        target.write_text(source)
+        assert list(prune_baseline_paths([tmp_path])) == []
+        assert target.read_text() == source
+
+    def test_main_prune_flag_then_exits_clean(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1  # noqa: REPRO501\n")
+        assert main([str(tmp_path)]) == 1  # stale marker -> REPRO507
+        assert main(["--prune-baseline", str(tmp_path)]) == 0
+        assert "pruned 1 stale suppression" in capsys.readouterr().out
+        assert "noqa" not in target.read_text()
 
 
 class TestMachinery:
@@ -136,6 +184,40 @@ class TestMachinery:
         dirty.write_text("import random\nx = random.random()\n")
         assert main([str(dirty)]) == 1
         assert "REPRO501" in capsys.readouterr().out
+
+    def test_main_exit_2_names_the_unparseable_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main([str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot analyze" in captured.err
+        assert "bad.py" in captured.err
+
+    def test_main_jobs_fanout_matches_serial(self, tmp_path, capsys):
+        for i in range(3):
+            (tmp_path / f"m{i}.py").write_text(
+                "import random\nx = random.random()\n"
+            )
+        assert main([str(tmp_path)]) == 1
+        serial = capsys.readouterr().out
+        assert main(["--jobs", "2", str(tmp_path)]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_flow_rules_run_by_default_in_main(self, tmp_path, capsys):
+        # REPRO600 trigger in a non-test module; repro-lint defaults
+        # to --flow, so the finding must surface without extra flags.
+        target = tmp_path / "pick.py"
+        target.write_text(
+            "__all__ = []\n"
+            "def pick(xs):\n"
+            "    out = []\n"
+            "    for v in set(xs):\n"
+            "        out.append(v)\n"
+            "    return out\n"
+        )
+        assert main([str(target)]) == 1
+        assert "REPRO600" in capsys.readouterr().out
+        assert main(["--no-flow", str(target)]) == 0
 
 
 class TestMergedTreeIsClean:

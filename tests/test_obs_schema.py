@@ -1,0 +1,88 @@
+"""Tests for the obs schema registry and its runtime validation twin."""
+
+import pytest
+
+from repro.obs import MemorySink, Tracer
+from repro.obs.schema import (
+    EVENT_SCHEMAS,
+    METRIC_SCHEMAS,
+    event_types,
+    validate_event,
+    validate_metric,
+)
+
+
+class TestRegistry:
+    def test_event_types_mirror_the_registry(self):
+        assert event_types() == frozenset(EVENT_SCHEMAS)
+
+    def test_registry_covers_the_core_simulation_events(self):
+        for type_ in (
+            "sim.start", "sim.end", "node.busy", "fault.injected", "phase",
+        ):
+            assert type_ in EVENT_SCHEMAS
+
+    def test_metric_registry_covers_the_core_families(self):
+        for name in ("rod_sim_runs_total", "rod_sim_faults_total"):
+            assert name in METRIC_SCHEMAS
+
+    def test_required_fields_are_not_also_optional(self):
+        for schema in EVENT_SCHEMAS.values():
+            assert not set(schema.required) & set(schema.optional)
+
+
+class TestValidateEvent:
+    def test_conformant_emission_passes(self):
+        validate_event("node.busy", {"node": 1})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="not declared"):
+            validate_event("no.such.event", {})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValueError, match="node"):
+            validate_event("node.busy", {})
+
+    def test_undeclared_extra_rejected(self):
+        with pytest.raises(ValueError, match="color"):
+            validate_event("node.busy", {"node": 1, "color": "red"})
+
+    def test_extra_allowed_event_accepts_context(self):
+        validate_event(
+            "phase", {"name": "x", "seconds": 0.5, "anything": 1}
+        )
+
+
+class TestValidateMetric:
+    def test_conformant_registration_passes(self):
+        validate_metric("rod_sim_faults_total", "counter", ("kind",))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="not declared"):
+            validate_metric("nope_total", "counter")
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="counter"):
+            validate_metric("rod_sim_runs_total", "gauge")
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            validate_metric("rod_sim_faults_total", "counter", ())
+
+
+class TestTracerValidation:
+    def test_validating_tracer_rejects_bad_emission(self):
+        tracer = Tracer(MemorySink(), validate=True)
+        with pytest.raises(ValueError):
+            tracer.emit("node.busy", t=1.0)
+
+    def test_validating_tracer_accepts_conformant_emission(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, validate=True)
+        tracer.emit("node.busy", t=1.0, node=0)
+        assert len(sink.events) == 1
+
+    def test_default_tracer_does_not_validate(self):
+        sink = MemorySink()
+        Tracer(sink).emit("node.busy", t=1.0)
+        assert len(sink.events) == 1
