@@ -3,8 +3,16 @@
 The observability layer promises that a simulator run with tracing
 *disabled* (the default ``NULL_TRACER``) costs the same as one with no
 tracer wired at all — the hot loop only pays one hoisted boolean check.
-This script times both configurations and fails if the relative
+That includes causal span tracing: span ids are allocated and
+``span.open``/``span.close`` events emitted only behind the same hoisted
+guard.  This script times both configurations and fails if the relative
 difference exceeds ``--tolerance`` (CI runs it at 5%).
+
+A third, informational case times tracing *enabled* against a
+discard-everything sink — the marginal cost of constructing every event
+(spans included) with serialization and I/O excluded — and reports the
+event volume, so span-emission regressions show up as a number even
+though only the disabled case is gated.
 
 Usage::
 
@@ -12,8 +20,8 @@ Usage::
         --tolerance 0.05
 
 Timing uses min-of-repeats (the standard noise-robust estimator for
-"how fast can this go"); both variants run the identical workload from
-the identical seed, interleaved so machine drift hits both equally.
+"how fast can this go"); all variants run the identical workload from
+the identical seed, interleaved so machine drift hits them equally.
 """
 
 from __future__ import annotations
@@ -24,7 +32,14 @@ import time
 
 from repro.deploy import Deployment
 from repro.graphs.generator import monitoring_graph
-from repro.obs.trace import NullSink, Tracer
+from repro.obs.trace import NullSink, TraceSink, Tracer
+
+
+class _DiscardSink(TraceSink):
+    """Enabled sink that drops every event: isolates emission cost."""
+
+    def write(self, event) -> None:
+        pass
 
 
 def build_deployment() -> Deployment:
@@ -60,21 +75,34 @@ def main(argv=None) -> int:
     time_run(deployment, None, args.duration)
     time_run(deployment, disabled_tracer, args.duration)
 
+    enabled_tracer = Tracer(_DiscardSink())
+    time_run(deployment, enabled_tracer, args.duration)
+
     baseline_times = []
     disabled_times = []
+    enabled_times = []
     for _ in range(args.repeats):
         baseline_times.append(time_run(deployment, None, args.duration))
         disabled_times.append(
             time_run(deployment, disabled_tracer, args.duration)
         )
+        enabled_times.append(
+            time_run(deployment, enabled_tracer, args.duration)
+        )
 
     baseline = min(baseline_times)
     disabled = min(disabled_times)
+    enabled = min(enabled_times)
     overhead = (disabled - baseline) / baseline
+    enabled_overhead = (enabled - baseline) / baseline
+    events_per_run = enabled_tracer.events_emitted // (args.repeats + 1)
     print(f"baseline (no tracer):     {baseline * 1e3:8.2f} ms")
     print(f"tracing disabled (null):  {disabled * 1e3:8.2f} ms")
     print(f"relative overhead:        {overhead:+8.2%} "
           f"(tolerance {args.tolerance:.0%})")
+    print(f"tracing enabled (discard sink, spans included): "
+          f"{enabled * 1e3:8.2f} ms ({enabled_overhead:+.2%}, "
+          f"~{events_per_run} events/run; informational)")
     if overhead > args.tolerance:
         print("FAIL: disabled tracing exceeds the overhead budget")
         return 1

@@ -17,6 +17,8 @@ REPRO604 warning  order-dependent float accumulation over an unordered
                   collection
 REPRO610 error    ``tracer.emit`` site violates the event schema registry
 REPRO611 error    metric registration violates the metric schema registry
+REPRO612 error    ``open_span`` id not closed or handed off on every
+                  control-flow path
 ======== ======== ==========================================================
 
 Run it with ``repro-rod check --flow`` or ``repro-lint --flow`` (both

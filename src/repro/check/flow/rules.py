@@ -45,6 +45,13 @@ Schema-conformance rules (against :mod:`repro.obs.schema`):
   with a resolvable name must match the registered metric's kind and
   label tuple.  Names are resolved through module-level string
   constants (``PHASE_METRIC``), so aliasing does not evade the check.
+* **REPRO612** — every ``.open_span(...)`` call must have its span id
+  closed (``.close_span(id, ...)``) or handed off (passed to a call or
+  constructor, returned, yielded, or stored into a container/field) on
+  **every** control-flow path to the function exit.  A discarded or
+  reassigned id is a span that can never be closed: the trace's causal
+  forest grows an unclosable leaf and critical-path attribution counts
+  phantom stranded work.
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..diagnostics import Severity
+from .cfg import build_cfg
 from .dataflow import (
     Definition,
     FunctionFlow,
@@ -83,6 +91,9 @@ FLOW_CODES = {
     "REPRO611": (Severity.ERROR,
                  "metric registration violates the metric schema "
                  "registry"),
+    "REPRO612": (Severity.ERROR,
+                 "span opened but not closed or handed off on every "
+                 "path"),
 }
 
 #: ``repro`` sub-packages whose logic must be wall-clock-free: the
@@ -1029,6 +1040,221 @@ def _check_metric_schemas(
 
 
 # --------------------------------------------------------------------------
+# REPRO612 — span lifecycle: every open is closed or handed off
+# --------------------------------------------------------------------------
+
+def _is_span_call(node: ast.AST, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and (
+            (isinstance(node.func, ast.Attribute) and node.func.attr == attr)
+            or (isinstance(node.func, ast.Name) and node.func.id == attr)
+        )
+    )
+
+
+def _name_loaded_in(expr: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name)
+        and node.id == name
+        and isinstance(node.ctx, ast.Load)
+        for node in ast.walk(expr)
+    )
+
+
+def _shallow_nodes(stmt: ast.stmt) -> List[ast.AST]:
+    """The statement's own expressions, nested statement bodies excluded.
+
+    CFG blocks hold compound headers (``For``, ``With``) whose AST still
+    contains the nested body that other blocks already carry — walking
+    the whole node would double-count, and worse, credit a close inside
+    a loop body (which may run zero times) to the header's path.
+    """
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        nodes: List[ast.AST] = []
+        for item in stmt.items:
+            nodes.append(item.context_expr)
+            if item.optional_vars is not None:
+                nodes.append(item.optional_vars)
+        return nodes
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []  # separate scope; closure capture handled explicitly
+    return [stmt]
+
+
+def _stmt_resolves_span(stmt: ast.stmt, name: str) -> bool:
+    """True when ``stmt`` closes the span id or hands it off.
+
+    Hand-offs that satisfy the rule: the id rides into any call or
+    constructor (argument or keyword — ``_Batch(..., span=span)``), is
+    returned or yielded, is stored into a subscript / attribute /
+    container literal, is aliased whole to another name, or is captured
+    by a nested function definition (the closure keeps it reachable).
+    A bare read (``if span >= 0``) keeps nothing alive and does not
+    count.
+    """
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return _name_loaded_in(stmt, name)
+    for root in _shallow_nodes(stmt):
+        if _walk_resolves(root, name):
+            return True
+    return False
+
+
+def _walk_resolves(root: ast.AST, name: str) -> bool:
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _name_loaded_in(arg, name):
+                    return True
+        elif isinstance(node, ast.Return):
+            if node.value is not None and _name_loaded_in(node.value, name):
+                return True
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _name_loaded_in(node.value, name):
+                return True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            stored = any(
+                isinstance(t, (ast.Subscript, ast.Attribute))
+                for t in targets
+            )
+            value = node.value
+            if value is None:
+                continue
+            if stored and _name_loaded_in(value, name):
+                return True
+            if isinstance(
+                value, (ast.Tuple, ast.List, ast.Set, ast.Dict)
+            ) and _name_loaded_in(value, name):
+                return True
+            if isinstance(value, ast.Name) and value.id == name:
+                return True  # whole alias: the new name carries the id
+    return False
+
+
+def _stmt_kills_span(stmt: ast.stmt, name: str) -> bool:
+    """True when ``stmt`` rebinds ``name``, losing the original id."""
+    if isinstance(stmt, ast.Assign):
+        return any(
+            n == name and kind == "whole"
+            for target in stmt.targets
+            for n, kind in assigned_names(target)
+        )
+    if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        target = stmt.target
+        return isinstance(target, ast.Name) and target.id == name
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return any(
+            n == name and kind == "whole"
+            for n, kind in assigned_names(stmt.target)
+        )
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return any(
+            n == name and kind == "whole"
+            for item in stmt.items
+            if item.optional_vars is not None
+            for n, kind in assigned_names(item.optional_vars)
+        )
+    return False
+
+
+def _span_leaks(cfg, block, start_index: int, name: str) -> bool:
+    """Does some path from here reach the exit without close/hand-off?
+
+    Depth-first over basic blocks; a back edge (block already on the
+    DFS stack) contributes nothing — a pure cycle never reaches the
+    exit.  A rebind of the name is an immediate leak: the original id
+    is unrecoverable past it.
+    """
+    stack: Set[int] = set()
+
+    def from_block(current, index: int) -> bool:
+        for stmt in current.statements[index:]:
+            if _stmt_resolves_span(stmt, name):
+                return False
+            if _stmt_kills_span(stmt, name):
+                return True
+        if current is cfg.exit:
+            return True
+        if current.index in stack:
+            return False
+        stack.add(current.index)
+        try:
+            return any(
+                from_block(successor, 0)
+                for successor in current.successors
+            )
+        finally:
+            stack.discard(current.index)
+
+    return from_block(block, start_index)
+
+
+def _check_span_lifecycle(
+    tree: ast.Module, findings: List[Dict[str, object]]
+) -> None:
+    hint = (
+        "close the span with close_span(id, ...) on every path, or "
+        "hand the id off (pass, return, or store it) so a downstream "
+        "close can reach it"
+    )
+    for func in iter_functions(tree):
+        cfg = build_cfg(func)
+        for block in cfg.blocks:
+            for index, stmt in enumerate(block.statements):
+                calls = [
+                    node
+                    for root in _shallow_nodes(stmt)
+                    for node in ast.walk(root)
+                    if _is_span_call(node, "open_span")
+                ]
+                for call in calls:
+                    name: Optional[str] = None
+                    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        targets = (
+                            stmt.targets if isinstance(stmt, ast.Assign)
+                            else [stmt.target]
+                        )
+                        if (
+                            len(targets) == 1
+                            and isinstance(targets[0], ast.Name)
+                        ):
+                            name = targets[0].id
+                        else:
+                            continue  # stored/unpacked: a hand-off
+                    elif isinstance(stmt, ast.Expr) and stmt.value is call:
+                        findings.append(_finding(
+                            "REPRO612", call.lineno,
+                            "open_span() result is discarded; the span "
+                            "can never be closed",
+                            hint,
+                        ))
+                        continue
+                    else:
+                        # Nested in a return/call/etc. — the id escapes
+                        # at the open site itself.
+                        continue
+                    if _span_leaks(cfg, block, index + 1, name):
+                        findings.append(_finding(
+                            "REPRO612", call.lineno,
+                            f"span id '{name}' from open_span() can "
+                            f"reach the function exit without "
+                            f"close_span() or a hand-off on some path",
+                            hint,
+                        ))
+
+
+# --------------------------------------------------------------------------
 # Module entry point
 # --------------------------------------------------------------------------
 
@@ -1051,7 +1277,7 @@ def active_flow_codes(path: Path) -> Set[str]:
     """
     codes = {
         "REPRO600", "REPRO602", "REPRO603", "REPRO604", "REPRO610",
-        "REPRO611",
+        "REPRO611", "REPRO612",
     }
     if _in_wall_clock_scope(path):
         codes.add("REPRO601")
@@ -1074,4 +1300,5 @@ def analyze_module(
     _check_shared_rng(tree, findings)
     _check_event_schemas(tree, findings)
     _check_metric_schemas(tree, findings)
+    _check_span_lifecycle(tree, findings)
     return findings

@@ -9,8 +9,11 @@ The subcommands cover the deploy-time workflow end to end::
     repro-rod simulate --graph g.json --plan plan.json --rates 50,80 \\
                        --duration 20 --record
     repro-rod trace    run.jsonl --type batch.serviced --node 0 --since 5
+    repro-rod trace    run.jsonl --span 42 --operator filter_0
     repro-rod runs     list
     repro-rod compare  RUN_A RUN_B --threshold latency.p99=0.1
+    repro-rod explain  RUN_B -k 5
+    repro-rod slo      RUN_B --config slo.json
     repro-rod report   RUN_B -o report.html
     repro-rod experiment fig14 --record
 
@@ -36,6 +39,14 @@ run's metrics registry after the normal output.  The global ``-v`` /
 ``compare`` diffs two of them with regression thresholds (non-zero exit
 on breach, so CI can gate on it), and ``report RUN`` renders a
 self-contained HTML report with inline-SVG utilization charts.
+
+``explain RUN`` attributes a recorded run's end-to-end latency to
+(operator, phase) pairs via causal span tracing
+(:mod:`repro.obs.critical_path`); ``slo RUN --config FILE`` judges a
+run against declarative latency/throughput objectives with burn-rate
+windows (:mod:`repro.obs.slo`) — ``simulate --slo FILE`` does the same
+inline at the end of a run.  ``trace --span ID`` prints one batch's
+causal lineage instead of the timeline view.
 """
 
 from __future__ import annotations
@@ -64,6 +75,7 @@ from .faults import chaos_schedule, load_fault_schedule
 from .graphs.serialize import dump_graph, load_graph
 from .obs import (
     JsonlSink,
+    MemorySink,
     MetricsRegistry,
     Observability,
     RunWriter,
@@ -333,6 +345,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     controller = None
     if args.failover:
         controller = FailoverController(policy=args.failover)
+    slo_objectives = None
+    if getattr(args, "slo", None):
+        from .obs.slo import load_slo_config
+
+        try:
+            slo_objectives = load_slo_config(args.slo)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--slo {args.slo}: {exc}") from None
     config = {
         "graph": args.graph,
         "plan": args.plan,
@@ -356,6 +376,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         placement=placement.to_document(),
     )
     obs, sink = _obs_from_args(args, writer)
+    # SLO evaluation needs an event stream; when nothing else asked for
+    # one, capture it in memory so `--slo` works standalone.
+    memory_sink = None
+    if slo_objectives is not None and not obs.tracer.enabled:
+        memory_sink = MemorySink()
+        obs = Observability(
+            registry=obs.registry, tracer=Tracer(memory_sink)
+        )
     try:
         simulator = Simulator(
             placement,
@@ -371,19 +399,65 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"feasible at this rate point: {feasible}")
         if sink is not None:
             print(f"trace written to {args.trace_out}")
+        events = _simulate_trace_events(writer, sink, memory_sink, args)
+        snapshot = snapshot_from_result(result)
+        slo_breached = False
+        if events:
+            from .obs.critical_path import analyze_critical_path
+
+            snapshot["critical_path"] = analyze_critical_path(
+                events
+            ).to_json_obj()
+            if slo_objectives is not None:
+                from .obs.slo import (
+                    evaluate_slos,
+                    record_slo_metrics,
+                    render_slo_report,
+                )
+
+                slo_report = evaluate_slos(events, slo_objectives)
+                record_slo_metrics(obs.registry, slo_report)
+                snapshot["slo"] = slo_report.to_json_obj()
+                print(render_slo_report(slo_report))
+                slo_breached = not slo_report.ok
         _emit_metrics(args, obs.registry)
         if writer is not None:
             writer.finish(
-                snapshot=snapshot_from_result(result),
+                snapshot=snapshot,
                 registry=obs.registry,
                 sim_seconds=result.duration,
             )
             print(f"run recorded to {writer.path}")
+        if slo_breached:
+            return 1
         return 0 if feasible or not args.check else 1
     finally:
         if sink is not None:
             sink.close()
         _seal_run(writer)
+
+
+def _simulate_trace_events(
+    writer: Optional[RunWriter],
+    sink: Optional[JsonlSink],
+    memory_sink,
+    args: argparse.Namespace,
+):
+    """The run's trace events, read back from whichever sink got them.
+
+    JSONL sinks are closed (flushed) before reading; both closes are
+    idempotent, so the `finally` / ``writer.finish`` closes that follow
+    are safe no-ops.  Returns ``[]`` for untraced runs.
+    """
+    if memory_sink is not None:
+        return memory_sink.events
+    if sink is not None:
+        sink.close()
+        return read_trace(args.trace_out)
+    if writer is not None and os.path.exists(writer.trace_path):
+        writer.trace_sink().close()
+        return read_trace(writer.trace_path)
+    return []
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -395,6 +469,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if not events:
         print(f"{args.path}: empty trace")
         return 1
+    if args.span is not None:
+        return _trace_span_lineage(args, events)
     # Geometry comes from the unfiltered trace, so a filtered view still
     # renders with the run's true node count / capacities / horizon.
     meta = trace_metadata(events)
@@ -409,11 +485,54 @@ def cmd_trace(args: argparse.Namespace) -> int:
         types=types or None,
         nodes=args.nodes,
         since=args.since,
+        operators=args.operators,
     )
     if not selected:
         print(f"{args.path}: no events match the filters")
         return 1
     print(render_trace_report(selected, width=args.width, metadata=meta))
+    return 0
+
+
+def _trace_span_lineage(args: argparse.Namespace, events) -> int:
+    """``repro-rod trace --span ID``: one batch's causal history."""
+    from .obs.spans import span_lineage, spans_from_trace
+
+    spans = spans_from_trace(events)
+    if not spans:
+        print(f"{args.path}: trace carries no span events")
+        return 1
+    try:
+        closure = span_lineage(spans, args.span)
+    except KeyError:
+        print(f"{args.path}: span {args.span} does not appear in the "
+              f"trace ({len(spans)} spans recorded)")
+        return 1
+    operators = None if not args.operators else frozenset(args.operators)
+    print(f"lineage of span {args.span}: {len(closure)} span(s)")
+    for span_id in sorted(closure):
+        record = spans[span_id]
+        if operators is not None and record.operator not in operators:
+            continue
+        parent = "-" if record.parent is None else str(record.parent)
+        line = (
+            f"  span {record.span} parent={parent} "
+            f"op={record.operator} port={record.port} "
+            f"count={record.count} arrival={record.open_t:g}s"
+        )
+        if record.closed:
+            line += (
+                f" node={record.node} wait={record.wait_seconds:g}s "
+                f"service={record.service_seconds:g}s out={record.out}"
+            )
+            if record.is_sink:
+                line += (
+                    f" sink={record.sink} "
+                    f"latency={0.0 if record.latency is None else record.latency:g}s"
+                )
+        else:
+            line += " (never serviced — stranded)"
+        print(line)
     return 0
 
 
@@ -493,6 +612,58 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(f"comparing {run_a.run_id} (baseline) -> {run_b.run_id}")
     print(diff.format(show_unchanged=args.all))
     return 1 if diff.breaches else 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .obs.critical_path import (
+        analyze_critical_path,
+        render_critical_path_report,
+    )
+
+    try:
+        run = find_run(args.run, args.root)
+    except FileNotFoundError as exc:
+        print(exc)
+        return 1
+    events = run.events()
+    if not events:
+        print(f"run {run.run_id} has no trace; explain needs a traced "
+              "recording (simulate --record)")
+        return 1
+    analysis = analyze_critical_path(events)
+    if analysis.spans_total == 0:
+        print(f"run {run.run_id}: trace carries no span events "
+              "(recorded before span tracing? re-record it)")
+        return 1
+    if args.json:
+        print(json.dumps(analysis.to_json_obj(), indent=2, sort_keys=True))
+        return 0
+    print(f"run {run.run_id}")
+    print(render_critical_path_report(analysis, top_k=args.top))
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from .obs.slo import evaluate_slos, load_slo_config, render_slo_report
+
+    try:
+        run = find_run(args.run, args.root)
+    except FileNotFoundError as exc:
+        print(exc)
+        return 1
+    try:
+        objectives = load_slo_config(args.config)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--config {args.config}: {exc}") from None
+    events = run.events()
+    if not events:
+        print(f"run {run.run_id} has no trace; slo needs a traced "
+              "recording (simulate --record)")
+        return 1
+    report = evaluate_slos(events, objectives)
+    print(f"run {run.run_id}")
+    print(render_slo_report(report))
+    return 0 if report.ok else 1
 
 
 def _format_wall(epoch: float) -> str:
@@ -709,6 +880,12 @@ def build_parser() -> argparse.ArgumentParser:
              "('volume' keeps the residual feasible set largest, "
              "'least_loaded' is the classic baseline)",
     )
+    sim.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="evaluate the SLO config in FILE over the run's trace "
+             "(see docs/observability.md for the schema); breaches "
+             "exit non-zero",
+    )
     add_obs_flags(sim)
     add_record_flags(sim)
     sim.set_defaults(func=cmd_simulate)
@@ -732,6 +909,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--since", type=float, default=None, metavar="T",
         help="keep only events at simulated time >= T seconds "
              "(events with no sim clock are kept)",
+    )
+    tr.add_argument(
+        "--operator", dest="operators", action="append", metavar="NAME",
+        help="keep only events for operator NAME (repeatable)",
+    )
+    tr.add_argument(
+        "--span", type=int, default=None, metavar="ID",
+        help="print the causal lineage of span ID (ancestors and "
+             "descendants) instead of the timeline report",
     )
     tr.set_defaults(func=cmd_trace)
 
@@ -773,6 +959,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="show unchanged metrics too, not just deltas",
     )
     cmp_parser.set_defaults(func=cmd_compare)
+
+    explain = sub.add_parser(
+        "explain",
+        help="attribute a recorded run's end-to-end latency to "
+             "operators and phases (critical-path analysis)",
+    )
+    explain.add_argument("run", help="run id or run directory path")
+    explain.add_argument("--root", default="runs",
+                         help="run registry root (default ./runs)")
+    explain.add_argument(
+        "-k", "--top", type=int, default=5, metavar="K",
+        help="show the K most latency-critical operators (default 5)",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="print the critical_path snapshot section as JSON",
+    )
+    explain.set_defaults(func=cmd_explain)
+
+    slo_parser = sub.add_parser(
+        "slo",
+        help="judge a recorded run against declarative latency/"
+             "throughput objectives; non-zero exit on breach",
+    )
+    slo_parser.add_argument("run", help="run id or run directory path")
+    slo_parser.add_argument(
+        "--config", required=True, metavar="FILE",
+        help="SLO config JSON (see docs/observability.md)",
+    )
+    slo_parser.add_argument("--root", default="runs",
+                            help="run registry root (default ./runs)")
+    slo_parser.set_defaults(func=cmd_slo)
 
     chk = sub.add_parser(
         "check",

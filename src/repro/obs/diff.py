@@ -36,10 +36,19 @@ __all__ = [
 DEFAULT_THRESHOLD = 0.02
 
 #: Key substrings whose metrics regress when they grow / shrink.
+#: When a key matches tokens from both lists, the longest match wins —
+#: ``critical_path.attributed_ratio`` is lower-is-worse via
+#: ``attributed_ratio`` even though ``critical_path`` marks the rest of
+#: that section higher-is-worse.
 _HIGHER_IS_WORSE = (
     "latency", "backlog", "utilization", "stall", "pause", "wall_seconds",
+    "critical_path", "burn_rate", "breach", "bad_fraction",
+    "unclosed_spans", "stranded",
 )
-_LOWER_IS_WORSE = ("tuples_out", "volume_ratio", "ratio")
+_LOWER_IS_WORSE = (
+    "tuples_out", "volume_ratio", "ratio",
+    "budget_remaining", "attributed_ratio", "attainment",
+)
 
 
 def flatten_metrics(
@@ -70,15 +79,26 @@ def flatten_metrics(
 
 
 def _direction(name: str) -> int:
-    """+1 when growth is a regression, -1 when shrinkage is, 0 both ways."""
+    """+1 when growth is a regression, -1 when shrinkage is, 0 both ways.
+
+    The longest matching token decides, so a specific polarity
+    (``attributed_ratio``) overrides a broad section marker
+    (``critical_path``) on the same key.  Ties across lists keep the
+    higher-is-worse reading — no current token pair ties, and pessimism
+    is the safer default for a regression gate.
+    """
     lowered = name.lower()
+    best_length = 0
+    direction = 0
     for token in _HIGHER_IS_WORSE:
-        if token in lowered:
-            return 1
+        if token in lowered and len(token) > best_length:
+            best_length = len(token)
+            direction = 1
     for token in _LOWER_IS_WORSE:
-        if token in lowered:
-            return -1
-    return 0
+        if token in lowered and len(token) > best_length:
+            best_length = len(token)
+            direction = -1
+    return direction
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,11 @@ from typing import List, Mapping, Optional, Sequence
 import numpy as np
 
 from .analyze import TraceAnalysis, analyze_trace
+from .critical_path import (
+    PHASES,
+    CriticalPathAnalysis,
+    analyze_critical_path,
+)
 from .runs import Run
 from .timeline import utilization_timeline
 
@@ -326,6 +331,82 @@ def _faults_section(analysis: TraceAnalysis) -> str:
     )
 
 
+#: Phase fill colors for the latency waterfall (stable order: PHASES).
+_PHASE_COLORS = {
+    "enqueue-wait": "#f59e0b",
+    "service": "#2563eb",
+    "migration-pause": "#8b5cf6",
+    "stall": "#dc2626",
+}
+
+
+def _critical_path_section(
+    analysis: CriticalPathAnalysis, top_k: int = 8
+) -> str:
+    """Latency waterfall: stacked per-phase bars for the top operators.
+
+    Each row is one operator's mean per-sink-tuple latency contribution,
+    split into phase segments — the flame-graph view of where an
+    end-to-end millisecond actually went.  Bars share one scale so row
+    lengths compare directly.
+    """
+    if analysis.spans_closed == 0:
+        return ""
+    top = analysis.top_operators(top_k)
+    if not top:
+        return ""
+    weight = analysis.latency.total_tuples or 1
+    scale = max(seconds / weight for _, seconds in top)
+    if scale <= 0:
+        return ""
+    bar_width, row_height, label_pad = 420, 22, 120
+    width = bar_width + label_pad + 80
+    height = len(top) * row_height + 4
+    parts = [
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} '
+        f'{height}" role="img">'
+    ]
+    for row, (operator, seconds) in enumerate(top):
+        y = row * row_height
+        parts.append(
+            f'<text x="0" y="{y + row_height - 8}" font-size="11" '
+            f'fill="#333">{_esc(operator)}</text>'
+        )
+        x = float(label_pad)
+        for phase in PHASES:
+            mean = analysis.mean_seconds(operator, phase)
+            segment = (mean / scale) * bar_width
+            if segment <= 0:
+                continue
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y + 2}" width="{segment:.2f}" '
+                f'height="{row_height - 8}" '
+                f'fill="{_PHASE_COLORS[phase]}"/>'
+            )
+            x += segment
+        parts.append(
+            f'<text x="{x + 4:.2f}" y="{y + row_height - 8}" '
+            f'font-size="10" fill="#555">'
+            f"{seconds / weight * 1e3:.3f} ms</text>"
+        )
+    parts.append("</svg>")
+    legend = " &middot; ".join(
+        f'<span style="color:{_PHASE_COLORS[p]}">&#9632;</span> {_esc(p)}'
+        for p in PHASES
+    )
+    mean_ms = analysis.latency.mean() * 1e3
+    return (
+        "<h2>Latency critical path</h2>"
+        f"<p class='meta'>mean end-to-end latency {mean_ms:.3f} ms over "
+        f"{analysis.latency.total_tuples} sink tuples; "
+        f"{analysis.attributed_ratio:.2%} attributed to "
+        "(operator, phase) pairs</p>"
+        + "".join(parts)
+        + f"<p class='legend'>{legend} — bar length is the operator's "
+        "mean per-tuple latency contribution</p>"
+    )
+
+
 def _events_section(analysis: TraceAnalysis) -> str:
     if not analysis.events_by_type:
         return ""
@@ -424,6 +505,9 @@ def render_html_report(run: Run) -> str:
         )
         sections.append(_nodes_section(analysis, utilization))
         sections.append(_operators_section(analysis))
+        sections.append(_critical_path_section(
+            analyze_critical_path(events)
+        ))
         sections.append(_migrations_section(analysis))
         sections.append(_faults_section(analysis))
         sections.append(_events_section(analysis))

@@ -119,6 +119,19 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             "node.stall",
             "migration pause served by a node",
             required=("node", "work"),
+            optional=("start",),
+        ),
+        _event(
+            "span.open",
+            "a batch span was born: source injection or operator fan-out",
+            required=("span", "operator", "port", "count", "birth"),
+            optional=("parent",),
+        ),
+        _event(
+            "span.close",
+            "a batch span finished service on a node",
+            required=("span", "node", "start", "work", "out"),
+            optional=("sink", "latency"),
         ),
         _event(
             "migration.decided",
@@ -201,6 +214,15 @@ METRIC_SCHEMAS: Dict[str, MetricSchema] = {
         _metric("rod_sim_latency_seconds", "gauge",
                 "end-to-end latency quantiles of the latest run",
                 ("quantile",)),
+        _metric("rod_slo_budget_remaining", "gauge",
+                "fraction of an objective's error budget left",
+                ("objective",)),
+        _metric("rod_slo_worst_burn_rate", "gauge",
+                "worst burn rate observed over an objective's windows",
+                ("objective",)),
+        _metric("rod_slo_breaches_total", "counter",
+                "windows that burned faster than the objective allows",
+                ("objective",)),
         _metric("repro_phase_seconds", "histogram",
                 "wall-clock seconds spent per profiled phase", ("phase",)),
         _metric("repro_parallel_tasks", "counter",

@@ -86,6 +86,8 @@ def filter_events(
     types: Optional[Sequence[str]] = None,
     nodes: Optional[Sequence[int]] = None,
     since: Optional[float] = None,
+    spans: Optional[Sequence[int]] = None,
+    operators: Optional[Sequence[str]] = None,
 ) -> List[TraceEvent]:
     """Subset of ``events`` matching every given filter.
 
@@ -95,9 +97,21 @@ def filter_events(
     dropped when a node filter is active); ``since`` keeps events whose
     simulated time is ``>= since`` (events with no sim clock, ``t is
     None``, are kept — they have no position in the window).
+
+    ``spans`` and ``operators`` follow the node-filter convention:
+    ``spans`` keeps only events carrying a ``span`` field with one of
+    the listed ids (pass a lineage closure from
+    :func:`repro.obs.spans.span_lineage` to pull one batch's history);
+    ``operators`` keeps only events whose ``operator`` field matches.
+    Events lacking the filtered field are dropped while that filter is
+    active.
     """
     type_set = None if types is None else frozenset(types)
     node_set = None if nodes is None else frozenset(int(n) for n in nodes)
+    span_set = None if spans is None else frozenset(int(s) for s in spans)
+    operator_set = (
+        None if operators is None else frozenset(str(o) for o in operators)
+    )
     kept = []
     for event in events:
         if type_set is not None and event.type not in type_set:
@@ -105,6 +119,14 @@ def filter_events(
         if node_set is not None:
             node = event.fields.get("node")
             if node is None or int(node) not in node_set:
+                continue
+        if span_set is not None:
+            span = event.fields.get("span")
+            if span is None or int(span) not in span_set:
+                continue
+        if operator_set is not None:
+            operator = event.fields.get("operator")
+            if operator is None or str(operator) not in operator_set:
                 continue
         if (since is not None and event.t is not None
                 and float(event.t) < since):

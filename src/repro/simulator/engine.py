@@ -34,10 +34,13 @@ same schedule and seed always produce bit-identical traces and results.
 
 The engine is instrumented for :mod:`repro.obs`: pass a ``tracer`` to
 stream typed events (``sim.start``/``sim.end``, batch enqueue/service,
-node busy/idle transitions, migration decisions) and a ``metrics``
-registry to collect run counters and latency quantiles.  Both default to
-disabled, and every hot-path emit is guarded on ``tracer.enabled``, so
-an uninstrumented run allocates no event objects at all.
+node busy/idle transitions, migration decisions, causal span lineage
+``span.open``/``span.close`` linking every batch to the source
+injection it descends from — see :mod:`repro.obs.spans`) and a
+``metrics`` registry to collect run counters and latency quantiles.
+Both default to disabled, and every hot-path emit is guarded on
+``tracer.enabled``, so an uninstrumented run allocates no event
+objects at all.
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ import numpy as np
 from ..core.plans import Placement
 from ..faults.schedule import FaultEvent, FaultSchedule
 from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanEmitter
 from ..obs.trace import NULL_TRACER, Tracer
 from ..workload.arrivals import ArrivalProcess
 from .metrics import LatencyStats, OperatorStats, SimulationResult
@@ -89,6 +93,7 @@ class _Batch:
     port: int
     count: int
     extra_work: float = 0.0  # receive-side network CPU, unit capacity
+    span: int = -1      # causal span id; -1 when tracing is disabled
 
 
 @dataclass(frozen=True)
@@ -100,6 +105,7 @@ class _Completion:
     out_count: int = 0
     deliveries: Tuple[Tuple[str, int, float], ...] = ()
     work: float = 0.0
+    start: float = 0.0               # when the node began serving it
 
 
 @dataclass(frozen=True)
@@ -205,6 +211,10 @@ class Simulator:
         # ever allocated.
         tracer = self.tracer
         tracing = tracer.enabled
+        # Span ids link every batch to its causal parent; allocation and
+        # emission happen only under the `tracing` guard, so a disabled
+        # run leaves every batch at span=-1 and never calls the emitter.
+        spans = SpanEmitter(tracer)
         if tracing:
             tracer.emit(
                 "sim.start",
@@ -264,7 +274,8 @@ class Simulator:
                 push_event(
                     now + entry.duration,
                     _COMPLETION,
-                    _Completion(node=node, batch=None, work=work),
+                    _Completion(node=node, batch=None, work=work,
+                                start=now),
                 )
                 return
             batch: _Batch = entry
@@ -304,6 +315,7 @@ class Simulator:
                     out_count=out_count,
                     deliveries=tuple(deliveries),
                     work=total_work,
+                    start=now,
                 ),
             )
 
@@ -401,11 +413,18 @@ class Simulator:
             for start, count in process.steps():
                 tuples_in += count
                 for consumer, port in routes:
+                    span = -1
+                    if tracing:
+                        span = spans.open_span(
+                            start, operator=consumer, port=port,
+                            count=count, birth=start,
+                        )
                     push_event(
                         start,
                         _ARRIVAL,
                         _Batch(birth=start, arrival=start,
-                               operator=consumer, port=port, count=count),
+                               operator=consumer, port=port, count=count,
+                               span=span),
                     )
 
         def apply_fault(fault: FaultEvent, now: float) -> None:
@@ -536,12 +555,20 @@ class Simulator:
                     tracer.emit(
                         "node.stall", t=time, node=node,
                         work=completion.work,
+                        start=completion.start,
                     )
                 else:
+                    # Sink closes carry the identical latency float the
+                    # engine records below, so trace analyzers reconcile
+                    # with SimulationResult bit-for-bit.
+                    sink_latency_s: Optional[float] = (
+                        None if sink_stream is None
+                        else time - batch.birth
+                    )
                     extra = (
                         {} if sink_stream is None
                         else {"sink": sink_stream,
-                              "latency": time - batch.birth}
+                              "latency": sink_latency_s}
                     )
                     tracer.emit(
                         "batch.serviced",
@@ -554,16 +581,34 @@ class Simulator:
                         work=completion.work,
                         **extra,
                     )
+                    spans.close_span(
+                        batch.span,
+                        time,
+                        node=node,
+                        start=completion.start,
+                        work=completion.work,
+                        out=completion.out_count,
+                        sink=sink_stream,
+                        latency=sink_latency_s,
+                    )
             if batch is not None and completion.out_count > 0:
                 if completion.deliveries:
                     for consumer, port, recv in completion.deliveries:
+                        span = -1
+                        if tracing:
+                            span = spans.open_span(
+                                time, operator=consumer, port=port,
+                                count=completion.out_count,
+                                birth=batch.birth, parent=batch.span,
+                            )
                         push_event(
                             time,
                             _ARRIVAL,
                             _Batch(birth=batch.birth, arrival=time,
                                    operator=consumer, port=port,
                                    count=completion.out_count,
-                                   extra_work=recv),
+                                   extra_work=recv,
+                                   span=span),
                         )
                 elif sink_stream is not None:
                     tuples_out += completion.out_count

@@ -535,3 +535,116 @@ class TestRunRegistryCli:
         run = find_run("exp", root=root)
         assert run.manifest.kind == "experiment"
         assert run.result["rows"]
+
+
+class TestExplainAndSloCli:
+    @pytest.fixture
+    def recorded_run(self, tmp_path, graph_file, plan_file, capsys):
+        root = str(tmp_path / "runs")
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "3",
+            "--record", root, "--run-id", "base",
+        ]) == 0
+        capsys.readouterr()
+        return root
+
+    def test_explain_renders_attribution(self, recorded_run, capsys):
+        assert main(["explain", "base", "--root", recorded_run]) == 0
+        out = capsys.readouterr().out
+        assert "run base" in out
+        assert "attributed" in out
+        assert "service" in out
+
+    def test_explain_json_is_fully_attributed(self, recorded_run, capsys):
+        assert main([
+            "explain", "base", "--root", recorded_run, "--json",
+        ]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["attributed_ratio"] >= 0.999
+        assert obj["unclosed_spans"] == 0
+
+    def test_explain_missing_run_fails(self, tmp_path, capsys):
+        assert main([
+            "explain", "ghost", "--root", str(tmp_path),
+        ]) == 1
+        assert "ghost" in capsys.readouterr().out
+
+    def test_slo_verdict_exit_codes(self, recorded_run, tmp_path, capsys):
+        loose = tmp_path / "loose.json"
+        loose.write_text(json.dumps({"objectives": [
+            {"name": "lat", "kind": "latency", "threshold_seconds": 60.0,
+             "target": 0.5, "window_seconds": 1.0},
+        ]}))
+        assert main([
+            "slo", "base", "--root", recorded_run,
+            "--config", str(loose),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 breached" in out
+        strict = tmp_path / "strict.json"
+        strict.write_text(json.dumps({"objectives": [
+            {"name": "tput", "kind": "throughput",
+             "min_tuples_per_second": 1e9, "window_seconds": 1.0},
+        ]}))
+        assert main([
+            "slo", "base", "--root", recorded_run,
+            "--config", str(strict),
+        ]) == 1
+        assert "BREACH" in capsys.readouterr().out
+
+    def test_slo_bad_config_aborts(self, recorded_run, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"objectives": []}))
+        with pytest.raises(SystemExit, match="objectives"):
+            main([
+                "slo", "base", "--root", recorded_run,
+                "--config", str(bad),
+            ])
+
+    def test_simulate_slo_flag_gates_exit(
+        self, tmp_path, graph_file, plan_file, capsys
+    ):
+        strict = tmp_path / "strict.json"
+        strict.write_text(json.dumps({"objectives": [
+            {"name": "tput", "kind": "throughput",
+             "min_tuples_per_second": 1e9, "window_seconds": 1.0},
+        ]}))
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "2",
+            "--slo", str(strict),
+        ]) == 1
+        assert "BREACH" in capsys.readouterr().out
+
+
+class TestTraceSpanLineage:
+    @pytest.fixture
+    def trace_path(self, tmp_path, graph_file, plan_file, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "2",
+            "--trace-out", path,
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_span_lineage_view(self, trace_path, capsys):
+        assert main(["trace", trace_path, "--span", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "lineage of span 0" in out
+        assert "span 0" in out
+
+    def test_unknown_span_fails(self, trace_path, capsys):
+        assert main(["trace", trace_path, "--span", "999999"]) == 1
+        assert "does not appear" in capsys.readouterr().out
+
+    def test_operator_filter_narrows_lineage(self, trace_path, capsys):
+        assert main([
+            "trace", trace_path, "--span", "0", "--operator", "nope",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Lineage header still prints; no member rows survive the filter.
+        assert "lineage of span 0" in out
+        assert "op=nope" not in out

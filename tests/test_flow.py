@@ -620,6 +620,129 @@ class TestMetricSchemaConformance:
         ) == []
 
 
+# ---------------------------------------------------- REPRO612 fixtures
+
+
+class TestSpanLifecycle:
+    def test_close_missing_on_one_path_flagged(self):
+        assert flow_codes(
+            """
+            def f(emitter, batch, hot):
+                span = emitter.open_span(
+                    0.0, operator="a", port=0, count=1, birth=0.0
+                )
+                if hot:
+                    emitter.close_span(
+                        span, 1.0, node=0, start=0.5, work=0.1, out=1
+                    )
+            """
+        ) == ["REPRO612"]
+
+    def test_closed_on_every_path_ok(self):
+        assert flow_codes(
+            """
+            def f(emitter, hot):
+                span = emitter.open_span(
+                    0.0, operator="a", port=0, count=1, birth=0.0
+                )
+                if hot:
+                    emitter.close_span(
+                        span, 1.0, node=0, start=0.5, work=0.1, out=1
+                    )
+                else:
+                    emitter.close_span(
+                        span, 2.0, node=1, start=0.5, work=0.1, out=1
+                    )
+            """
+        ) == []
+
+    def test_handoff_as_call_argument_ok(self):
+        # Passing the id onward (e.g. into a Batch) transfers ownership;
+        # the receiver closes it later.
+        assert flow_codes(
+            """
+            def f(emitter, push, t):
+                span = emitter.open_span(
+                    t, operator="a", port=0, count=1, birth=t
+                )
+                push(Batch(birth=t, span=span))
+            """
+        ) == []
+
+    def test_return_hands_span_off(self):
+        assert flow_codes(
+            """
+            def f(emitter, t):
+                span = emitter.open_span(
+                    t, operator="a", port=0, count=1, birth=t
+                )
+                return span
+            """
+        ) == []
+
+    def test_store_into_container_hands_off(self):
+        assert flow_codes(
+            """
+            def f(emitter, pending, key):
+                span = emitter.open_span(
+                    0.0, operator="a", port=0, count=1, birth=0.0
+                )
+                pending[key] = span
+            """
+        ) == []
+
+    def test_discarded_open_flagged(self):
+        assert flow_codes(
+            """
+            def f(emitter):
+                emitter.open_span(
+                    0.0, operator="a", port=0, count=1, birth=0.0
+                )
+            """
+        ) == ["REPRO612"]
+
+    def test_rebinding_before_close_flagged(self):
+        assert flow_codes(
+            """
+            def f(emitter):
+                span = emitter.open_span(
+                    0.0, operator="a", port=0, count=1, birth=0.0
+                )
+                span = None
+                return span
+            """
+        ) == ["REPRO612"]
+
+    def test_close_only_inside_loop_body_flagged(self):
+        # A for body can run zero times, so a close inside it does not
+        # cover the fall-through path.
+        assert flow_codes(
+            """
+            def f(emitter, items):
+                span = emitter.open_span(
+                    0.0, operator="a", port=0, count=1, birth=0.0
+                )
+                for item in items:
+                    emitter.close_span(
+                        span, 1.0, node=0, start=0.5, work=0.1, out=1
+                    )
+            """
+        ) == ["REPRO612"]
+
+    def test_noqa_suppresses_at_open_site(self):
+        source = (
+            "__all__ = []\n"
+            "def f(emitter):\n"
+            "    span = emitter.open_span(  # noqa: REPRO612  # test-only\n"
+            "        0.0, operator='a', port=0, count=1, birth=0.0\n"
+            "    )\n"
+            "    return None\n"
+        )
+        assert [
+            d.code for d in lint_source(source, LIB_PATH, flow=True)
+        ] == []
+
+
 # ------------------------------------------------------- lint integration
 
 
