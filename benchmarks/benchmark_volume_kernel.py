@@ -9,6 +9,13 @@ Run standalone::
     PYTHONPATH=src python -m pytest benchmarks/benchmark_volume_kernel.py \
         -q --benchmark-json=/tmp/bench_volume.json
 
+Scale tiers (cumulative, see ``conftest.py``): ``--tier mid`` adds the
+hierarchical-vs-flat placement race at 384 operators / 96 nodes, which
+asserts the scale path's headline numbers — hierarchical+batched at
+least 4x faster than flat annealing with final volume within 5%.
+``--tier large`` adds the 1000-node / 64-stream runs. Refresh the full
+baseline with ``--tier large``.
+
 CI compares the fresh JSON against the committed baseline
 ``benchmarks/BENCH_volume.json`` via ``check_volume_budget.py``; refresh
 the baseline with the command above (writing to the baseline path) after
@@ -17,12 +24,19 @@ an intentional kernel change.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.core.volume import cache, qmc
+from repro.core.volume import (
+    SparseWeights,
+    cache,
+    qmc,
+    sparse_feasible_mask,
+)
 from repro.experiments.common import make_model
-from repro.placement import AnnealingPlacer
+from repro.placement import AnnealingPlacer, HierarchicalPlacer
 
 
 @pytest.fixture(autouse=True)
@@ -70,3 +84,93 @@ def test_annealing_place(benchmark):
 
     plan = benchmark(placer.place, model, capacities)
     assert len(plan.assignment) == model.num_operators
+
+
+# --- mid tier: the hierarchical-vs-flat placement race -----------------
+
+_MID_HIER = dict(group_size=8, refine_iterations=100, samples=512,
+                 score_batch=16, seed=5)
+
+
+def test_mid_hierarchical_vs_flat(benchmark, require_tier):
+    """The scale path's acceptance numbers, asserted as a benchmark:
+    hierarchical cluster-then-place with batched scoring is at least 4x
+    faster than flat annealing at 384 operators / 96 nodes, and gives
+    up no more than 5% of the flat baseline's feasible-set volume."""
+    require_tier("mid")
+    model = make_model(6, 64, seed=5)
+    capacities = [1.0] * 96
+    flat = AnnealingPlacer(seed=5)
+    hier = HierarchicalPlacer(**_MID_HIER)
+
+    flat_plan = flat.place(model, capacities)  # warm the sample cache
+    flat_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        flat_plan = flat.place(model, capacities)
+        flat_times.append(time.perf_counter() - start)
+
+    hier_plan = benchmark(hier.place, model, capacities)
+
+    hier_time = benchmark.stats.stats.min
+    flat_time = min(flat_times)
+    assert flat_time >= 4.0 * hier_time, (
+        f"hierarchical {hier_time * 1e3:.1f} ms vs "
+        f"flat {flat_time * 1e3:.1f} ms: speedup below 4x"
+    )
+    flat_volume = flat_plan.volume_ratio(samples=4096)
+    hier_volume = hier_plan.volume_ratio(samples=4096)
+    assert hier_volume >= 0.95 * flat_volume, (
+        f"hierarchical volume {hier_volume:.4f} is more than 5% below "
+        f"flat volume {flat_volume:.4f}"
+    )
+
+
+def test_mid_flat_annealing_place(benchmark, require_tier):
+    """Flat annealing at mid scale — the baseline side of the race,
+    tracked on its own so a regression in either placer is visible."""
+    require_tier("mid")
+    model = make_model(6, 64, seed=5)
+    capacities = [1.0] * 96
+    placer = AnnealingPlacer(seed=5)
+    placer.place(model, capacities)  # warm the sample cache
+
+    plan = benchmark.pedantic(placer.place, args=(model, capacities),
+                              rounds=3, iterations=1)
+    assert len(plan.assignment) == model.num_operators
+
+
+# --- large tier: 1000 nodes, 64 input streams --------------------------
+
+
+def test_large_thousand_node_hierarchical(benchmark, require_tier):
+    """End-to-end hierarchical placement of 2048 operators over 1000
+    nodes in a 64-stream model — the tentpole's headline scale."""
+    require_tier("large")
+    model = make_model(64, 32, seed=1)
+    placer = HierarchicalPlacer(group_size=8, refine_iterations=50,
+                                samples=256, score_batch=16, seed=5)
+    capacities = [1.0] * 1000
+    placer.place(model, capacities)  # warm the sample cache
+
+    plan = benchmark.pedantic(placer.place, args=(model, capacities),
+                              rounds=3, iterations=1)
+    assert len(plan.assignment) == model.num_operators
+    assert len(set(plan.assignment)) == 1000
+
+
+def test_large_sparse_feasible_mask(benchmark, require_tier):
+    """Sparse structure-aware scoring of a 1000-node, 64-axis weight
+    matrix: per-node cost scales with active columns, not dimension."""
+    require_tier("large")
+    rng = np.random.default_rng(17)
+    weights = np.zeros((1000, 64))
+    for i in range(1000):
+        active = rng.choice(64, size=6, replace=False)
+        weights[i, active] = rng.uniform(0.2, 3.0, size=6)
+    sparse = SparseWeights(weights)
+    points = qmc.sample_unit_simplex(4096, 64, method="halton")
+
+    mask, _ = benchmark(sparse_feasible_mask, sparse, points)
+    dense = np.all(points @ weights.T <= 1.0 + 1e-12, axis=1)
+    assert np.array_equal(mask, dense)

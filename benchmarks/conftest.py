@@ -9,7 +9,33 @@ from __future__ import annotations
 
 import pathlib
 
+import pytest
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Benchmark tiers are cumulative: ``mid`` runs everything in ``default``
+# plus the mid-scale placement race, ``large`` adds the 1000-node runs.
+TIER_ORDER = {"default": 0, "mid": 1, "large": 2}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--tier", action="store", default="default",
+        choices=tuple(TIER_ORDER),
+        help="benchmark tier: default = kernel micro-benches; "
+             "mid adds the hierarchical-vs-flat placement race; "
+             "large adds the 1000-node scale runs",
+    )
+
+
+@pytest.fixture
+def require_tier(request):
+    """Callable fixture: skip the benchmark unless ``--tier`` covers it."""
+    def _require(wanted: str) -> None:
+        have = request.config.getoption("--tier")
+        if TIER_ORDER[have] < TIER_ORDER[wanted]:
+            pytest.skip(f"requires --tier {wanted} (running --tier {have})")
+    return _require
 
 
 def save_table(artifact_id: str, text: str) -> None:

@@ -29,6 +29,15 @@ ones that have bitten stream-processing reproductions before:
   longer suppresses any finding of a rule that ran.  Stale baselines
   hide future regressions; ``repro-lint --prune-baseline`` rewrites
   them away.
+* **REPRO508 dense-alloc-in-placement-loop** (warning) — no dense
+  multi-dimensional ``np.zeros``/``np.empty``/``np.ones``/``np.full``
+  allocation inside a loop in the placement package
+  (``src/repro/placement/``).  Placement searches visit thousands of
+  candidates; an ``np.zeros((n_nodes, ...))`` per candidate is the
+  allocation pattern that made flat search collapse at 1000 nodes —
+  hoist the buffer or patch deltas instead (see
+  ``docs/performance.md``).  Loops that genuinely need a fresh dense
+  buffer per iteration carry a justified ``noqa``.
 
 With ``--flow`` (the default) the dataflow rule pack
 (:mod:`repro.check.flow`, ``REPRO600``-``REPRO611``) runs over the
@@ -78,6 +87,8 @@ LINT_CODES = {
     "REPRO505": (Severity.ERROR, "print() in library code"),
     "REPRO506": (Severity.WARNING, "per-element Python loop in volume kernel"),
     "REPRO507": (Severity.WARNING, "unused noqa suppression"),
+    "REPRO508": (Severity.WARNING,
+                 "dense array allocation in placement loop"),
 }
 
 #: Severity lookup across both rule packs.
@@ -87,6 +98,14 @@ _ALL_CODES = {**LINT_CODES, **FLOW_CODES}
 #: per-element over arrays — the QMC volume kernel is the repro's inner
 #: loop, so REPRO506 is scoped to it.
 _SCALAR_LOOP_SCOPE = ("core", "volume")
+
+#: directories (as ``path.parts`` suffixes) whose loops must not allocate
+#: dense multi-dimensional arrays per iteration — placement searches
+#: score thousands of candidates, so REPRO508 is scoped to them.
+_DENSE_ALLOC_SCOPE = ("repro", "placement")
+
+#: numpy constructors whose multi-dimensional form REPRO508 flags.
+_DENSE_ALLOC_FUNCS = frozenset({"zeros", "empty", "ones", "full"})
 
 #: module stems under ``repro`` allowed to print: the console entry
 #: point and the ASCII renderer whose whole job is terminal output.
@@ -122,11 +141,14 @@ class _LintVisitor(ast.NodeVisitor):
     """Single-pass visitor collecting REPRO501-503 findings."""
 
     def __init__(self, forbid_print: bool = False,
-                 flag_scalar_loops: bool = False) -> None:
+                 flag_scalar_loops: bool = False,
+                 flag_dense_allocs: bool = False) -> None:
         self.findings: List[Dict[str, object]] = []
         self._assert_depth = 0
+        self._loop_depth = 0
         self.forbid_print = forbid_print
         self.flag_scalar_loops = flag_scalar_loops
+        self.flag_dense_allocs = flag_dense_allocs
 
     def _report(self, code: str, node: ast.AST, message: str,
                 fix_hint: str) -> None:
@@ -150,6 +172,24 @@ class _LintVisitor(ast.NodeVisitor):
                 "REPRO505", node,
                 "print() in library code",
                 "log via repro.obs.log.get_logger(__name__) instead",
+            )
+        if (
+            self.flag_dense_allocs
+            and self._loop_depth > 0
+            and isinstance(func, ast.Attribute)
+            and func.attr in _DENSE_ALLOC_FUNCS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+            and node.args
+            and isinstance(node.args[0], ast.Tuple)
+            and len(node.args[0].elts) >= 2
+        ):
+            self._report(
+                "REPRO508", node,
+                f"dense np.{func.attr}(...) allocation inside a placement "
+                "loop",
+                "hoist the buffer out of the loop or patch per-candidate "
+                "deltas (see the incremental annealing/optimal kernels)",
             )
         if isinstance(func, ast.Attribute):
             value = func.value
@@ -268,7 +308,23 @@ class _LintVisitor(ast.NodeVisitor):
                 "vectorize with whole-array numpy operations, or add a "
                 "justified noqa if the loop is not per-point",
             )
-        self.generic_visit(node)
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._visit_loop_body(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._visit_loop_body(node)
+
+    def _visit_loop_body(self, node: ast.stmt) -> None:
+        """Visit a loop's body/orelse with the loop depth raised — the
+        iterable/test runs once, only the body repeats."""
+        self._loop_depth += 1
+        for statement in getattr(node, "body", []):
+            self.visit(statement)
+        self._loop_depth -= 1
+        for statement in getattr(node, "orelse", []):
+            self.visit(statement)
 
 
 def _module_defines_all(tree: ast.Module) -> bool:
@@ -304,8 +360,14 @@ def _raw_findings(
         parent_parts[-len(_SCALAR_LOOP_SCOPE):] == _SCALAR_LOOP_SCOPE
         and not _is_test_path(path)
     )
+    flag_dense_allocs = (
+        parent_parts[-len(_DENSE_ALLOC_SCOPE):] == _DENSE_ALLOC_SCOPE
+        and not _is_test_path(path)
+    )
     visitor = _LintVisitor(
-        forbid_print=forbid_print, flag_scalar_loops=flag_scalar_loops
+        forbid_print=forbid_print,
+        flag_scalar_loops=flag_scalar_loops,
+        flag_dense_allocs=flag_dense_allocs,
     )
     visitor.visit(tree)
     findings = visitor.findings
@@ -330,6 +392,8 @@ def _raw_findings(
         active.add("REPRO505")
     if flag_scalar_loops:
         active.add("REPRO506")
+    if flag_dense_allocs:
+        active.add("REPRO508")
 
     # Flow rules run over library code only: test modules iterate sets
     # in assertions and build throwaway fixtures all the time, and the

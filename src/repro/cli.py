@@ -87,8 +87,10 @@ from .obs import (
 )
 from .obs.runs import snapshot_from_result
 from .placement import (
+    AnnealingPlacer,
     ConnectedPlacer,
     CorrelationPlacer,
+    HierarchicalPlacer,
     LLFPlacer,
     MilpBalancePlacer,
     OptimalPlacer,
@@ -125,13 +127,23 @@ EXPERIMENTS = {
     "protocol": lambda: experiments.fidelity.run_protocol_comparison(),
     "linearization": lambda: experiments.linearization_value.run(),
     "search-gap": lambda: experiments.search_gap.run(),
+    "scale-solve": lambda jobs=1: experiments.scale_solve.run(jobs=jobs),
 }
 
 #: Experiment ids whose runner accepts a ``jobs=`` keyword.
-JOBS_AWARE_EXPERIMENTS = frozenset({"fig14", "fig15", "fault-tolerance"})
+JOBS_AWARE_EXPERIMENTS = frozenset(
+    {"fig14", "fig15", "fault-tolerance", "scale-solve"}
+)
 
 
-def _build_placer(name: str, model: LoadModel, seed: Optional[int]):
+def _build_placer(
+    name: str,
+    model: LoadModel,
+    seed: Optional[int],
+    score_batch: int = 1,
+    jobs: int = 1,
+    group_size: int = 16,
+):
     if name == "rod":
         return RODPlacer()
     if name == "llf":
@@ -147,6 +159,13 @@ def _build_placer(name: str, model: LoadModel, seed: Optional[int]):
         return OptimalPlacer()
     if name == "milp":
         return MilpBalancePlacer()
+    if name == "annealing":
+        return AnnealingPlacer(seed=seed, score_batch=score_batch, jobs=jobs)
+    if name == "hierarchical":
+        return HierarchicalPlacer(
+            group_size=group_size, seed=seed,
+            score_batch=score_batch, jobs=jobs,
+        )
     raise SystemExit(f"unknown algorithm: {name!r}")
 
 
@@ -263,7 +282,13 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_place(args: argparse.Namespace) -> int:
     model = build_load_model(load_graph(args.graph))
-    placer = _build_placer(args.algorithm, model, args.seed)
+    algorithm = "hierarchical" if args.hierarchical else args.algorithm
+    placer = _build_placer(
+        algorithm, model, args.seed,
+        score_batch=args.score_batch,
+        jobs=parallel.resolve_jobs(args.jobs),
+        group_size=args.group_size,
+    )
     placement = placer.place(model, [args.capacity] * args.nodes)
     _print_plan_summary(placement)
     if args.output:
@@ -286,9 +311,19 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     obs, sink = _obs_from_args(args, writer)
     try:
         print(placement.describe())
-        with obs.phase("evaluate.volume_ratio"):
-            ratio = placement.volume_ratio(jobs=jobs)
-        print(f"feasible-set ratio to ideal: {ratio:.4f}")
+        if args.axis_budget is not None:
+            with obs.phase("evaluate.volume_ratio"):
+                ratio, se = placement.feasible_set().volume_ratio_axis_sampled(
+                    axis_budget=args.axis_budget
+                )
+            print(
+                f"feasible-set ratio to ideal: {ratio:.4f} "
+                f"(axis-sampled, se={se:.4f})"
+            )
+        else:
+            with obs.phase("evaluate.volume_ratio"):
+                ratio = placement.volume_ratio(jobs=jobs)
+            print(f"feasible-set ratio to ideal: {ratio:.4f}")
         print(f"inter-node arcs: {placement.inter_node_arcs()}")
         print()
         with obs.phase("evaluate.resilience"):
@@ -831,7 +866,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         default="rod",
         choices=("rod", "llf", "connected", "correlation", "random",
-                 "optimal", "milp"),
+                 "optimal", "milp", "annealing", "hierarchical"),
+    )
+    place.add_argument(
+        "--hierarchical", action="store_true",
+        help="shortcut for --algorithm hierarchical: cluster-then-place "
+             "for large clusters (hundreds to 1000 nodes)",
+    )
+    place.add_argument(
+        "--score-batch", type=int, default=1, metavar="K",
+        help="score K candidate moves per search round in the annealing "
+             "kernels (K=1 is bit-identical to the classic loop)",
+    )
+    place.add_argument(
+        "--group-size", type=int, default=16, metavar="N",
+        help="nodes per refinement group for --hierarchical",
+    )
+    place.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for candidate scoring / group refinement "
+             "(0 = all cores)",
     )
     place.add_argument("--seed", type=int, default=None)
     place.add_argument("-o", "--output")
@@ -845,6 +899,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the QMC volume estimate "
              "(0 = all cores); the result is identical for any value",
+    )
+    ev.add_argument(
+        "--axis-budget", type=int, default=None, metavar="K",
+        help="estimate the volume ratio with importance-weighted "
+             "axis-sampled QMC (Halton on the K hardest-binding axes, "
+             "seeded uniforms elsewhere) and report its standard error; "
+             "for high-dimensional models — NOT bit-identical to the "
+             "default estimator",
     )
     add_obs_flags(ev)
     add_record_flags(ev)

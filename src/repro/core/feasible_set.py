@@ -183,6 +183,7 @@ class FeasibleSet:
         seed: Optional[int] = None,
         target_se: Optional[float] = None,
         jobs: int = 1,
+        representation: str = "auto",
     ) -> float:
         """QMC estimate of ``V(F) / V(F*)`` (in ``[0, 1]``).
 
@@ -191,6 +192,9 @@ class FeasibleSet:
         budget); ``jobs > 1`` splits the sample budget across worker
         processes without changing the result (see
         :func:`repro.core.volume.qmc.feasible_fraction`).
+        ``representation`` selects the dense or sparse scoring kernel —
+        a speed/memory knob only; the returned ratio is identical either
+        way.
         """
         bound = (
             None if self.lower_bound is None else self.normalized_lower_bound()
@@ -203,6 +207,37 @@ class FeasibleSet:
             lower_bound=bound,
             target_se=target_se,
             jobs=jobs,
+            representation=representation,
+        )
+
+    def volume_ratio_axis_sampled(
+        self,
+        samples: int = 4096,
+        axis_budget: int = 16,
+        seed: int = 0,
+        batch: int = 512,
+        representation: str = "auto",
+    ) -> "tuple[float, float]":
+        """Opt-in high-d estimate of ``V(F) / V(F*)``: ``(ratio, se)``.
+
+        Spends the Halton budget on the ``axis_budget`` axes that bind
+        feasibility hardest and fills the rest with seeded pseudo-random
+        uniforms (see :func:`repro.core.volume.qmc.axis_sampled_fraction`).
+        Not bit-identical to :meth:`volume_ratio` — use when the
+        dimension is high enough (≳ 48) that full-dimensional Halton
+        degrades, and read the returned standard error.
+        """
+        bound = (
+            None if self.lower_bound is None else self.normalized_lower_bound()
+        )
+        return qmc.axis_sampled_fraction(
+            self.weights(),
+            samples=samples,
+            axis_budget=axis_budget,
+            seed=seed,
+            batch=batch,
+            lower_bound=bound,
+            representation=representation,
         )
 
     def volume(

@@ -66,15 +66,22 @@ def _candidate_weights(
     op_row: np.ndarray,
     totals: np.ndarray,
     capacity_share: np.ndarray,
+    safe_totals: Optional[np.ndarray] = None,
+    dead_columns: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Weight matrix every node would have after receiving the operator.
 
     Row ``i`` is node ``i``'s weights with the operator added to *it*
     (other nodes unchanged do not matter for the decision).
+    ``safe_totals`` / ``dead_columns`` let the assignment loop hoist the
+    totals guards instead of recomputing them per operator.
     """
-    safe_totals = np.where(totals > _EPS, totals, 1.0)
+    if safe_totals is None:
+        safe_totals = np.where(totals > _EPS, totals, 1.0)
+    if dead_columns is None:
+        dead_columns = totals <= _EPS
     share = (node_coeffs + op_row) / safe_totals
-    share[:, totals <= _EPS] = 0.0
+    share[:, dead_columns] = 0.0
     return share / capacity_share[:, None]
 
 
@@ -150,6 +157,8 @@ def rod_place(
     graph = model.graph
     node_coeffs = np.zeros((n, d))
     assignment = [-1] * model.num_operators
+    safe_totals = np.where(totals > _EPS, totals, 1.0)
+    dead_columns = totals <= _EPS
 
     def new_cross_arcs(op_index: int, node: int) -> int:
         """Inter-node arcs created by putting operator ``op_index`` on node."""
@@ -166,28 +175,27 @@ def rod_place(
     for j in order:
         op_row = model.coefficients[j]
         candidates = _candidate_weights(
-            node_coeffs, op_row, totals, capacity_share
+            node_coeffs, op_row, totals, capacity_share,
+            safe_totals, dead_columns,
         )
-        class_one = [
-            i
-            for i in range(n)
-            if np.all(candidates[i] <= 1.0 + _CLASS_ONE_TOL)
-        ]
+        class_one_idx = np.flatnonzero(
+            (candidates <= 1.0 + _CLASS_ONE_TOL).all(axis=1)
+        )
         distances = _plane_distance_rows(candidates, b_hat)
 
-        if class_one:
+        if class_one_idx.size:
             chosen_from_one = True
             if class_one_policy == "first":
-                node = class_one[0]
+                node = int(class_one_idx[0])
             elif class_one_policy == "random":
-                node = rng.choice(class_one)
+                node = int(rng.choice(class_one_idx.tolist()))
             elif class_one_policy == "connections":
                 node = min(
-                    class_one,
+                    class_one_idx.tolist(),
                     key=lambda i: (new_cross_arcs(j, i), -distances[i], i),
                 )
-            else:  # "plane"
-                node = max(class_one, key=lambda i: (distances[i], -i))
+            else:  # "plane": max distance, ties to the lowest node index
+                node = int(class_one_idx[np.argmax(distances[class_one_idx])])
         else:
             chosen_from_one = False
             node = int(np.argmax(distances))
@@ -199,7 +207,7 @@ def rod_place(
                 RodStep(
                     operator=model.operator_names[j],
                     node=node,
-                    class_one=tuple(class_one),
+                    class_one=tuple(int(i) for i in class_one_idx),
                     chosen_from_class_one=chosen_from_one,
                     candidate_distances=tuple(float(x) for x in distances),
                 )
@@ -292,23 +300,22 @@ def rod_extend(
         candidates = _candidate_weights(
             node_coeffs, op_row, totals, capacity_share
         )
-        class_one = [
-            i for i in range(n)
-            if np.all(candidates[i] <= 1.0 + _CLASS_ONE_TOL)
-        ]
+        class_one_idx = np.flatnonzero(
+            (candidates <= 1.0 + _CLASS_ONE_TOL).all(axis=1)
+        )
         distances = _plane_distance_rows(candidates, b_hat)
-        if class_one:
+        if class_one_idx.size:
             if class_one_policy == "first":
-                node = class_one[0]
+                node = int(class_one_idx[0])
             elif class_one_policy == "random":
-                node = rng.choice(class_one)
+                node = int(rng.choice(class_one_idx.tolist()))
             elif class_one_policy == "connections":
                 node = min(
-                    class_one,
+                    class_one_idx.tolist(),
                     key=lambda i: (new_cross_arcs(j, i), -distances[i], i),
                 )
-            else:  # "plane"
-                node = max(class_one, key=lambda i: (distances[i], -i))
+            else:  # "plane": max distance, ties to the lowest node index
+                node = int(class_one_idx[np.argmax(distances[class_one_idx])])
         else:
             node = int(np.argmax(distances))
         assignment[j] = node

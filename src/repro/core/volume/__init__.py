@@ -2,6 +2,8 @@
 
 from .cache import cache_stats, clear_cache, simplex_points
 from .qmc import (
+    axis_sampled_fraction,
+    binding_axis_order,
     feasible_fraction,
     first_primes,
     halton,
@@ -10,6 +12,7 @@ from .qmc import (
     stream_feasible_fraction,
     van_der_corput,
 )
+from .sparse import GUARD_BAND, SparseWeights, sparse_feasible_mask
 from .polytope import (
     feasible_volume,
     polytope_vertices,
@@ -18,6 +21,10 @@ from .polytope import (
 )
 
 __all__ = [
+    "GUARD_BAND",
+    "SparseWeights",
+    "axis_sampled_fraction",
+    "binding_axis_order",
     "cache_stats",
     "clear_cache",
     "feasible_fraction",
@@ -30,6 +37,7 @@ __all__ = [
     "simplex_from_cube",
     "simplex_points",
     "simplex_volume",
+    "sparse_feasible_mask",
     "stream_feasible_fraction",
     "van_der_corput",
 ]

@@ -40,6 +40,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .sparse import SparseWeights, sparse_feasible_mask
+
 __all__ = [
     "first_primes",
     "van_der_corput",
@@ -48,7 +50,15 @@ __all__ = [
     "sample_unit_simplex",
     "feasible_fraction",
     "stream_feasible_fraction",
+    "axis_sampled_fraction",
+    "binding_axis_order",
 ]
+
+#: ``representation="auto"`` switches to the sparse kernel only when the
+#: cluster is large and the weight matrix mostly structural zeros —
+#: below that, building index lists costs more than it saves.
+_SPARSE_AUTO_MIN_NODES = 32
+_SPARSE_AUTO_MAX_DENSITY = 0.25
 
 # Seed prime table (enough for 32-dimensional rate spaces without
 # sieving); ``first_primes`` extends it on demand for higher dimensions.
@@ -211,29 +221,59 @@ def _prepare_bound(
     return b, 1.0 - float(b.sum())
 
 
+def _resolve_sparse(
+    w: np.ndarray, representation: str
+) -> Optional[SparseWeights]:
+    """The :class:`SparseWeights` to score with, or ``None`` for dense."""
+    if representation == "dense":
+        return None
+    if representation not in ("sparse", "auto"):
+        raise ValueError(f"unknown representation: {representation!r}")
+    sparse = SparseWeights(w)
+    if representation == "sparse":
+        return sparse
+    if (
+        w.shape[0] >= _SPARSE_AUTO_MIN_NODES
+        and sparse.density <= _SPARSE_AUTO_MAX_DENSITY
+    ):
+        return sparse
+    return None
+
+
 def _feasible_count(
     w: np.ndarray,
     points: np.ndarray,
     bound: Optional[np.ndarray],
     scale: float,
+    sparse: Optional[SparseWeights] = None,
 ) -> int:
-    """Number of (optionally bound-shifted) points with ``W x <= 1``."""
+    """Number of (optionally bound-shifted) points with ``W x <= 1``.
+
+    With ``sparse`` given, scoring runs through the per-node
+    active-column kernel; decisions (and therefore the count) equal the
+    dense expression's — see :mod:`repro.core.volume.sparse`.
+    """
     if bound is not None:
         points = bound + scale * points
-    feasible = np.all(points @ w.T <= 1.0 + 1e-12, axis=1)
+    if sparse is not None:
+        feasible, _rescored = sparse_feasible_mask(sparse, points)
+    else:
+        feasible = np.all(points @ w.T <= 1.0 + 1e-12, axis=1)
     return int(np.count_nonzero(feasible))
 
 
 def _feasible_count_task(
     task: Tuple[np.ndarray, int, int, str, Optional[int],
-                Optional[np.ndarray], float],
+                Optional[np.ndarray], float, str],
 ) -> int:
     """Process-pool task: feasibility count over one chunk of the stream."""
-    w, skip, count, method, seed, bound, scale = task
+    w, skip, count, method, seed, bound, scale, representation = task
     points = sample_unit_simplex(
         count, w.shape[1], method=method, seed=seed, skip=skip
     )
-    return _feasible_count(w, points, bound, scale)
+    return _feasible_count(
+        w, points, bound, scale, sparse=_resolve_sparse(w, representation)
+    )
 
 
 def stream_feasible_fraction(
@@ -243,6 +283,7 @@ def stream_feasible_fraction(
     method: str = "halton",
     seed: Optional[int] = None,
     lower_bound: Optional[Sequence[float]] = None,
+    representation: str = "auto",
 ) -> Iterator[Tuple[int, float, float]]:
     """Streaming ``V(F)/V(F*)`` estimate: yields ``(n, fraction, se)``.
 
@@ -264,6 +305,7 @@ def stream_feasible_fraction(
     if bound is not None and scale <= 0.0:
         yield 0, 0.0, 0.0
         return
+    sparse = _resolve_sparse(w, representation)
     seen = 0
     count = 0
     while seen < max_samples:
@@ -271,7 +313,7 @@ def stream_feasible_fraction(
         points = sample_unit_simplex(
             take, w.shape[1], method=method, seed=seed, skip=seen
         )
-        count += _feasible_count(w, points, bound, scale)
+        count += _feasible_count(w, points, bound, scale, sparse=sparse)
         seen += take
         smoothed = (count + 1.0) / (seen + 2.0)
         se = math.sqrt(smoothed * (1.0 - smoothed) / seen)
@@ -287,6 +329,7 @@ def feasible_fraction(
     target_se: Optional[float] = None,
     batch: int = 1024,
     jobs: int = 1,
+    representation: str = "auto",
 ) -> float:
     """Estimate ``V(F(A)) / V(F*)`` for a weight matrix ``W``.
 
@@ -304,6 +347,13 @@ def feasible_fraction(
     is split into per-worker chunks evaluated in parallel processes;
     chunk feasibility counts are integers over the identical resumable
     point stream, so the result is exactly the sequential one.
+
+    ``representation`` picks the scoring kernel: ``"dense"`` (the
+    reference ``points @ W.T``), ``"sparse"`` (per-node active-column
+    dots, see :mod:`repro.core.volume.sparse`), or ``"auto"`` (sparse
+    only for large, mostly-zero matrices).  All three return identical
+    fractions — sparse scoring guard-bands boundary samples back through
+    the dense expression — so the choice is purely a speed/memory knob.
     """
     w = _prepare_weights(weights)
     if samples < 1:
@@ -319,6 +369,7 @@ def feasible_fraction(
         for seen, fraction, se in stream_feasible_fraction(
             w, batch=batch, max_samples=samples, method=method,
             seed=seed, lower_bound=lower_bound,
+            representation=representation,
         ):
             if se <= target_se:
                 break
@@ -329,7 +380,8 @@ def feasible_fraction(
 
         chunk = -(-samples // jobs)  # ceil division
         tasks = [
-            (w, skip, min(chunk, samples - skip), method, seed, bound, scale)
+            (w, skip, min(chunk, samples - skip), method, seed, bound,
+             scale, representation)
             for skip in range(0, samples, chunk)
         ]
         counts = _parallel.parallel_map(
@@ -338,4 +390,94 @@ def feasible_fraction(
         return sum(counts) / samples
 
     points = sample_unit_simplex(samples, w.shape[1], method=method, seed=seed)
-    return _feasible_count(w, points, bound, scale) / samples
+    return _feasible_count(
+        w, points, bound, scale, sparse=_resolve_sparse(w, representation)
+    ) / samples
+
+
+def binding_axis_order(weights: np.ndarray) -> np.ndarray:
+    """Axes ordered by how strongly they bind feasibility, most first.
+
+    An axis (rate variable) ``k`` binds feasibility through the largest
+    weight any node places on it: the half-space ``W_i x <= 1`` clips
+    the simplex along axis ``k`` at ``1 / w_ik``, so
+    ``score_k = max_i w_ik`` measures how much of the ideal extent the
+    tightest node leaves.  Ties break toward the lower axis index so the
+    order is deterministic.
+    """
+    w = _prepare_weights(weights)
+    scores = w.max(axis=0) if w.shape[0] else np.zeros(w.shape[1])
+    # stable sort on negated scores: descending score, ascending index.
+    return np.argsort(-scores, kind="stable")
+
+
+def axis_sampled_fraction(
+    weights: np.ndarray,
+    samples: int = 4096,
+    axis_budget: int = 16,
+    seed: int = 0,
+    batch: int = 512,
+    lower_bound: Optional[Sequence[float]] = None,
+    representation: str = "auto",
+) -> Tuple[float, float]:
+    """High-d volume ratio via importance-weighted axis-sampled QMC.
+
+    Halton bases are a finite resource: in very high dimension the late
+    (large-prime) coordinates of a Halton point correlate badly before
+    astronomically many samples.  This estimator spends the
+    low-discrepancy budget where it matters — the ``axis_budget`` axes
+    that bind feasibility hardest (see :func:`binding_axis_order`) get
+    the first Halton bases — and fills the remaining axes with seeded
+    pseudo-random uniforms.  The mixed cube maps through the same
+    spacings construction, so the estimate is still unbiased; what
+    changes is *which* axes enjoy QMC's accelerated convergence.
+
+    Returns ``(fraction, se)``.  The standard error comes from treating
+    each ``batch``-size block as one replicate and taking the spread of
+    the per-block fractions — an honest empirical error bar, unlike the
+    binomial heuristic of :func:`stream_feasible_fraction`, because the
+    pseudo-random axes re-randomize every block.
+
+    This estimator is **opt-in** (nothing routes through it by default):
+    its point stream differs from :func:`feasible_fraction`'s, so it is
+    *not* bit-identical to the reference path.  Use it when ``d`` is
+    large enough (≳ 48) that full-dimensional Halton degrades.
+    """
+    w = _prepare_weights(weights)
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    if axis_budget < 1:
+        raise ValueError("axis_budget must be >= 1")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    dimension = w.shape[1]
+    bound, scale = _prepare_bound(lower_bound, dimension)
+    if bound is not None and scale <= 0.0:
+        return 0.0, 0.0
+    axis_budget = min(axis_budget, dimension)
+    order = binding_axis_order(w)
+    qmc_axes = order[:axis_budget]
+    rng = np.random.default_rng(seed)
+    sparse = _resolve_sparse(w, representation)
+
+    seen = 0
+    count = 0
+    block_fractions: List[float] = []
+    while seen < samples:
+        take = min(batch, samples - seen)
+        cube = rng.random((take, dimension))
+        cube[:, qmc_axes] = halton(take, axis_budget, skip=seen)
+        points = simplex_from_cube(cube)
+        block = _feasible_count(w, points, bound, scale, sparse=sparse)
+        count += block
+        block_fractions.append(block / take)
+        seen += take
+    fraction = count / seen
+    if len(block_fractions) > 1:
+        spread = float(np.std(block_fractions, ddof=1))
+        se = spread / math.sqrt(len(block_fractions))
+    else:
+        # Single block: fall back to the binomial heuristic.
+        smoothed = (count + 1.0) / (seen + 2.0)
+        se = math.sqrt(smoothed * (1.0 - smoothed) / seen)
+    return fraction, se

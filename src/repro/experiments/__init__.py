@@ -39,6 +39,7 @@ from . import (
     qmc_convergence,
     report,
     resiliency,
+    scale_solve,
     scheduling_ablation,
     search_gap,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "qmc_convergence",
     "report",
     "resiliency",
+    "scale_solve",
     "scheduling_ablation",
     "search_gap",
 ]

@@ -13,7 +13,12 @@ shape, with the properties every caller needs:
   their arguments (derive any randomness from seeds in the task tuple —
   :func:`derive_seed` builds per-task seeds that are stable across runs
   and across ``jobs`` values).
-* **Resilience** — tasks are submitted individually, so results that
+* **Batching** — ``chunksize`` groups tasks into one pool submission
+  each, so thousands of tiny scoring tasks do not pay per-task pickle
+  and IPC overhead; ``chunksize=None`` derives a chunk size from the
+  task count and pool size.  Results, their order, and the per-task
+  statistics are identical for every ``(jobs, chunksize)`` combination.
+* **Resilience** — chunks are submitted individually, so results that
   completed before a worker crash survive it.  A
   :class:`~concurrent.futures.process.BrokenProcessPool` triggers up to
   ``pool_retries`` fresh pools for the unfinished tasks (optionally
@@ -51,6 +56,7 @@ from .obs.metrics import MetricsRegistry
 
 __all__ = [
     "resolve_jobs",
+    "auto_chunksize",
     "derive_seed",
     "derive_seeds",
     "parallel_map",
@@ -75,6 +81,11 @@ _STATS = {
 #: Mixing constant for seed derivation (splitmix64's golden-ratio step).
 _SEED_MIX = 0x9E3779B97F4A7C15
 _MASK64 = (1 << 64) - 1
+
+#: Auto-chunking targets this many chunks per worker, so pools stay
+#: load-balanced (stragglers can be overtaken) without paying per-task
+#: submission overhead.
+_CHUNKS_PER_WORKER = 4
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -106,11 +117,24 @@ def derive_seeds(base_seed: int, count: int) -> List[int]:
     return [derive_seed(base_seed, index) for index in range(count)]
 
 
+def auto_chunksize(task_count: int, workers: int) -> int:
+    """Chunk size targeting ``_CHUNKS_PER_WORKER`` chunks per worker.
+
+    Small batches stay at chunk size 1 (per-task submission, maximum
+    salvageability); thousands of tiny tasks get grouped so the pool
+    round-trip cost (pickle + IPC + future bookkeeping) is paid once
+    per chunk rather than once per task.
+    """
+    if task_count < 1 or workers < 1:
+        return 1
+    return max(1, -(-task_count // (workers * _CHUNKS_PER_WORKER)))
+
+
 def parallel_map(
     fn: Callable[[T], R],
     tasks: Sequence[T],
     jobs: int = 1,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
     registry: Optional[MetricsRegistry] = None,
     timeout: Optional[float] = None,
     pool_retries: int = 1,
@@ -120,27 +144,32 @@ def parallel_map(
 
     ``jobs=1`` executes inline; ``jobs>1`` uses a process pool with at
     most ``min(jobs, len(tasks))`` workers.  The output list is identical
-    for every ``jobs`` value as long as ``fn`` is a pure function of its
-    task.
+    for every ``jobs`` and ``chunksize`` value as long as ``fn`` is a
+    pure function of its task.
 
-    ``timeout`` bounds, in seconds, how long any single result may take
-    past the point it is awaited (process mode only); exceeding it kills
-    the pool and raises :class:`TimeoutError`.  When a worker process
-    dies (:class:`BrokenProcessPool`), already-completed results are
-    kept and the unfinished tasks are retried in up to ``pool_retries``
-    fresh pools; ``reseed(task, seed)``, when given, builds the retry
-    variant of each unfinished task from a :func:`derive_seed`-derived
-    seed (stable in attempt number and task index).  If every pool
-    breaks, the survivors run inline so one bad worker cannot lose the
-    whole batch.  ``chunksize`` is retained for API compatibility; tasks
-    are submitted individually so partial results can be salvaged.
+    ``chunksize`` groups tasks into one pool submission each
+    (``None`` — the default — derives :func:`auto_chunksize` from the
+    task count and pool size), amortizing per-task pickle and IPC
+    overhead for large batches of small tasks.  Statistics stay
+    per-task and results stay ordered regardless of chunking.
+
+    ``timeout`` bounds, in seconds, how long any single chunk's results
+    may take past the point they are awaited (process mode only);
+    exceeding it kills the pool and raises :class:`TimeoutError`.  When
+    a worker process dies (:class:`BrokenProcessPool`),
+    already-completed results are kept and the unfinished tasks are
+    retried in up to ``pool_retries`` fresh pools; ``reseed(task,
+    seed)``, when given, builds the retry variant of each unfinished
+    task from a :func:`derive_seed`-derived seed (stable in attempt
+    number and task index).  If every pool breaks, the survivors run
+    inline so one bad worker cannot lose the whole batch.
 
     Task, failure, timeout, and retry counters are recorded in the
     module statistics (and ``registry`` when given) even when this call
     raises.
     """
     jobs = resolve_jobs(jobs)
-    if chunksize < 1:
+    if chunksize is not None and chunksize < 1:
         raise ValueError("chunksize must be >= 1")
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be > 0")
@@ -153,9 +182,14 @@ def parallel_map(
         if mode == "inline":
             results = _run_inline(fn, list(enumerate(tasks)), counts)
         else:
+            workers = min(jobs, len(tasks))
+            effective = (
+                auto_chunksize(len(tasks), workers)
+                if chunksize is None else chunksize
+            )
             results = _run_pool(
-                fn, tasks, min(jobs, len(tasks)), timeout,
-                pool_retries, reseed, counts,
+                fn, tasks, workers, timeout,
+                pool_retries, reseed, effective, counts,
             )
     finally:
         _record(counts, registry)
@@ -178,6 +212,24 @@ def _run_inline(
     return results
 
 
+def _chunk_worker(
+    fn: Callable[[T], R], tasks: Sequence[T]
+) -> Tuple[str, List[R], Optional[BaseException]]:
+    """Run one chunk inside a worker process, one task at a time.
+
+    Returns ``("ok", results, None)`` or — when a task raises —
+    ``("err", results-so-far, exception)``, so the parent can keep
+    per-task statistics exact and re-raise the original exception.
+    """
+    results: List[R] = []
+    for task in tasks:
+        try:
+            results.append(fn(task))
+        except BaseException as exc:
+            return ("err", results, exc)
+    return ("ok", results, None)
+
+
 def _run_pool(
     fn: Callable[[T], R],
     tasks: Sequence[T],
@@ -185,12 +237,15 @@ def _run_pool(
     timeout: Optional[float],
     pool_retries: int,
     reseed: Optional[Callable[[T, int], T]],
+    chunksize: int,
     counts: Dict[str, int],
 ) -> Dict[int, R]:
     results: Dict[int, R] = {}
     pending: List[Tuple[int, T]] = list(enumerate(tasks))
     for attempt in range(pool_retries + 1):
-        got, pending = _run_one_pool(fn, pending, workers, timeout, counts)
+        got, pending = _run_one_pool(
+            fn, pending, workers, timeout, chunksize, counts
+        )
         results.update(got)
         if not pending:
             return results
@@ -206,27 +261,35 @@ def _run_pool(
     return results
 
 
+_Chunk = List[Tuple[int, T]]
+
+
 def _run_one_pool(
     fn: Callable[[T], R],
     pending: Sequence[Tuple[int, T]],
     workers: int,
     timeout: Optional[float],
+    chunksize: int,
     counts: Dict[str, int],
 ) -> Tuple[Dict[int, R], List[Tuple[int, T]]]:
     """One pool attempt: ``(results by index, tasks left unfinished)``."""
+    chunks: List[_Chunk] = [
+        list(pending[start:start + chunksize])
+        for start in range(0, len(pending), chunksize)
+    ]
     pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
-        max_workers=min(workers, len(pending))
+        max_workers=min(workers, len(chunks))
     )
     counts["pools"] += 1
     futures = [
-        (index, task, pool.submit(fn, task)) for index, task in pending
+        (chunk, pool.submit(_chunk_worker, fn, [t for _, t in chunk]))
+        for chunk in chunks
     ]
     results: Dict[int, R] = {}
     try:
-        for index, _task, future in futures:
+        for chunk, future in futures:
             try:
-                results[index] = future.result(timeout=timeout)
-                counts["process"] += 1
+                status, values, error = future.result(timeout=timeout)
             except BrokenProcessPool:
                 return results, _harvest(futures, results, counts)
             except _FuturesTimeout:
@@ -235,15 +298,20 @@ def _run_one_pool(
                 _abort_pool(pool, futures)
                 pool = None
                 raise TimeoutError(
-                    f"parallel task {index} did not finish "
+                    f"parallel task {chunk[0][0]} did not finish "
                     f"within {timeout}s"
                 ) from None
-            except BaseException:
+            for (index, _task), value in zip(chunk, values):
+                results[index] = value
+            counts["process"] += len(values)
+            if status == "err":
+                # The task after the completed prefix raised.
                 counts["process"] += 1
                 counts["failures_process"] += 1
                 _abort_pool(pool, futures)
                 pool = None
-                raise
+                assert error is not None
+                raise error
         return results, []
     finally:
         if pool is not None:
@@ -251,30 +319,35 @@ def _run_one_pool(
 
 
 def _harvest(
-    futures: Sequence[Tuple[int, T, "Future[R]"]],
+    futures: Sequence[Tuple[_Chunk, "Future"]],
     results: Dict[int, R],
     counts: Dict[str, int],
 ) -> List[Tuple[int, T]]:
-    """Salvage futures that finished cleanly before the pool broke."""
+    """Salvage chunks that finished cleanly before the pool broke."""
     unfinished: List[Tuple[int, T]] = []
-    for index, task, future in futures:
-        if index in results:
-            continue
+    for chunk, future in futures:
+        if chunk and chunk[0][0] in results:
+            continue  # already consumed by the await loop
         if (
             future.done()
             and not future.cancelled()
             and future.exception() is None
         ):
-            results[index] = future.result()
-            counts["process"] += 1
+            _status, values, _error = future.result()
+            for (index, _task), value in zip(chunk, values):
+                results[index] = value
+            counts["process"] += len(values)
+            # A raising task and its unexecuted successors retry; on a
+            # deterministic raise the retry pool re-raises it cleanly.
+            unfinished.extend(chunk[len(values):])
         else:
-            unfinished.append((index, task))
+            unfinished.extend(chunk)
     return unfinished
 
 
 def _abort_pool(
     pool: ProcessPoolExecutor,
-    futures: Sequence[Tuple[int, T, "Future[R]"]],
+    futures: Sequence[Tuple[_Chunk, "Future"]],
 ) -> None:
     """Tear the pool down without waiting for in-flight work.
 
@@ -282,7 +355,7 @@ def _abort_pool(
     exact situation a timeout exists to escape — so queued futures are
     cancelled and live workers killed before the non-blocking shutdown.
     """
-    for _index, _task, future in futures:
+    for _chunk, future in futures:
         future.cancel()
     processes = getattr(pool, "_processes", None) or {}
     for process in list(processes.values()):

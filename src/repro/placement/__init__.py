@@ -4,6 +4,7 @@ from .annealing import AnnealingPlacer
 from .base import Placer
 from .connected import ConnectedPlacer
 from .correlation import CorrelationPlacer, correlation_coefficient
+from .hierarchical import HierarchicalPlacer, RestrictedModel
 from .llf import LLFPlacer
 from .milp import MilpBalancePlacer
 from .optimal import OptimalPlacer, enumerate_assignments
@@ -14,12 +15,14 @@ __all__ = [
     "AnnealingPlacer",
     "ConnectedPlacer",
     "CorrelationPlacer",
+    "HierarchicalPlacer",
     "LLFPlacer",
     "MilpBalancePlacer",
     "OptimalPlacer",
     "Placer",
     "RODPlacer",
     "RandomPlacer",
+    "RestrictedModel",
     "correlation_coefficient",
     "enumerate_assignments",
 ]

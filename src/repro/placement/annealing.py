@@ -24,13 +24,27 @@ by adding/subtracting one operator-dot column on the source and target
 nodes — ``O(samples)`` per iteration instead of the full
 ``O(samples * n * d)`` rescoring matmul, with bit-identical acceptance
 decisions for the same seed.
+
+With ``score_batch=K > 1`` the search draws K proposals per round,
+scores them all from the *current* state (optionally fanned out through
+:func:`repro.parallel.parallel_map` with ``jobs > 1``, amortizing the
+pool round-trip over the whole batch), then walks them in draw order
+and applies the first accepted move; the round's remaining proposals
+are discarded because their scores went stale the moment one was
+applied.  The default ``score_batch=1`` keeps the classic
+one-proposal-per-iteration loop bit-identical to previous releases.
+
+``total_capacity`` overrides the denominator ``C_T`` of the capacity
+shares.  The hierarchical placer uses this to refine a node *group*
+in isolation while scoring against the cluster-wide normalization, so
+per-group volume ratios remain comparable across groups.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +56,28 @@ from ..obs.trace import NULL_TRACER, Tracer
 from .base import Placer
 
 __all__ = ["AnnealingPlacer"]
+
+
+def _candidate_violation_count(
+    task: Tuple[np.ndarray, np.ndarray, np.ndarray, float, float,
+                np.ndarray, np.ndarray, np.ndarray],
+) -> int:
+    """Samples left violated by one candidate move (pool-friendly task).
+
+    The task carries only the columns the move touches — the moved
+    operator's dot column, the source/target node dot columns and
+    violation flags, the two thresholds, and the per-sample violation
+    count — so a batch of K candidates ships K such bundles per pool
+    round-trip instead of the full scoring state.
+    """
+    (moved, source_col, target_col, thr_source, thr_target,
+     viol_source, viol_target, violation_count) = task
+    source_viol = (source_col - moved) > thr_source
+    target_viol = (target_col + moved) > thr_target
+    count_delta = np.subtract(source_viol.view(np.int8), viol_source)
+    count_delta += target_viol.view(np.int8)
+    count_delta -= viol_target
+    return int(np.count_nonzero(violation_count + count_delta))
 
 
 class AnnealingPlacer(Placer):
@@ -59,11 +95,27 @@ class AnnealingPlacer(Placer):
         seed: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         trace_every: int = 250,
+        score_batch: int = 1,
+        jobs: int = 1,
+        total_capacity: Optional[float] = None,
+        initial_assignment: Optional[Sequence[int]] = None,
+        sample_mask: Optional[np.ndarray] = None,
     ) -> None:
         """``start`` is ``"rod"`` (polish the greedy plan) or
         ``"random"`` (search from scratch).  With a ``tracer``, a
         ``placement.iteration`` event is emitted every ``trace_every``
-        iterations and whenever the search finds a new best plan."""
+        iterations and whenever the search finds a new best plan.
+        ``score_batch`` draws and scores K proposals per round (first
+        accepted wins); ``jobs > 1`` fans a round's candidate scoring
+        through :func:`repro.parallel.parallel_map`.  ``total_capacity``
+        overrides the normalization denominator ``C_T`` (hierarchical
+        refinement scores a node group against the cluster-wide total).
+        ``initial_assignment`` overrides ``start`` with an explicit
+        warm-start assignment.  ``sample_mask`` (bool per sample)
+        excludes masked-out samples from the objective — the
+        hierarchical placer masks samples already infeasible *outside*
+        the group being refined, so each group optimizes the global
+        feasible count rather than its local one."""
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         if samples < 1:
@@ -76,6 +128,19 @@ class AnnealingPlacer(Placer):
             raise ValueError(f"unknown start {start!r}")
         if trace_every < 1:
             raise ValueError("trace_every must be >= 1")
+        if score_batch < 1:
+            raise ValueError("score_batch must be >= 1")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if total_capacity is not None and total_capacity <= 0:
+            raise ValueError("total_capacity must be > 0")
+        if sample_mask is not None:
+            sample_mask = np.asarray(sample_mask, dtype=bool)
+            if sample_mask.shape != (samples,):
+                raise ValueError(
+                    f"sample mask shape {sample_mask.shape} does not "
+                    f"match samples={samples}"
+                )
         self.iterations = iterations
         self.samples = samples
         self.initial_temperature = initial_temperature
@@ -84,6 +149,14 @@ class AnnealingPlacer(Placer):
         self.seed = seed
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.trace_every = trace_every
+        self.score_batch = score_batch
+        self.jobs = jobs
+        self.total_capacity = total_capacity
+        self.initial_assignment = (
+            None if initial_assignment is None
+            else tuple(int(i) for i in initial_assignment)
+        )
+        self.sample_mask = sample_mask
 
     def place(
         self, model: LoadModel, capacities: Sequence[float]
@@ -98,13 +171,26 @@ class AnnealingPlacer(Placer):
         samples = self.samples
         totals = model.column_totals()
         safe_totals = np.where(totals > 1e-12, totals, 1.0)
-        capacity_share = caps / caps.sum()
+        total_capacity = (
+            self.total_capacity
+            if self.total_capacity is not None
+            else float(caps.sum())
+        )
+        capacity_share = caps / total_capacity
         # Fixed evaluation points: identical ground for every candidate.
         points = qmc.sample_unit_simplex(
             samples, model.num_variables, method="halton"
         )
 
-        if self.start == "rod":
+        if self.initial_assignment is not None:
+            if len(self.initial_assignment) != m:
+                raise ValueError(
+                    f"initial assignment covers "
+                    f"{len(self.initial_assignment)} operators but the "
+                    f"model has {m}"
+                )
+            assignment = list(self.initial_assignment)
+        elif self.start == "rod":
             assignment = list(rod_place(model, caps).assignment)
         else:
             assignment = [rng.randrange(n) for _ in range(m)]
@@ -129,6 +215,12 @@ class AnnealingPlacer(Placer):
         for i in range(n):
             violations[:, i] = node_dots[:, i] > thresholds[i]
         violation_count = violations.sum(axis=1, dtype=np.int16)
+        if self.sample_mask is not None:
+            # Masked-out samples carry a permanent phantom violation:
+            # every incremental delta still applies, but they can never
+            # count as feasible, so the objective becomes the feasible
+            # count *within the mask* with no extra bookkeeping.
+            violation_count += np.logical_not(self.sample_mask)
 
         current = float(samples - np.count_nonzero(violation_count)) / samples
         best = current
@@ -136,6 +228,12 @@ class AnnealingPlacer(Placer):
         temperature = self.initial_temperature
         tracer = self.tracer
         tracing = tracer.enabled
+
+        if self.score_batch > 1:
+            return self._place_batched(
+                model, caps, rng, assignment, op_dots, thresholds,
+                node_dots, violations, violation_count, current,
+            )
 
         def emit_iteration(iteration: int, improved: bool) -> None:
             tracer.emit(
@@ -187,6 +285,155 @@ class AnnealingPlacer(Placer):
             temperature *= self.cooling
             if tracing and (improved or iteration % self.trace_every == 0):
                 emit_iteration(iteration, improved)
+
+        return Placement(
+            model=model, capacities=caps, assignment=best_assignment
+        )
+
+    def _place_batched(
+        self,
+        model: LoadModel,
+        caps: np.ndarray,
+        rng: random.Random,
+        assignment: List[int],
+        op_dots: np.ndarray,
+        thresholds: np.ndarray,
+        node_dots: np.ndarray,
+        violations: np.ndarray,
+        violation_count: np.ndarray,
+        current: float,
+    ) -> Placement:
+        """Metropolis search scoring ``score_batch`` proposals per round.
+
+        Each round draws K independent proposals from the current state,
+        scores them all (through :func:`repro.parallel.parallel_map`
+        when ``jobs > 1``), then walks the proposals in draw order and
+        applies the *first* one that passes the acceptance test; the
+        rest are discarded, their scores having gone stale.  Temperature
+        decays once per scored proposal, so a run of ``iterations``
+        proposals explores the same cooling schedule as the classic
+        loop, just K at a time.
+        """
+        n = caps.shape[0]
+        m = model.num_operators
+        samples = self.samples
+        batch = self.score_batch
+        best = current
+        best_assignment = tuple(assignment)
+        temperature = self.initial_temperature
+        tracer = self.tracer
+        tracing = tracer.enabled
+        proposals_scored = 0
+
+        while proposals_scored < self.iterations:
+            take = min(batch, self.iterations - proposals_scored)
+            moves: List[Tuple[int, int, int]] = []
+            for _ in range(take):
+                j = rng.randrange(m)
+                source = assignment[j]
+                target = rng.randrange(n - 1)
+                if target >= source:
+                    target += 1
+                moves.append((j, source, target))
+
+            if self.jobs > 1:
+                from .. import parallel as _parallel
+
+                tasks = [
+                    (op_dots[:, j], node_dots[:, source],
+                     node_dots[:, target], thresholds[source],
+                     thresholds[target], violations[:, source],
+                     violations[:, target], violation_count)
+                    for j, source, target in moves
+                ]
+                counts = _parallel.parallel_map(
+                    _candidate_violation_count, tasks, jobs=self.jobs
+                )
+            else:
+                # Vectorized over the whole batch: gather the touched
+                # columns side by side and count violated samples per
+                # candidate in one pass.
+                js = np.fromiter(
+                    (mv[0] for mv in moves), dtype=np.intp, count=take
+                )
+                sources = np.fromiter(
+                    (mv[1] for mv in moves), dtype=np.intp, count=take
+                )
+                targets = np.fromiter(
+                    (mv[2] for mv in moves), dtype=np.intp, count=take
+                )
+                moved_cols = op_dots[:, js]
+                source_viols = (
+                    node_dots[:, sources] - moved_cols
+                ) > thresholds[sources]
+                target_viols = (
+                    node_dots[:, targets] + moved_cols
+                ) > thresholds[targets]
+                deltas = np.subtract(
+                    source_viols.view(np.int8), violations[:, sources]
+                )
+                deltas += target_viols.view(np.int8)
+                deltas -= violations[:, targets]
+                deltas += violation_count[:, None]
+                counts = np.count_nonzero(deltas, axis=0)
+
+            # The whole batch was scored, whether or not the walk below
+            # reaches every proposal — all of it counts against the
+            # iteration budget.
+            proposals_scored += take
+            improved = False
+            walked = 0
+            for (j, source, target), bad in zip(moves, counts):
+                walked += 1
+                candidate = float(samples - bad) / samples
+                delta = candidate - current
+                accept = delta >= 0 or (
+                    temperature > 0
+                    and rng.random() < math.exp(delta / temperature)
+                )
+                temperature *= self.cooling
+                if not accept:
+                    continue
+                # Apply the accepted move and close the round: every
+                # later proposal was scored against a stale state.
+                moved = op_dots[:, j]
+                node_dots[:, source] -= moved
+                node_dots[:, target] += moved
+                source_viol = node_dots[:, source] > thresholds[source]
+                target_viol = node_dots[:, target] > thresholds[target]
+                count_delta = np.subtract(
+                    source_viol.view(np.int8), violations[:, source]
+                )
+                count_delta += target_viol.view(np.int8)
+                count_delta -= violations[:, target]
+                violation_count += count_delta
+                violations[:, source] = source_viol.view(np.int8)
+                violations[:, target] = target_viol.view(np.int8)
+                assignment[j] = target
+                current = candidate
+                if current > best:
+                    best = current
+                    best_assignment = tuple(assignment)
+                    improved = True
+                break
+            # Proposals past the accepted one were scored but never
+            # walked; keep the cooling schedule a function of proposals
+            # *scored* so batch size does not stretch the search.
+            if walked < take:
+                temperature *= self.cooling ** (take - walked)
+            if tracing and (
+                improved
+                or (proposals_scored // batch) % self.trace_every == 0
+            ):
+                tracer.emit(
+                    "placement.iteration",
+                    algorithm="annealing",
+                    iteration=proposals_scored,
+                    current=current,
+                    best=best,
+                    temperature=temperature,
+                    improved=improved,
+                )
 
         return Placement(
             model=model, capacities=caps, assignment=best_assignment

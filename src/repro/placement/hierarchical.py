@@ -1,0 +1,362 @@
+"""Hierarchical cluster-then-place-then-refine for large clusters.
+
+Flat annealing scores every candidate move against all ``n`` nodes; at
+1000 nodes the state alone (per-node dot columns over thousands of
+samples) stops fitting the cache and the search budget spreads so thin
+that few moves per node are ever tried.  The hierarchical placer
+decomposes the solve the way the paper's Section 6.3 clustering
+extension decomposes communication: solve a *small* problem exactly
+where structure matters, and recurse.
+
+1. **Group the nodes.**  Nodes are sorted by capacity and dealt
+   round-robin into ``ceil(n / group_size)`` groups, so group capacities
+   stay balanced and every group holds a mix of big and small nodes.
+2. **Cluster the operators** with
+   :func:`repro.core.clustering.cluster_by_affinity` — connected,
+   correlation-complementary units small enough to balance (the same
+   weight-cap rule as Section 6.3's contraction).
+3. **Place clusters onto groups** by running ROD on the
+   :class:`~repro.core.clustering.ClusteredModel` against one super-node
+   per group (capacity = group total).  This is a
+   ``num_clusters x num_groups`` problem — tiny — and ROD's Class I
+   reasoning applies unchanged because the super-node weight rows are
+   sums of member rows.
+4. **Refine inside each group** with the incremental
+   :class:`~repro.placement.annealing.AnnealingPlacer` on the group's
+   operators and nodes only.  Each refinement scores against the
+   *cluster-wide* capacity normalization (``total_capacity`` override),
+   so a group never trades global feasibility for local gain.  Groups
+   are independent subproblems; ``jobs > 1`` fans them out through
+   :func:`repro.parallel.parallel_map`.
+
+The result is a placement whose cost scales with
+``num_groups * (group_size solve)`` instead of one monolithic
+``n``-node search — the difference between hours and seconds at 1000
+nodes — while the within-group searches still run the bit-exact
+incremental kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.clustering import ClusteredModel, cluster_by_affinity
+from ..core.load_model import LoadModel
+from ..core.plans import Placement
+from ..core.rod import rod_place
+from ..core.volume import qmc
+from .. import parallel as _parallel
+from .annealing import AnnealingPlacer
+from .base import Placer
+
+__all__ = ["HierarchicalPlacer", "RestrictedModel"]
+
+
+class RestrictedModel:
+    """A load model restricted to a subset of the base model's operators.
+
+    Duck-types what :func:`~repro.core.rod.rod_place` and
+    :class:`~repro.core.plans.Placement` need, with one crucial
+    property: :meth:`column_totals` returns the **base model's global
+    totals**, so weight matrices computed for the restriction are the
+    global rows ``w_ik = (l^n_ik / l_k) / (C_i / C_T)`` — comparable
+    across groups — rather than totals renormalized to the subset.
+    """
+
+    def __init__(self, base: LoadModel, operator_indices: Sequence[int]) -> None:
+        indices = tuple(int(j) for j in operator_indices)
+        if len(set(indices)) != len(indices):
+            raise ValueError("operator indices must be unique")
+        for j in indices:
+            if not 0 <= j < base.num_operators:
+                raise IndexError(f"operator index {j} out of range")
+        self.base = base
+        self.indices = indices
+        self.operator_names = tuple(base.operator_names[j] for j in indices)
+        self.coefficients = base.coefficients[list(indices)]
+        self.graph = base.graph
+        self._index = {name: i for i, name in enumerate(self.operator_names)}
+
+    @property
+    def num_variables(self) -> int:
+        return self.base.num_variables
+
+    @property
+    def num_operators(self) -> int:
+        return len(self.indices)
+
+    def column_totals(self) -> np.ndarray:
+        return self.base.column_totals()
+
+    def operator_norms(self) -> np.ndarray:
+        return np.linalg.norm(self.coefficients, axis=1)
+
+    def operator_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown operator: {name!r}") from None
+
+
+def _refine_group_task(
+    task: Tuple[LoadModel, Tuple[int, ...], Tuple[float, ...], float,
+                int, int, int, int, Tuple[int, ...], np.ndarray],
+) -> Tuple[int, ...]:
+    """Refine one node group (picklable pool task).
+
+    Returns the group-local node index of every group operator, in
+    ``operator_indices`` order.  ``sample_mask`` marks the samples
+    feasible *outside* this group under the warm-start assignment, so
+    the refinement maximizes the globally feasible count, not the
+    group-local one.
+    """
+    (model, operator_indices, node_capacities, total_capacity,
+     iterations, samples, score_batch, seed, initial_local,
+     sample_mask) = task
+    placer = AnnealingPlacer(
+        iterations=iterations,
+        samples=samples,
+        seed=seed,
+        score_batch=score_batch,
+        total_capacity=total_capacity,
+        initial_assignment=initial_local,
+        sample_mask=sample_mask,
+    )
+    sub = RestrictedModel(model, operator_indices)
+    return tuple(placer.place(sub, node_capacities).assignment)
+
+
+class HierarchicalPlacer(Placer):
+    """Cluster-then-place-then-refine placement for large clusters."""
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        group_size: int = 16,
+        max_clusters: Optional[int] = None,
+        max_weight_multiplier: float = 1.0,
+        refine_iterations: int = 600,
+        samples: int = 512,
+        seed: Optional[int] = None,
+        score_batch: int = 1,
+        jobs: int = 1,
+    ) -> None:
+        """``group_size`` bounds each refinement subproblem's node
+        count.  ``max_clusters`` bounds the cluster-level solve's unit
+        count; the default ``None`` keeps every operator its own unit
+        (lossless — coarser clusters make the decomposition cheaper but
+        measurably cost volume, see ``docs/performance.md``).
+        ``max_weight_multiplier`` scales the cluster weight cap
+        (multiples of the smallest group's capacity share);
+        ``refine_iterations`` / ``samples`` / ``score_batch``
+        parameterize each group's annealing refinement; ``jobs > 1``
+        refines groups in parallel worker processes."""
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if max_clusters is not None and max_clusters < 1:
+            raise ValueError("max_clusters must be >= 1")
+        if max_weight_multiplier <= 0:
+            raise ValueError("max_weight_multiplier must be > 0")
+        if refine_iterations < 1:
+            raise ValueError("refine_iterations must be >= 1")
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        if score_batch < 1:
+            raise ValueError("score_batch must be >= 1")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.group_size = group_size
+        self.max_clusters = max_clusters
+        self.max_weight_multiplier = max_weight_multiplier
+        self.refine_iterations = refine_iterations
+        self.samples = samples
+        self.seed = seed
+        self.score_batch = score_batch
+        self.jobs = jobs
+
+    # ------------------------------------------------------------ phases
+
+    def node_groups(self, capacities: np.ndarray) -> List[List[int]]:
+        """Snake-dealt node groups, balanced by capacity.
+
+        Nodes are dealt largest-capacity-first across
+        ``ceil(n / group_size)`` groups in boustrophedon order (left to
+        right, then right to left), so a group that drew a large node
+        in one pass draws a small one in the next — group capacities
+        stay balanced and every group ends up with at most
+        ``group_size`` nodes.
+        """
+        n = capacities.shape[0]
+        num_groups = max(1, -(-n // self.group_size))
+        order = sorted(range(n), key=lambda i: (-capacities[i], i))
+        groups: List[List[int]] = [[] for _ in range(num_groups)]
+        for rank, node in enumerate(order):
+            lap, offset = divmod(rank, num_groups)
+            if lap % 2:
+                offset = num_groups - 1 - offset
+            groups[offset].append(node)
+        return groups
+
+    def place(
+        self, model: LoadModel, capacities: Sequence[float]
+    ) -> Placement:
+        caps = self._validated(model, capacities)
+        groups = self.node_groups(caps)
+        if len(groups) == 1:
+            # Small cluster: the flat incremental search is already fast.
+            return AnnealingPlacer(
+                iterations=self.refine_iterations,
+                samples=self.samples,
+                seed=self.seed,
+                score_batch=self.score_batch,
+                jobs=self.jobs,
+            ).place(model, caps)
+
+        total_capacity = float(caps.sum())
+        group_caps = np.array([float(caps[g].sum()) for g in groups])
+        node_group = [0] * caps.shape[0]
+        for group_index, nodes in enumerate(groups):
+            for node in nodes:
+                node_group[node] = group_index
+
+        # Phase 2-3: cluster the operators, place clusters onto node
+        # groups.  The cluster-level ROD runs at *node* granularity and
+        # only its group projection is kept: the per-node detail is
+        # thrown away (refinement redoes it at operator granularity),
+        # but the greedy needs it — balancing group aggregates alone
+        # yields group compositions no within-group placement can
+        # balance (see docs/performance.md for the measurements).
+        max_clusters = model.num_operators
+        if self.max_clusters is not None:
+            max_clusters = min(max_clusters, self.max_clusters)
+        operator_granular = max_clusters >= model.num_operators
+        if operator_granular:
+            # Every operator is its own unit, so the cluster-level solve
+            # *is* a full-model ROD and its node assignment doubles as
+            # the warm start — no clustering pass, no per-group re-ROD.
+            cluster_plan = rod_place(model, caps)
+            assignment = list(cluster_plan.assignment)
+            operator_group = [node_group[node] for node in assignment]
+        else:
+            weight_cap = (
+                self.max_weight_multiplier
+                * float(group_caps.min())
+                / total_capacity
+            )
+            clustering = cluster_by_affinity(
+                model, max_clusters, max_weight=weight_cap
+            )
+            clustered = ClusteredModel(model, clustering)
+            cluster_plan = rod_place(clustered, caps)
+            operator_group = [0] * model.num_operators
+            for cluster_index, node in enumerate(cluster_plan.assignment):
+                for name in clustering.groups[cluster_index]:
+                    operator_group[model.operator_index(name)] = (
+                        node_group[node]
+                    )
+
+        group_ops: List[Tuple[int, ...]] = []
+        for group_index in range(len(groups)):
+            group_ops.append(tuple(
+                j for j in range(model.num_operators)
+                if operator_group[j] == group_index
+            ))
+        if not operator_granular:
+            # Phase 4a: warm start — coarse clusters stack their members
+            # on one node, so ROD inside each group re-spreads them at
+            # operator granularity before refinement.
+            assignment = [0] * model.num_operators
+            for group_index, nodes in enumerate(groups):
+                ops = group_ops[group_index]
+                if not ops:
+                    continue
+                sub = RestrictedModel(model, ops)
+                node_caps = tuple(float(caps[i]) for i in nodes)
+                local = rod_place(sub, node_caps).assignment
+                for j, local_node in zip(ops, local):
+                    assignment[j] = nodes[local_node]
+
+        # Phase 4b: per-group conditioning masks.  A sample only counts
+        # toward group g's objective if every node *outside* g already
+        # fits it under the warm start — so each refinement climbs the
+        # global feasible count, holding the other groups fixed.
+        masks = self._group_masks(model, caps, total_capacity,
+                                  groups, assignment)
+
+        # Phase 4c: refine each group's operators on its own nodes.
+        base_seed = self.seed if self.seed is not None else 0
+        tasks = []
+        task_groups: List[Tuple[int, Tuple[int, ...]]] = []
+        for group_index, nodes in enumerate(groups):
+            ops = group_ops[group_index]
+            if len(ops) < 2 or len(nodes) < 2:
+                continue
+            if not masks[group_index].any():
+                # No sample is feasible outside this group: refinement
+                # cannot move the global count, skip the search.
+                continue
+            node_index = {node: local for local, node in enumerate(nodes)}
+            initial_local = tuple(node_index[assignment[j]] for j in ops)
+            tasks.append((
+                model, ops, tuple(float(caps[i]) for i in nodes),
+                total_capacity, self.refine_iterations, self.samples,
+                self.score_batch,
+                _parallel.derive_seed(base_seed, group_index),
+                initial_local, masks[group_index],
+            ))
+            task_groups.append((group_index, ops))
+        locals_per_group = _parallel.parallel_map(
+            _refine_group_task, tasks, jobs=self.jobs
+        )
+
+        for (group_index, ops), local in zip(task_groups, locals_per_group):
+            nodes = groups[group_index]
+            for j, local_node in zip(ops, local):
+                assignment[j] = nodes[local_node]
+        return Placement(
+            model=model, capacities=caps, assignment=tuple(assignment)
+        )
+
+    def _group_masks(
+        self,
+        model: LoadModel,
+        caps: np.ndarray,
+        total_capacity: float,
+        groups: List[List[int]],
+        assignment: List[int],
+    ) -> List[np.ndarray]:
+        """Per-group bool masks over the shared refinement sample cloud.
+
+        ``masks[g][s]`` is true when sample ``s`` is feasible on every
+        node not in group ``g`` under ``assignment``.  Uses the same
+        Halton stream the group refinements score against (one cached
+        generation), and the same threshold arithmetic as the annealing
+        kernel.
+        """
+        totals = model.column_totals()
+        safe_totals = np.where(totals > 1e-12, totals, 1.0)
+        points = qmc.sample_unit_simplex(
+            self.samples, model.num_variables, method="halton"
+        )
+        op_share = model.coefficients / safe_totals
+        op_share[:, totals <= 1e-12] = 0.0
+        op_dots = points @ op_share.T
+        n = caps.shape[0]
+        node_dots = np.zeros((self.samples, n))
+        np.add.at(
+            node_dots.T,
+            np.fromiter(assignment, dtype=np.intp, count=len(assignment)),
+            op_dots.T,
+        )
+        thresholds = (1.0 + 1e-12) * caps / total_capacity
+        violations = node_dots > thresholds
+        total_violations = violations.sum(axis=1)
+        masks = []
+        for nodes in groups:
+            inside = violations[:, nodes].sum(axis=1)
+            masks.append(total_violations - inside == 0)
+        return masks

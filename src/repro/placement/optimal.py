@@ -100,14 +100,38 @@ class OptimalPlacer(Placer):
     def _search_exact(
         self, model: LoadModel, caps: np.ndarray, homogeneous: bool
     ) -> Tuple[int, ...]:
+        """Enumerate plans scoring each by exact polytope volume.
+
+        Consecutive assignments share a prefix, so ``L^n`` is patched
+        from per-depth prefix snapshots rather than rebuilt dense from
+        zeros for every candidate.  Each snapshot extends the previous
+        one by a single ascending-index row add — exactly the arithmetic
+        of a from-scratch accumulation, so scores are bit-identical to
+        the naive rebuild.
+        """
+        m = model.num_operators
+        n = caps.shape[0]
         best_assignment: Optional[Tuple[int, ...]] = None
         best_score = -np.inf
-        for assignment in enumerate_assignments(
-            model.num_operators, caps.shape[0], homogeneous
-        ):
-            ln = np.zeros((caps.shape[0], model.num_variables))
-            for j, node in enumerate(assignment):
-                ln[node] += model.coefficients[j]
+        # prefix[j] is L^n with operators 0..j-1 placed.
+        prefix = [np.zeros((n, model.num_variables))]
+        previous: Optional[Tuple[int, ...]] = None
+        for assignment in enumerate_assignments(m, n, homogeneous):
+            if previous is None:
+                shared = 0
+            else:
+                shared = m
+                for j in range(m):
+                    if assignment[j] != previous[j]:
+                        shared = j
+                        break
+            del prefix[shared + 1:]
+            for j in range(shared, m):
+                ln = prefix[-1].copy()
+                ln[assignment[j]] += model.coefficients[j]
+                prefix.append(ln)
+            ln = prefix[-1]
+            previous = assignment
             try:
                 score = polytope.polytope_volume(ln, caps)
             except ValueError:

@@ -192,3 +192,108 @@ class TestSharedSampleCache:
         stats = cache.cache_stats()
         assert stats["misses"] == misses
         assert stats["hits"] >= 1
+
+
+class TestBatchedScoring:
+    def test_batched_plan_is_valid_and_deterministic(self, small_tree_model,
+                                                     four_nodes):
+        config = dict(iterations=400, samples=512, seed=3, score_batch=8)
+        first = AnnealingPlacer(**config).place(small_tree_model, four_nodes)
+        second = AnnealingPlacer(**config).place(small_tree_model, four_nodes)
+        assert first.assignment == second.assignment
+        assert all(0 <= node < 4 for node in first.assignment)
+
+    def test_batched_polish_never_worse_than_rod(self, small_tree_model,
+                                                 four_nodes):
+        rod_volume = rod_place(
+            small_tree_model, four_nodes
+        ).volume_ratio(samples=2048)
+        plan = AnnealingPlacer(
+            iterations=600, samples=1024, seed=1, score_batch=16
+        ).place(small_tree_model, four_nodes)
+        assert plan.volume_ratio(samples=2048) >= rod_volume - 1e-9
+
+    def test_jobs_do_not_change_the_batched_trajectory(self,
+                                                       small_tree_model,
+                                                       four_nodes):
+        # The pool path scores candidates through per-move bundles; it
+        # must reproduce the vectorized local scoring move for move.
+        serial = AnnealingPlacer(
+            iterations=200, samples=512, seed=7, score_batch=8, jobs=1
+        ).place(small_tree_model, four_nodes)
+        fanned = AnnealingPlacer(
+            iterations=200, samples=512, seed=7, score_batch=8, jobs=2
+        ).place(small_tree_model, four_nodes)
+        assert serial.assignment == fanned.assignment
+
+    def test_batch_counts_against_iteration_budget(self, small_tree_model,
+                                                   four_nodes):
+        # A K-proposal round spends K iterations: a budget of K draws
+        # exactly one round, so huge K cannot multiply the work done.
+        events = []
+
+        class Spy:
+            enabled = True
+
+            def emit(self, event_type, **fields):
+                events.append((event_type, fields))
+
+        AnnealingPlacer(
+            iterations=64, samples=256, seed=0, score_batch=64,
+            tracer=Spy(), trace_every=1,
+        ).place(small_tree_model, four_nodes)
+        rounds = [f for t, f in events if t == "placement.iteration"]
+        assert rounds, "batched search should trace its rounds"
+        assert max(f["iteration"] for f in rounds) <= 64
+
+
+class TestRefinementKnobs:
+    def test_initial_assignment_overrides_start(self, small_tree_model,
+                                                four_nodes):
+        m = small_tree_model.num_operators
+        pinned = tuple(j % 4 for j in range(m))
+        plan = AnnealingPlacer(
+            iterations=1, samples=256, seed=0, initial_temperature=0.0,
+            initial_assignment=pinned,
+        ).place(small_tree_model, four_nodes)
+        # One zero-temperature iteration can apply at most one move.
+        moved = sum(1 for a, b in zip(plan.assignment, pinned) if a != b)
+        assert moved <= 1
+
+    def test_all_true_mask_is_bit_identical_to_no_mask(self,
+                                                       small_tree_model,
+                                                       four_nodes):
+        config = dict(iterations=300, samples=512, seed=5)
+        bare = AnnealingPlacer(**config).place(small_tree_model, four_nodes)
+        masked = AnnealingPlacer(
+            sample_mask=np.ones(512, dtype=bool), **config
+        ).place(small_tree_model, four_nodes)
+        assert bare.assignment == masked.assignment
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            AnnealingPlacer(samples=128, sample_mask=np.ones(64, dtype=bool))
+
+    def test_total_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AnnealingPlacer(total_capacity=0.0)
+
+    def test_score_batch_and_jobs_validated(self):
+        with pytest.raises(ValueError):
+            AnnealingPlacer(score_batch=0)
+        with pytest.raises(ValueError):
+            AnnealingPlacer(jobs=0)
+
+    def test_total_capacity_override_scores_against_global_share(
+            self, small_tree_model):
+        # Refining two nodes of a notional eight-node cluster: the
+        # override shrinks each node's capacity share, so plans that
+        # look feasible locally score as infeasible globally.
+        local = AnnealingPlacer(iterations=50, samples=512, seed=2)
+        global_view = AnnealingPlacer(
+            iterations=50, samples=512, seed=2, total_capacity=8.0
+        )
+        caps = [1.0, 1.0]
+        loose = local.place(small_tree_model, caps)
+        tight = global_view.place(small_tree_model, caps)
+        assert len(tight.assignment) == len(loose.assignment)

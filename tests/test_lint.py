@@ -331,3 +331,91 @@ class TestScalarLoopInKernel:
         # justified noqa, and nothing else loops per element.
         report = lint_paths([REPO_ROOT / "src" / "repro" / "core" / "volume"])
         assert [d.code for d in report] == []
+
+
+class TestDenseAllocInPlacementLoop:
+    PLACEMENT_PATH = Path("src/repro/placement/searcher.py")
+    ALL = "__all__ = []\n"
+    LOOP = (
+        "import numpy as np\n"
+        "def score(plans, n, d):\n"
+        "    for plan in plans:\n"
+        "        ln = np.zeros((n, d))\n"
+        "        use(ln)\n"
+    )
+
+    def test_dense_zeros_in_loop_flagged(self):
+        assert codes(self.ALL + self.LOOP, self.PLACEMENT_PATH) == [
+            "REPRO508",
+        ]
+
+    def test_severity_is_warning(self):
+        diagnostics = lint_source(self.ALL + self.LOOP, self.PLACEMENT_PATH)
+        assert diagnostics[0].severity is Severity.WARNING
+
+    def test_empty_and_full_also_flagged(self):
+        for ctor in ("np.empty((n, d))", "np.ones((n, d))",
+                     "np.full((n, d), 0.0)"):
+            source = self.ALL + self.LOOP.replace("np.zeros((n, d))", ctor)
+            assert codes(source, self.PLACEMENT_PATH) == ["REPRO508"], ctor
+
+    def test_while_loop_flagged(self):
+        source = (
+            self.ALL
+            + "import numpy as np\n"
+            "def score(n, d):\n"
+            "    while improving():\n"
+            "        ln = np.zeros((n, d))\n"
+            "        use(ln)\n"
+        )
+        assert codes(source, self.PLACEMENT_PATH) == ["REPRO508"]
+
+    def test_hoisted_allocation_ok(self):
+        source = (
+            self.ALL
+            + "import numpy as np\n"
+            "def score(plans, n, d):\n"
+            "    ln = np.zeros((n, d))\n"
+            "    for plan in plans:\n"
+            "        ln[:] = 0.0\n"
+            "        use(ln)\n"
+        )
+        assert codes(source, self.PLACEMENT_PATH) == []
+
+    def test_one_dimensional_allocation_ok(self):
+        # Flagging every tiny vector would be noise; the rule targets
+        # the (n_nodes, ...)-shaped dense state.
+        source = self.ALL + self.LOOP.replace("np.zeros((n, d))",
+                                              "np.zeros(n)")
+        assert codes(source, self.PLACEMENT_PATH) == []
+
+    def test_iterable_expression_not_counted_as_loop_body(self):
+        source = (
+            self.ALL
+            + "import numpy as np\n"
+            "def f(n, d):\n"
+            "    for row in np.zeros((n, d)):\n"
+            "        use(row)\n"
+        )
+        assert codes(source, self.PLACEMENT_PATH) == []
+
+    def test_same_loop_ok_outside_placement(self):
+        assert codes(
+            self.ALL + self.LOOP, Path("src/repro/simulator/engine.py")
+        ) == []
+        assert codes(self.LOOP, Path("tests/test_example.py")) == []
+
+    def test_noqa_with_justification_suppresses(self):
+        source = self.ALL + self.LOOP.replace(
+            "ln = np.zeros((n, d))",
+            "ln = np.zeros((n, d))  "
+            "# noqa: REPRO508  # fresh buffer handed to worker",
+        )
+        assert codes(source, self.PLACEMENT_PATH) == []
+
+    def test_placement_package_lints_clean(self):
+        # The shipped placement package carries no dense per-candidate
+        # allocation: the annealing/optimal/hierarchical kernels patch
+        # deltas instead (the baseline is empty by construction).
+        report = lint_paths([REPO_ROOT / "src" / "repro" / "placement"])
+        assert [d.code for d in report] == []
