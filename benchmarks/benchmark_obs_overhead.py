@@ -14,6 +14,13 @@ discard-everything sink — the marginal cost of constructing every event
 event volume, so span-emission regressions show up as a number even
 though only the disabled case is gated.
 
+A fourth, gated case re-runs the disabled-vs-baseline comparison with a
+migration controller attached: the decision-audit layer
+(``repro.obs.decisions``) must stay behind the same hoisted guard, so a
+controller-driven run with tracing disabled allocates **zero** decision
+records (asserted by instrumenting ``DecisionRecord.__init__``, not
+just timed) and stays inside the same tolerance.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/benchmark_obs_overhead.py \
@@ -30,7 +37,9 @@ import argparse
 import sys
 import time
 
+import repro.obs.decisions as decisions_mod
 from repro.deploy import Deployment
+from repro.dynamics.controller import LoadBalancingController
 from repro.graphs.generator import monitoring_graph
 from repro.obs.trace import NullSink, TraceSink, Tracer
 
@@ -47,15 +56,49 @@ def build_deployment() -> Deployment:
 
 
 def time_run(deployment: Deployment, tracer: Tracer | None,
-             duration: float) -> float:
+             duration: float, controller: bool = False) -> float:
     kwargs = {}
     if tracer is not None:
         kwargs["tracer"] = tracer
+    if controller:
+        # Fresh per run: controllers carry smoothing/cooldown state.
+        kwargs["controller"] = LoadBalancingController(period=1.0)
     start = time.perf_counter()
     deployment.simulate(
         rates=[120.0, 120.0, 120.0], duration=duration, **kwargs
     )
     return time.perf_counter() - start
+
+
+def assert_no_decision_records(deployment: Deployment,
+                               duration: float) -> None:
+    """Disabled tracing must allocate zero DecisionRecord objects."""
+    created = {"count": 0}
+    original_init = decisions_mod.DecisionRecord.__init__
+
+    def counting_init(self, *args, **kwargs):
+        created["count"] += 1
+        original_init(self, *args, **kwargs)
+
+    decisions_mod.DecisionRecord.__init__ = counting_init
+    controller = LoadBalancingController(period=1.0)
+    try:
+        deployment.simulate(
+            rates=[120.0, 120.0, 120.0], duration=duration,
+            tracer=Tracer(NullSink()), controller=controller,
+        )
+    finally:
+        decisions_mod.DecisionRecord.__init__ = original_init
+    if created["count"] != 0:
+        raise AssertionError(
+            f"disabled-tracing run allocated {created['count']} "
+            "decision record(s); the telemetry guard leaked into the "
+            "hot path"
+        )
+    if controller.telemetry is not None:
+        raise AssertionError(
+            "controller.telemetry attached despite tracing disabled"
+        )
 
 
 def main(argv=None) -> int:
@@ -77,10 +120,18 @@ def main(argv=None) -> int:
 
     enabled_tracer = Tracer(_DiscardSink())
     time_run(deployment, enabled_tracer, args.duration)
+    time_run(deployment, None, args.duration, controller=True)
+    time_run(deployment, disabled_tracer, args.duration, controller=True)
+
+    # Correctness before timing: a disabled-tracing controller run must
+    # build zero DecisionRecord objects and leave telemetry detached.
+    assert_no_decision_records(deployment, args.duration)
 
     baseline_times = []
     disabled_times = []
     enabled_times = []
+    ctrl_baseline_times = []
+    ctrl_disabled_times = []
     for _ in range(args.repeats):
         baseline_times.append(time_run(deployment, None, args.duration))
         disabled_times.append(
@@ -89,12 +140,22 @@ def main(argv=None) -> int:
         enabled_times.append(
             time_run(deployment, enabled_tracer, args.duration)
         )
+        ctrl_baseline_times.append(
+            time_run(deployment, None, args.duration, controller=True)
+        )
+        ctrl_disabled_times.append(
+            time_run(deployment, disabled_tracer, args.duration,
+                     controller=True)
+        )
 
     baseline = min(baseline_times)
     disabled = min(disabled_times)
     enabled = min(enabled_times)
+    ctrl_baseline = min(ctrl_baseline_times)
+    ctrl_disabled = min(ctrl_disabled_times)
     overhead = (disabled - baseline) / baseline
     enabled_overhead = (enabled - baseline) / baseline
+    ctrl_overhead = (ctrl_disabled - ctrl_baseline) / ctrl_baseline
     events_per_run = enabled_tracer.events_emitted // (args.repeats + 1)
     print(f"baseline (no tracer):     {baseline * 1e3:8.2f} ms")
     print(f"tracing disabled (null):  {disabled * 1e3:8.2f} ms")
@@ -103,8 +164,18 @@ def main(argv=None) -> int:
     print(f"tracing enabled (discard sink, spans included): "
           f"{enabled * 1e3:8.2f} ms ({enabled_overhead:+.2%}, "
           f"~{events_per_run} events/run; informational)")
+    print(f"controller, no tracer:    {ctrl_baseline * 1e3:8.2f} ms")
+    print(f"controller, disabled:     {ctrl_disabled * 1e3:8.2f} ms "
+          f"({ctrl_overhead:+.2%}; zero decision records asserted)")
+    failed = False
     if overhead > args.tolerance:
         print("FAIL: disabled tracing exceeds the overhead budget")
+        failed = True
+    if ctrl_overhead > args.tolerance:
+        print("FAIL: disabled tracing with a controller exceeds the "
+              "overhead budget")
+        failed = True
+    if failed:
         return 1
     print("OK")
     return 0

@@ -10,9 +10,10 @@ The subcommands cover the deploy-time workflow end to end::
                        --duration 20 --record
     repro-rod trace    run.jsonl --type batch.serviced --node 0 --since 5
     repro-rod trace    run.jsonl --span 42 --operator filter_0
-    repro-rod runs     list
+    repro-rod runs     list --json
     repro-rod compare  RUN_A RUN_B --threshold latency.p99=0.1
     repro-rod explain  RUN_B -k 5
+    repro-rod why      RUN_B --json
     repro-rod slo      RUN_B --config slo.json
     repro-rod report   RUN_B -o report.html
     repro-rod experiment fig14 --record
@@ -47,6 +48,13 @@ run against declarative latency/throughput objectives with burn-rate
 windows (:mod:`repro.obs.slo`) — ``simulate --slo FILE`` does the same
 inline at the end of a run.  ``trace --span ID`` prints one batch's
 causal lineage instead of the timeline view.
+
+``why RUN`` audits the control plane of a recorded run: every
+``decision.evaluated`` record (trigger, observed loads, scored
+candidates, the structured no-op reason when nothing moved), each
+migration's rejected alternatives and feasible-volume before/after, and
+any drift detections (:mod:`repro.obs.decisions`,
+:mod:`repro.obs.drift`).
 """
 
 from __future__ import annotations
@@ -439,10 +447,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         slo_breached = False
         if events:
             from .obs.critical_path import analyze_critical_path
+            from .obs.decisions import decision_snapshot
+            from .obs.drift import drift_snapshot
 
             snapshot["critical_path"] = analyze_critical_path(
                 events
             ).to_json_obj()
+            # Always present (zero-valued for controller-less runs) so
+            # baselines gain the keys and `compare` can diff them.
+            snapshot["decisions"] = decision_snapshot(events)
+            snapshot["drift"] = drift_snapshot(events)
             if slo_objectives is not None:
                 from .obs.slo import (
                     evaluate_slos,
@@ -574,6 +588,12 @@ def _trace_span_lineage(args: argparse.Namespace, events) -> int:
 def cmd_runs(args: argparse.Namespace) -> int:
     if args.runs_command == "list":
         runs = list_runs(args.root)
+        if getattr(args, "json", False):
+            print(json.dumps(
+                [_run_list_obj(run) for run in runs],
+                indent=2, sort_keys=True,
+            ))
+            return 0
         if not runs:
             print(f"no runs under {args.root}")
             return 0
@@ -626,6 +646,22 @@ def cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_list_obj(run) -> dict:
+    """One run's machine-readable row for ``runs list --json``."""
+    manifest = run.manifest
+    faults = run.result.get("faults") if run.result else None
+    return {
+        "run_id": manifest.run_id,
+        "kind": manifest.kind,
+        "created_wall": manifest.created_wall,
+        "sim_seconds": manifest.sim_seconds,
+        "seed": manifest.seed,
+        "faults": len(faults) if isinstance(faults, list) else 0,
+        "config_digest": manifest.config_digest,
+        "path": run.path,
+    }
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from .obs.diff import compare_runs, parse_thresholds
 
@@ -675,6 +711,32 @@ def cmd_explain(args: argparse.Namespace) -> int:
         return 0
     print(f"run {run.run_id}")
     print(render_critical_path_report(analysis, top_k=args.top))
+    return 0
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    from .obs.decisions import render_why_report, why_json_obj
+
+    try:
+        run = find_run(args.run, args.root)
+    except FileNotFoundError as exc:
+        print(exc)
+        return 1
+    events = run.events()
+    if not events:
+        print(f"run {run.run_id} has no trace; why needs a traced "
+              "recording (simulate --record)")
+        return 1
+    if not any(e.type == "decision.evaluated" for e in events):
+        print(f"run {run.run_id}: trace carries no decision events "
+              "(no controller attached, or recorded before decision "
+              "telemetry? re-record it)")
+        return 1
+    if args.json:
+        print(json.dumps(why_json_obj(events), indent=2, sort_keys=True))
+        return 0
+    print(f"run {run.run_id}")
+    print(render_why_report(events))
     return 0
 
 
@@ -990,6 +1052,11 @@ def build_parser() -> argparse.ArgumentParser:
     runs_list = runs_sub.add_parser("list", help="tabulate recorded runs")
     runs_list.add_argument("--root", default="runs",
                            help="run registry root (default ./runs)")
+    runs_list.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON array (run id, sim time, "
+             "seed, fault count) instead of the table",
+    )
     runs_list.set_defaults(func=cmd_runs)
     runs_show = runs_sub.add_parser("show", help="describe one run")
     runs_show.add_argument("run", help="run id or run directory path")
@@ -1039,6 +1106,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the critical_path snapshot section as JSON",
     )
     explain.set_defaults(func=cmd_explain)
+
+    why = sub.add_parser(
+        "why",
+        help="explain a recorded run's migrations: the decision behind "
+             "each move, rejected alternatives, and no-op periods",
+    )
+    why.add_argument("run", help="run id or run directory path")
+    why.add_argument("--root", default="runs",
+                     help="run registry root (default ./runs)")
+    why.add_argument(
+        "--json", action="store_true",
+        help="print the decision audit as JSON",
+    )
+    why.set_defaults(func=cmd_why)
 
     slo_parser = sub.add_parser(
         "slo",

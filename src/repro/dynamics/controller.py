@@ -49,6 +49,15 @@ class MigrationController(abc.ABC):
         if period <= 0:
             raise ValueError("control period must be > 0")
         self.period = period
+        #: Decision-audit collector (``repro.obs.decisions``).  The
+        #: simulator attaches one only while tracing is enabled;
+        #: controllers must guard every record-building line on
+        #: ``self.telemetry is not None`` so an untraced run allocates
+        #: no decision records at all.
+        self.telemetry: Optional[object] = None
+        #: Optional :class:`repro.obs.slo.SloWatcher`; when it reports
+        #: ``burning``, deliberations are recorded as SLO-triggered.
+        self.slo_watcher: Optional[object] = None
 
     @abc.abstractmethod
     def decide(
@@ -79,13 +88,18 @@ class LoadBalancingController(MigrationController):
         cooldown: Optional[float] = None,
         cost_model: Optional[MigrationCostModel] = None,
         state_tuples: Optional[Mapping[str, float]] = None,
+        slo_watcher: Optional[object] = None,
     ) -> None:
         """``state_tuples`` maps operator name to estimated state size
         (see :func:`repro.dynamics.state.graph_state_tuples`); operators
         not listed are treated as stateless.  ``cooldown`` (default
         ``5 * period``) is how long a just-moved operator is pinned, the
-        usual anti-thrashing guard in reactive balancers."""
+        usual anti-thrashing guard in reactive balancers.
+        ``slo_watcher``, if given, marks deliberations that happen while
+        the watcher is burning as SLO-triggered in the decision audit
+        (the simulator feeds the watcher every sink latency sample)."""
         super().__init__(period)
+        self.slo_watcher = slo_watcher
         if imbalance_threshold < 0:
             raise ValueError("imbalance threshold must be >= 0")
         if max_moves_per_period < 1:
@@ -117,6 +131,21 @@ class LoadBalancingController(MigrationController):
     ) -> List[Migration]:
         moves: List[Migration] = []
         raw = np.asarray(utilizations, dtype=float)
+        # Decision audit: build a record only when the simulator attached
+        # a telemetry collector (tracing on) — the untraced path must not
+        # allocate anything here.
+        record = None
+        if self.telemetry is not None:
+            watcher = self.slo_watcher
+            burning = watcher is not None and watcher.burning
+            record = self.telemetry.begin(
+                trigger="slo-burn" if burning else "periodic",
+                controller="balance",
+                loads=[float(value) for value in raw],
+                burn_rate=(
+                    float(watcher.last_burn_rate) if burning else None
+                ),
+            )
         if self._smoothed is None or self._smoothed.shape != raw.shape:
             self._smoothed = raw.copy()
         else:
@@ -143,25 +172,14 @@ class LoadBalancingController(MigrationController):
             # an unmeasured one look idle and unmovable).
             return float(model.coefficients[model.operator_index(name)].sum())
 
+        noop_reason = "below-threshold"
+        exhausted = False
         for _ in range(self.max_moves_per_period):
             busiest = int(np.argmax(utilizations))
             calmest = int(np.argmin(utilizations))
             gap = utilizations[busiest] - utilizations[calmest]
             if busiest == calmest or gap < self.imbalance_threshold:
-                break
-            candidates = [
-                name
-                for name, node in working.items()
-                if node == busiest
-                and now - self._last_moved.get(name, -math.inf)
-                >= self.cooldown
-            ]
-            if not candidates:
-                _LOG.debug(
-                    "t=%.2fs gap %.3f over threshold but node %d has no "
-                    "movable operator (all cooling down)",
-                    now, gap, busiest,
-                )
+                noop_reason = "below-threshold"
                 break
             # Move the operator whose measured demand best matches half
             # the gap — the standard even-out move.  Never move more than
@@ -169,16 +187,53 @@ class LoadBalancingController(MigrationController):
             # never a zero-demand operator (nothing to even out) — such
             # candidates are skipped, not allowed to abandon the period.
             target = gap / 2.0 * capacities[busiest]
-            movable = [
+            candidates = []
+            for name, node in working.items():
+                if node != busiest:
+                    continue
+                cooling = (
+                    now - self._last_moved.get(name, -math.inf)
+                    < self.cooldown
+                )
+                if cooling:
+                    if record is not None:
+                        record.add_candidate(
+                            name, busiest, calmest,
+                            -abs(load_of(name) - target),
+                            "cooldown-pinned",
+                        )
+                else:
+                    candidates.append(name)
+            if not candidates:
+                noop_reason = "cooldown-pinned"
+                _LOG.debug(
+                    "t=%.2fs gap %.3f over threshold but node %d has no "
+                    "movable operator (all cooling down)",
+                    now, gap, busiest,
+                )
+                break
+            weighed = [
                 (name, load_of(name) / capacities[busiest])
                 for name in candidates
             ]
             movable = [
                 (name, transfer)
-                for name, transfer in movable
+                for name, transfer in weighed
                 if 0.0 < transfer <= gap
             ]
+            if record is not None:
+                in_range = {name for name, _ in movable}
+                for name, transfer in weighed:
+                    if name not in in_range:
+                        record.add_candidate(
+                            name, busiest, calmest,
+                            -abs(
+                                transfer * capacities[busiest] - target
+                            ),
+                            "out-of-range",
+                        )
             if not movable:
+                noop_reason = "no-valid-candidate"
                 _LOG.debug(
                     "t=%.2fs gap %.3f over threshold but every candidate "
                     "transfer on node %d is zero or exceeds the gap",
@@ -191,6 +246,13 @@ class LoadBalancingController(MigrationController):
                     item[1] * capacities[busiest] - target
                 ),
             )
+            if record is not None:
+                for name, option in movable:
+                    record.add_candidate(
+                        name, busiest, calmest,
+                        -abs(option * capacities[busiest] - target),
+                        "chosen" if name == best else "outscored",
+                    )
             pause = self.cost_model.pause_seconds(
                 self.state_tuples.get(best, 0.0)
             )
@@ -210,5 +272,18 @@ class LoadBalancingController(MigrationController):
             utilizations[calmest] += (
                 transfer * capacities[busiest] / capacities[calmest]
             )
+        else:
+            exhausted = True
+        if record is not None:
+            record.actions = len(moves)
+            if moves:
+                # "max-moves-exhausted" with actions > 0 flags that the
+                # per-period budget — not restored balance — stopped the
+                # deliberation.
+                record.reason = (
+                    "max-moves-exhausted" if exhausted else "migrate"
+                )
+            else:
+                record.reason = noop_reason
         self.history.extend(moves)
         return moves

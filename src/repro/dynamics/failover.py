@@ -136,6 +136,13 @@ class FailoverController(MigrationController):
     ) -> List[Migration]:
         """Failover is event-driven; periodic polls never move anything."""
         self._capture_home(assignment)
+        if self.telemetry is not None:
+            record = self.telemetry.begin(
+                trigger="periodic",
+                controller="failover",
+                loads=[float(value) for value in utilizations],
+            )
+            record.reason = "event-driven-idle"
         return []
 
     # ------------------------------------------------------- fault hooks
@@ -156,6 +163,12 @@ class FailoverController(MigrationController):
         ``failed_nodes`` includes ``node`` itself.
         """
         self._capture_home(assignment)
+        record = None
+        if self.telemetry is not None:
+            record = self.telemetry.begin(
+                trigger="fault", controller="failover", loads=(),
+                node=int(node),
+            )
         failed = set(int(n) for n in failed_nodes) | {int(node)}
         alive = [
             n for n in range(len(capacities)) if n not in failed
@@ -164,6 +177,8 @@ class FailoverController(MigrationController):
             _LOG.debug(
                 "t=%.2fs node %d failed but no survivors remain", now, node
             )
+            if record is not None:
+                record.reason = "no-survivors"
             return []
         displaced = sorted(
             (name for name, host in assignment.items() if host == node),
@@ -172,17 +187,35 @@ class FailoverController(MigrationController):
                 name,
             ),
         )
+        if record is not None and not displaced:
+            record.reason = "nothing-displaced"
         working = dict(assignment)
         moves: List[Migration] = []
         for name in displaced:
+            # Score every surviving candidate (higher is better): the
+            # volume policy scores by residual feasible-volume ratio, the
+            # baseline by negated load per unit capacity.
             if self.policy == "volume":
-                target = self._best_volume_target(
-                    name, working, model, capacities, failed, alive
+                scored = self._volume_scores(
+                    name, working, model, capacities,
+                    tuple(sorted(failed)), alive,
                 )
             else:
-                target = self._least_loaded_target(
-                    working, model, capacities, failed, alive
+                scored = self._least_loaded_scores(
+                    working, model, capacities, alive
                 )
+            target = scored[0][0]
+            best_score = -float("inf")
+            for candidate, score in scored:
+                if score > best_score + 1e-12:
+                    best_score = score
+                    target = candidate
+            if record is not None:
+                for candidate, score in scored:
+                    record.add_candidate(
+                        name, int(node), candidate, score,
+                        "chosen" if candidate == target else "outscored",
+                    )
             # Crashed state is lost: pay only the base overhead, and only
             # the destination stalls (nothing to serialize on a dead node).
             pause = self.cost_model.pause_seconds(0.0)
@@ -196,6 +229,9 @@ class FailoverController(MigrationController):
             )
             moves.append(move)
             working[name] = target
+        if record is not None and displaced:
+            record.actions = len(moves)
+            record.reason = "migrate"
         self.history.extend(moves)
         return moves
 
@@ -209,7 +245,18 @@ class FailoverController(MigrationController):
         failed_nodes: Sequence[int],
     ) -> List[Migration]:
         """Optional failback: return displaced operators to ``node``."""
+        record = None
+        if self.telemetry is not None:
+            record = self.telemetry.begin(
+                trigger="recover", controller="failover", loads=(),
+                node=int(node),
+            )
         if not self.failback or self._home is None:
+            if record is not None:
+                record.reason = (
+                    "failback-disabled" if not self.failback
+                    else "nothing-displaced"
+                )
             return []
         moves: List[Migration] = []
         for name, host in assignment.items():
@@ -223,6 +270,13 @@ class FailoverController(MigrationController):
                         pause_seconds=pause,
                     )
                 )
+                if record is not None:
+                    record.add_candidate(
+                        name, int(host), int(node), 0.0, "chosen"
+                    )
+        if record is not None:
+            record.actions = len(moves)
+            record.reason = "migrate" if moves else "nothing-displaced"
         self.history.extend(moves)
         return moves
 
@@ -232,42 +286,42 @@ class FailoverController(MigrationController):
         if self._home is None:
             self._home = dict(assignment)
 
-    def _best_volume_target(
+    def _volume_scores(
         self,
         name: str,
         working: Dict[str, int],
         model: LoadModel,
         capacities: np.ndarray,
-        failed: set,
+        failed: Sequence[int],
         alive: List[int],
-    ) -> int:
-        best_node = alive[0]
-        best_ratio = -1.0
+    ) -> List[tuple]:
+        """(candidate, residual-volume ratio) for every survivor."""
+        scored = []
         for candidate in alive:
             trial = dict(working)
             trial[name] = candidate
             ratio = residual_volume_ratio(
                 model, capacities, trial,
-                failed_nodes=tuple(failed), samples=self.samples,
+                failed_nodes=failed, samples=self.samples,
                 ignore_stranded=True,
             )
-            if ratio > best_ratio + 1e-12:
-                best_ratio = ratio
-                best_node = candidate
-        return best_node
+            scored.append((candidate, ratio))
+        return scored
 
     @staticmethod
-    def _least_loaded_target(
+    def _least_loaded_scores(
         working: Mapping[str, int],
         model: LoadModel,
         capacities: np.ndarray,
-        failed: set,
         alive: List[int],
-    ) -> int:
+    ) -> List[tuple]:
+        """(candidate, negated load per capacity) for every survivor."""
         load = {n: 0.0 for n in alive}
         for op_name, host in working.items():
             if host in load:
                 load[host] += float(
                     model.coefficients[model.operator_index(op_name)].sum()
                 )
-        return min(alive, key=lambda n: (load[n] / float(capacities[n]), n))
+        return [
+            (n, -load[n] / float(capacities[n])) for n in alive
+        ]

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..simulator.metrics import LatencyStats
+from .decisions import DecisionView, decision_snapshot, decisions_from_trace
+from .drift import drift_snapshot
 from .trace import TraceEvent
 from .timeline import trace_metadata
 
@@ -112,6 +114,12 @@ class TraceAnalysis:
     tuples_out: int
     events_by_type: Dict[str, int]
     faults: List[FaultRecord] = field(default_factory=list)
+    #: Controller decision audit rows (``decision.evaluated`` events).
+    decisions: List[DecisionView] = field(default_factory=list)
+    #: Drift detections (``drift.detected`` event fields plus ``t``).
+    drift: List[Dict[str, object]] = field(default_factory=list)
+    decision_summary: Dict[str, object] = field(default_factory=dict)
+    drift_summary: Dict[str, object] = field(default_factory=dict)
 
     @property
     def num_nodes(self) -> int:
@@ -192,6 +200,8 @@ class TraceAnalysis:
                 for sink, stats in sorted(self.sink_latency.items())
             },
             "tuples_out": self.tuples_out,
+            "decisions": dict(self.decision_summary),
+            "drift": dict(self.drift_summary),
         }
 
 
@@ -302,4 +312,12 @@ def analyze_trace(
         tuples_out=tuples_out,
         events_by_type=events_by_type,
         faults=faults,
+        decisions=decisions_from_trace(events),
+        drift=[
+            dict(event.fields, t=event.t)
+            for event in events
+            if event.type == "drift.detected"
+        ],
+        decision_summary=decision_snapshot(events),
+        drift_summary=drift_snapshot(events),
     )

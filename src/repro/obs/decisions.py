@@ -1,0 +1,471 @@
+"""Controller decision telemetry: audit every migration (and non-move).
+
+The dynamics controllers (`repro.dynamics.controller`,
+`repro.dynamics.failover`) decide, reject, and apply migrations; until
+now only the final ``migration.applied`` event survived in the trace.
+This module is the audit trail:
+
+* :class:`DecisionTelemetry` — a collector the simulator attaches to a
+  controller (duck-typed ``controller.telemetry`` attribute) **only when
+  tracing is enabled**.  Controllers guard every record-building line on
+  ``self.telemetry is not None``, so the disabled-tracing hot path
+  allocates nothing (``benchmark_obs_overhead.py`` asserts this).
+* :class:`DecisionRecord` / :class:`CandidateRecord` — one deliberation
+  with the trigger (periodic / slo-burn / fault / recover), the observed
+  per-node load snapshot, every candidate migration considered with its
+  policy score, and the outcome: ``migrate`` or a structured no-op
+  reason (:data:`NOOP_REASONS`).
+* Trace-side reconstruction — :func:`decisions_from_trace`,
+  :func:`explain_migrations`, :func:`decision_snapshot` — which the
+  ``repro-rod why`` CLI, the HTML report's decision-timeline panel, and
+  the run-registry snapshot build on.  Every ``migration.applied`` event
+  carries the ``decision`` id of the record that caused it, and
+  ``node.stall`` events carry it too, so reconfiguration pauses are
+  attributable to the decision that triggered them.
+
+Scores are policy-specific but always *higher is better*: the balance
+policy scores a candidate by how close its transfer lands to half the
+load gap (negated distance), the volume failover policy by the residual
+feasible-volume ratio the cluster would keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .trace import TraceEvent
+
+__all__ = [
+    "ACTION_MIGRATE",
+    "NOOP_REASONS",
+    "CandidateRecord",
+    "DecisionRecord",
+    "DecisionTelemetry",
+    "DecisionView",
+    "MigrationExplanation",
+    "decisions_from_trace",
+    "explain_migrations",
+    "decision_snapshot",
+    "render_why_report",
+    "why_json_obj",
+]
+
+#: Outcome when at least one migration was issued.
+ACTION_MIGRATE = "migrate"
+
+#: The structured reasons a deliberation can end without (further) moves.
+NOOP_REASONS = (
+    "below-threshold",      # load gap under the imbalance threshold
+    "cooldown-pinned",      # every candidate moved too recently
+    "no-valid-candidate",   # no operator's transfer fits the gap
+    "max-moves-exhausted",  # per-period move budget hit, still imbalanced
+    "event-driven-idle",    # failover controller's periodic poll (no-op)
+    "no-survivors",         # node failed with no alive node to evacuate to
+    "nothing-displaced",    # node failed/recovered with nothing to move
+    "failback-disabled",    # node recovered but failback is off
+    "unobserved",           # synthesized for controllers without telemetry
+)
+
+
+@dataclass
+class CandidateRecord:
+    """One migration the controller weighed (chosen or not)."""
+
+    operator: str
+    source: int
+    target: int
+    score: float
+    status: str  # "chosen" | "outscored" | "cooldown-pinned" | ...
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {
+            "operator": self.operator,
+            "source": self.source,
+            "target": self.target,
+            "score": self.score,
+            "status": self.status,
+        }
+
+
+@dataclass
+class DecisionRecord:
+    """One controller deliberation, as built by the controller itself."""
+
+    trigger: str                     # periodic | slo-burn | fault | recover
+    controller: str                  # policy name ("balance", "failover")
+    loads: List[float]               # observed per-node load snapshot
+    reason: str = "below-threshold"  # outcome: ACTION_MIGRATE or a no-op
+    actions: int = 0                 # migrations issued this deliberation
+    node: Optional[int] = None       # fault/recover trigger node
+    burn_rate: Optional[float] = None
+    candidates: List[CandidateRecord] = field(default_factory=list)
+
+    def add_candidate(
+        self, operator: str, source: int, target: int,
+        score: float, status: str,
+    ) -> None:
+        self.candidates.append(
+            CandidateRecord(operator=operator, source=source,
+                            target=target, score=float(score),
+                            status=status)
+        )
+
+
+class DecisionTelemetry:
+    """Collector the engine attaches to a controller while tracing.
+
+    Controllers call :meth:`begin` once per deliberation and mutate the
+    returned record; the engine :meth:`drain`-s the pending records
+    after each ``decide()`` / failover-hook call and emits one
+    ``decision.evaluated`` trace event per record.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[DecisionRecord] = []
+        self.records_created = 0
+
+    def begin(
+        self,
+        trigger: str,
+        controller: str,
+        loads: Sequence[float],
+        node: Optional[int] = None,
+        burn_rate: Optional[float] = None,
+    ) -> DecisionRecord:
+        record = DecisionRecord(
+            trigger=trigger,
+            controller=controller,
+            loads=[float(value) for value in loads],
+            node=node,
+            burn_rate=burn_rate,
+        )
+        self._pending.append(record)
+        self.records_created += 1
+        return record
+
+    def drain(self) -> List[DecisionRecord]:
+        pending, self._pending = self._pending, []
+        return pending
+
+
+# ---------------------------------------------------------------- trace side
+
+
+@dataclass(frozen=True)
+class DecisionView:
+    """One ``decision.evaluated`` event read back from a trace."""
+
+    decision: int
+    t: float
+    trigger: str
+    controller: str
+    reason: str
+    actions: int
+    loads: Sequence[float]
+    candidates: Sequence[Mapping[str, object]]
+    node: Optional[int] = None
+    volume_before: Optional[float] = None
+    volume_after: Optional[float] = None
+    burn_rate: Optional[float] = None
+
+    @property
+    def chosen(self) -> List[Mapping[str, object]]:
+        return [c for c in self.candidates if c.get("status") == "chosen"]
+
+    @property
+    def rejected(self) -> List[Mapping[str, object]]:
+        return [c for c in self.candidates if c.get("status") != "chosen"]
+
+
+@dataclass(frozen=True)
+class MigrationExplanation:
+    """One applied migration tied back to the decision that caused it."""
+
+    t: float
+    operator: str
+    source: int
+    target: int
+    pause: float
+    reason: str                       # "balance" | "failover"
+    decision: Optional[DecisionView]  # None when unlinked (old trace)
+    pause_served: float = 0.0         # stall seconds attributed via trace
+
+
+def decisions_from_trace(
+    events: Iterable[TraceEvent],
+) -> List[DecisionView]:
+    """Reconstruct every decision record from a trace, in time order."""
+    views = []
+    for event in events:
+        if event.type != "decision.evaluated":
+            continue
+        f = event.fields
+        views.append(DecisionView(
+            decision=int(f["decision"]),
+            t=0.0 if event.t is None else float(event.t),
+            trigger=str(f["trigger"]),
+            controller=str(f["controller"]),
+            reason=str(f["reason"]),
+            actions=int(f["actions"]),
+            loads=list(f.get("loads", ())),
+            candidates=list(f.get("candidates", ())),
+            node=f.get("node"),
+            volume_before=f.get("volume_before"),
+            volume_after=f.get("volume_after"),
+            burn_rate=f.get("burn_rate"),
+        ))
+    return views
+
+
+def explain_migrations(
+    events: Sequence[TraceEvent],
+) -> List[MigrationExplanation]:
+    """Map every ``migration.applied`` event to its decision record.
+
+    Pause attribution sums the ``node.stall`` events tagged with the
+    same decision id, split evenly across that decision's migrations
+    (one decision can issue several moves that share the stalls).
+    """
+    by_id = {
+        view.decision: view for view in decisions_from_trace(events)
+    }
+    stall_seconds: Dict[int, float] = {}
+    moves_per_decision: Dict[int, int] = {}
+    applied = []
+    for event in events:
+        f = event.fields
+        if event.type == "node.stall" and "decision" in f:
+            decision_id = int(f["decision"])
+            stall_seconds[decision_id] = (
+                stall_seconds.get(decision_id, 0.0)
+                + float(f.get("work", 0.0))
+            )
+        elif event.type == "migration.applied":
+            applied.append(event)
+            if "decision" in f:
+                decision_id = int(f["decision"])
+                moves_per_decision[decision_id] = (
+                    moves_per_decision.get(decision_id, 0) + 1
+                )
+    explanations = []
+    for event in applied:
+        f = event.fields
+        decision_id = f.get("decision")
+        view = None if decision_id is None else by_id.get(int(decision_id))
+        served = 0.0
+        if decision_id is not None:
+            did = int(decision_id)
+            served = (
+                stall_seconds.get(did, 0.0)
+                / max(1, moves_per_decision.get(did, 1))
+            )
+        explanations.append(MigrationExplanation(
+            t=0.0 if event.t is None else float(event.t),
+            operator=str(f["operator"]),
+            source=int(f["source"]),
+            target=int(f["target"]),
+            pause=float(f["pause"]),
+            reason=str(f["reason"]),
+            decision=view,
+            pause_served=served,
+        ))
+    return explanations
+
+
+def decision_snapshot(
+    events: Sequence[TraceEvent],
+) -> Dict[str, object]:
+    """Diffable summary of decision/drift activity for ``result.json``.
+
+    Keys are stable and flat-ish so ``repro-rod compare`` can walk them;
+    zero-valued sections are still emitted (a controller-less run reads
+    as "0 decisions", which is itself a diffable fact).
+    """
+    views = decisions_from_trace(events)
+    explanations = explain_migrations(events)
+    triggers: Dict[str, int] = {}
+    no_op: Dict[str, int] = {}
+    rejected = 0
+    for view in views:
+        triggers[view.trigger] = triggers.get(view.trigger, 0) + 1
+        if view.actions == 0:
+            no_op[view.reason] = no_op.get(view.reason, 0) + 1
+        rejected += len(view.rejected)
+    linked = sum(1 for e in explanations if e.decision is not None)
+    return {
+        "evaluated": len(views),
+        "migrations": len(explanations),
+        "linked_migrations": linked,
+        "rejected_candidates": rejected,
+        "pause_seconds": round(
+            sum(e.pause_served for e in explanations), 9
+        ),
+        "triggers": dict(sorted(triggers.items())),
+        "no_op": dict(sorted(no_op.items())),
+    }
+
+
+# ------------------------------------------------------------------ rendering
+
+
+def _fmt_volume(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{float(value):.4f}"
+
+
+def why_json_obj(events: Sequence[TraceEvent]) -> Dict[str, object]:
+    """The ``repro-rod why --json`` payload."""
+    views = decisions_from_trace(events)
+    explanations = explain_migrations(events)
+    drift = [
+        dict(event.fields, t=event.t)
+        for event in events
+        if event.type == "drift.detected"
+    ]
+    return {
+        "summary": decision_snapshot(events),
+        "migrations": [
+            {
+                "t": e.t,
+                "operator": e.operator,
+                "source": e.source,
+                "target": e.target,
+                "pause": e.pause,
+                "pause_served": e.pause_served,
+                "reason": e.reason,
+                "decision": None if e.decision is None else {
+                    "id": e.decision.decision,
+                    "t": e.decision.t,
+                    "trigger": e.decision.trigger,
+                    "controller": e.decision.controller,
+                    "loads": list(e.decision.loads),
+                    "volume_before": e.decision.volume_before,
+                    "volume_after": e.decision.volume_after,
+                    "burn_rate": e.decision.burn_rate,
+                    "candidates": [dict(c) for c in e.decision.candidates],
+                },
+            }
+            for e in explanations
+        ],
+        "no_op_decisions": [
+            {
+                "id": view.decision,
+                "t": view.t,
+                "trigger": view.trigger,
+                "controller": view.controller,
+                "reason": view.reason,
+                "candidates": [dict(c) for c in view.candidates],
+            }
+            for view in views
+            if view.actions == 0
+        ],
+        "drift": drift,
+    }
+
+
+def render_why_report(events: Sequence[TraceEvent]) -> str:
+    """Human-readable ``repro-rod why`` verdict."""
+    views = decisions_from_trace(events)
+    explanations = explain_migrations(events)
+    snapshot = decision_snapshot(events)
+    lines = []
+    lines.append(
+        f"decisions evaluated : {snapshot['evaluated']}"
+    )
+    lines.append(
+        f"migrations applied  : {snapshot['migrations']} "
+        f"({snapshot['linked_migrations']} linked to a decision)"
+    )
+    lines.append(
+        f"candidates rejected : {snapshot['rejected_candidates']}"
+    )
+    lines.append(
+        f"pause attributed    : {snapshot['pause_seconds']:.3f}s of "
+        "endpoint stall"
+    )
+    triggers = snapshot["triggers"]
+    if triggers:
+        cells = ", ".join(
+            f"{name}={count}" for name, count in triggers.items()
+        )
+        lines.append(f"triggers            : {cells}")
+    no_op = snapshot["no_op"]
+    if no_op:
+        cells = ", ".join(
+            f"{name}={count}" for name, count in no_op.items()
+        )
+        lines.append(f"no-op reasons       : {cells}")
+
+    drift_events = [e for e in events if e.type == "drift.detected"]
+    if drift_events:
+        lines.append("")
+        lines.append(f"drift detections ({len(drift_events)}):")
+        for event in drift_events:
+            f = event.fields
+            where = (
+                f" input={f['input']}" if "input" in f else ""
+            )
+            lines.append(
+                f"  t={event.t:>8.2f}s  {f['signal']}{where} "
+                f"{f['direction']}: observed {float(f['observed']):.3f} "
+                f"vs baseline {float(f['baseline']):.3f} "
+                f"(stat {float(f['statistic']):.3f} > "
+                f"{float(f['threshold']):.3f})"
+            )
+
+    if explanations:
+        lines.append("")
+        lines.append(f"migrations ({len(explanations)}):")
+    for e in explanations:
+        lines.append(
+            f"  t={e.t:>8.2f}s  {e.operator}: node {e.source} -> "
+            f"{e.target}  [{e.reason}]  pause={e.pause:.3f}s "
+            f"(served {e.pause_served:.3f}s)"
+        )
+        view = e.decision
+        if view is None:
+            lines.append(
+                "      (no decision record — trace predates decision "
+                "telemetry)"
+            )
+            continue
+        loads = ", ".join(f"{load:.3f}" for load in view.loads)
+        lines.append(
+            f"      decision #{view.decision} trigger={view.trigger} "
+            f"controller={view.controller}  loads=[{loads}]"
+        )
+        if (view.volume_before is not None
+                or view.volume_after is not None):
+            lines.append(
+                "      feasible volume "
+                f"{_fmt_volume(view.volume_before)} -> "
+                f"{_fmt_volume(view.volume_after)}"
+            )
+        rejected = view.rejected
+        if rejected:
+            lines.append(
+                f"      rejected alternatives ({len(rejected)}):"
+            )
+            for cand in rejected:
+                lines.append(
+                    f"        {cand.get('operator')}: node "
+                    f"{cand.get('source')} -> {cand.get('target')} "
+                    f"score={float(cand.get('score', 0.0)):.4f} "
+                    f"[{cand.get('status')}]"
+                )
+
+    no_ops = [view for view in views if view.actions == 0]
+    if no_ops:
+        lines.append("")
+        lines.append(f"no-op periods ({len(no_ops)}):")
+        preview = no_ops if len(no_ops) <= 12 else no_ops[:12]
+        for view in preview:
+            lines.append(
+                f"  t={view.t:>8.2f}s  #{view.decision} "
+                f"trigger={view.trigger} reason={view.reason}"
+            )
+        if len(no_ops) > len(preview):
+            lines.append(
+                f"  ... and {len(no_ops) - len(preview)} more"
+            )
+    return "\n".join(lines)

@@ -44,10 +44,16 @@ _HIGHER_IS_WORSE = (
     "latency", "backlog", "utilization", "stall", "pause", "wall_seconds",
     "critical_path", "burn_rate", "breach", "bad_fraction",
     "unclosed_spans", "stranded",
+    # Decision/drift audit: more drift, more SLO-triggered deliberations,
+    # and more pathological no-op periods all read as regressions.
+    "drift", "slo-burn", "cooldown-pinned", "no-valid-candidate",
+    "max-moves-exhausted",
 )
 _LOWER_IS_WORSE = (
     "tuples_out", "volume_ratio", "ratio",
     "budget_remaining", "attributed_ratio", "attainment",
+    # Migrations losing their decision linkage is an audit regression.
+    "linked_migrations",
 )
 
 

@@ -22,6 +22,7 @@ and deployment internals observable, not to be a telemetry pipeline.
 from __future__ import annotations
 
 import bisect
+import math
 import re
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -413,6 +414,12 @@ class MetricsRegistry:
 
 
 def _fmt(value: float) -> str:
+    # Exposition format spells non-finite values +Inf/-Inf/NaN; int()
+    # on them raises, so they must be handled before the integer check.
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))

@@ -306,6 +306,87 @@ def _migrations_section(analysis: TraceAnalysis) -> str:
     )
 
 
+def _decisions_section(analysis: TraceAnalysis, max_rows: int = 200) -> str:
+    """Decision timeline: every controller deliberation, in time order.
+
+    The summary line carries the trigger and no-op breakdowns; each row
+    shows what the controller saw (loads), what it weighed (candidate
+    count), and what it did (actions or the structured no-op reason).
+    """
+    if not analysis.decisions:
+        return ""
+    summary = analysis.decision_summary
+    triggers = ", ".join(
+        f"{name}={count}"
+        for name, count in summary.get("triggers", {}).items()
+    )
+    no_op = ", ".join(
+        f"{name}={count}"
+        for name, count in summary.get("no_op", {}).items()
+    )
+    rows = []
+    for view in analysis.decisions[:max_rows]:
+        loads = ", ".join(f"{float(v):.2f}" for v in view.loads)
+        volumes = ""
+        if view.volume_before is not None:
+            after = (
+                "" if view.volume_after is None
+                else f" &rarr; {float(view.volume_after):.3f}"
+            )
+            volumes = f"{float(view.volume_before):.3f}{after}"
+        rows.append(
+            "<tr>"
+            f"<td class='num'>{_fmt(view.t)}</td>"
+            f"<td class='num'>{view.decision}</td>"
+            f"<td><code>{_esc(view.trigger)}</code></td>"
+            f"<td><code>{_esc(view.controller)}</code></td>"
+            f"<td><code>{_esc(view.reason)}</code></td>"
+            f"<td class='num'>{view.actions}</td>"
+            f"<td class='num'>{len(view.candidates)}</td>"
+            f"<td>[{_esc(loads)}]</td>"
+            f"<td class='num'>{volumes}</td>"
+            "</tr>"
+        )
+    truncated = (
+        f"<p>… and {len(analysis.decisions) - max_rows} more decisions"
+        "</p>" if len(analysis.decisions) > max_rows else ""
+    )
+    return (
+        f"<h2>Decision timeline ({len(analysis.decisions)})</h2>"
+        f"<p>triggers: {_esc(triggers) or '—'}"
+        + (f" · no-op reasons: {_esc(no_op)}" if no_op else "")
+        + "</p>"
+        "<table><tr><th>t (s)</th><th>#</th><th>trigger</th>"
+        "<th>controller</th><th>outcome</th><th>moves</th>"
+        "<th>candidates</th><th>loads</th><th>volume</th></tr>"
+        + "".join(rows) + "</table>" + truncated
+    )
+
+
+def _drift_section(analysis: TraceAnalysis) -> str:
+    if not analysis.drift:
+        return ""
+    rows = "".join(
+        "<tr>"
+        f"<td class='num'>{_fmt(float(d.get('t', 0.0)))}</td>"
+        f"<td><code>{_esc(str(d.get('signal')))}</code></td>"
+        f"<td class='num'>"
+        f"{'' if d.get('input') is None else d.get('input')}</td>"
+        f"<td><code>{_esc(str(d.get('direction')))}</code></td>"
+        f"<td class='num'>{_fmt(float(d.get('observed', 0.0)))}</td>"
+        f"<td class='num'>{_fmt(float(d.get('baseline', 0.0)))}</td>"
+        f"<td class='num'>{_fmt(float(d.get('statistic', 0.0)))}</td>"
+        "</tr>"
+        for d in analysis.drift
+    )
+    return (
+        f"<h2>Drift detections ({len(analysis.drift)})</h2>"
+        "<table><tr><th>t (s)</th><th>signal</th><th>input</th>"
+        "<th>direction</th><th>observed</th><th>baseline</th>"
+        "<th>statistic</th></tr>" + rows + "</table>"
+    )
+
+
 def _faults_section(analysis: TraceAnalysis) -> str:
     injected = [f for f in analysis.faults if not f.reverted]
     if not injected:
@@ -508,6 +589,8 @@ def render_html_report(run: Run) -> str:
         sections.append(_critical_path_section(
             analyze_critical_path(events)
         ))
+        sections.append(_decisions_section(analysis))
+        sections.append(_drift_section(analysis))
         sections.append(_migrations_section(analysis))
         sections.append(_faults_section(analysis))
         sections.append(_events_section(analysis))

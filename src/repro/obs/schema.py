@@ -34,6 +34,8 @@ __all__ = [
     "event_types",
     "validate_event",
     "validate_metric",
+    "event_catalog_markdown",
+    "metric_catalog_markdown",
 ]
 
 
@@ -119,7 +121,7 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             "node.stall",
             "migration pause served by a node",
             required=("node", "work"),
-            optional=("start",),
+            optional=("start", "decision"),
         ),
         _event(
             "span.open",
@@ -137,11 +139,29 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             "migration.decided",
             "controller returned a move",
             required=("operator", "source", "target", "pause"),
+            optional=("decision",),
         ),
         _event(
             "migration.applied",
             "engine applied a (non-stale) move",
             required=("operator", "source", "target", "pause", "reason"),
+            optional=("decision",),
+        ),
+        _event(
+            "decision.evaluated",
+            "one controller deliberation: trigger, loads, candidates, "
+            "outcome",
+            required=("decision", "trigger", "controller", "reason",
+                      "actions", "loads"),
+            optional=("candidates", "node", "volume_before",
+                      "volume_after", "burn_rate"),
+        ),
+        _event(
+            "drift.detected",
+            "a windowed change statistic crossed its threshold",
+            required=("signal", "direction", "statistic", "threshold",
+                      "observed", "baseline"),
+            optional=("input",),
         ),
         _event(
             "fault.injected",
@@ -214,6 +234,15 @@ METRIC_SCHEMAS: Dict[str, MetricSchema] = {
         _metric("rod_sim_latency_seconds", "gauge",
                 "end-to-end latency quantiles of the latest run",
                 ("quantile",)),
+        _metric("rod_decisions_total", "counter",
+                "controller decision records emitted", ("trigger",)),
+        _metric("rod_drift_events_total", "counter",
+                "drift detections per monitored signal", ("signal",)),
+        _metric("rod_drift_statistic", "gauge",
+                "end-of-run Page-Hinkley statistic per signal",
+                ("signal",)),
+        _metric("rod_drift_baseline", "gauge",
+                "end-of-run EWMA baseline level per signal", ("signal",)),
         _metric("rod_slo_budget_remaining", "gauge",
                 "fraction of an objective's error budget left",
                 ("objective",)),
@@ -302,3 +331,50 @@ def validate_metric(
             f"metric {name!r} declares labels {schema.labels}, "
             f"registered with {tuple(labels)}"
         )
+
+
+def _field_cell(names: FrozenSet[str]) -> str:
+    return ", ".join(f"`{name}`" for name in sorted(names)) or "—"
+
+
+def event_catalog_markdown() -> str:
+    """The event catalog as a markdown table, straight from the registry.
+
+    ``scripts/gen_event_catalog.py`` splices this into
+    ``docs/observability.md`` (and ``--check`` fails CI when the
+    committed docs drift), so a newly declared event type cannot go
+    undocumented.
+    """
+    lines = [
+        "| type | meaning | required fields | optional fields |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name in sorted(EVENT_SCHEMAS):
+        schema = EVENT_SCHEMAS[name]
+        optional = _field_cell(schema.optional)
+        if schema.extra_allowed:
+            optional = (
+                f"{optional}, …" if optional != "—" else "… (free-form)"
+            )
+        lines.append(
+            f"| `{name}` | {schema.help} | "
+            f"{_field_cell(schema.required)} | {optional} |"
+        )
+    return "\n".join(lines)
+
+
+def metric_catalog_markdown() -> str:
+    """The metric catalog as a markdown table (same contract as events)."""
+    lines = [
+        "| name | kind | labels | meaning |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name in sorted(METRIC_SCHEMAS):
+        schema = METRIC_SCHEMAS[name]
+        labels = ", ".join(
+            f"`{label}`" for label in schema.labels
+        ) or "—"
+        lines.append(
+            f"| `{name}` | {schema.kind} | {labels} | {schema.help} |"
+        )
+    return "\n".join(lines)

@@ -54,7 +54,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.plans import Placement
+from ..dynamics.failover import residual_volume_ratio
 from ..faults.schedule import FaultEvent, FaultSchedule
+from ..obs.decisions import DecisionRecord, DecisionTelemetry
+from ..obs.drift import DriftDetection, DriftMonitor, record_drift_metrics
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanEmitter
 from ..obs.trace import NULL_TRACER, Tracer
@@ -70,7 +73,13 @@ TransferCosts = Union[float, Mapping[str, float]]
 # Event priorities at equal timestamps: faults first (the system changes
 # before anything reacts to it), then controls (migrations take effect
 # before new work lands), then completions, then arrivals.
+# Drift detections share the fault priority so a ``drift.detected``
+# event always lands before any same-instant control reaction.
 _FAULT, _CONTROL, _COMPLETION, _ARRIVAL = 0, 1, 2, 3
+
+#: QMC sample count for the per-poll feasible-volume drift signal —
+#: small on purpose: it runs once per control period, not per batch.
+_DRIFT_VOLUME_SAMPLES = 128
 
 
 def _transfer_cost(costs: TransferCosts, stream: str) -> float:
@@ -106,6 +115,7 @@ class _Completion:
     deliveries: Tuple[Tuple[str, int, float], ...] = ()
     work: float = 0.0
     start: float = 0.0               # when the node began serving it
+    decision: int = -1               # stall-causing decision id (stalls)
 
 
 @dataclass(frozen=True)
@@ -215,6 +225,25 @@ class Simulator:
         # emission happen only under the `tracing` guard, so a disabled
         # run leaves every batch at span=-1 and never calls the emitter.
         spans = SpanEmitter(tracer)
+        # Decision audit + drift detection exist only while tracing: the
+        # telemetry collector is attached to the controller here (and
+        # detached after the loop), so the untraced path never allocates
+        # a decision record.
+        telemetry: Optional[DecisionTelemetry] = None
+        drift_monitor: Optional[DriftMonitor] = None
+        decision_seq = itertools.count(1)
+        decision_counts: Dict[str, int] = {}
+        if tracing:
+            drift_monitor = DriftMonitor()
+            if self.controller is not None and hasattr(
+                self.controller, "telemetry"
+            ):
+                telemetry = DecisionTelemetry()
+                self.controller.telemetry = telemetry
+        # A controller-attached SloWatcher is fed every sink latency
+        # sample regardless of tracing (labelling decisions as
+        # SLO-triggered must not change what the controller does).
+        slo_watcher = getattr(self.controller, "slo_watcher", None)
         if tracing:
             tracer.emit(
                 "sim.start",
@@ -275,7 +304,7 @@ class Simulator:
                     now + entry.duration,
                     _COMPLETION,
                     _Completion(node=node, batch=None, work=work,
-                                start=now),
+                                start=now, decision=entry.decision),
                 )
                 return
             batch: _Batch = entry
@@ -361,12 +390,28 @@ class Simulator:
                         _FaultRevert(fault),
                     )
 
-        def apply_move(move, now: float, failover: bool) -> bool:
+        # Arrival-rate drift: stream the resolved series (rate.spike
+        # faults already folded in) through per-input Page–Hinkley
+        # detectors.  The detectors are causal — each verdict sees only
+        # rows up to its step — so only the trigger times are known up
+        # front; each detection is enqueued at fault priority and its
+        # event therefore precedes any same-instant control reaction.
+        if drift_monitor is not None:
+            for detection in drift_monitor.scan_rate_series(
+                series, self.step_seconds
+            ):
+                push_event(detection.t, _FAULT, detection)
+
+        def apply_move(
+            move, now: float, failover: bool, decision: int = -1
+        ) -> bool:
             """Apply one controller/failover migration; False if stale.
 
             Regular migrations stall both endpoints; failover moves
             stall only the destination (the source is dead — there is
             no state to serialize and nothing to schedule on it).
+            ``decision`` tags the applied event and the endpoint stalls
+            with the decision-audit id that caused them.
             """
             if assignment.get(move.operator) != move.source:
                 return False  # stale decision; operator already moved
@@ -383,7 +428,7 @@ class Simulator:
                 else (move.source, move.target)
             )
             for endpoint in endpoints:
-                queues[endpoint].push_stall(move.pause_seconds)
+                queues[endpoint].push_stall(move.pause_seconds, decision)
                 if not busy[endpoint] and not failed[endpoint]:
                     if tracing:
                         tracer.emit("node.busy", t=now, node=endpoint)
@@ -398,8 +443,105 @@ class Simulator:
                     target=move.target,
                     pause=move.pause_seconds,
                     reason="failover" if failover else "balance",
+                    **({"decision": decision} if decision >= 0 else {}),
                 )
             return True
+
+        def sample_volume(current: Dict[str, int]) -> float:
+            """Feasible-volume ratio of the (degraded) cluster now."""
+            down = [i for i, f in enumerate(failed) if f]
+            return residual_volume_ratio(
+                self.placement.model, capacities, current,
+                failed_nodes=down, samples=_DRIFT_VOLUME_SAMPLES,
+                ignore_stranded=True,
+            )
+
+        def volume_after_moves(moves) -> Optional[float]:
+            """Ratio the cluster would keep once ``moves`` apply."""
+            if not moves:
+                return None
+            trial = dict(assignment)
+            for move in moves:
+                if trial.get(move.operator) == move.source:
+                    trial[move.operator] = move.target
+            return sample_volume(trial)
+
+        def emit_drift(detection: DriftDetection) -> None:
+            tracer.emit(
+                "drift.detected",
+                t=detection.t,
+                signal=detection.signal,
+                direction=detection.direction,
+                statistic=detection.statistic,
+                threshold=detection.threshold,
+                observed=detection.observed,
+                baseline=detection.baseline,
+                **(
+                    {} if detection.input is None
+                    else {"input": detection.input}
+                ),
+            )
+
+        def emit_decisions(
+            trigger: str,
+            now: float,
+            moves,
+            loads=None,
+            node: Optional[int] = None,
+            volume_before: Optional[float] = None,
+            volume_after: Optional[float] = None,
+        ) -> int:
+            """Emit the pending decision record(s) for one deliberation.
+
+            Controllers with telemetry support produced real records; for
+            anything else a minimal record is synthesized so every
+            control poll / fault hook still yields exactly one
+            ``decision.evaluated`` event.  Returns the id the caller
+            tags the resulting migrations with.
+            """
+            records = [] if telemetry is None else telemetry.drain()
+            if not records:
+                records = [DecisionRecord(
+                    trigger=trigger,
+                    controller=type(self.controller).__name__,
+                    loads=[],
+                    reason="migrate" if moves else "unobserved",
+                    actions=len(moves),
+                    node=node,
+                )]
+            decision_id = -1
+            for record in records:
+                decision_id = next(decision_seq)
+                decision_counts[record.trigger] = (
+                    decision_counts.get(record.trigger, 0) + 1
+                )
+                if not record.loads and loads is not None:
+                    record.loads = [float(value) for value in loads]
+                extra: Dict[str, object] = {}
+                if record.candidates:
+                    extra["candidates"] = [
+                        c.to_json_obj() for c in record.candidates
+                    ]
+                if record.node is not None:
+                    extra["node"] = record.node
+                if record.burn_rate is not None:
+                    extra["burn_rate"] = record.burn_rate
+                if volume_before is not None:
+                    extra["volume_before"] = volume_before
+                if volume_after is not None:
+                    extra["volume_after"] = volume_after
+                tracer.emit(
+                    "decision.evaluated",
+                    t=now,
+                    decision=decision_id,
+                    trigger=record.trigger,
+                    controller=record.controller,
+                    reason=record.reason,
+                    actions=record.actions,
+                    loads=list(record.loads),
+                    **extra,
+                )
+            return decision_id
 
         # Source arrivals.
         for k, input_name in enumerate(self.graph.input_names):
@@ -450,21 +592,51 @@ class Simulator:
                 hook = getattr(self.controller, "on_node_failed", None)
                 if hook is not None:
                     down = [i for i, f in enumerate(failed) if f]
-                    for move in hook(
+                    volume_before = (
+                        sample_volume(assignment)
+                        if drift_monitor is not None else None
+                    )
+                    moves = list(hook(
                         now, fault.node, assignment,
                         self.placement.model, capacities, down,
-                    ):
-                        apply_move(move, now, failover=True)
+                    ))
+                    decision_id = -1
+                    if tracing:
+                        decision_id = emit_decisions(
+                            "fault", now, moves, node=fault.node,
+                            volume_before=volume_before,
+                            volume_after=volume_after_moves(moves),
+                        )
+                    for move in moves:
+                        apply_move(
+                            move, now, failover=True,
+                            decision=decision_id,
+                        )
             elif fault.kind == "node.recover":
                 failed[fault.node] = False
                 hook = getattr(self.controller, "on_node_recovered", None)
                 if hook is not None:
                     down = [i for i, f in enumerate(failed) if f]
-                    for move in hook(
+                    volume_before = (
+                        sample_volume(assignment)
+                        if drift_monitor is not None else None
+                    )
+                    moves = list(hook(
                         now, fault.node, assignment,
                         self.placement.model, capacities, down,
-                    ):
-                        apply_move(move, now, failover=False)
+                    ))
+                    decision_id = -1
+                    if tracing:
+                        decision_id = emit_decisions(
+                            "recover", now, moves, node=fault.node,
+                            volume_before=volume_before,
+                            volume_after=volume_after_moves(moves),
+                        )
+                    for move in moves:
+                        apply_move(
+                            move, now, failover=False,
+                            decision=decision_id,
+                        )
                 # Resume whatever queued up while the node was down.
                 if not busy[fault.node] and not queues[fault.node].is_empty:
                     if tracing:
@@ -501,6 +673,8 @@ class Simulator:
             if priority == _FAULT:
                 if isinstance(payload, _FaultRevert):
                     revert_fault(payload.event, time)
+                elif isinstance(payload, DriftDetection):
+                    emit_drift(payload)
                 else:
                     apply_fault(payload, time)
                 continue
@@ -515,10 +689,28 @@ class Simulator:
                         stats.work_seconds - last_op_work[name]
                     ) / period
                     last_op_work[name] = stats.work_seconds
-                for move in self.controller.decide(
+                # Feasible-volume-over-time: sample once per poll (only
+                # while tracing) and run it through the drift detector.
+                volume_now: Optional[float] = None
+                if drift_monitor is not None:
+                    volume_now = sample_volume(assignment)
+                    detection = drift_monitor.observe(
+                        "feasible_volume", time, volume_now
+                    )
+                    if detection is not None:
+                        emit_drift(detection)
+                moves = list(self.controller.decide(
                     time, recent, assignment, self.placement.model,
                     capacities, operator_loads=op_loads,
-                ):
+                ))
+                decision_id = -1
+                if tracing:
+                    decision_id = emit_decisions(
+                        "periodic", time, moves, loads=recent,
+                        volume_before=volume_now,
+                        volume_after=volume_after_moves(moves),
+                    )
+                for move in moves:
                     if tracing:
                         tracer.emit(
                             "migration.decided",
@@ -527,8 +719,11 @@ class Simulator:
                             source=move.source,
                             target=move.target,
                             pause=move.pause_seconds,
+                            decision=decision_id,
                         )
-                    apply_move(move, time, failover=False)
+                    apply_move(
+                        move, time, failover=False, decision=decision_id
+                    )
                 continue
 
             if priority == _ARRIVAL:
@@ -556,6 +751,10 @@ class Simulator:
                         "node.stall", t=time, node=node,
                         work=completion.work,
                         start=completion.start,
+                        **(
+                            {"decision": completion.decision}
+                            if completion.decision >= 0 else {}
+                        ),
                     )
                 else:
                     # Sink closes carry the identical latency float the
@@ -617,6 +816,10 @@ class Simulator:
                     sink_latency.setdefault(
                         sink_stream, LatencyStats()
                     ).record(sample, completion.out_count)
+                    if slo_watcher is not None:
+                        slo_watcher.observe(
+                            time, sample, completion.out_count
+                        )
             if queues[node].is_empty or failed[node]:
                 # A crashed node goes quiet after its in-flight batch
                 # even if work is still queued (it resumes on recovery).
@@ -652,11 +855,28 @@ class Simulator:
                 migrations=len(migrations),
                 **extra_end,
             )
+        if telemetry is not None:
+            # Detach so a later untraced run of the same controller goes
+            # back to allocating nothing.
+            self.controller.telemetry = None
         if self.metrics is not None:
             self._record_metrics(
                 self.metrics, utilization, latency, tuples_in, tuples_out,
                 len(migrations), applied_faults,
             )
+            if decision_counts:
+                decided = self.metrics.counter(
+                    "rod_decisions_total",
+                    "controller decision records emitted",
+                    ("trigger",),
+                )
+                for trigger, count in sorted(decision_counts.items()):
+                    decided.labels(trigger=trigger).inc(count)
+            if drift_monitor is not None:
+                record_drift_metrics(
+                    self.metrics, drift_monitor.detections,
+                    drift_monitor.summary(),
+                )
         return SimulationResult(
             duration=horizon,
             node_busy=node_work,

@@ -32,9 +32,15 @@ POLICIES = ("fifo", "round_robin", "longest_queue")
 
 @dataclass(frozen=True)
 class Stall:
-    """A non-work queue entry: the node pauses for ``duration`` seconds."""
+    """A non-work queue entry: the node pauses for ``duration`` seconds.
+
+    ``decision`` carries the decision-audit id of the migration that
+    caused the pause (-1 when tracing is off), so ``node.stall`` trace
+    events attribute reconfiguration time to the controller decision.
+    """
 
     duration: float
+    decision: int = -1
 
 
 class SchedulerQueue:
@@ -69,11 +75,11 @@ class SchedulerQueue:
             self._per_op[batch.operator] = queue
         queue.append(batch)
 
-    def push_stall(self, duration: float) -> None:
+    def push_stall(self, duration: float, decision: int = -1) -> None:
         """Enqueue a migration stall, served before any batch."""
         if duration < 0:
             raise ValueError("stall duration must be >= 0")
-        self._stalls.append(Stall(duration))
+        self._stalls.append(Stall(duration, decision))
 
     # ----------------------------------------------------------------- pop
 

@@ -618,6 +618,98 @@ class TestExplainAndSloCli:
         assert "BREACH" in capsys.readouterr().out
 
 
+class TestWhyAndRunsJsonCli:
+    @pytest.fixture
+    def controlled_root(self, tmp_path, graph_file, plan_file, capsys):
+        """One controller-less run and one chaos+failover run."""
+        root = str(tmp_path / "runs")
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "2",
+            "--record", root, "--run-id", "plain",
+        ]) == 0
+        assert main([
+            "simulate", "--graph", graph_file, "--plan", plan_file,
+            "--rates", "20,20", "--duration", "6",
+            "--chaos-seed", "5", "--failover", "volume",
+            "--record", root, "--run-id", "chaos",
+        ]) == 0
+        capsys.readouterr()
+        return root
+
+    def test_runs_list_json(self, controlled_root, capsys):
+        assert main([
+            "runs", "list", "--root", controlled_root, "--json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_id = {row["run_id"]: row for row in rows}
+        assert set(by_id) == {"plain", "chaos"}
+        for row in rows:
+            assert set(row) >= {
+                "run_id", "kind", "created_wall", "sim_seconds",
+                "seed", "faults", "config_digest", "path",
+            }
+            assert row["kind"] == "simulate"
+            assert row["sim_seconds"] > 0
+        assert by_id["plain"]["faults"] == 0
+        assert by_id["chaos"]["faults"] > 0
+
+    def test_runs_list_json_empty_root(self, tmp_path, capsys):
+        assert main([
+            "runs", "list", "--root", str(tmp_path), "--json",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_why_renders_decision_audit(self, controlled_root, capsys):
+        assert main(["why", "chaos", "--root", controlled_root]) == 0
+        out = capsys.readouterr().out
+        assert "run chaos" in out
+        assert "decisions evaluated" in out
+        assert "migrations applied" in out
+
+    def test_why_json_links_every_migration(self, controlled_root, capsys):
+        assert main([
+            "why", "chaos", "--root", controlled_root, "--json",
+        ]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["summary"]["evaluated"] > 0
+        assert (
+            obj["summary"]["linked_migrations"]
+            == obj["summary"]["migrations"]
+            == len(obj["migrations"])
+        )
+        for migration in obj["migrations"]:
+            assert migration["decision"] is not None
+
+    def test_why_without_decisions_fails(self, controlled_root, capsys):
+        assert main(["why", "plain", "--root", controlled_root]) == 1
+        assert "no decision events" in capsys.readouterr().out
+
+    def test_why_missing_run_fails(self, tmp_path, capsys):
+        assert main(["why", "ghost", "--root", str(tmp_path)]) == 1
+        assert "ghost" in capsys.readouterr().out
+
+    def test_snapshot_carries_decision_and_drift_keys(
+        self, controlled_root
+    ):
+        from repro.obs import find_run
+
+        for run_id in ("plain", "chaos"):
+            result = find_run(run_id, root=controlled_root).result
+            assert "decisions" in result and "drift" in result
+            assert set(result["decisions"]) >= {
+                "evaluated", "migrations", "linked_migrations",
+                "triggers", "no_op",
+            }
+            assert set(result["drift"]) >= {
+                "detected", "by_signal", "by_direction",
+            }
+        plain = find_run("plain", root=controlled_root).result
+        # Controller-less constant-rate run: zero-valued but present.
+        assert plain["decisions"]["evaluated"] == 0
+        assert plain["drift"]["detected"] == 0
+
+
 class TestTraceSpanLineage:
     @pytest.fixture
     def trace_path(self, tmp_path, graph_file, plan_file, capsys):

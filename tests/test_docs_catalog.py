@@ -1,0 +1,36 @@
+"""The committed docs must match the schema registry.
+
+``docs/observability.md`` carries generated event/metric catalog tables
+between ``BEGIN/END GENERATED`` markers; ``scripts/gen_event_catalog.py``
+rewrites them from ``repro.obs.schema``.  This pins the committed file
+to the registry so a schema change cannot land without regenerating the
+docs (CI runs the same check via ``--check``).
+"""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_event_catalog", ROOT / "scripts" / "gen_event_catalog.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsCatalogInSync:
+    def test_committed_tables_match_registry(self):
+        gen = _load_generator()
+        text = (ROOT / "docs" / "observability.md").read_text()
+        assert gen.splice(text) == text, (
+            "docs/observability.md catalog tables are stale; run "
+            "`python scripts/gen_event_catalog.py`"
+        )
+
+    def test_check_mode_passes_on_committed_docs(self):
+        gen = _load_generator()
+        assert gen.main(["--check"]) == 0

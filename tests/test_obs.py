@@ -227,6 +227,48 @@ class TestExporters:
         text = registry.render_prometheus()
         assert '\\"' in text and "\\\\" in text and "\\n" in text
 
+    def test_prometheus_label_escaping_exact(self):
+        # Exposition spec: backslash first, then quote, then newline —
+        # each escaped exactly once, with no raw newline in the series.
+        registry = MetricsRegistry()
+        registry.counter("c", "c", labelnames=("path",)).labels(
+            path='a"b\\c\nd'
+        ).inc()
+        series = [
+            line for line in registry.render_prometheus().splitlines()
+            if line.startswith("c{")
+        ]
+        assert series == ['c{path="a\\"b\\\\c\\nd"} 1']
+
+    def test_prometheus_backslash_n_literal_not_double_escaped(self):
+        # A label value already containing the two characters \ + n
+        # must render as \\n (escaped backslash + letter), which is
+        # distinct from an actual newline's \n.
+        registry = MetricsRegistry()
+        registry.counter("c", "c", labelnames=("x",)).labels(
+            x="a\\nb"
+        ).inc()
+        text = registry.render_prometheus()
+        assert 'c{x="a\\\\nb"} 1' in text
+
+    def test_prometheus_nonfinite_values_render_per_spec(self):
+        registry = MetricsRegistry()
+        registry.gauge("up_g", "g").set(float("inf"))
+        registry.gauge("down_g", "g").set(float("-inf"))
+        registry.gauge("nan_g", "g").set(float("nan"))
+        text = registry.render_prometheus()
+        assert "up_g +Inf" in text
+        assert "down_g -Inf" in text
+        assert "nan_g NaN" in text
+
+    def test_prometheus_nonfinite_histogram_sum(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "h", buckets=(1.0,))
+        histogram.observe(float("inf"))
+        text = registry.render_prometheus()
+        assert "h_sum +Inf" in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+
 
 class TestTracer:
     def test_memory_sink_captures_typed_events(self):

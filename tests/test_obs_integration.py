@@ -250,3 +250,70 @@ class TestFilterEvents:
 
     def test_no_filters_is_identity(self):
         assert self.filter() == self.events
+
+
+class TestFilterEventsCombined:
+    """All three CLI filters (--type, --operator, --since) at once."""
+
+    def setup_method(self):
+        self.events = [
+            _event("sim.start", t=0.0, nodes=2),
+            _event("batch.serviced", t=1.0, node=0, operator="src0",
+                   work=0.1),
+            _event("batch.serviced", t=3.0, node=0, operator="agg0",
+                   work=0.1),
+            _event("batch.serviced", t=5.0, node=1, operator="agg0",
+                   work=0.1),
+            _event("span.open", t=3.0, span=7, operator="agg0", port=0,
+                   count=4, birth=3.0),
+            _event("span.close", t=5.0, span=7, node=1, start=4.0,
+                   work=0.1, out=4),
+            _event("migration.applied", t=4.0, operator="agg0",
+                   source=0, target=1, pause=0.2),
+            _event("phase", name="plan"),  # no sim clock, no operator
+        ]
+
+    def filter(self, **kwargs):
+        from repro.obs.timeline import filter_events
+
+        return filter_events(self.events, **kwargs)
+
+    def test_type_operator_since_compose(self):
+        kept = self.filter(
+            types=["batch.serviced"], operators=["agg0"], since=4.0
+        )
+        assert len(kept) == 1
+        assert kept[0].t == 5.0
+        assert kept[0].fields["node"] == 1
+
+    def test_operator_filter_crosses_event_kinds(self):
+        # Without a type filter, the operator filter keeps every event
+        # kind that names the operator: service, span.open, migration.
+        kept = self.filter(operators=["agg0"], since=0.0)
+        assert [e.type for e in kept] == [
+            "batch.serviced", "batch.serviced", "span.open",
+            "migration.applied",
+        ]
+
+    def test_operator_filter_drops_closes_without_operator_field(self):
+        # span.close carries no operator field, so an operator filter
+        # drops it even though its span.open matched — retrieving the
+        # full span needs the spans= filter instead.
+        kept = self.filter(operators=["agg0"])
+        assert "span.close" not in [e.type for e in kept]
+        kept = self.filter(spans=[7])
+        assert [e.type for e in kept] == ["span.open", "span.close"]
+
+    def test_span_and_since_compose(self):
+        kept = self.filter(spans=[7], since=4.0)
+        assert [e.type for e in kept] == ["span.close"]
+
+    def test_all_filters_can_empty_the_trace(self):
+        assert self.filter(
+            types=["batch.serviced"], operators=["src0"], since=2.0
+        ) == []
+
+    def test_unclocked_events_survive_since_but_not_field_filters(self):
+        kept = self.filter(since=100.0)
+        assert [e.type for e in kept] == ["phase"]
+        assert self.filter(since=100.0, operators=["agg0"]) == []
