@@ -130,12 +130,18 @@ def double_run(
     step: float = 0.1,
     chaos_seed: Optional[int] = 7,
     failover: Optional[str] = "volume",
+    elastic: bool = False,
 ) -> Dict[str, object]:
     """Generate, place, then simulate twice under different hash seeds.
 
     The graph and plan are written once (they are inputs, not what is
     under test); each simulate subprocess records a full run directory
     whose trace digest and result snapshot must agree bit for bit.
+    With ``elastic`` the workload is the skewed pre-partitioned
+    pipeline and each simulate runs the elasticity controller (key
+    routing uses the stable unit hash, so the repartition path must be
+    just as hash-seed-blind as everything else); ``--failover`` is
+    dropped there (the controllers are mutually exclusive).
     Returns ``{"runs": [dir, dir], "mismatches": [...]}``.
 
     Raises :class:`HarnessError` when any subprocess fails.
@@ -143,11 +149,22 @@ def double_run(
     os.makedirs(workdir, exist_ok=True)
     graph = os.path.join(workdir, "graph.json")
     plan = os.path.join(workdir, "plan.json")
-    _check(_run(_cli(
-        "generate", "--kind", "random", "--inputs", str(inputs),
-        "--ops-per-tree", str(ops_per_tree), "--seed", str(seed),
-        "-o", graph,
-    )))
+    if elastic:
+        # No failover (mutually exclusive controller) and no chaos: a
+        # fault hitting the partitioned pipeline can mask the skew the
+        # controller must react to, and the point here is exercising
+        # the repartition path under both hash seeds.
+        failover = None
+        chaos_seed = None
+        _check(_run(_cli(
+            "generate", "--kind", "elastic", "-o", graph,
+        )))
+    else:
+        _check(_run(_cli(
+            "generate", "--kind", "random", "--inputs", str(inputs),
+            "--ops-per-tree", str(ops_per_tree), "--seed", str(seed),
+            "-o", graph,
+        )))
     _check(_run(_cli(
         "place", "--graph", graph, "--nodes", str(nodes),
         "--algorithm", "rod", "-o", plan,
@@ -167,6 +184,8 @@ def double_run(
             cmd += ["--chaos-seed", str(chaos_seed)]
         if failover:
             cmd += ["--failover", failover]
+        if elastic:
+            cmd += ["--elastic"]
         _check(_run(cmd, hash_seed=hash_seed))
         run_dirs.append(os.path.join(record_root, run_id))
 
@@ -192,11 +211,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              f"{DEFAULT_HASH_SEEDS[1]})")
     parser.add_argument("--seed", type=int, default=23)
     parser.add_argument("--duration", type=float, default=8.0)
-    parser.add_argument("--rates", default="40,40")
+    parser.add_argument("--rates", default=None,
+                        help="tuples/second per input (default 40,40; "
+                             "400 for --elastic's one-input pipeline)")
     parser.add_argument("--chaos-seed", type=int, default=7,
                         help="seeded chaos schedule for the runs "
                              "(-1 disables fault injection)")
+    parser.add_argument("--elastic", action="store_true",
+                        help="run the skewed partitioned pipeline under "
+                             "the elasticity controller instead of the "
+                             "random graph under failover")
     args = parser.parse_args(argv)
+    if args.rates is None:
+        args.rates = "400" if args.elastic else "40,40"
 
     hash_seeds = DEFAULT_HASH_SEEDS
     if args.hash_seeds:
@@ -213,6 +240,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rates=args.rates,
             duration=args.duration,
             chaos_seed=None if args.chaos_seed < 0 else args.chaos_seed,
+            elastic=args.elastic,
         )
     except HarnessError as exc:
         print(f"determinism: {exc}", file=sys.stderr)  # noqa: REPRO505

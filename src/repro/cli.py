@@ -78,8 +78,13 @@ from .graphs.generator import (
     monitoring_graph,
     random_tree_graph,
 )
-from .dynamics import FAILOVER_POLICIES, FailoverController
+from .dynamics import (
+    FAILOVER_POLICIES,
+    ElasticityController,
+    FailoverController,
+)
 from .faults import chaos_schedule, load_fault_schedule
+from .graphs.partition import partition_operator
 from .graphs.serialize import dump_graph, load_graph
 from .obs import (
     JsonlSink,
@@ -98,6 +103,7 @@ from .placement import (
     AnnealingPlacer,
     ConnectedPlacer,
     CorrelationPlacer,
+    ElasticPlacer,
     HierarchicalPlacer,
     LLFPlacer,
     MilpBalancePlacer,
@@ -124,6 +130,7 @@ EXPERIMENTS = {
     "clustering": lambda: experiments.clustering_experiment.run(),
     "fidelity": lambda: experiments.fidelity.run(),
     "dynamic": lambda: experiments.dynamic_migration.run(),
+    "elasticity": lambda: experiments.elasticity.run(),
     "fault-tolerance": lambda jobs=1: experiments.fault_tolerance.run(
         jobs=jobs
     ),
@@ -278,6 +285,14 @@ def cmd_generate(args: argparse.Namespace) -> int:
     elif args.kind == "joins":
         graph = join_graph(num_join_pairs=max(1, args.inputs // 2),
                            seed=args.seed)
+    elif args.kind == "elastic":
+        # The elasticity demo workload: one hot operator already split
+        # two ways with skewed fractions (uniform hash ranges over a
+        # skewed key distribution), ready for ``simulate --elastic``.
+        graph = partition_operator(
+            experiments.elasticity.hot_pipeline(), "hot", 2,
+            fractions=(0.8, 0.2),
+        )
     else:
         raise SystemExit(f"unknown graph kind: {args.kind!r}")
     dump_graph(graph, args.output)
@@ -297,8 +312,31 @@ def cmd_place(args: argparse.Namespace) -> int:
         jobs=parallel.resolve_jobs(args.jobs),
         group_size=args.group_size,
     )
+    if args.elastic:
+        placer = ElasticPlacer(
+            base=placer,
+            target_ratio=args.elastic_target_ratio,
+            ways=args.elastic_ways,
+            max_splits=args.elastic_max_splits,
+            seed=args.seed if args.seed is not None else 0,
+        )
     placement = placer.place(model, [args.capacity] * args.nodes)
     _print_plan_summary(placement)
+    if args.elastic:
+        for entry in placer.history:
+            print(
+                f"elastic {entry['action']} {entry['operator']}: "
+                f"{entry['ratio_before']:.4f} -> "
+                f"{entry['ratio_after']:.4f} "
+                f"({'kept' if entry['kept'] else 'rolled back'})"
+            )
+        if args.elastic_graph_out:
+            # The placed model's graph gained routes/instances/merges:
+            # persist it (partition provenance included) so evaluate /
+            # simulate can reload a matching model.
+            dump_graph(placement.model.graph, args.elastic_graph_out)
+            print(f"partitioned graph written to "
+                  f"{args.elastic_graph_out}")
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(placement.to_json())
@@ -386,8 +424,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     rates = [float(r) for r in args.rates.split(",")]
     faults = _faults_from_args(args, placement, args.duration)
     controller = None
+    if args.failover and getattr(args, "elastic", False):
+        raise SystemExit("--failover and --elastic are mutually "
+                         "exclusive: pick one controller")
     if args.failover:
         controller = FailoverController(policy=args.failover)
+    elif getattr(args, "elastic", False):
+        if not placement.model.graph.partition_groups:
+            raise SystemExit(
+                "--elastic needs a graph with partition groups; place "
+                "with --elastic --elastic-graph-out (or partition the "
+                "graph first) and simulate that graph"
+            )
+        controller = ElasticityController()
     slo_objectives = None
     if getattr(args, "slo", None):
         from .obs.slo import load_slo_config
@@ -412,6 +461,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             config["chaos_intensity"] = args.chaos_intensity
     if args.failover:
         config["failover"] = args.failover
+    if getattr(args, "elastic", False):
+        config["elastic"] = True
     writer = _run_writer_from_args(
         args,
         kind="simulate",
@@ -438,6 +489,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
         result = simulator.run(rates=rates, duration=args.duration)
         print(result.summary())
+        if getattr(args, "elastic", False):
+            print(
+                "repartitions applied: "
+                f"{len(getattr(controller, 'history', ()))}"
+            )
         feasible = result.is_feasible(backlog_tolerance=args.step)
         print(f"feasible at this rate point: {feasible}")
         if sink is not None:
@@ -913,7 +969,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     gen = sub.add_parser("generate", help="write a query-graph JSON file")
     gen.add_argument("--kind", default="random",
-                     choices=("random", "monitoring", "joins"))
+                     choices=("random", "monitoring", "joins",
+                              "elastic"))
     gen.add_argument("--inputs", type=int, default=3)
     gen.add_argument("--ops-per-tree", type=int, default=10)
     gen.add_argument("--seed", type=int, default=None)
@@ -948,6 +1005,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for candidate scoring / group refinement "
              "(0 = all cores)",
+    )
+    place.add_argument(
+        "--elastic", action="store_true",
+        help="wrap the chosen algorithm in the elastic placer: split "
+             "the bottleneck operator into key-partitioned instances "
+             "until the feasible-volume ratio clears the target",
+    )
+    place.add_argument(
+        "--elastic-target-ratio", type=float, default=0.5, metavar="R",
+        help="stop splitting once the ratio reaches R (default 0.5)",
+    )
+    place.add_argument(
+        "--elastic-ways", type=int, default=2, metavar="W",
+        help="instances per split; escalation doubles an existing "
+             "group (default 2)",
+    )
+    place.add_argument(
+        "--elastic-max-splits", type=int, default=4, metavar="N",
+        help="bound on split attempts per placement (default 4)",
+    )
+    place.add_argument(
+        "--elastic-graph-out", metavar="FILE", default=None,
+        help="write the partitioned graph JSON (with partition "
+             "provenance) so evaluate/simulate can reload the plan",
     )
     place.add_argument("--seed", type=int, default=None)
     place.add_argument("-o", "--output")
@@ -1003,6 +1084,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="react to node crashes by reassigning their operators "
              "('volume' keeps the residual feasible set largest, "
              "'least_loaded' is the classic baseline)",
+    )
+    sim.add_argument(
+        "--elastic", action="store_true",
+        help="rebalance key ranges inside partition groups at runtime "
+             "(skew-aware repartitioning; the graph must carry "
+             "partition provenance)",
     )
     sim.add_argument(
         "--slo", metavar="FILE", default=None,

@@ -14,15 +14,30 @@ physical input-rate points into variable space.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..graphs.operators import VariableSelectivityOp, WindowJoin
+from ..graphs.operators import (
+    LinearOperator,
+    VariableSelectivityOp,
+    WindowJoin,
+)
+from ..graphs.partition import (
+    DEFAULT_MERGE_COST,
+    DEFAULT_ROUTE_COST,
+    partition_operator,
+    unpartition_operator,
+)
 from ..graphs.query_graph import QueryGraph
 from .linearize import LinearizationReport, linearization_report
 
-__all__ = ["LoadModel", "build_load_model"]
+__all__ = [
+    "LoadModel",
+    "build_load_model",
+    "partition_load_model",
+    "merge_load_model",
+]
 
 
 @dataclass(frozen=True)
@@ -207,4 +222,112 @@ def build_load_model(graph: QueryGraph) -> LoadModel:
         coefficients=coefficients,
         stream_coefficients=stream_coeffs,
         linearization=report,
+    )
+
+
+def partition_load_model(
+    model: LoadModel,
+    operator_name: str,
+    ways: int,
+    route_cost: float = DEFAULT_ROUTE_COST,
+    merge_cost: float = DEFAULT_MERGE_COST,
+    fractions: Optional[Sequence[float]] = None,
+) -> LoadModel:
+    """Load-model analogue of :func:`~repro.graphs.partition.partition_operator`.
+
+    Splits ``operator_name`` ``ways`` ways and extends ``L^o`` *in
+    place* of a full rebuild: the target's single row is replaced by
+    ``2 * ways + 1`` surgically derived rows (routes, instances, merge)
+    while every other row, the variable set and the linearization report
+    carry over untouched.  This is what lets an elastic placer extend
+    the model mid-search without re-linearizing the graph.
+    """
+    graph = partition_operator(
+        model.graph, operator_name, ways,
+        route_cost=route_cost, merge_cost=merge_cost, fractions=fractions,
+    )
+    group = graph.partition_groups[operator_name]
+    target = model.graph.operator(operator_name)
+    if not isinstance(target, LinearOperator):  # pragma: no cover
+        raise TypeError(f"{operator_name}: not a linear operator")
+    (target_input,) = model.graph.inputs_of(operator_name)
+    s_in = np.asarray(model.stream_coefficients[target_input], dtype=float)
+    d = model.num_variables
+
+    new_streams: Dict[str, np.ndarray] = dict(model.stream_coefficients)
+    rows: List[np.ndarray] = []
+    for name in model.operator_names:
+        if name != operator_name:
+            rows.append(model.coefficients[model.operator_index(name)])
+            continue
+        # Mirrors build_load_model's arithmetic for the new operators;
+        # the merged output stream keeps the old name and its exact
+        # coefficient vector, so downstream rows are reused unchanged.
+        part_outs: List[np.ndarray] = []
+        for part, fraction in enumerate(group.fractions):
+            route_out = fraction * s_in
+            route_row = np.zeros(d)
+            route_row += route_cost * s_in
+            rows.append(route_row)
+            new_streams[f"{operator_name}.route{part}.out"] = route_out
+            part_row = np.zeros(d)
+            part_row += target.cost_of_port(0) * route_out
+            rows.append(part_row)
+            part_out = target.selectivities[0] * route_out
+            new_streams[f"{operator_name}.part{part}.out"] = part_out
+            part_outs.append(part_out)
+        merge_row = np.zeros(d)
+        for part_out in part_outs:
+            merge_row += merge_cost * part_out
+        rows.append(merge_row)
+    coefficients = np.vstack(rows) if rows else np.zeros((0, d))
+    return LoadModel(
+        graph=graph,
+        variables=model.variables,
+        operator_names=graph.operator_names,
+        coefficients=coefficients,
+        stream_coefficients=new_streams,
+        linearization=model.linearization,
+    )
+
+
+def merge_load_model(model: LoadModel, operator_name: str) -> LoadModel:
+    """Inverse of :func:`partition_load_model`: collapse a group's rows.
+
+    The group's ``2 * ways + 1`` rows are replaced by the reconstructed
+    original operator's single row; every other row and the variable set
+    carry over untouched.
+    """
+    group = model.graph.partition_groups[operator_name]
+    graph = unpartition_operator(model.graph, operator_name)
+    target = graph.operator(operator_name)
+    if not isinstance(target, LinearOperator):  # pragma: no cover
+        raise TypeError(f"{operator_name}: not a linear operator")
+    (target_input,) = graph.inputs_of(operator_name)
+    s_in = np.asarray(model.stream_coefficients[target_input], dtype=float)
+    d = model.num_variables
+
+    new_streams: Dict[str, np.ndarray] = dict(model.stream_coefficients)
+    for member in group.derived:
+        new_streams.pop(f"{member}.out", None)
+    removed = set(group.derived)
+    rows: List[np.ndarray] = []
+    restored = False
+    for name in model.operator_names:
+        if name in removed:
+            if not restored:
+                row = np.zeros(d)
+                row += target.cost_of_port(0) * s_in
+                rows.append(row)
+                restored = True
+            continue
+        rows.append(model.coefficients[model.operator_index(name)])
+    coefficients = np.vstack(rows) if rows else np.zeros((0, d))
+    return LoadModel(
+        graph=graph,
+        variables=model.variables,
+        operator_names=graph.operator_names,
+        coefficients=coefficients,
+        stream_coefficients=new_streams,
+        linearization=model.linearization,
     )

@@ -4,6 +4,7 @@ for short-term load variations (Section 1) — and fault-driven failover
 deployment needs when a node crashes outright."""
 
 from .controller import LoadBalancingController, Migration, MigrationController
+from .elasticity import ElasticityController, Repartition
 from .failover import (
     FAILOVER_POLICIES,
     FailoverController,
@@ -16,9 +17,11 @@ from .state import (
 )
 
 __all__ = [
+    "ElasticityController",
     "FAILOVER_POLICIES",
     "FailoverController",
     "LoadBalancingController",
+    "Repartition",
     "Migration",
     "MigrationController",
     "MigrationCostModel",

@@ -1,0 +1,236 @@
+"""Skew-aware runtime repartitioning of partitioned operators.
+
+Where :class:`~repro.dynamics.controller.LoadBalancingController` moves
+whole operators between nodes, the :class:`ElasticityController`
+rebalances *within* a partitioned operator: when one key-partitioned
+instance runs hot (the key distribution drifted away from whatever the
+partition fractions assumed), it reassigns key-range fractions across
+the group's instances instead of paying a full operator migration.  The
+engine applies a :class:`Repartition` by swapping the group's router
+selectivities in place — a migration-like reconfiguration that stalls
+the group's host nodes for a state-handoff pause but never changes the
+operator-to-node assignment.
+
+Fraction targets come from an observed
+:class:`~repro.elastic.skew.KeyHistogram` when one is registered for the
+operator (exact balanced hash ranges), and otherwise from the
+proportional correction of :func:`~repro.elastic.skew.rebalanced_fractions`
+(size each range inversely to its measured load density).
+
+Decision audit: deliberations are recorded like any controller's, with
+trigger ``split`` when a hot instance forced a rebalance and ``merge``
+when a cold group was reset to uniform fractions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.load_model import LoadModel
+from ..elastic.skew import rebalanced_fractions
+from ..obs.log import get_logger
+from .controller import MigrationController
+from .state import MigrationCostModel
+
+__all__ = ["Repartition", "ElasticityController"]
+
+_LOG = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class Repartition:
+    """Reassign key-range fractions across one partition group.
+
+    ``fractions[i]`` is the key-space share the group's ``i``-th
+    instance should own after the reconfiguration.  The group's host
+    nodes stall for ``pause_seconds`` while key ranges (and any keyed
+    state) hand over.
+    """
+
+    operator: str
+    fractions: Tuple[float, ...]
+    pause_seconds: float
+
+
+class ElasticityController(MigrationController):
+    """Rebalances key ranges inside partition groups; never migrates.
+
+    Parameters
+    ----------
+    hot_threshold:
+        A group rebalances when its hottest instance's load exceeds
+        ``hot_threshold`` times the group mean.
+    cold_load:
+        A group whose total measured load is below this (CPU fraction)
+        while its fractions are skewed is reset to uniform — the merge
+        analogue: skew corrections are not worth tracking on a cold
+        group.
+    cooldown:
+        Seconds a just-rebalanced group is pinned (default
+        ``5 * period``).
+    min_fraction:
+        Floor on any instance's key-range share.
+    histograms:
+        Optional ``{base operator: KeyHistogram}``; listed groups get
+        exact balanced ranges instead of the proportional correction.
+    """
+
+    def __init__(
+        self,
+        period: float = 1.0,
+        hot_threshold: float = 1.5,
+        cold_load: float = 0.05,
+        cooldown: Optional[float] = None,
+        min_fraction: float = 0.01,
+        smoothing: float = 0.5,
+        cost_model: Optional[MigrationCostModel] = None,
+        state_tuples: Optional[Mapping[str, float]] = None,
+        histograms: Optional[Mapping[str, object]] = None,
+        slo_watcher: Optional[object] = None,
+    ) -> None:
+        super().__init__(period)
+        if hot_threshold <= 1.0:
+            raise ValueError("hot_threshold must be > 1")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.hot_threshold = hot_threshold
+        self.cold_load = cold_load
+        self.cooldown = 5.0 * period if cooldown is None else float(cooldown)
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.min_fraction = min_fraction
+        self.smoothing = smoothing
+        self.cost_model = cost_model or MigrationCostModel()
+        self.state_tuples: Dict[str, float] = dict(state_tuples or {})
+        self.histograms = dict(histograms or {})
+        self.slo_watcher = slo_watcher
+        #: Every repartition this controller issued, in time order.
+        self.history: List[Repartition] = []
+        #: Current fractions per group (authoritative once we reconfigure).
+        self._fractions: Dict[str, Tuple[float, ...]] = {}
+        self._last_action: Dict[str, float] = {}
+        self._smoothed_loads: Dict[str, float] = {}
+
+    def decide(
+        self,
+        now: float,
+        utilizations: np.ndarray,
+        assignment: Mapping[str, int],
+        model: LoadModel,
+        capacities: np.ndarray,
+        operator_loads: Optional[Mapping[str, float]] = None,
+    ) -> List[Repartition]:
+        record = None
+        if self.telemetry is not None:
+            watcher = self.slo_watcher
+            burning = watcher is not None and watcher.burning
+            record = self.telemetry.begin(
+                trigger="slo-burn" if burning else "periodic",
+                controller="elastic",
+                loads=[float(value) for value in utilizations],
+                burn_rate=(
+                    float(watcher.last_burn_rate) if burning else None
+                ),
+            )
+        groups = model.graph.partition_groups
+        if not groups:
+            if record is not None:
+                record.reason = "no-partition-groups"
+            return []
+        if operator_loads:
+            for name in operator_loads:
+                value = float(operator_loads[name])
+                previous = self._smoothed_loads.get(name, value)
+                self._smoothed_loads[name] = (
+                    self.smoothing * value
+                    + (1 - self.smoothing) * previous
+                )
+        actions: List[Repartition] = []
+        saw_split = False
+        saw_cooldown = False
+        for base in sorted(groups):
+            group = groups[base]
+            current = self._fractions.get(base, tuple(group.fractions))
+            loads = [
+                self._smoothed_loads.get(part, 0.0)
+                for part in group.parts
+            ]
+            total = sum(loads)
+            if total <= 0.0:
+                continue
+            mean = total / group.ways
+            hottest = max(range(group.ways), key=lambda i: (loads[i], -i))
+            coldest = min(range(group.ways), key=lambda i: (loads[i], i))
+            imbalance = loads[hottest] / mean
+            uniform_gap = max(
+                abs(f - 1.0 / group.ways) for f in current
+            )
+            hot = imbalance > self.hot_threshold
+            cold_reset = (
+                total < self.cold_load and uniform_gap > 1e-6
+            )
+            if not hot and not cold_reset:
+                continue
+            cooling = (
+                now - self._last_action.get(base, -math.inf)
+                < self.cooldown
+            )
+            if cooling:
+                saw_cooldown = True
+                if record is not None:
+                    record.add_candidate(
+                        base, hottest, coldest, -imbalance,
+                        "cooldown-pinned",
+                    )
+                continue
+            if hot:
+                histogram = self.histograms.get(base)
+                if histogram is not None:
+                    # Route selectivities are tuple-mass shares; the
+                    # histogram's balanced cut is expressed in key-range
+                    # widths, so convert via its observed distribution.
+                    fractions = histogram.observed_shares(
+                        histogram.fractions(group.ways)
+                    )
+                else:
+                    fractions = rebalanced_fractions(
+                        current, loads, min_fraction=self.min_fraction
+                    )
+                saw_split = True
+            else:
+                fractions = (1.0 / group.ways,) * group.ways
+            pause = self.cost_model.pause_seconds(
+                self.state_tuples.get(base, 0.0)
+            )
+            move = Repartition(
+                operator=base,
+                fractions=tuple(float(f) for f in fractions),
+                pause_seconds=pause,
+            )
+            _LOG.debug(
+                "t=%.2fs repartition %s: imbalance %.3f, fractions %s "
+                "(pause %.3fs)",
+                now, base, imbalance, fractions, pause,
+            )
+            actions.append(move)
+            self._fractions[base] = move.fractions
+            self._last_action[base] = now
+            if record is not None:
+                record.add_candidate(
+                    base, hottest, coldest, -imbalance, "chosen"
+                )
+        if record is not None:
+            record.actions = len(actions)
+            if actions:
+                record.trigger = "split" if saw_split else "merge"
+                record.reason = "repartition"
+            elif saw_cooldown:
+                record.reason = "repartition-cooldown"
+            else:
+                record.reason = "partitions-balanced"
+        self.history.extend(actions)
+        return actions

@@ -1,0 +1,114 @@
+"""Elastic rewrites of runtime stream programs.
+
+:func:`partition_program` is the runtime twin of
+:func:`repro.graphs.partition.partition_operator`: it splits one
+functional operator into ``ways`` key-partitioned instances behind
+hash-range router filters, merged back by an order-transparent
+:class:`~repro.runtime.functional.FnMerge`.  Routing uses the stable
+unit hash of :mod:`repro.elastic.skew`, so every record lands in exactly
+one partition and the decision replays identically across processes and
+``PYTHONHASHSEED`` values.
+
+Semantic transparency is the invariant: for stateless split targets
+(maps, filters) the rewritten program produces *bit-identical* results
+at any parallelism, because exactly one route passes each record and the
+merge adds nothing.  Splitting a grouped operator stays
+content-equivalent when the routing key equals the grouping key (each
+group lives wholly inside one partition), but cross-group emission
+*order* at a shared watermark may differ from the unsplit program —
+which is why the elastic placer only volunteers stateless operators.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..graphs.partition import (
+    DEFAULT_MERGE_COST,
+    DEFAULT_ROUTE_COST,
+    validate_fractions,
+)
+from ..runtime.functional import FnFilter, FnMerge
+from ..runtime.program import StreamProgram
+from .skew import stable_unit_hash
+
+__all__ = ["partition_program"]
+
+
+def _range_predicate(
+    key: Callable[[Any], Any], lo: float, hi: float
+) -> Callable[[Any], bool]:
+    def predicate(data: Any) -> bool:
+        return lo <= stable_unit_hash(key(data)) < hi
+
+    return predicate
+
+
+def partition_program(
+    program: StreamProgram,
+    operator_name: str,
+    ways: int,
+    key: Callable[[Any], Any],
+    fractions: Optional[Sequence[float]] = None,
+    route_cost: float = DEFAULT_ROUTE_COST,
+    merge_cost: float = DEFAULT_MERGE_COST,
+) -> StreamProgram:
+    """Split ``operator_name`` into ``ways`` key-partitioned instances.
+
+    ``key(data)`` extracts the partitioning key from a record;
+    ``fractions`` sets each instance's hash-range width (uniform by
+    default, or skew-balanced widths from
+    :meth:`~repro.elastic.skew.KeyHistogram.fractions`).  Every operator
+    is deep-copied into the rebuilt program, so the original program and
+    rewrites at other parallelism degrees keep independent state.
+    """
+    target = program.operator(operator_name)
+    if target.arity != 1:
+        raise ValueError(
+            f"{operator_name}: only single-input operators can be "
+            "partitioned"
+        )
+    shares = validate_fractions(ways, fractions)
+    bounds = [0.0]
+    for share in shares:
+        bounds.append(bounds[-1] + share)
+    bounds[-1] = 1.0
+
+    rebuilt = StreamProgram(
+        name=f"{program.name}/part-{operator_name}x{ways}"
+    )
+    for input_name in program.input_names:
+        rebuilt.add_input(input_name)
+    # The merge produces "<target>.merge.out", not "<target>.out":
+    # downstream consumers are remapped onto it.
+    remap = {}
+    for name in program.operator_names:
+        inputs = [
+            remap.get(stream, stream)
+            for stream in program.inputs_of(name)
+        ]
+        if name != operator_name:
+            rebuilt.add(copy.deepcopy(program.operator(name)), inputs)
+            continue
+        part_streams: List[str] = []
+        for part in range(ways):
+            route_out = rebuilt.add(
+                FnFilter(
+                    f"{operator_name}.route{part}",
+                    _range_predicate(key, bounds[part], bounds[part + 1]),
+                    cost=route_cost,
+                ),
+                inputs,
+            )
+            clone = copy.deepcopy(target)
+            clone.name = f"{operator_name}.part{part}"
+            part_streams.append(rebuilt.add(clone, [route_out]))
+        merge_out = rebuilt.add(
+            FnMerge(
+                f"{operator_name}.merge", arity=ways, cost=merge_cost
+            ),
+            part_streams,
+        )
+        remap[f"{operator_name}.out"] = merge_out
+    return rebuilt

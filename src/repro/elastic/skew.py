@@ -1,0 +1,186 @@
+"""Skew model for elastic data partitioning.
+
+Range partitioning splits the *key space*; load balance depends on how
+the observed keys distribute over it.  This module supplies the three
+pieces the elastic machinery shares:
+
+* a **stable key hash** mapping any key into the unit interval,
+  deterministic across processes and ``PYTHONHASHSEED`` values (unlike
+  builtin ``hash``), so routing decisions replay identically in the
+  determinism harness;
+* a :class:`KeyHistogram` of observed key weights, from which balanced
+  contiguous hash ranges (and their widths, the partition *fractions*)
+  are derived; and
+* :func:`rebalanced_fractions`, the histogram-free fallback the runtime
+  controller uses: correct the current fractions proportionally to each
+  partition's observed load.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "stable_key_hash",
+    "stable_unit_hash",
+    "KeyHistogram",
+    "rebalanced_fractions",
+]
+
+_HASH_SPACE = float(2**32)
+
+
+def stable_key_hash(key: object) -> int:
+    """CRC32 of the key's ``repr`` — stable across interpreter runs."""
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def stable_unit_hash(key: object) -> float:
+    """The key's position in the unit interval ``[0, 1)``."""
+    return stable_key_hash(key) / _HASH_SPACE
+
+
+class KeyHistogram:
+    """Weighted histogram of observed keys.
+
+    ``observe`` accumulates per-key weight (tuple counts, or measured
+    per-key CPU).  :meth:`fractions` then cuts the unit hash interval
+    into ``ways`` contiguous ranges of approximately equal observed
+    weight; the range widths are the skew-aware partition fractions fed
+    to :func:`repro.graphs.partition.partition_operator`.
+    """
+
+    def __init__(
+        self, counts: Optional[Mapping[object, float]] = None
+    ) -> None:
+        self._weights: Dict[object, float] = {}
+        if counts:
+            for key in counts:
+                self.observe(key, counts[key])
+
+    def observe(self, key: object, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be >= 0, got {weight}")
+        self._weights[key] = self._weights.get(key, 0.0) + float(weight)
+
+    @property
+    def total(self) -> float:
+        return sum(self._weights.values())
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def _points(self) -> List[Tuple[float, float]]:
+        """(unit-hash position, weight) pairs in hash order."""
+        positions: Dict[float, float] = {}
+        for key in self._weights:
+            u = stable_unit_hash(key)
+            positions[u] = positions.get(u, 0.0) + self._weights[key]
+        return sorted(positions.items())
+
+    def fractions(self, ways: int) -> Tuple[float, ...]:
+        """Widths of ``ways`` contiguous hash ranges with balanced weight.
+
+        Falls back to uniform widths when the histogram is empty or has
+        fewer distinct keys than ``ways`` (no basis for a skewed cut).
+        """
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        if ways == 1:
+            return (1.0,)
+        uniform = (1.0 / ways,) * ways
+        points = self._points()
+        total = sum(w for _, w in points)
+        if len(points) < ways or total <= 0.0:
+            return uniform
+        cuts: List[float] = []
+        accumulated = 0.0
+        j = 0
+        for i in range(ways - 1):
+            target = total * (i + 1) / ways
+            while (
+                j < len(points)
+                and accumulated + points[j][1] <= target + 1e-12
+            ):
+                accumulated += points[j][1]
+                j += 1
+            left = points[j - 1][0] if j > 0 else 0.0
+            right = points[j][0] if j < len(points) else 1.0
+            cuts.append((left + right) / 2.0)
+        bounds = [0.0] + cuts + [1.0]
+        if any(hi <= lo for lo, hi in zip(bounds, bounds[1:])):
+            return uniform
+        return tuple(hi - lo for lo, hi in zip(bounds, bounds[1:]))
+
+    def observed_shares(
+        self, fractions: Sequence[float]
+    ) -> Tuple[float, ...]:
+        """Observed weight share landing in each hash range.
+
+        This is the *effective* selectivity of each range partitioner
+        under the observed key distribution — uniform range widths over
+        skewed keys yield decidedly non-uniform shares, which is the
+        imbalance the elastic controller corrects.
+        """
+        bounds = [0.0]
+        for fraction in fractions:
+            bounds.append(bounds[-1] + float(fraction))
+        bounds[-1] = 1.0
+        shares = [0.0] * len(fractions)
+        total = 0.0
+        for key in self._weights:
+            weight = self._weights[key]
+            index = bisect_right(bounds, stable_unit_hash(key)) - 1
+            index = min(max(index, 0), len(fractions) - 1)
+            shares[index] += weight
+            total += weight
+        if total <= 0.0:
+            return (1.0 / len(fractions),) * len(fractions)
+        return tuple(share / total for share in shares)
+
+
+def rebalanced_fractions(
+    fractions: Sequence[float],
+    loads: Sequence[float],
+    min_fraction: float = 0.01,
+) -> Tuple[float, ...]:
+    """Correct partition fractions toward equal observed load.
+
+    Each partition's load density is ``load_i / fraction_i``; giving
+    every partition the same load means sizing fractions inversely to
+    density, i.e. ``fraction_i / load_i`` renormalized.  Partitions with
+    (near-)zero observed load are floored so no range collapses to
+    nothing — the density there is simply unknown.
+    """
+    if len(fractions) != len(loads):
+        raise ValueError("fractions and loads must have equal length")
+    if not 0.0 < min_fraction < 1.0 / len(fractions):
+        raise ValueError(
+            f"min_fraction must be in (0, 1/ways), got {min_fraction}"
+        )
+    current = [float(f) for f in fractions]
+    observed = [max(float(load), 0.0) for load in loads]
+    total_load = sum(observed)
+    if total_load <= 0.0:
+        scale = sum(current)
+        return tuple(f / scale for f in current)
+    floor = 1e-3 * total_load / len(observed)
+    raw = [
+        f / max(load, floor) for f, load in zip(current, observed)
+    ]
+    scale = sum(raw)
+    scaled = [value / scale for value in raw]
+    # Clamp starved ranges to the floor width, renormalizing the rest.
+    clamped_mass = sum(
+        min_fraction for value in scaled if value < min_fraction
+    )
+    free_mass = sum(value for value in scaled if value >= min_fraction)
+    result = tuple(
+        min_fraction
+        if value < min_fraction
+        else value * (1.0 - clamped_mass) / free_mass
+        for value in scaled
+    )
+    return result

@@ -25,6 +25,7 @@ from . import (
     clustering_experiment,
     dimensions,
     dynamic_migration,
+    elasticity,
     fault_tolerance,
     fidelity,
     fig2_traces,
@@ -52,6 +53,7 @@ __all__ = [
     "clustering_experiment",
     "dimensions",
     "dynamic_migration",
+    "elasticity",
     "fault_tolerance",
     "fidelity",
     "fig2_traces",

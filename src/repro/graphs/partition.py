@@ -9,25 +9,40 @@ Wider graphs are exactly where ROD shines: each stream's load splits
 into more, smaller pieces that can be balanced.  This module performs
 the rewrite: a linear single-input operator is replaced by ``ways``
 parallel instances behind range partitioners, with a union merging their
-outputs.  In the load model a uniform range partitioner is precisely a
-filter of selectivity ``1/ways`` — so the rewritten graph stays within
-the linear framework with no new operator kinds.
+outputs.  In the load model a range partitioner routing a ``fraction``
+of the key space is precisely a filter of that selectivity — uniform
+``1/ways`` by default, or skew-aware fractions derived from an observed
+key histogram (:mod:`repro.elastic.skew`) — so the rewritten graph stays
+within the linear framework with no new operator kinds.
 
-The rewrite preserves semantics in expectation (uniform key
-distribution) and preserves the *total* load of the replaced operator
-exactly, adding only the partitioners' routing cost and the merge
-union's cost — which is why resilience improves rather than load
-magically disappearing.
+The rewrite preserves semantics in expectation and preserves the *total*
+load of the replaced operator exactly, adding only the partitioners'
+routing cost and the merge union's cost — which is why resilience
+improves rather than load magically disappearing.
+
+Every rewrite records a :class:`PartitionGroup` in the graph's
+``partition_groups`` mapping, so later passes (deeper splits, merges,
+runtime repartitioning) reason about partitioning from explicit
+provenance instead of parsing operator names.
+:func:`unpartition_operator` is the exact inverse rewrite.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
 
 from .operators import Filter, LinearOperator, Union
 from .query_graph import QueryGraph
 
-__all__ = ["partition_operator", "parallelize_heaviest"]
+__all__ = [
+    "PartitionGroup",
+    "derived_partition_names",
+    "validate_fractions",
+    "partition_operator",
+    "unpartition_operator",
+    "parallelize_heaviest",
+]
 
 #: Default per-tuple CPU cost of routing a tuple to its range partition.
 DEFAULT_ROUTE_COST = 1e-5
@@ -35,11 +50,70 @@ DEFAULT_ROUTE_COST = 1e-5
 DEFAULT_MERGE_COST = 1e-5
 
 
-def _copy_operator(op, new_name: str):
-    """A clone of a linear single-input operator under a new name."""
-    return LinearOperator(
-        new_name, costs=op.costs, selectivities=op.selectivities
-    )
+@dataclass(frozen=True)
+class PartitionGroup:
+    """Provenance of one data-partitioning rewrite.
+
+    Records the operators the rewrite created (range partitioners,
+    parallel instances, the merge union) and the key-space fraction
+    currently routed to each instance.  Stored under the base operator's
+    name in ``QueryGraph.partition_groups`` and carried forward by every
+    subsequent rewrite.
+    """
+
+    base: str
+    ways: int
+    routes: Tuple[str, ...]
+    parts: Tuple[str, ...]
+    merge: str
+    fractions: Tuple[float, ...]
+    route_cost: float
+    merge_cost: float
+
+    @property
+    def derived(self) -> Tuple[str, ...]:
+        """All operator names created by the rewrite."""
+        return self.routes + self.parts + (self.merge,)
+
+
+def derived_partition_names(graph: QueryGraph) -> FrozenSet[str]:
+    """Names of all operators created by partitioning rewrites."""
+    names = set()
+    for base in sorted(graph.partition_groups):
+        names.update(graph.partition_groups[base].derived)
+    return frozenset(names)
+
+
+def _copy_operator(op: LinearOperator, new_name: str) -> LinearOperator:
+    """A same-class clone of a linear operator under a new name.
+
+    Subclasses (``Filter``, ``Delay``, ...) define bespoke ``__init__``
+    signatures, so the clone is assembled field-by-field: the concrete
+    type must survive — serialization and runtime lowering dispatch on
+    it.
+    """
+    clone = object.__new__(type(op))
+    object.__setattr__(clone, "name", new_name)
+    object.__setattr__(clone, "costs", op.costs)
+    object.__setattr__(clone, "selectivities", op.selectivities)
+    return clone
+
+
+def validate_fractions(
+    ways: int, fractions: Optional[Sequence[float]]
+) -> Tuple[float, ...]:
+    if fractions is None:
+        return (1.0 / ways,) * ways
+    result = tuple(float(f) for f in fractions)
+    if len(result) != ways:
+        raise ValueError(
+            f"expected {ways} fractions, got {len(result)}: {result!r}"
+        )
+    if any(f <= 0.0 for f in result):
+        raise ValueError(f"fractions must be > 0, got {result!r}")
+    if abs(sum(result) - 1.0) > 1e-9:
+        raise ValueError(f"fractions must sum to 1, got {result!r}")
+    return result
 
 
 def partition_operator(
@@ -48,13 +122,16 @@ def partition_operator(
     ways: int,
     route_cost: float = DEFAULT_ROUTE_COST,
     merge_cost: float = DEFAULT_MERGE_COST,
+    fractions: Optional[Sequence[float]] = None,
 ) -> QueryGraph:
     """Rewrite ``graph`` with ``operator_name`` split ``ways`` ways.
 
     Only linear single-input operators can be partitioned (joins would
     need key-consistent co-partitioning of both inputs — the paper's
-    remark concerns the common linear case).  Returns a new graph; the
-    original is untouched.
+    remark concerns the common linear case).  ``fractions`` sets the
+    key-space share routed to each instance (default uniform); skewed
+    key distributions call for non-uniform fractions so the instances'
+    *loads* balance.  Returns a new graph; the original is untouched.
     """
     if ways < 2:
         raise ValueError("ways must be >= 2")
@@ -68,6 +145,12 @@ def partition_operator(
             f"{operator_name}: only single-input operators can be "
             "partitioned"
         )
+    if operator_name in derived_partition_names(graph):
+        raise ValueError(
+            f"{operator_name}: created by an earlier partitioning step; "
+            "unpartition its group first"
+        )
+    shares = validate_fractions(ways, fractions)
     (target_input,) = graph.inputs_of(operator_name)
     old_output = graph.output_of(operator_name).name
 
@@ -77,22 +160,28 @@ def partition_operator(
 
     # Stream names in the old graph map to themselves except the
     # partitioned operator's output, which is produced by the new union.
+    routes = []
+    parts = []
     for name in graph.operator_names:
         if name == operator_name:
             instance_outputs = []
             for part in range(ways):
+                route_name = f"{operator_name}.route{part}"
                 route = rebuilt.add_operator(
                     Filter(
-                        f"{operator_name}.route{part}",
+                        route_name,
                         cost=route_cost,
-                        selectivity=1.0 / ways,
+                        selectivity=shares[part],
                     ),
                     [target_input],
                 )
+                part_name = f"{operator_name}.part{part}"
                 instance = rebuilt.add_operator(
-                    _copy_operator(target, f"{operator_name}.part{part}"),
+                    _copy_operator(target, part_name),
                     [route],
                 )
+                routes.append(route_name)
+                parts.append(part_name)
                 instance_outputs.append(instance)
             rebuilt.add_operator(
                 Union(
@@ -109,6 +198,62 @@ def partition_operator(
                 list(graph.inputs_of(name)),
                 output_name=graph.output_of(name).name,
             )
+    rebuilt.partition_groups.update(graph.partition_groups)
+    rebuilt.partition_groups[operator_name] = PartitionGroup(
+        base=operator_name,
+        ways=ways,
+        routes=tuple(routes),
+        parts=tuple(parts),
+        merge=f"{operator_name}.merge",
+        fractions=shares,
+        route_cost=route_cost,
+        merge_cost=merge_cost,
+    )
+    return rebuilt
+
+
+def unpartition_operator(
+    graph: QueryGraph, operator_name: str
+) -> QueryGraph:
+    """Inverse rewrite: collapse a partition group back to one operator.
+
+    The group's routes, instances and merge are removed and the original
+    operator (reconstructed from the first instance, same concrete type)
+    is re-attached to the original input stream, producing the original
+    output stream — downstream consumers are untouched.  Returns a new
+    graph; the original is untouched.
+    """
+    remaining = dict(graph.partition_groups)
+    try:
+        group = remaining.pop(operator_name)
+    except KeyError:
+        raise KeyError(
+            f"no partition group for operator: {operator_name!r}"
+        ) from None
+    (target_input,) = graph.inputs_of(group.routes[0])
+    merged_output = graph.output_of(group.merge).name
+    original = _copy_operator(graph.operator(group.parts[0]), operator_name)
+    removed = set(group.derived)
+
+    rebuilt = QueryGraph(name=f"{graph.name}/merge-{operator_name}")
+    for input_name in graph.input_names:
+        rebuilt.add_input(input_name)
+    restored = False
+    for name in graph.operator_names:
+        if name in removed:
+            if not restored:
+                rebuilt.add_operator(
+                    original, [target_input], output_name=merged_output
+                )
+                restored = True
+            continue
+        op = graph.operator(name)
+        rebuilt.add_operator(
+            op,
+            list(graph.inputs_of(name)),
+            output_name=graph.output_of(name).name,
+        )
+    rebuilt.partition_groups.update(remaining)
     return rebuilt
 
 
@@ -124,7 +269,11 @@ def parallelize_heaviest(
 
     "Heaviest" is judged by load at ``rates`` (default: all-ones input
     rates).  Operators created by earlier partitioning steps (routes,
-    instances, merges) are never re-partitioned.
+    instances, merges) are identified through the graph's recorded
+    partition groups — never by their names, so user operators with dots
+    in their names stay eligible — and are never re-partitioned.  Load
+    ties break in first-in-graph (topological insertion) order, so the
+    choice is stable under operator renames.
     """
     if count < 0:
         raise ValueError("count must be >= 0")
@@ -135,16 +284,22 @@ def parallelize_heaviest(
             [1.0] * result.num_inputs if rates is None else list(rates)
         )
         loads = result.operator_loads(probe_rates)
-        candidates = []
+        derived = derived_partition_names(result)
+        heaviest: Optional[str] = None
+        best_load = float("-inf")
+        # ``loads`` iterates in topological insertion order; the strict
+        # ``>`` keeps the first maximal operator on ties.
         for name, load in loads.items():
-            op = result.operator(name)
-            if name in partitioned or "." in name:
+            if name in partitioned or name in derived:
                 continue
-            if isinstance(op, LinearOperator) and op.arity == 1:
-                candidates.append((load, name))
-        if not candidates:
+            op = result.operator(name)
+            if not (isinstance(op, LinearOperator) and op.arity == 1):
+                continue
+            if load > best_load:
+                best_load = load
+                heaviest = name
+        if heaviest is None:
             break
-        _, heaviest = max(candidates)
         result = partition_operator(
             result, heaviest, ways,
             route_cost=route_cost, merge_cost=merge_cost,

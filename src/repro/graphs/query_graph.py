@@ -14,7 +14,16 @@ about nodes or placement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .operators import Operator, WindowJoin
 
@@ -72,6 +81,11 @@ class QueryGraph:
         self._op_order: List[str] = []
         # Operator name -> its output stream name.
         self._op_output: Dict[str, str] = {}
+        # Provenance of data-partitioning rewrites: base operator name
+        # -> graphs.partition.PartitionGroup.  Maintained by the rewrite
+        # helpers; empty for graphs that were never partitioned.  (Typed
+        # loosely to avoid a circular import with graphs.partition.)
+        self.partition_groups: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------ build
 

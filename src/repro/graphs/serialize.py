@@ -37,6 +37,7 @@ from .operators import (
     VariableSelectivityOp,
     WindowJoin,
 )
+from .partition import PartitionGroup
 from .query_graph import QueryGraph
 
 __all__ = ["graph_to_dict", "graph_from_dict", "dump_graph", "load_graph"]
@@ -108,11 +109,29 @@ def graph_to_dict(graph: QueryGraph) -> Dict[str, Any]:
         if output != f"{op.name}.out":
             doc["output"] = output
         operators.append(doc)
-    return {
+    result: Dict[str, Any] = {
         "name": graph.name,
         "inputs": list(graph.input_names),
         "operators": operators,
     }
+    # Partition provenance rides along only when present, so documents
+    # of never-partitioned graphs are byte-identical to older ones.
+    if graph.partition_groups:
+        result["partitions"] = [
+            {
+                "base": group.base,
+                "ways": group.ways,
+                "routes": list(group.routes),
+                "parts": list(group.parts),
+                "merge": group.merge,
+                "fractions": list(group.fractions),
+                "route_cost": group.route_cost,
+                "merge_cost": group.merge_cost,
+            }
+            for base in sorted(graph.partition_groups)
+            for group in (graph.partition_groups[base],)
+        ]
+    return result
 
 
 def graph_from_dict(doc: Dict[str, Any]) -> QueryGraph:
@@ -137,6 +156,20 @@ def graph_from_dict(doc: Dict[str, Any]) -> QueryGraph:
             op_doc["inputs"],
             output_name=op_doc.get("output"),
         )
+    for group_doc in doc.get("partitions", ()):
+        group = PartitionGroup(
+            base=group_doc["base"],
+            ways=int(group_doc["ways"]),
+            routes=tuple(group_doc["routes"]),
+            parts=tuple(group_doc["parts"]),
+            merge=group_doc["merge"],
+            fractions=tuple(float(f) for f in group_doc["fractions"]),
+            route_cost=float(group_doc["route_cost"]),
+            merge_cost=float(group_doc["merge_cost"]),
+        )
+        for member in group.derived:
+            graph.operator(member)  # raises KeyError on dangling provenance
+        graph.partition_groups[group.base] = group
     return graph
 
 

@@ -11,7 +11,8 @@ This module is the audit trail:
   ``self.telemetry is not None``, so the disabled-tracing hot path
   allocates nothing (``benchmark_obs_overhead.py`` asserts this).
 * :class:`DecisionRecord` / :class:`CandidateRecord` — one deliberation
-  with the trigger (periodic / slo-burn / fault / recover), the observed
+  with the trigger (periodic / slo-burn / fault / recover, plus
+  split / merge for elastic repartitioning), the observed
   per-node load snapshot, every candidate migration considered with its
   policy score, and the outcome: ``migrate`` or a structured no-op
   reason (:data:`NOOP_REASONS`).
@@ -65,6 +66,9 @@ NOOP_REASONS = (
     "nothing-displaced",    # node failed/recovered with nothing to move
     "failback-disabled",    # node recovered but failback is off
     "unobserved",           # synthesized for controllers without telemetry
+    "no-partition-groups",  # elastic controller on an unpartitioned graph
+    "partitions-balanced",  # every partition group within the hot threshold
+    "repartition-cooldown",  # imbalanced group rebalanced too recently
 )
 
 

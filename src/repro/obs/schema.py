@@ -102,7 +102,7 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             "run footer: busy totals, tuple counts, migrations",
             required=("node_busy", "tuples_in", "tuples_out",
                       "max_utilization", "migrations"),
-            optional=("faults", "stranded_tuples"),
+            optional=("faults", "stranded_tuples", "repartitions"),
         ),
         _event(
             "batch.enqueued",
@@ -155,6 +155,25 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
                       "actions", "loads"),
             optional=("candidates", "node", "volume_before",
                       "volume_after", "burn_rate"),
+        ),
+        _event(
+            "elastic.split",
+            "elastic placer split an operator into key partitions",
+            required=("operator", "ways", "ratio_before", "ratio_after",
+                      "kept"),
+            optional=("fractions",),
+        ),
+        _event(
+            "elastic.merge",
+            "elastic placer collapsed a cold partition group",
+            required=("operator", "ratio_before", "ratio_after", "kept"),
+        ),
+        _event(
+            "elastic.repartition",
+            "engine reassigned key-range fractions inside a partition "
+            "group",
+            required=("operator", "fractions", "pause"),
+            optional=("decision",),
         ),
         _event(
             "drift.detected",

@@ -4,6 +4,7 @@ from .annealing import AnnealingPlacer
 from .base import Placer
 from .connected import ConnectedPlacer
 from .correlation import CorrelationPlacer, correlation_coefficient
+from .elastic import ElasticPlacer
 from .hierarchical import HierarchicalPlacer, RestrictedModel
 from .llf import LLFPlacer
 from .milp import MilpBalancePlacer
@@ -15,6 +16,7 @@ __all__ = [
     "AnnealingPlacer",
     "ConnectedPlacer",
     "CorrelationPlacer",
+    "ElasticPlacer",
     "HierarchicalPlacer",
     "LLFPlacer",
     "MilpBalancePlacer",

@@ -1,0 +1,352 @@
+"""Elastic placement: split the bottleneck, re-place, merge the cold.
+
+The paper's placement treats each operator as indivisible, so a single
+hot operator caps the whole feasible set: no allocation matrix can serve
+rate points whose load on that one operator exceeds one node's capacity.
+:class:`ElasticPlacer` removes that ceiling.  It wraps any base placer
+and, while the placement's feasible-volume ratio stays below a target,
+splits the operator with the largest coefficient mass into
+key-partitioned parallel instances — extending ``L^o`` surgically via
+:func:`~repro.core.load_model.partition_load_model`, never re-deriving
+the model — then re-places *incrementally*: surviving operators keep
+their nodes and only the new routes/instances/merge are placed by a
+min-max greedy.  Splits that fail to grow the ratio are rolled back.
+Existing partition groups can be escalated (merged and re-split wider),
+and a final pass merges groups whose load share has gone cold, paying
+back their routing/merge overhead.
+
+Skew awareness: per-operator :class:`~repro.elastic.skew.KeyHistogram`
+objects supply balanced hash-range fractions, so a split of a skewed
+key space yields load-balanced instances instead of uniform ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.load_model import (
+    LoadModel,
+    merge_load_model,
+    partition_load_model,
+)
+from ..core.plans import Placement, placement_from_mapping
+from ..graphs.operators import LinearOperator
+from ..graphs.partition import (
+    DEFAULT_MERGE_COST,
+    DEFAULT_ROUTE_COST,
+    derived_partition_names,
+)
+from ..obs.trace import NULL_TRACER, Tracer
+from .base import Placer
+from .rod_placer import RODPlacer
+
+__all__ = ["ElasticPlacer"]
+
+
+class ElasticPlacer(Placer):
+    """Wraps a base placer with split/merge elasticity.
+
+    Parameters
+    ----------
+    base:
+        Placer producing the initial (and only full) placement; defaults
+        to :class:`~repro.placement.rod_placer.RODPlacer`.
+    target_ratio:
+        Stop splitting once the feasible-volume ratio reaches this.
+    ways:
+        Instances per split; escalating an existing group doubles it.
+    max_splits:
+        Bound on split attempts per ``place`` call.
+    max_ways:
+        Ceiling on any one group's parallelism.
+    min_gain:
+        A split must grow the ratio by more than this to be kept; a
+        merge must not shrink it by more than this.
+    cold_share:
+        Groups whose coefficient-mass share falls below this are merge
+        candidates in the final pass.
+    histograms:
+        Optional per-operator key histograms; a split of a listed
+        operator uses skew-balanced fractions instead of uniform.
+    """
+
+    name = "elastic"
+
+    def __init__(
+        self,
+        base: Optional[Placer] = None,
+        target_ratio: float = 0.5,
+        ways: int = 2,
+        max_splits: int = 4,
+        max_ways: int = 8,
+        samples: int = 2048,
+        seed: Optional[int] = 0,
+        min_gain: float = 1e-3,
+        cold_share: float = 0.02,
+        route_cost: float = DEFAULT_ROUTE_COST,
+        merge_cost: float = DEFAULT_MERGE_COST,
+        histograms: Optional[Mapping[str, object]] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not 0.0 < target_ratio <= 1.0:
+            raise ValueError("target_ratio must be in (0, 1]")
+        if ways < 2:
+            raise ValueError("ways must be >= 2")
+        if max_splits < 0:
+            raise ValueError("max_splits must be >= 0")
+        self.base = base if base is not None else RODPlacer()
+        self.target_ratio = target_ratio
+        self.ways = ways
+        self.max_splits = max_splits
+        self.max_ways = max_ways
+        self.samples = samples
+        self.seed = seed
+        self.min_gain = min_gain
+        self.cold_share = cold_share
+        self.route_cost = route_cost
+        self.merge_cost = merge_cost
+        self.histograms = dict(histograms or {})
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Split/merge decisions of the most recent ``place`` call.
+        self.history: List[Dict[str, object]] = []
+
+    # ---------------------------------------------------------------- place
+
+    def place(
+        self, model: LoadModel, capacities: Sequence[float]
+    ) -> Placement:
+        caps = self._validated(model, capacities)
+        self.history = []
+        placement = self.base.place(model, list(caps))
+        ratio = self._ratio(placement)
+        splits = 0
+        while ratio < self.target_ratio and splits < self.max_splits:
+            step = self._try_split(placement.model, caps, placement, ratio)
+            if step is None:
+                break
+            placement, ratio, kept = step
+            splits += 1
+            if not kept:
+                break
+        placement, ratio = self._merge_cold(placement.model, caps,
+                                            placement, ratio)
+        return placement
+
+    # ---------------------------------------------------------------- split
+
+    def _try_split(
+        self,
+        model: LoadModel,
+        caps: Sequence[float],
+        placement: Placement,
+        ratio: float,
+    ) -> Optional[Tuple[Placement, float, bool]]:
+        candidate = self._bottleneck_candidate(model)
+        if candidate is None:
+            return None
+        operator_name, group_ways = candidate
+        if group_ways:
+            # Escalate an existing group: collapse it, split it wider.
+            new_ways = min(group_ways * 2, self.max_ways)
+            merged = merge_load_model(model, operator_name)
+            merged_mapping = self._inherit_mapping(
+                placement.to_mapping(), merged, placement
+            )
+            trial_model = self._partitioned(merged, operator_name,
+                                            new_ways)
+            base_mapping = merged_mapping
+        else:
+            new_ways = self.ways
+            trial_model = self._partitioned(model, operator_name,
+                                            new_ways)
+            base_mapping = placement.to_mapping()
+        trial_mapping = self._inherit_mapping(base_mapping, trial_model,
+                                              placement)
+        trial = placement_from_mapping(trial_model, caps, trial_mapping)
+        trial_ratio = self._ratio(trial)
+        kept = trial_ratio > ratio + self.min_gain
+        entry: Dict[str, object] = {
+            "action": "split",
+            "operator": operator_name,
+            "ways": new_ways,
+            "ratio_before": ratio,
+            "ratio_after": trial_ratio,
+            "kept": kept,
+        }
+        self.history.append(entry)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "elastic.split",
+                operator=operator_name,
+                ways=new_ways,
+                ratio_before=ratio,
+                ratio_after=trial_ratio,
+                kept=kept,
+                fractions=[
+                    float(f)
+                    for f in trial_model.graph
+                    .partition_groups[operator_name].fractions
+                ],
+            )
+        if not kept:
+            return placement, ratio, False
+        return trial, trial_ratio, True
+
+    def _partitioned(
+        self, model: LoadModel, operator_name: str, ways: int
+    ) -> LoadModel:
+        histogram = self.histograms.get(operator_name)
+        fractions = None
+        if histogram is not None:
+            # The model's fraction is the tuple-mass share a route
+            # passes, not its key-range width: convert the balanced
+            # cut's widths into the shares observed under the
+            # histogram's own key distribution (≈ uniform by
+            # construction, exactly balanced when cuts land cleanly).
+            fractions = histogram.observed_shares(
+                histogram.fractions(ways)
+            )
+        return partition_load_model(
+            model, operator_name, ways,
+            route_cost=self.route_cost, merge_cost=self.merge_cost,
+            fractions=fractions,
+        )
+
+    def _bottleneck_candidate(
+        self, model: LoadModel
+    ) -> Optional[Tuple[str, int]]:
+        """(operator, existing ways or 0) with the largest row mass.
+
+        Plain operators compete by their own coefficient mass; an
+        existing group competes by its widest instance's mass (that
+        instance is what still binds a node) and is only offered while
+        it can grow within ``max_ways``.  Ties keep the first-in-graph
+        candidate.
+        """
+        graph = model.graph
+        derived = derived_partition_names(graph)
+        masses = model.coefficients.sum(axis=1)
+        part_of: Dict[str, str] = {}
+        for base in sorted(graph.partition_groups):
+            for part in graph.partition_groups[base].parts:
+                part_of[part] = base
+        best: Optional[Tuple[str, int]] = None
+        best_mass = 0.0
+        for index, name in enumerate(model.operator_names):
+            mass = float(masses[index])
+            if mass <= best_mass:
+                continue
+            if name in derived:
+                base = part_of.get(name)
+                if base is None:
+                    continue
+                group = graph.partition_groups[base]
+                if group.ways * 2 > self.max_ways:
+                    continue
+                best = (base, group.ways)
+            else:
+                op = graph.operator(name)
+                if not (
+                    isinstance(op, LinearOperator) and op.arity == 1
+                ):
+                    continue
+                best = (name, 0)
+            best_mass = mass
+        return best
+
+    # ---------------------------------------------------------------- merge
+
+    def _merge_cold(
+        self,
+        model: LoadModel,
+        caps: Sequence[float],
+        placement: Placement,
+        ratio: float,
+    ) -> Tuple[Placement, float]:
+        for base in sorted(model.graph.partition_groups):
+            group = model.graph.partition_groups[base]
+            total = float(model.coefficients.sum())
+            if total <= 0.0:
+                break
+            share = sum(
+                float(
+                    model.coefficients[model.operator_index(name)].sum()
+                )
+                for name in group.derived
+            ) / total
+            if share >= self.cold_share:
+                continue
+            merged_model = merge_load_model(model, base)
+            merged_mapping = self._inherit_mapping(
+                placement.to_mapping(), merged_model, placement
+            )
+            merged = placement_from_mapping(merged_model, caps,
+                                            merged_mapping)
+            merged_ratio = self._ratio(merged)
+            kept = merged_ratio + self.min_gain >= ratio
+            self.history.append({
+                "action": "merge",
+                "operator": base,
+                "ratio_before": ratio,
+                "ratio_after": merged_ratio,
+                "kept": kept,
+            })
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "elastic.merge",
+                    operator=base,
+                    ratio_before=ratio,
+                    ratio_after=merged_ratio,
+                    kept=kept,
+                )
+            if kept:
+                model, placement, ratio = (merged_model, merged,
+                                           merged_ratio)
+        return placement, ratio
+
+    # ------------------------------------------------------------ internals
+
+    def _ratio(self, placement: Placement) -> float:
+        return placement.volume_ratio(samples=self.samples,
+                                      seed=self.seed)
+
+    def _inherit_mapping(
+        self,
+        old_mapping: Mapping[str, int],
+        model: LoadModel,
+        placement: Placement,
+    ) -> Dict[str, int]:
+        """Keep surviving operators in place; greedily slot new ones.
+
+        New operators land in descending coefficient-mass order (ties
+        first-in-graph) on the node minimizing the resulting worst
+        per-variable utilization — the same min-max yardstick ROD's
+        greedy uses, restricted to the handful of new rows.
+        """
+        caps = np.asarray(placement.capacities, dtype=float)
+        node_coeffs = np.zeros((len(caps), model.num_variables))
+        mapping: Dict[str, int] = {}
+        new_ops: List[Tuple[float, int, str]] = []
+        for index, name in enumerate(model.operator_names):
+            if name in old_mapping:
+                node = int(old_mapping[name])
+                mapping[name] = node
+                node_coeffs[node] += model.coefficients[index]
+            else:
+                mass = float(model.coefficients[index].sum())
+                new_ops.append((-mass, index, name))
+        for _, index, name in sorted(new_ops):
+            row = model.coefficients[index]
+            best_node = 0
+            best_score = float("inf")
+            for node in range(len(caps)):
+                trial = (node_coeffs[node] + row) / caps[node]
+                score = float(trial.max()) if trial.size else 0.0
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best_node = node
+            mapping[name] = best_node
+            node_coeffs[best_node] += row
+        return mapping

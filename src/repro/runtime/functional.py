@@ -25,6 +25,7 @@ __all__ = [
     "FnMap",
     "FnFilter",
     "FnUnion",
+    "FnMerge",
     "FnAggregate",
     "FnCountWindow",
     "FnWindowJoin",
@@ -130,6 +131,31 @@ class FnUnion(FnOperator):
     def accept(self, port: int, record: Record) -> List[Record]:
         self._check_port(port)
         return [record.with_data(_source=port)]
+
+    def to_model_operator(self, selectivity=None) -> model_ops.Operator:
+        return model_ops.Union(self.name, costs=[self.cost] * self.arity)
+
+
+class FnMerge(FnOperator):
+    """Content-transparent union of partitioned streams.
+
+    Unlike :class:`FnUnion` it does not tag records with their source
+    port: the merged stream carries exactly the records the partitioned
+    instances produced, bit-identical to what the unsplit operator would
+    have emitted.  This is the merge step of elastic data partitioning
+    (:func:`repro.elastic.partition_program`), where the source partition
+    is an implementation detail that must not leak into results.
+    """
+
+    def __init__(self, name: str, arity: int = 2, cost: float = 5e-5) -> None:
+        super().__init__(name, cost)
+        if arity < 2:
+            raise ValueError(f"{name}: merge needs at least two inputs")
+        self.arity = arity
+
+    def accept(self, port: int, record: Record) -> List[Record]:
+        self._check_port(port)
+        return [record]
 
     def to_model_operator(self, selectivity=None) -> model_ops.Operator:
         return model_ops.Union(self.name, costs=[self.cost] * self.arity)

@@ -54,8 +54,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.plans import Placement
+from ..dynamics.elasticity import Repartition
 from ..dynamics.failover import residual_volume_ratio
 from ..faults.schedule import FaultEvent, FaultSchedule
+from ..graphs.operators import Filter
 from ..obs.decisions import DecisionRecord, DecisionTelemetry
 from ..obs.drift import DriftDetection, DriftMonitor, record_drift_metrics
 from ..obs.metrics import MetricsRegistry
@@ -274,6 +276,11 @@ class Simulator:
         tuples_in = 0
         tuples_out = 0
         migrations: List[object] = []
+        # Repartitions are kept apart from migrations: they stall nodes
+        # like a migration but never change the assignment, and the
+        # migration-derived metrics (count, total pause) must not see
+        # them.
+        repartitions: List[Repartition] = []
 
         # Fault state: crashed nodes serve nothing; ``slow`` multiplies
         # per-batch operator cost during slowdown windows.
@@ -447,6 +454,52 @@ class Simulator:
                 )
             return True
 
+        partition_groups = getattr(self.graph, "partition_groups", {})
+
+        def apply_repartition(
+            rep: Repartition, now: float, decision: int = -1
+        ) -> bool:
+            """Swap a partition group's router selectivities in place.
+
+            Rebuilds the group's route runtimes with the new key-range
+            fractions (the shared :class:`QueryGraph` is never mutated)
+            and stalls every node hosting a route or instance for the
+            state-handoff pause — a migration-like reconfiguration that
+            leaves the operator-to-node assignment untouched.  Returns
+            ``False`` for a stale decision (group gone or the wrong
+            width).
+            """
+            group = partition_groups.get(rep.operator)
+            if group is None or len(rep.fractions) != group.ways:
+                return False
+            for route, fraction in zip(group.routes, rep.fractions):
+                route_op = self.graph.operator(route)
+                runtimes[route] = make_runtime(Filter(
+                    route, cost=route_op.costs[0],
+                    selectivity=float(fraction),
+                ))
+            endpoints = sorted({
+                assignment[name]
+                for name in (*group.routes, *group.parts)
+            })
+            for endpoint in endpoints:
+                queues[endpoint].push_stall(rep.pause_seconds, decision)
+                if not busy[endpoint] and not failed[endpoint]:
+                    if tracing:
+                        tracer.emit("node.busy", t=now, node=endpoint)
+                    start_service(endpoint, now)
+            repartitions.append(rep)
+            if tracing:
+                tracer.emit(
+                    "elastic.repartition",
+                    t=now,
+                    operator=rep.operator,
+                    fractions=[float(f) for f in rep.fractions],
+                    pause=rep.pause_seconds,
+                    **({"decision": decision} if decision >= 0 else {}),
+                )
+            return True
+
         def sample_volume(current: Dict[str, int]) -> float:
             """Feasible-volume ratio of the (degraded) cluster now."""
             down = [i for i, f in enumerate(failed) if f]
@@ -462,6 +515,8 @@ class Simulator:
                 return None
             trial = dict(assignment)
             for move in moves:
+                if isinstance(move, Repartition):
+                    continue  # assignment-preserving; no volume effect
                 if trial.get(move.operator) == move.source:
                     trial[move.operator] = move.target
             return sample_volume(trial)
@@ -711,6 +766,9 @@ class Simulator:
                         volume_after=volume_after_moves(moves),
                     )
                 for move in moves:
+                    if isinstance(move, Repartition):
+                        apply_repartition(move, time, decision=decision_id)
+                        continue
                     if tracing:
                         tracer.emit(
                             "migration.decided",
@@ -845,6 +903,8 @@ class Simulator:
                     "stranded_tuples": stranded,
                 }
             )
+            if repartitions:
+                extra_end["repartitions"] = len(repartitions)
             tracer.emit(
                 "sim.end",
                 t=horizon,

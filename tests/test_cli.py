@@ -226,7 +226,7 @@ class TestExperiment:
             "lower-bound", "nonlinear", "clustering", "fidelity", "dynamic",
             "fault-tolerance", "heterogeneous", "partitioning",
             "balance-bound", "qmc-convergence", "scheduling", "protocol",
-            "linearization", "search-gap", "scale-solve",
+            "linearization", "search-gap", "scale-solve", "elasticity",
         }
 
     def test_runs_fig2(self, capsys):

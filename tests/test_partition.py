@@ -5,7 +5,12 @@ import pytest
 
 from repro import build_load_model
 from repro.graphs import Delay, Filter, QueryGraph, WindowJoin, Union
-from repro.graphs.partition import parallelize_heaviest, partition_operator
+from repro.graphs.partition import (
+    parallelize_heaviest,
+    partition_operator,
+    unpartition_operator,
+)
+from repro.graphs.serialize import graph_from_dict, graph_to_dict
 
 
 @pytest.fixture
@@ -124,3 +129,109 @@ class TestParallelizeHeaviest:
     def test_validation(self, chain):
         with pytest.raises(ValueError):
             parallelize_heaviest(chain, count=-1, ways=2)
+
+    def test_dotted_user_names_stay_eligible(self):
+        # Provenance is recorded in partition groups, not inferred from
+        # names, so an operator whose *user-chosen* name contains a dot
+        # is still a split candidate.
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Delay("ns.heavy", cost=4.0, selectivity=1.0), [i])
+        rebuilt = parallelize_heaviest(g, count=2, ways=2)
+        assert "ns.heavy.part0" in rebuilt.operator_names
+        # One eligible operator: the second round finds only derived
+        # instances and stops instead of re-splitting them.
+        assert "ns.heavy" in rebuilt.partition_groups
+        assert len(rebuilt.partition_groups) == 1
+
+    def test_load_ties_break_first_in_graph(self):
+        # Two equally loaded operators: the earlier insertion wins, not
+        # the lexicographically larger name.
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Delay("zeta", cost=2.0, selectivity=1.0), [i])
+        g.add_operator(
+            Delay("alpha", cost=2.0, selectivity=1.0), ["zeta.out"]
+        )
+        rebuilt = parallelize_heaviest(g, count=1, ways=2)
+        assert "zeta" in rebuilt.partition_groups
+        assert "alpha" in rebuilt.operator_names
+
+
+class TestPartitionProvenance:
+    def test_instances_keep_concrete_class(self, chain):
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Filter("f", cost=2.0, selectivity=0.5), [i])
+        rebuilt = partition_operator(g, "f", ways=2)
+        part = rebuilt.operator("f.part0")
+        assert type(part) is Filter
+        assert part.costs == (2.0,)
+        assert part.selectivities == (0.5,)
+
+    def test_unpartition_round_trips_type_and_fields(self):
+        g = QueryGraph()
+        i = g.add_input("I")
+        g.add_operator(Filter("f", cost=2.0, selectivity=0.5), [i])
+        g.add_operator(Delay("tail", cost=1.0, selectivity=1.0), ["f.out"])
+        restored = unpartition_operator(
+            partition_operator(g, "f", ways=3), "f"
+        )
+        op = restored.operator("f")
+        assert type(op) is Filter
+        assert op.costs == (2.0,)
+        assert op.selectivities == (0.5,)
+        assert restored.inputs_of("tail") == ("f.out",)
+        assert restored.partition_groups == {}
+        assert restored.stream_rates([8.0]) == pytest.approx(
+            g.stream_rates([8.0])
+        )
+
+    def test_unpartition_requires_a_group(self, chain):
+        with pytest.raises(KeyError, match="no partition group"):
+            unpartition_operator(chain, "heavy")
+
+    def test_derived_instances_cannot_be_resplit(self, chain):
+        rebuilt = partition_operator(chain, "heavy", ways=2)
+        with pytest.raises(ValueError, match="unpartition"):
+            partition_operator(rebuilt, "heavy.part0", ways=2)
+
+    def test_group_records_rewrite(self, chain):
+        rebuilt = partition_operator(
+            chain, "heavy", ways=2, fractions=(0.75, 0.25)
+        )
+        group = rebuilt.partition_groups["heavy"]
+        assert group.routes == ("heavy.route0", "heavy.route1")
+        assert group.parts == ("heavy.part0", "heavy.part1")
+        assert group.merge == "heavy.merge"
+        assert group.fractions == (0.75, 0.25)
+        # The route filters carry the fractions as selectivities.
+        assert rebuilt.operator("heavy.route0").selectivities == (0.75,)
+        assert rebuilt.operator("heavy.route1").selectivities == (0.25,)
+
+    def test_fractions_validation(self, chain):
+        with pytest.raises(ValueError, match="fractions"):
+            partition_operator(chain, "heavy", ways=2, fractions=(1.0,))
+        with pytest.raises(ValueError, match="sum"):
+            partition_operator(
+                chain, "heavy", ways=2, fractions=(0.9, 0.3)
+            )
+        with pytest.raises(ValueError, match="> 0"):
+            partition_operator(
+                chain, "heavy", ways=2, fractions=(1.0, 0.0)
+            )
+
+    def test_groups_serialize_round_trip(self, chain):
+        rebuilt = partition_operator(
+            chain, "heavy", ways=2, fractions=(0.7, 0.3)
+        )
+        loaded = graph_from_dict(graph_to_dict(rebuilt))
+        group = loaded.partition_groups["heavy"]
+        assert group.fractions == (0.7, 0.3)
+        assert group.parts == ("heavy.part0", "heavy.part1")
+        assert type(loaded.operator("heavy.part0")) is Delay
+
+    def test_unpartitioned_graphs_serialize_without_partitions_key(
+        self, chain
+    ):
+        assert "partitions" not in graph_to_dict(chain)
